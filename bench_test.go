@@ -1,0 +1,352 @@
+package treesim
+
+// The benchmark harness regenerating the paper's evaluation (one benchmark
+// per figure, Figs. 7–15) plus micro-benchmarks backing the complexity
+// claims of Sections 3–4 and ablations of the design choices listed in
+// DESIGN.md.
+//
+// Figure benchmarks run the corresponding experiment at a laptop scale and
+// report the headline measures as custom metrics:
+//
+//	bibranch-%   average % of the dataset verified under the BiBranch filter
+//	histo-%      same for the Histo baseline
+//	speedup-x    sequential CPU time / BiBranch CPU time
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Paper-scale runs (2000 trees, 100 queries) are available through
+// cmd/experiments -scale paper.
+
+import (
+	"testing"
+
+	"treesim/internal/branch"
+	"treesim/internal/datagen"
+	"treesim/internal/dblp"
+	"treesim/internal/editdist"
+	"treesim/internal/experiments"
+	"treesim/internal/invfile"
+	"treesim/internal/search"
+	"treesim/internal/tree"
+)
+
+// benchScale is the dataset scale for figure benchmarks.
+func benchScale() experiments.Config {
+	cfg := experiments.UnitScale()
+	cfg.DatasetSize = 150
+	cfg.Queries = 8
+	return cfg
+}
+
+func reportTable(b *testing.B, t *experiments.Table) {
+	b.Helper()
+	var bib, his, speed float64
+	for _, r := range t.Rows {
+		bib += r.BiBranchPct
+		his += r.HistoPct
+		if r.BiBranchTime > 0 {
+			speed += float64(r.SeqTime) / float64(r.BiBranchTime)
+		}
+	}
+	n := float64(len(t.Rows))
+	b.ReportMetric(bib/n, "bibranch-%")
+	b.ReportMetric(his/n, "histo-%")
+	b.ReportMetric(speed/n, "speedup-x")
+}
+
+func BenchmarkFig07FanoutRange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, experiments.Fig07(benchScale()))
+	}
+}
+
+func BenchmarkFig08FanoutKNN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, experiments.Fig08(benchScale()))
+	}
+}
+
+func BenchmarkFig09SizeRange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, experiments.Fig09(benchScale()))
+	}
+}
+
+func BenchmarkFig10SizeKNN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, experiments.Fig10(benchScale()))
+	}
+}
+
+func BenchmarkFig11LabelRange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, experiments.Fig11(benchScale()))
+	}
+}
+
+func BenchmarkFig12LabelKNN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportTable(b, experiments.Fig12(benchScale()))
+	}
+}
+
+func BenchmarkFig13DBLPKNN(b *testing.B) {
+	cfg := benchScale()
+	cfg.DatasetSize = 600 // DBLP records are tiny; use more of them
+	for i := 0; i < b.N; i++ {
+		reportTable(b, experiments.Fig13(cfg))
+	}
+}
+
+func BenchmarkFig14DBLPRange(b *testing.B) {
+	cfg := benchScale()
+	cfg.DatasetSize = 600
+	for i := 0; i < b.N; i++ {
+		reportTable(b, experiments.Fig14(cfg))
+	}
+}
+
+func BenchmarkFig15Distribution(b *testing.B) {
+	cfg := benchScale()
+	cfg.DatasetSize = 400
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig15(cfg)
+		// Report the area between each bound's CDF and the Edit CDF —
+		// smaller is tighter.
+		var hGap, b2Gap float64
+		for _, r := range t.Rows {
+			hGap += r.Histo - r.Edit
+			b2Gap += r.BiBranch2 - r.Edit
+		}
+		b.ReportMetric(hGap/float64(len(t.Rows)), "histo-gap")
+		b.ReportMetric(b2Gap/float64(len(t.Rows)), "bibranch2-gap")
+	}
+}
+
+// --- Micro-benchmarks: the complexity claims of Sections 3–4. ---
+
+func syntheticPair(size float64, seed int64) (*tree.Tree, *tree.Tree) {
+	spec := datagen.Spec{FanoutMean: 4, FanoutStd: 0.5, SizeMean: size, SizeStd: 2, Labels: 8, Decay: 0.05}
+	g := datagen.New(spec, seed)
+	t1 := g.Seed()
+	return t1, g.Derive(t1)
+}
+
+// BenchmarkEditDistance measures the quadratic Zhang–Shasha cost at the
+// paper's tree sizes — the cost the filter avoids.
+func BenchmarkEditDistance(b *testing.B) {
+	for _, size := range []float64{25, 50, 100} {
+		t1, t2 := syntheticPair(size, 7)
+		b.Run(sizeName(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				editdist.Distance(t1, t2)
+			}
+		})
+	}
+}
+
+// BenchmarkBDist measures the linear binary branch distance at the same
+// sizes (profiles precomputed, as in a real index).
+func BenchmarkBDist(b *testing.B) {
+	for _, size := range []float64{25, 50, 100} {
+		t1, t2 := syntheticPair(size, 7)
+		s := branch.NewSpace(2)
+		p1, p2 := s.Profile(t1), s.Profile(t2)
+		b.Run(sizeName(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				branch.BDist(p1, p2)
+			}
+		})
+	}
+}
+
+// BenchmarkSearchLBound measures the positional optimistic bound
+// (O((|T1|+|T2|)·log min(|T1|,|T2|)), Section 4.4).
+func BenchmarkSearchLBound(b *testing.B) {
+	for _, size := range []float64{25, 50, 100} {
+		t1, t2 := syntheticPair(size, 7)
+		s := branch.NewSpace(2)
+		p1, p2 := s.Profile(t1), s.Profile(t2)
+		b.Run(sizeName(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				branch.SearchLBound(p1, p2)
+			}
+		})
+	}
+}
+
+// BenchmarkProfile measures per-tree vector construction.
+func BenchmarkProfile(b *testing.B) {
+	for _, size := range []float64{25, 50, 100} {
+		t1, _ := syntheticPair(size, 7)
+		b.Run(sizeName(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				branch.NewSpace(2).Profile(t1)
+			}
+		})
+	}
+}
+
+// BenchmarkVectorConstruction measures Algorithm 1 — the dataset-wide
+// inverted file build plus the scan that materializes all vectors —
+// demonstrating the linear O(Σ|Ti|) claim of Section 4.4.
+func BenchmarkVectorConstruction(b *testing.B) {
+	for _, n := range []int{100, 200, 400} {
+		spec := datagen.Spec{FanoutMean: 4, FanoutStd: 0.5, SizeMean: 50, SizeStd: 2, Labels: 8, Decay: 0.05}
+		ts := datagen.New(spec, 3).Dataset(n, 10)
+		b.Run(intName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				invfile.Build(branch.NewSpace(2), ts).Profiles()
+			}
+		})
+	}
+}
+
+// BenchmarkKNNQuery compares one k-NN query under each filter on a fixed
+// synthetic dataset (index construction excluded).
+func BenchmarkKNNQuery(b *testing.B) {
+	spec := datagen.Spec{FanoutMean: 4, FanoutStd: 0.5, SizeMean: 50, SizeStd: 2, Labels: 8, Decay: 0.05}
+	ts := datagen.New(spec, 5).Dataset(300, 15)
+	q := ts[42]
+	filters := map[string]search.Filter{
+		"BiBranch":   search.NewBiBranch(),
+		"Histo":      search.NewHisto(),
+		"Sequential": search.NewNone(),
+	}
+	for name, f := range filters {
+		ix := search.NewIndex(ts, f)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix.KNN(q, 3)
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md, "Design choices to ablate"). ---
+
+// BenchmarkAblationPositional compares the positional optimistic bound
+// against plain ceil(BDist/5) filtering: verified fraction and query time.
+func BenchmarkAblationPositional(b *testing.B) {
+	spec := datagen.Spec{FanoutMean: 4, FanoutStd: 0.5, SizeMean: 50, SizeStd: 2, Labels: 8, Decay: 0.05}
+	ts := datagen.New(spec, 5).Dataset(300, 15)
+	q := ts[42]
+	for _, positional := range []bool{true, false} {
+		name := "positional"
+		if !positional {
+			name = "plain"
+		}
+		ix := search.NewIndex(ts, &search.BiBranch{Q: 2, Positional: positional})
+		b.Run(name, func(b *testing.B) {
+			var verified int
+			for i := 0; i < b.N; i++ {
+				_, st := ix.KNN(q, 3)
+				verified = st.Verified
+			}
+			b.ReportMetric(100*float64(verified)/float64(len(ts)), "accessed-%")
+		})
+	}
+}
+
+// BenchmarkAblationQLevel sweeps the branch level q: higher levels encode
+// more structure but loosen the scaled bound on shallow data.
+func BenchmarkAblationQLevel(b *testing.B) {
+	spec := datagen.Spec{FanoutMean: 4, FanoutStd: 0.5, SizeMean: 50, SizeStd: 2, Labels: 8, Decay: 0.05}
+	ts := datagen.New(spec, 5).Dataset(300, 15)
+	q := ts[42]
+	for _, ql := range []int{2, 3, 4} {
+		ix := search.NewIndex(ts, &search.BiBranch{Q: ql, Positional: true})
+		b.Run(intName(ql), func(b *testing.B) {
+			var verified int
+			for i := 0; i < b.N; i++ {
+				_, st := ix.KNN(q, 3)
+				verified = st.Verified
+			}
+			b.ReportMetric(100*float64(verified)/float64(len(ts)), "accessed-%")
+		})
+	}
+}
+
+// BenchmarkAblationMatching compares the greedy monotone positional
+// matching fast path with the exact augmenting-path fallback on co-sorted
+// occurrence lists (where both are valid).
+func BenchmarkAblationMatching(b *testing.B) {
+	// Occurrence lists from a real profile: the most frequent branch of a
+	// large tree.
+	spec := datagen.Spec{FanoutMean: 4, FanoutStd: 0.5, SizeMean: 200, SizeStd: 5, Labels: 4, Decay: 0.05}
+	g := datagen.New(spec, 9)
+	s := branch.NewSpace(2)
+	p1, p2 := s.Profile(g.Seed()), s.Profile(g.Seed())
+	b.Run("PosBDist", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			branch.PosBDist(p1, p2, 10)
+		}
+	})
+}
+
+// BenchmarkAblationIFIvsDirect compares batch (inverted file) and per-tree
+// profile construction.
+func BenchmarkAblationIFIvsDirect(b *testing.B) {
+	spec := datagen.Spec{FanoutMean: 4, FanoutStd: 0.5, SizeMean: 50, SizeStd: 2, Labels: 8, Decay: 0.05}
+	ts := datagen.New(spec, 3).Dataset(200, 10)
+	b.Run("IFI", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			invfile.Build(branch.NewSpace(2), ts).Profiles()
+		}
+	})
+	b.Run("Direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			branch.NewSpace(2).ProfileAll(ts)
+		}
+	})
+}
+
+// BenchmarkAblationFilterVariants compares one range query under the
+// BiBranch filter family: plain per-candidate bounds, the pivot cascade,
+// and the VP-tree candidate enumeration.
+func BenchmarkAblationFilterVariants(b *testing.B) {
+	spec := datagen.Spec{FanoutMean: 4, FanoutStd: 0.5, SizeMean: 50, SizeStd: 2, Labels: 8, Decay: 0.05}
+	ts := datagen.New(spec, 5).Dataset(400, 20)
+	q := ts[42]
+	variants := map[string]search.Filter{
+		"BiBranch": search.NewBiBranch(),
+		"Pivot":    search.NewPivotBiBranch(),
+		"VPTree":   search.NewVPBiBranch(),
+	}
+	for name, f := range variants {
+		ix := search.NewIndex(ts, f)
+		b.Run(name, func(b *testing.B) {
+			var verified int
+			for i := 0; i < b.N; i++ {
+				_, st := ix.Range(q, 3)
+				verified = st.Verified
+			}
+			b.ReportMetric(float64(verified), "verified")
+		})
+	}
+}
+
+// BenchmarkDBLPGeneration measures the DBLP-like dataset substrate.
+func BenchmarkDBLPGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dblp.New(int64(i)).Dataset(500)
+	}
+}
+
+func sizeName(s float64) string { return intName(int(s)) }
+
+func intName(n int) string {
+	switch {
+	case n < 10:
+		return string(rune('0' + n))
+	default:
+		out := ""
+		for n > 0 {
+			out = string(rune('0'+n%10)) + out
+			n /= 10
+		}
+		return out
+	}
+}

@@ -1,0 +1,72 @@
+// Command experiments regenerates the figures of the paper's evaluation
+// section (Figs. 7–15). Example usage:
+//
+//	experiments -fig 13                  # one figure, quick scale
+//	experiments -fig all -scale quick    # everything, laptop scale
+//	experiments -fig 9 -scale paper      # paper dimensions (2000 trees,
+//	                                     # 100 queries — takes a long time)
+//	experiments -fig 7 -n 500 -queries 50 -seed 7
+//
+// Each figure prints the series the paper plots: the percentage of the
+// dataset whose exact edit distance had to be evaluated under the BiBranch
+// and Histo filters, the result-set size, and the CPU time of the filtered
+// search versus the sequential scan.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"treesim/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to reproduce: 7..15 or 'all'")
+		scale   = flag.String("scale", "quick", "experiment scale: quick, paper, or unit")
+		n       = flag.Int("n", 0, "override dataset size")
+		queries = flag.Int("queries", 0, "override query count")
+		seed    = flag.Int64("seed", 0, "override random seed")
+		workers = flag.Int("workers", 0, "query parallelism (0 = GOMAXPROCS)")
+		format  = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.QuickScale()
+	case "paper":
+		cfg = experiments.PaperScale()
+	case "unit":
+		cfg = experiments.UnitScale()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (want quick, paper, or unit)\n", *scale)
+		os.Exit(2)
+	}
+	if *n > 0 {
+		cfg.DatasetSize = *n
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+
+	var err error
+	if strings.EqualFold(*fig, "all") {
+		err = experiments.RunAll(cfg, os.Stdout)
+	} else {
+		err = experiments.RunFormat(strings.TrimPrefix(*fig, "fig"), cfg, os.Stdout, *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"treesim/internal/dataset"
+)
+
+// TestGenerateViaGoRun exercises the binary end to end when the go tool is
+// available; otherwise it is skipped (unit coverage of the generator
+// itself lives in internal/datagen).
+func TestGenerateViaGoRun(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	out := filepath.Join(t.TempDir(), "d.trees")
+	cmd := exec.Command("go", "run", ".", "-spec", "N{3,0.5}N{15,2}L5D0.05",
+		"-n", "25", "-seeds", "4", "-seed", "3", "-o", out, "-stats")
+	cmd.Dir = "."
+	stderr, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("treegen failed: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(string(stderr), "25 trees") {
+		t.Errorf("stats line missing: %s", stderr)
+	}
+	ts, err := dataset.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 25 {
+		t.Errorf("generated %d trees, want 25", len(ts))
+	}
+
+	// DBLP mode.
+	cmd = exec.Command("go", "run", ".", "-dblp", "-n", "10", "-o", out)
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("treegen -dblp failed: %v\n%s", err, msg)
+	}
+	ts, err = dataset.LoadFile(out)
+	if err != nil || len(ts) != 10 {
+		t.Errorf("dblp generation broken: %d trees, %v", len(ts), err)
+	}
+
+	// Malformed spec exits non-zero.
+	cmd = exec.Command("go", "run", ".", "-spec", "garbage")
+	if _, err := cmd.CombinedOutput(); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}

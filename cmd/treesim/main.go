@@ -1,0 +1,359 @@
+// Command treesim runs similarity queries over tree datasets using the
+// binary branch filter-and-refine engine.
+//
+//	treesim knn   -data data.trees -query 'a(b,c)' -k 5
+//	treesim knn   -data data.trees -query-index 17 -k 10 -filter histo
+//	treesim range -data data.trees -query 'a(b,c)' -tau 3
+//	treesim dist  'a(b(c,d),b(c,d),e)' 'a(b(c,d,b(e)),c,d,e)'
+//	treesim stats -data data.trees
+//
+// Datasets are line-format files (see cmd/treegen) or directories of XML
+// documents (-xml dir). Filters: bibranch (default; the paper's positional
+// binary branch bound), bibranch-nopos, histo, seq, none.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"treesim/internal/branch"
+	"treesim/internal/dataset"
+	"treesim/internal/editdist"
+	"treesim/internal/join"
+	"treesim/internal/search"
+	"treesim/internal/tree"
+	"treesim/internal/xmltree"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "knn":
+		runKNN(os.Args[2:])
+	case "range":
+		runRange(os.Args[2:])
+	case "dist":
+		runDist(os.Args[2:])
+	case "diff":
+		runDiff(os.Args[2:])
+	case "stats":
+		runStats(os.Args[2:])
+	case "index":
+		runIndex(os.Args[2:])
+	case "selfjoin":
+		runSelfJoin(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: treesim <knn|range|dist|diff|stats|index|selfjoin> [flags]")
+	fmt.Fprintln(os.Stderr, "run 'treesim <command> -h' for command flags")
+	os.Exit(2)
+}
+
+// dataFlags registers the dataset/query flags shared by knn and range.
+type dataFlags struct {
+	data, xmlDir, query string
+	index               string
+	queryIndex          int
+	filter              string
+	q                   int
+}
+
+func (d *dataFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&d.data, "data", "", "dataset file in line format")
+	fs.StringVar(&d.xmlDir, "xml", "", "directory of XML documents (alternative to -data)")
+	fs.StringVar(&d.index, "index", "", "saved index file (alternative to -data/-xml; see 'treesim index')")
+	fs.StringVar(&d.query, "query", "", "query tree in canonical text format")
+	fs.IntVar(&d.queryIndex, "query-index", -1, "use dataset tree i as the query")
+	fs.StringVar(&d.filter, "filter", "bibranch", "filter: bibranch, bibranch-nopos, histo, seq, none")
+	fs.IntVar(&d.q, "q", 2, "binary branch level (bibranch filters)")
+}
+
+// buildIndex loads or builds the search index and resolves the query tree.
+func (d *dataFlags) buildIndex() (*search.Index, *tree.Tree) {
+	if d.index != "" {
+		f, err := os.Open(d.index)
+		fatalIf(err)
+		defer f.Close()
+		ix, err := search.LoadIndex(f)
+		fatalIf(err)
+		q := d.resolveQuery(nil, ix)
+		return ix, q
+	}
+	ts, q := d.load()
+	return search.NewIndex(ts, d.makeFilter()), q
+}
+
+// resolveQuery picks the query from -query or -query-index against a
+// loaded index.
+func (d *dataFlags) resolveQuery(_ []*tree.Tree, ix *search.Index) *tree.Tree {
+	switch {
+	case d.query != "":
+		q, err := tree.Parse(d.query)
+		fatalIf(err)
+		return q
+	case d.queryIndex >= 0 && d.queryIndex < ix.Size():
+		return ix.Tree(d.queryIndex)
+	default:
+		fatalIf(fmt.Errorf("need -query or a valid -query-index (0..%d)", ix.Size()-1))
+		return nil
+	}
+}
+
+func (d *dataFlags) load() ([]*tree.Tree, *tree.Tree) {
+	var ts []*tree.Tree
+	var err error
+	switch {
+	case d.data != "":
+		ts, err = dataset.LoadFile(d.data)
+	case d.xmlDir != "":
+		ts, _, err = dataset.LoadXMLDir(d.xmlDir, xmltree.DefaultOptions())
+	default:
+		err = fmt.Errorf("need -data or -xml")
+	}
+	fatalIf(err)
+	if len(ts) == 0 {
+		fatalIf(fmt.Errorf("dataset is empty"))
+	}
+
+	var q *tree.Tree
+	switch {
+	case d.query != "":
+		q, err = tree.Parse(d.query)
+		fatalIf(err)
+	case d.queryIndex >= 0 && d.queryIndex < len(ts):
+		q = ts[d.queryIndex]
+	default:
+		err = fmt.Errorf("need -query or a valid -query-index (0..%d)", len(ts)-1)
+		fatalIf(err)
+	}
+	return ts, q
+}
+
+func (d *dataFlags) makeFilter() search.Filter {
+	switch d.filter {
+	case "bibranch":
+		return &search.BiBranch{Q: d.q, Positional: true}
+	case "bibranch-nopos":
+		return &search.BiBranch{Q: d.q, Positional: false}
+	case "histo":
+		return search.NewHisto()
+	case "seq":
+		return search.NewSeq()
+	case "none":
+		return search.NewNone()
+	default:
+		fatalIf(fmt.Errorf("unknown filter %q", d.filter))
+		return nil
+	}
+}
+
+func runKNN(args []string) {
+	fs := flag.NewFlagSet("knn", flag.ExitOnError)
+	var df dataFlags
+	df.register(fs)
+	k := fs.Int("k", 5, "number of nearest neighbors")
+	fs.Parse(args)
+
+	start := time.Now()
+	ix, q := df.buildIndex()
+	buildTime := time.Since(start)
+	res, stats := ix.KNN(q, *k)
+
+	fmt.Printf("index: %d trees, filter %s, ready in %v\n", ix.Size(), ix.Filter().Name(), buildTime.Round(time.Millisecond))
+	fmt.Printf("query: %s\n", q)
+	fmt.Printf("stats: %s\n", stats)
+	for rank, r := range res {
+		fmt.Printf("%3d. dist=%d  id=%d  %s\n", rank+1, r.Dist, r.ID, ix.Tree(r.ID))
+	}
+}
+
+func runRange(args []string) {
+	fs := flag.NewFlagSet("range", flag.ExitOnError)
+	var df dataFlags
+	df.register(fs)
+	tau := fs.Int("tau", 2, "range radius (edit distance)")
+	fs.Parse(args)
+
+	ix, q := df.buildIndex()
+	res, stats := ix.Range(q, *tau)
+
+	fmt.Printf("index: %d trees, filter %s\n", ix.Size(), ix.Filter().Name())
+	fmt.Printf("query: %s (tau=%d)\n", q, *tau)
+	fmt.Printf("stats: %s\n", stats)
+	for _, r := range res {
+		fmt.Printf("dist=%d  id=%d  %s\n", r.Dist, r.ID, ix.Tree(r.ID))
+	}
+}
+
+func runDist(args []string) {
+	fs := flag.NewFlagSet("dist", flag.ExitOnError)
+	q := fs.Int("q", 2, "binary branch level")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 2 {
+		fatalIf(fmt.Errorf("dist needs exactly two tree arguments"))
+	}
+	t1, err := tree.Parse(rest[0])
+	fatalIf(err)
+	t2, err := tree.Parse(rest[1])
+	fatalIf(err)
+
+	space := branch.NewSpace(*q)
+	p1, p2 := space.Profile(t1), space.Profile(t2)
+	bd := branch.BDist(p1, p2)
+	fmt.Printf("|T1|=%d |T2|=%d (q=%d)\n", t1.Size(), t2.Size(), *q)
+	fmt.Printf("edit distance:        %d\n", editdist.Distance(t1, t2))
+	fmt.Printf("binary branch dist:   %d (lower bound %d)\n", bd, branch.EditLowerBound(bd, *q))
+	fmt.Printf("positional bound:     %d\n", branch.SearchLBound(p1, p2))
+	fmt.Printf("sequence lower bound: %d\n", editdist.SequenceLowerBound(t1, t2))
+}
+
+// runDiff prints an optimal edit script between two trees.
+func runDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 2 {
+		fatalIf(fmt.Errorf("diff needs exactly two tree arguments"))
+	}
+	t1, err := tree.Parse(rest[0])
+	fatalIf(err)
+	t2, err := tree.Parse(rest[1])
+	fatalIf(err)
+	fmt.Print(editdist.EditScript(t1, t2))
+}
+
+// runIndex builds a BiBranch index from a dataset and saves it.
+func runIndex(args []string) {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	var df dataFlags
+	df.register(fs)
+	out := fs.String("o", "index.tsix", "output index file")
+	fs.Parse(args)
+
+	var ts []*tree.Tree
+	var err error
+	switch {
+	case df.data != "":
+		ts, err = dataset.LoadFile(df.data)
+	case df.xmlDir != "":
+		ts, _, err = dataset.LoadXMLDir(df.xmlDir, xmltree.DefaultOptions())
+	default:
+		err = fmt.Errorf("need -data or -xml")
+	}
+	fatalIf(err)
+
+	positional := df.filter != "bibranch-nopos"
+	start := time.Now()
+	ix := search.NewIndex(ts, &search.BiBranch{Q: df.q, Positional: positional})
+	f, err := os.Create(*out)
+	fatalIf(err)
+	err = search.SaveIndex(f, ix)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	fatalIf(err)
+	fmt.Printf("indexed %d trees (q=%d, positional=%v) into %s in %v\n",
+		ix.Size(), df.q, positional, *out, time.Since(start).Round(time.Millisecond))
+}
+
+func runStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	var df dataFlags
+	df.register(fs)
+	fs.Parse(args)
+
+	var ts []*tree.Tree
+	var err error
+	switch {
+	case df.data != "":
+		ts, err = dataset.LoadFile(df.data)
+	case df.xmlDir != "":
+		ts, _, err = dataset.LoadXMLDir(df.xmlDir, xmltree.DefaultOptions())
+	default:
+		err = fmt.Errorf("need -data or -xml")
+	}
+	fatalIf(err)
+
+	var size, height, leaves int
+	labels := map[string]bool{}
+	for _, t := range ts {
+		size += t.Size()
+		height += t.Height()
+		leaves += t.Leaves()
+		for l := range t.LabelCounts() {
+			labels[l] = true
+		}
+	}
+	n := float64(len(ts))
+	space := branch.NewSpace(df.q)
+	space.ProfileAll(ts)
+	fmt.Printf("trees:           %d\n", len(ts))
+	fmt.Printf("avg size:        %.2f\n", float64(size)/n)
+	fmt.Printf("avg height:      %.2f\n", float64(height)/n)
+	fmt.Printf("avg leaves:      %.2f\n", float64(leaves)/n)
+	fmt.Printf("distinct labels: %d\n", len(labels))
+	fmt.Printf("branch space:    %s distinct %d-level branches\n", strconv.Itoa(space.Size()), df.q)
+}
+
+// runSelfJoin finds every pair of dataset trees within edit distance tau.
+func runSelfJoin(args []string) {
+	fs := flag.NewFlagSet("selfjoin", flag.ExitOnError)
+	var df dataFlags
+	df.register(fs)
+	tau := fs.Int("tau", 2, "join threshold (edit distance)")
+	workers := fs.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
+	limit := fs.Int("limit", 20, "print at most this many pairs (0 = all)")
+	fs.Parse(args)
+
+	var ts []*tree.Tree
+	var err error
+	switch {
+	case df.data != "":
+		ts, err = dataset.LoadFile(df.data)
+	case df.xmlDir != "":
+		ts, _, err = dataset.LoadXMLDir(df.xmlDir, xmltree.DefaultOptions())
+	default:
+		err = fmt.Errorf("need -data or -xml")
+	}
+	fatalIf(err)
+
+	start := time.Now()
+	pairs, stats := join.SelfJoin(ts, *tau, join.Options{Q: df.q, Workers: *workers})
+	elapsed := time.Since(start)
+
+	fmt.Printf("self-join of %d trees at tau=%d: %d pairs in %v\n",
+		len(ts), *tau, stats.Results, elapsed.Round(time.Millisecond))
+	fmt.Printf("exact distances computed: %d of %d candidate pairs (%.2f%%)\n",
+		stats.Verified, stats.Pairs, 100*float64(stats.Verified)/float64(max(1, stats.Pairs)))
+	for i, p := range pairs {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("... %d more pairs\n", len(pairs)-i)
+			break
+		}
+		fmt.Printf("dist=%d  (%d, %d)\n", p.Dist, p.R, p.S)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "treesim: %v\n", err)
+		os.Exit(1)
+	}
+}

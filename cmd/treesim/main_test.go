@@ -1,0 +1,162 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"treesim/internal/datagen"
+	"treesim/internal/dataset"
+)
+
+// writeTestData generates a small dataset file for CLI tests.
+func writeTestData(t *testing.T) string {
+	t.Helper()
+	spec := datagen.Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 12, SizeStd: 3, Labels: 5, Decay: 0.1}
+	ts := datagen.New(spec, 9).Dataset(30, 5)
+	path := filepath.Join(t.TempDir(), "data.trees")
+	if err := dataset.SaveFile(path, ts); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// captureStdout redirects os.Stdout around fn and returns what was
+// printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestRunKNNCommand(t *testing.T) {
+	data := writeTestData(t)
+	out := captureStdout(t, func() {
+		runKNN([]string{"-data", data, "-query-index", "3", "-k", "2"})
+	})
+	if !contains(out, "dist=0") || !contains(out, "filter BiBranch") {
+		t.Errorf("knn output missing expected content:\n%s", out)
+	}
+}
+
+func TestRunKNNFilters(t *testing.T) {
+	data := writeTestData(t)
+	for _, f := range []string{"bibranch", "bibranch-nopos", "histo", "seq", "none"} {
+		out := captureStdout(t, func() {
+			runKNN([]string{"-data", data, "-query-index", "0", "-k", "1", "-filter", f})
+		})
+		if !contains(out, "dist=0") {
+			t.Errorf("filter %s: output missing result:\n%s", f, out)
+		}
+	}
+}
+
+func TestRunRangeCommand(t *testing.T) {
+	data := writeTestData(t)
+	out := captureStdout(t, func() {
+		runRange([]string{"-data", data, "-query-index", "5", "-tau", "2"})
+	})
+	if !contains(out, "tau=2") || !contains(out, "dist=0") {
+		t.Errorf("range output missing expected content:\n%s", out)
+	}
+}
+
+func TestRunDistCommand(t *testing.T) {
+	out := captureStdout(t, func() {
+		runDist([]string{"a(b(c,d),b(c,d),e)", "a(b(c,d,b(e)),c,d,e)"})
+	})
+	if !contains(out, "edit distance:        3") ||
+		!contains(out, "binary branch dist:   9") {
+		t.Errorf("dist output wrong:\n%s", out)
+	}
+}
+
+func TestRunDiffCommand(t *testing.T) {
+	out := captureStdout(t, func() {
+		runDiff([]string{"a(b)", "a(c(b))"})
+	})
+	if !contains(out, "cost 1") || !contains(out, "insert") {
+		t.Errorf("diff output wrong:\n%s", out)
+	}
+}
+
+func TestRunStatsCommand(t *testing.T) {
+	data := writeTestData(t)
+	out := captureStdout(t, func() {
+		runStats([]string{"-data", data})
+	})
+	if !contains(out, "trees:           30") || !contains(out, "branch space") {
+		t.Errorf("stats output wrong:\n%s", out)
+	}
+}
+
+func TestRunIndexAndQueryFromIndex(t *testing.T) {
+	data := writeTestData(t)
+	idx := filepath.Join(t.TempDir(), "data.tsix")
+	out := captureStdout(t, func() {
+		runIndex([]string{"-data", data, "-o", idx})
+	})
+	if !contains(out, "indexed 30 trees") {
+		t.Errorf("index output wrong:\n%s", out)
+	}
+	out = captureStdout(t, func() {
+		runKNN([]string{"-index", idx, "-query-index", "3", "-k", "2"})
+	})
+	if !contains(out, "dist=0") {
+		t.Errorf("knn from saved index wrong:\n%s", out)
+	}
+}
+
+func TestRunSelfJoinCommand(t *testing.T) {
+	data := writeTestData(t)
+	out := captureStdout(t, func() {
+		runSelfJoin([]string{"-data", data, "-tau", "2", "-limit", "3"})
+	})
+	if !contains(out, "self-join of 30 trees") {
+		t.Errorf("selfjoin output wrong:\n%s", out)
+	}
+}
+
+func TestXMLDirInput(t *testing.T) {
+	dir := t.TempDir()
+	docs := map[string]string{
+		"a.xml": "<r><a>one</a></r>",
+		"b.xml": "<r><a>two</a></r>",
+		"c.xml": "<r><b>one</b><b>three</b></r>",
+	}
+	for name, content := range docs {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := captureStdout(t, func() {
+		runKNN([]string{"-xml", dir, "-query", "r(a(one))", "-k", "1"})
+	})
+	if !contains(out, "dist=0") {
+		t.Errorf("xml knn output wrong:\n%s", out)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

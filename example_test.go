@@ -1,0 +1,90 @@
+package treesim_test
+
+import (
+	"fmt"
+
+	"treesim"
+)
+
+// The paper's running example (Fig. 1): the binary branch distance
+// lower-bounds the edit distance at a fraction of its cost.
+func Example() {
+	t1 := treesim.MustParseTree("a(b(c,d),b(c,d),e)")
+	t2 := treesim.MustParseTree("a(b(c,d,b(e)),c,d,e)")
+
+	fmt.Println("edit distance:", treesim.EditDistance(t1, t2))
+
+	space := treesim.NewBranchSpace(2)
+	p1, p2 := space.Profile(t1), space.Profile(t2)
+	fmt.Println("branch distance:", treesim.BDist(p1, p2))
+	fmt.Println("lower bound:", treesim.SearchLBound(p1, p2))
+	// Output:
+	// edit distance: 3
+	// branch distance: 9
+	// lower bound: 2
+}
+
+// Exact k-NN search with filter-and-refine: only a fraction of the
+// dataset pays the real edit distance.
+func ExampleIndex_kNN() {
+	spec, _ := treesim.ParseGeneratorSpec("N{3,0.5}N{20,2}L6D0.05")
+	data := treesim.GenerateDataset(spec, 200, 20, 42)
+
+	ix := treesim.NewIndex(data, treesim.NewBiBranchFilter())
+	results, stats := ix.KNN(data[17], 3)
+
+	fmt.Println("results:", len(results), "nearest dist:", results[0].Dist)
+	fmt.Println("verified fewer than half:", stats.Verified < stats.Dataset/2)
+	// Output:
+	// results: 3 nearest dist: 0
+	// verified fewer than half: true
+}
+
+// Range queries return every tree within an edit-distance radius, exactly.
+func ExampleIndex_range() {
+	spec, _ := treesim.ParseGeneratorSpec("N{3,0.5}N{20,2}L6D0.05")
+	data := treesim.GenerateDataset(spec, 200, 20, 42)
+
+	ix := treesim.NewIndex(data, treesim.NewBiBranchFilter())
+	results, _ := ix.Range(data[17], 1)
+
+	for _, r := range results {
+		fmt.Println(r.ID, r.Dist)
+	}
+	// Output:
+	// 17 0
+	// 37 1
+	// 57 1
+}
+
+// Edit scripts expose the optimal operation sequence, not just its cost.
+func ExampleEditScript() {
+	s := treesim.EditScript(
+		treesim.MustParseTree("a(b,c)"),
+		treesim.MustParseTree("a(x(b,c),d)"),
+	)
+	fmt.Print(s)
+	// Output:
+	// cost 2
+	// insert  d@4
+	// insert  x@3
+}
+
+// A similarity self-join finds all near-duplicate pairs without the
+// quadratic nested loop of exact distance computations.
+func ExampleSelfJoin() {
+	trees := []*treesim.Tree{
+		treesim.MustParseTree("a(b,c)"),
+		treesim.MustParseTree("a(b,x)"),
+		treesim.MustParseTree("q(w(e,r,t),y)"),
+		treesim.MustParseTree("a(b)"),
+	}
+	pairs, _ := treesim.SelfJoin(trees, 1, treesim.JoinOptions{})
+	for _, p := range pairs {
+		fmt.Println(p.R, p.S, p.Dist)
+	}
+	// Output:
+	// 0 1 1
+	// 0 3 1
+	// 1 3 1
+}

@@ -1,0 +1,91 @@
+// Data cleansing — a Section 1 motivation. A bibliographic collection
+// contains exact duplicates and near duplicates (re-entered records with a
+// typo, a changed year, a dropped field). The pipeline: (1) collapse exact
+// duplicates with structural hashing, (2) find near-duplicate pairs with a
+// similarity self-join at a small edit-distance threshold, (3) report the
+// duplicate clusters for review.
+//
+//	go run ./examples/cleansing
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"treesim/internal/dblp"
+	"treesim/internal/join"
+	"treesim/internal/tree"
+)
+
+func main() {
+	// The DBLP-like generator already produces venue blocks with exact
+	// and near duplicates — precisely the dirty data of interest.
+	records := dblp.New(37).Dataset(600)
+
+	// Step 1: exact duplicates via structural hashing.
+	groups := tree.Dedup(records)
+	reps := make([]int, 0, len(groups))
+	exactDups := 0
+	for rep, members := range groups {
+		reps = append(reps, rep)
+		exactDups += len(members) - 1
+	}
+	sort.Ints(reps)
+	distinct := make([]*tree.Tree, len(reps))
+	for i, r := range reps {
+		distinct[i] = records[r]
+	}
+	fmt.Printf("records: %d, exact duplicates removed: %d, distinct: %d\n",
+		len(records), exactDups, len(distinct))
+
+	// Step 2: near duplicates among the distinct records.
+	const tau = 2
+	pairs, stats := join.SelfJoin(distinct, tau, join.Options{})
+	fmt.Printf("near-duplicate pairs (edit distance ≤ %d): %d\n", tau, stats.Results)
+	fmt.Printf("exact distances computed: %d of %d pairs (%.2f%%)\n",
+		stats.Verified, stats.Pairs, 100*float64(stats.Verified)/float64(stats.Pairs))
+
+	// Step 3: group pairs into clusters (union-find) for review.
+	parent := make([]int, len(distinct))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, p := range pairs {
+		parent[find(p.R)] = find(p.S)
+	}
+	clusters := map[int][]int{}
+	for i := range distinct {
+		r := find(i)
+		clusters[r] = append(clusters[r], i)
+	}
+	multi := 0
+	largest := 0
+	var example []int
+	for _, members := range clusters {
+		if len(members) > 1 {
+			multi++
+			if len(members) > largest {
+				largest = len(members)
+				example = members
+			}
+		}
+	}
+	fmt.Printf("near-duplicate clusters: %d (largest has %d records)\n", multi, largest)
+	if len(example) > 0 {
+		fmt.Println("\nlargest cluster:")
+		for _, id := range example {
+			s := distinct[id].String()
+			if len(s) > 90 {
+				s = s[:90] + "…"
+			}
+			fmt.Printf("  %s\n", s)
+		}
+	}
+}

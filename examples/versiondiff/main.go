@@ -1,0 +1,83 @@
+// Document version management — the Section 1 motivation: "version
+// management for documents". Successive versions of a structured document
+// (an XML report) are compared with optimal edit scripts: the edit
+// distance quantifies the change between versions, and the backtraced
+// script shows exactly which nodes were relabeled, deleted and inserted.
+// The binary branch lower bound then finds, for a given revision, the
+// closest archived version without computing most exact distances.
+//
+//	go run ./examples/versiondiff
+package main
+
+import (
+	"fmt"
+
+	"treesim/internal/branch"
+	"treesim/internal/editdist"
+	"treesim/internal/tree"
+	"treesim/internal/xmltree"
+)
+
+// Four versions of a structured report: v2 renames a section, v3 adds an
+// author and a section, v4 restructures the appendix.
+var versions = []string{
+	`<report><title>Q1 results</title><author>dana</author>
+	  <section><h>sales</h><p>flat</p></section>
+	  <section><h>costs</h><p>down</p></section></report>`,
+	`<report><title>Q1 results</title><author>dana</author>
+	  <section><h>revenue</h><p>flat</p></section>
+	  <section><h>costs</h><p>down</p></section></report>`,
+	`<report><title>Q1 results</title><author>dana</author><author>erik</author>
+	  <section><h>revenue</h><p>flat</p></section>
+	  <section><h>costs</h><p>down</p></section>
+	  <section><h>outlook</h><p>stable</p></section></report>`,
+	`<report><title>Q1 results</title><author>dana</author><author>erik</author>
+	  <section><h>revenue</h><p>flat</p></section>
+	  <section><h>costs</h><p>down</p></section>
+	  <appendix><section><h>outlook</h><p>stable</p></section></appendix></report>`,
+}
+
+func main() {
+	opts := xmltree.DefaultOptions()
+	trees := make([]*tree.Tree, len(versions))
+	for i, v := range versions {
+		trees[i] = xmltree.MustParseString(v, opts)
+	}
+
+	// Pairwise diffs between consecutive versions.
+	for i := 1; i < len(trees); i++ {
+		s := editdist.EditScript(trees[i-1], trees[i])
+		rel, del, ins := s.Counts()
+		fmt.Printf("v%d → v%d: distance %d (%d relabels, %d deletions, %d insertions)\n",
+			i, i+1, s.Cost, rel, del, ins)
+		for _, op := range s.Ops {
+			if op.Kind != editdist.Match {
+				fmt.Printf("    %s\n", op)
+			}
+		}
+	}
+
+	// "Which archived version is this unattributed revision closest to?"
+	revision := xmltree.MustParseString(
+		`<report><title>Q1 results</title><author>dana</author><author>erik</author>
+		  <section><h>revenue</h><p>flat</p></section>
+		  <section><h>costs</h><p>rising</p></section>
+		  <section><h>outlook</h><p>stable</p></section></report>`, opts)
+
+	space := branch.NewSpace(2)
+	profiles := space.ProfileAll(trees)
+	rp := space.Profile(revision)
+
+	bestVersion, bestDist, exactEvals := -1, int(^uint(0)>>1), 0
+	for i, p := range profiles {
+		if branch.SearchLBound(rp, p) >= bestDist {
+			continue // the lower bound alone rules this version out
+		}
+		exactEvals++
+		if d := editdist.Distance(revision, trees[i]); d < bestDist {
+			bestVersion, bestDist = i, d
+		}
+	}
+	fmt.Printf("\nrevision is closest to v%d (distance %d); exact diffs computed: %d of %d\n",
+		bestVersion+1, bestDist, exactEvals, len(trees))
+}

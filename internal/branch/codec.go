@@ -1,0 +1,187 @@
+package branch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"treesim/internal/vector"
+)
+
+// Binary serialization of a branch space and its dataset profiles, so a
+// built index can be persisted and reloaded without re-profiling the
+// dataset. The format is versioned and fully validated on read:
+//
+//	magic "TSBB1\x00"
+//	u32 q
+//	u32 number of branch keys, then each key as (u32 len, bytes)
+//	u32 number of profiles, then each profile as:
+//	    u32 tree size, u32 nnz,
+//	    nnz × (u32 dim, u32 count, count × (i32 pre, i32 post))
+//
+// All integers are little-endian.
+
+var codecMagic = [6]byte{'T', 'S', 'B', 'B', '1', 0}
+
+// Write serializes the space and the given profiles (which must belong to
+// the space).
+func Write(w io.Writer, s *Space, ps []*Profile) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(codecMagic[:]); err != nil {
+		return err
+	}
+	u32 := func(v int) error { return binary.Write(bw, binary.LittleEndian, uint32(v)) }
+
+	s.mu.RLock()
+	keys := s.keys
+	s.mu.RUnlock()
+
+	if err := u32(s.q); err != nil {
+		return err
+	}
+	if err := u32(len(keys)); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := u32(len(k)); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(k); err != nil {
+			return err
+		}
+	}
+
+	if err := u32(len(ps)); err != nil {
+		return err
+	}
+	for i, p := range ps {
+		if p.space != s {
+			return fmt.Errorf("branch: profile %d belongs to a different space", i)
+		}
+		if err := u32(p.Size); err != nil {
+			return err
+		}
+		if err := u32(p.Vec.NonZero()); err != nil {
+			return err
+		}
+		for ei, e := range p.Vec.Elems() {
+			if err := u32(int(e.Dim)); err != nil {
+				return err
+			}
+			if err := u32(e.Count); err != nil {
+				return err
+			}
+			for _, occ := range p.Pos[ei] {
+				if err := binary.Write(bw, binary.LittleEndian, occ.Pre); err != nil {
+					return err
+				}
+				if err := binary.Write(bw, binary.LittleEndian, occ.Post); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a space and its profiles, validating structure.
+func Read(r io.Reader) (*Space, []*Profile, error) {
+	br := bufio.NewReader(r)
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("branch: reading magic: %w", err)
+	}
+	if magic != codecMagic {
+		return nil, nil, fmt.Errorf("branch: bad magic %q", magic)
+	}
+	u32 := func() (int, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return int(v), err
+	}
+
+	q, err := u32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if q < MinQ || q > 16 {
+		return nil, nil, fmt.Errorf("branch: implausible q=%d", q)
+	}
+	nKeys, err := u32()
+	if err != nil {
+		return nil, nil, err
+	}
+	s := NewSpace(q)
+	for i := 0; i < nKeys; i++ {
+		kl, err := u32()
+		if err != nil {
+			return nil, nil, err
+		}
+		if kl > 1<<20 {
+			return nil, nil, fmt.Errorf("branch: key %d implausibly long (%d)", i, kl)
+		}
+		buf := make([]byte, kl)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, nil, err
+		}
+		if got := s.intern(string(buf)); int(got) != i {
+			return nil, nil, fmt.Errorf("branch: duplicate key %d in stream", i)
+		}
+	}
+
+	nProfiles, err := u32()
+	if err != nil {
+		return nil, nil, err
+	}
+	ps := make([]*Profile, nProfiles)
+	for pi := range ps {
+		size, err := u32()
+		if err != nil {
+			return nil, nil, err
+		}
+		nnz, err := u32()
+		if err != nil {
+			return nil, nil, err
+		}
+		elems := make([]vector.Elem, nnz)
+		pos := make([][]Occurrence, nnz)
+		for ei := 0; ei < nnz; ei++ {
+			dim, err := u32()
+			if err != nil {
+				return nil, nil, err
+			}
+			if dim >= nKeys {
+				return nil, nil, fmt.Errorf("branch: profile %d references unknown dim %d", pi, dim)
+			}
+			count, err := u32()
+			if err != nil {
+				return nil, nil, err
+			}
+			if count == 0 || count > size {
+				return nil, nil, fmt.Errorf("branch: profile %d dim %d has bad count %d", pi, dim, count)
+			}
+			elems[ei] = vector.Elem{Dim: vector.Dim(dim), Count: count}
+			occ := make([]Occurrence, count)
+			for oi := range occ {
+				if err := binary.Read(br, binary.LittleEndian, &occ[oi].Pre); err != nil {
+					return nil, nil, err
+				}
+				if err := binary.Read(br, binary.LittleEndian, &occ[oi].Post); err != nil {
+					return nil, nil, err
+				}
+			}
+			pos[ei] = occ
+		}
+		vec, err := vector.FromSorted(elems)
+		if err != nil {
+			return nil, nil, fmt.Errorf("branch: profile %d: %w", pi, err)
+		}
+		if vec.Sum() != size {
+			return nil, nil, fmt.Errorf("branch: profile %d counts sum to %d, size says %d",
+				pi, vec.Sum(), size)
+		}
+		ps[pi] = Assemble(s, size, vec, pos)
+	}
+	return s, ps, nil
+}

@@ -1,0 +1,30 @@
+package branch
+
+import "treesim/internal/vector"
+
+// BDist returns the (q-level) binary branch distance of Definition 4: the
+// L1 distance of the two branch vectors. Complexity O(|T1| + |T2|).
+//
+// BDist is a pseudometric on trees (non-negative, symmetric, triangle
+// inequality) but not a metric: distinct trees can share a branch vector
+// (Fig. 4 of the paper). By Theorems 3.2/3.3 it lower-bounds the unit-cost
+// tree edit distance scaled by Factor(q):
+//
+//	BDist(T1,T2) ≤ Factor(q) · EDist(T1,T2)
+func BDist(a, b *Profile) int {
+	sameSpace(a, b)
+	return vector.L1(a.Vec, b.Vec)
+}
+
+// EditLowerBound converts a q-level binary branch distance into a lower
+// bound on the unit-cost tree edit distance: ceil(bdist / Factor(q)).
+func EditLowerBound(bdist, q int) int {
+	f := Factor(q)
+	return (bdist + f - 1) / f
+}
+
+// BDistLowerBound returns the plain (non-positional) edit distance lower
+// bound ceil(BDist(a,b)/Factor(q)).
+func BDistLowerBound(a, b *Profile) int {
+	return EditLowerBound(BDist(a, b), a.Q())
+}

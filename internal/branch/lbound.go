@@ -1,0 +1,64 @@
+package branch
+
+// SearchLBound (Section 4.3, function SearchLBound of Algorithm 2) derives
+// the best positional lower bound on the tree edit distance by binary
+// search over the positional range.
+//
+// For any pr, Proposition 4.2 gives: PosBDist(a,b,pr) > Factor(q)·pr
+// implies EDist > pr. PosBDist is non-increasing in pr while Factor(q)·pr
+// is increasing, so the predicate "PosBDist(pr) ≤ Factor(q)·pr" is monotone
+// and the smallest pr satisfying it — call it pr_opt — is found by binary
+// search over [prmin, prmax] with prmin = ||T1|−|T2|| (itself a valid lower
+// bound, since each edit operation changes the size by at most one) and
+// prmax = max(|T1|,|T2|) (beyond which positional constraints are vacuous
+// and PosBDist degenerates to BDist). pr_opt is a valid lower bound:
+// either pr_opt = prmin, or the predicate fails at pr_opt−1 and
+// Proposition 4.2 yields EDist ≥ pr_opt. SearchLBound dominates the plain
+// bound: pr_opt ≥ ceil(BDist/Factor(q)).
+
+// SearchLBound returns the optimistic lower bound on EDist(a,b): the
+// tightest bound obtainable from positional binary branch distances.
+// Complexity: O((|T1|+|T2|) · log min(|T1|,|T2|)).
+func SearchLBound(a, b *Profile) int {
+	sameSpace(a, b)
+	f := Factor(a.Q())
+	prmin := a.Size - b.Size
+	if prmin < 0 {
+		prmin = -prmin
+	}
+	prmax := a.Size
+	if b.Size > prmax {
+		prmax = b.Size
+	}
+	if PosBDist(a, b, prmin) <= f*prmin {
+		return prmin
+	}
+	// Invariant: predicate fails at lo-1, holds at hi.
+	lo, hi := prmin+1, prmax
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if PosBDist(a, b, mid) <= f*mid {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// RangeLowerBound returns a lower-bound value L specialized for a range
+// query with threshold tau: L > tau implies EDist(a,b) > tau, so the pair
+// can be safely pruned. Following Section 4.3 it combines the optimistic
+// bound of SearchLBound with ceil(PosBDist(a,b,tau)/Factor(q)), which is a
+// valid filter at threshold tau because EDist ≤ tau would force
+// PosBDist(a,b,tau) ≤ Factor(q)·EDist.
+func RangeLowerBound(a, b *Profile, tau int) int {
+	sameSpace(a, b)
+	f := Factor(a.Q())
+	atTau := (PosBDist(a, b, tau) + f - 1) / f
+	opt := SearchLBound(a, b)
+	if atTau > opt {
+		return atTau
+	}
+	return opt
+}

@@ -1,0 +1,130 @@
+package branch
+
+import (
+	"testing"
+
+	"treesim/internal/editdist"
+	"treesim/internal/tree"
+)
+
+func TestSearchLBoundIdenticalTrees(t *testing.T) {
+	s := NewSpace(2)
+	p := s.Profile(paperT1())
+	if got := SearchLBound(p, p); got != 0 {
+		t.Errorf("SearchLBound(T,T) = %d, want 0", got)
+	}
+	if got := RangeLowerBound(p, p, 0); got != 0 {
+		t.Errorf("RangeLowerBound(T,T,0) = %d, want 0", got)
+	}
+}
+
+func TestSearchLBoundEmptyVsNonEmpty(t *testing.T) {
+	s := NewSpace(2)
+	e := s.Profile(tree.New(nil))
+	p := s.Profile(paperT1())
+	// EDist(∅, T1) = 8 and the size difference is 8, so the bound is 8.
+	if got := SearchLBound(e, p); got != 8 {
+		t.Errorf("SearchLBound(∅,T1) = %d, want 8", got)
+	}
+	if got := SearchLBound(e, e); got != 0 {
+		t.Errorf("SearchLBound(∅,∅) = %d, want 0", got)
+	}
+	if got := BDist(e, p); got != 8 {
+		t.Errorf("BDist(∅,T1) = %d, want 8", got)
+	}
+}
+
+// TestSearchLBoundSymmetric: both SearchLBound and RangeLowerBound are
+// symmetric in their tree arguments.
+func TestSearchLBoundSymmetric(t *testing.T) {
+	g := testGen(20)
+	s := NewSpace(2)
+	for trial := 0; trial < 40; trial++ {
+		p1, p2 := s.Profile(g.Seed()), s.Profile(g.Seed())
+		if SearchLBound(p1, p2) != SearchLBound(p2, p1) {
+			t.Fatal("SearchLBound asymmetric")
+		}
+		for _, tau := range []int{0, 2, 5} {
+			if RangeLowerBound(p1, p2, tau) != RangeLowerBound(p2, p1, tau) {
+				t.Fatal("RangeLowerBound asymmetric")
+			}
+		}
+	}
+}
+
+// TestQ4PositionalSound extends the positional soundness checks to q=4.
+func TestQ4PositionalSound(t *testing.T) {
+	g := testGen(21)
+	s := NewSpace(4)
+	f := Factor(4)
+	for trial := 0; trial < 60; trial++ {
+		t1 := g.Seed()
+		t2 := g.RandomEdits(t1, 1+trial%5)
+		ed := editdist.Distance(t1, t2)
+		p1, p2 := s.Profile(t1), s.Profile(t2)
+		if lb := SearchLBound(p1, p2); lb > ed {
+			t.Fatalf("q=4: SearchLBound %d > EDist %d for\n  %s\n  %s", lb, ed, t1, t2)
+		}
+		// Contrapositive of the generalized Proposition 4.2.
+		if got := PosBDist(p1, p2, ed); got > f*ed {
+			t.Fatalf("q=4: PosBDist(ed)=%d > %d·%d", got, f, ed)
+		}
+	}
+}
+
+// TestPosBDistMonotoneAllLevels: monotonicity in pr at every branch level.
+func TestPosBDistMonotoneAllLevels(t *testing.T) {
+	g := testGen(22)
+	for _, q := range []int{2, 3, 4} {
+		s := NewSpace(q)
+		t1, t2 := g.Seed(), g.Seed()
+		p1, p2 := s.Profile(t1), s.Profile(t2)
+		bd := BDist(p1, p2)
+		prmax := p1.Size
+		if p2.Size > prmax {
+			prmax = p2.Size
+		}
+		prev := PosBDist(p1, p2, 0)
+		for pr := 1; pr <= prmax; pr++ {
+			cur := PosBDist(p1, p2, pr)
+			if cur > prev {
+				t.Fatalf("q=%d: PosBDist increased at pr=%d", q, pr)
+			}
+			prev = cur
+		}
+		if prev != bd {
+			t.Fatalf("q=%d: PosBDist(prmax)=%d != BDist=%d", q, prev, bd)
+		}
+	}
+}
+
+// TestRangeLowerBoundDominatesSearchLBound: the range-specialized bound is
+// at least the generic one.
+func TestRangeLowerBoundDominates(t *testing.T) {
+	g := testGen(23)
+	s := NewSpace(2)
+	for trial := 0; trial < 50; trial++ {
+		p1, p2 := s.Profile(g.Seed()), s.Profile(g.Seed())
+		generic := SearchLBound(p1, p2)
+		for _, tau := range []int{0, 1, 3, 10} {
+			if got := RangeLowerBound(p1, p2, tau); got < generic {
+				t.Fatalf("RangeLowerBound(tau=%d)=%d below SearchLBound=%d",
+					tau, got, generic)
+			}
+		}
+	}
+}
+
+// TestSearchLBoundSingleNodeTrees: degenerate inputs.
+func TestSearchLBoundSingleNodes(t *testing.T) {
+	s := NewSpace(2)
+	a := s.Profile(tree.MustParse("a"))
+	b := s.Profile(tree.MustParse("b"))
+	// EDist = 1 (relabel); the bound must be ≤ 1 and ≥ ceil(BDist/5) = 1.
+	if got := SearchLBound(a, b); got != 1 {
+		t.Errorf("SearchLBound(a,b) = %d, want 1", got)
+	}
+	if got := SearchLBound(a, s.Profile(tree.MustParse("a"))); got != 0 {
+		t.Errorf("SearchLBound(a,a) = %d, want 0", got)
+	}
+}

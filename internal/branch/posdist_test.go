@@ -1,0 +1,207 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesim/internal/tree"
+)
+
+// TestMatchSizePaperExample reproduces the Section 4.2 walkthrough with
+// positional range pr = 1 on the Fig. 2 numbering:
+//
+//	BiB(c,ε,d): T1 occurrences (3,1),(6,4); T2 occurrences (3,1),(7,6).
+//	Only (3,1)↔(3,1) can match.
+//	BiB(e,ε,ε): T1 (8,7); T2 (6,3),(9,8). Only (8,7)↔(9,8) can match.
+func TestMatchSizePaperExample(t *testing.T) {
+	cOcc1 := []Occurrence{{3, 1}, {6, 4}}
+	cOcc2 := []Occurrence{{3, 1}, {7, 6}}
+	if got := MatchSize(cOcc1, cOcc2, 1); got != 1 {
+		t.Errorf("MatchSize(c-branch, pr=1) = %d, want 1", got)
+	}
+	eOcc1 := []Occurrence{{8, 7}}
+	eOcc2 := []Occurrence{{6, 3}, {9, 8}}
+	if got := MatchSize(eOcc1, eOcc2, 1); got != 1 {
+		t.Errorf("MatchSize(e-branch, pr=1) = %d, want 1", got)
+	}
+	if got := MatchSize(eOcc1, []Occurrence{{6, 3}}, 1); got != 0 {
+		t.Errorf("incompatible pair matched: %d", got)
+	}
+}
+
+// TestPosBDistPaperPair: with the Fig. 2 profiles, the hand computation
+// gives PosBDist(T1,T2,1) = 17 − 2·3 = 11 and PosBDist(T1,T2,2) = 17 − 2·4 = 9.
+func TestPosBDistPaperPair(t *testing.T) {
+	s := NewSpace(2)
+	p1, p2 := s.Profile(paperT1()), s.Profile(paperT2())
+	if got := PosBDist(p1, p2, 1); got != 11 {
+		t.Errorf("PosBDist(T1,T2,1) = %d, want 11", got)
+	}
+	if got := PosBDist(p1, p2, 2); got != 9 {
+		t.Errorf("PosBDist(T1,T2,2) = %d, want 9", got)
+	}
+}
+
+// TestSearchLBoundPaperPair: the predicate fails at pr=1 (11 > 5) and holds
+// at pr=2 (9 ≤ 10), so the optimistic bound is 2 — and EDist(T1,T2) = 3.
+func TestSearchLBoundPaperPair(t *testing.T) {
+	s := NewSpace(2)
+	p1, p2 := s.Profile(paperT1()), s.Profile(paperT2())
+	if got := SearchLBound(p1, p2); got != 2 {
+		t.Errorf("SearchLBound(T1,T2) = %d, want 2", got)
+	}
+}
+
+// TestPosBDistMonotone: PosBDist is non-increasing in pr, bounded below by
+// BDist, and equals BDist at pr = max(|T1|,|T2|).
+func TestPosBDistMonotone(t *testing.T) {
+	s := NewSpace(2)
+	p1, p2 := s.Profile(paperT1()), s.Profile(paperT2())
+	bd := BDist(p1, p2)
+	prmax := p2.Size
+	prev := PosBDist(p1, p2, 0)
+	for pr := 1; pr <= prmax; pr++ {
+		cur := PosBDist(p1, p2, pr)
+		if cur > prev {
+			t.Errorf("PosBDist increased from %d to %d at pr=%d", prev, cur, pr)
+		}
+		if cur < bd {
+			t.Errorf("PosBDist(%d) = %d below BDist = %d", pr, cur, bd)
+		}
+		prev = cur
+	}
+	if prev != bd {
+		t.Errorf("PosBDist(prmax) = %d, want BDist = %d", prev, bd)
+	}
+}
+
+// TestPosBDistIdentity: a tree at range 0 matches itself perfectly.
+func TestPosBDistIdentity(t *testing.T) {
+	s := NewSpace(2)
+	p := s.Profile(paperT2())
+	if got := PosBDist(p, p, 0); got != 0 {
+		t.Errorf("PosBDist(T,T,0) = %d, want 0", got)
+	}
+}
+
+func TestMatchSizeEmpty(t *testing.T) {
+	if MatchSize(nil, []Occurrence{{1, 1}}, 5) != 0 {
+		t.Error("empty list should match nothing")
+	}
+	if MatchSize([]Occurrence{{1, 1}}, nil, 5) != 0 {
+		t.Error("empty list should match nothing")
+	}
+}
+
+// TestGreedyEqualsExact: on co-sorted random occurrence lists the greedy
+// sweep must agree with the augmenting-path matching.
+func TestGreedyEqualsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 500; trial++ {
+		a := randomCoSorted(rng, 1+rng.Intn(8))
+		b := randomCoSorted(rng, 1+rng.Intn(8))
+		pr := rng.Intn(6)
+		g := greedyMatch(a, b, pr, +1)
+		e := exactMatch(a, b, pr)
+		if g != e {
+			t.Fatalf("trial %d: greedy=%d exact=%d (a=%v b=%v pr=%d)", trial, g, e, a, b, pr)
+		}
+	}
+}
+
+// randomCoSorted builds a list ascending in both Pre and Post.
+func randomCoSorted(rng *rand.Rand, n int) []Occurrence {
+	out := make([]Occurrence, n)
+	pre, post := int32(0), int32(0)
+	for i := range out {
+		pre += 1 + int32(rng.Intn(4))
+		post += 1 + int32(rng.Intn(4))
+		out[i] = Occurrence{Pre: pre, Post: post}
+	}
+	return out
+}
+
+// TestGreedyDescendingEqualsExact: the descending fast path (ancestor
+// chains) must also agree with the exact matcher.
+func TestGreedyDescendingEqualsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 500; trial++ {
+		a := randomAntiSorted(rng, 1+rng.Intn(8))
+		b := randomAntiSorted(rng, 1+rng.Intn(8))
+		pr := rng.Intn(8)
+		g := greedyMatch(a, b, pr, -1)
+		e := exactMatch(a, b, pr)
+		if g != e {
+			t.Fatalf("trial %d: greedy=%d exact=%d (a=%v b=%v pr=%d)", trial, g, e, a, b, pr)
+		}
+	}
+}
+
+// randomAntiSorted builds a list with Pre ascending and Post descending —
+// the ancestor-chain signature.
+func randomAntiSorted(rng *rand.Rand, n int) []Occurrence {
+	out := make([]Occurrence, n)
+	pre := int32(0)
+	post := int32(50)
+	for i := range out {
+		pre += 1 + int32(rng.Intn(4))
+		post -= 1 + int32(rng.Intn(4))
+		out[i] = Occurrence{Pre: pre, Post: post}
+	}
+	return out
+}
+
+// TestMatchSizePathTreesFast: the path-tree pathology (30k-node chains of
+// one label) must use the descending fast path, not the quadratic exact
+// matcher.
+func TestMatchSizePathTreesFast(t *testing.T) {
+	const n = 30000
+	a := make([]Occurrence, n)
+	b := make([]Occurrence, n-1)
+	for i := range a {
+		a[i] = Occurrence{Pre: int32(i + 1), Post: int32(n - i)}
+	}
+	for i := range b {
+		b[i] = Occurrence{Pre: int32(i + 1), Post: int32(n - 1 - i)}
+	}
+	if got := MatchSize(a, b, 1); got != n-1 {
+		t.Fatalf("MatchSize = %d, want %d", got, n-1)
+	}
+}
+
+// TestExactMatchAncestorChain: occurrences of a self-similar branch where
+// one occurrence is an ancestor of another (Pre ascending, Post descending)
+// exercise the exact-matching fallback.
+func TestExactMatchAncestorChain(t *testing.T) {
+	// a(a(a)): every node roots branch (a,a,ε) except the leaf (a,ε,ε).
+	s := NewSpace(2)
+	chain3 := tree.MustParse("a(a(a))")
+	chain4 := tree.MustParse("a(a(a(a)))")
+	p3, p4 := s.Profile(chain3), s.Profile(chain4)
+	// (a,a,ε) occurs twice in chain3 at (1,3),(2,2) — Post descending.
+	if got := PosBDist(p3, p4, 0); got < BDist(p3, p4) {
+		t.Errorf("PosBDist below BDist: %d < %d", got, BDist(p3, p4))
+	}
+	// One insert transforms chain3 into chain4, so every lower bound ≤ 1.
+	if got := SearchLBound(p3, p4); got > 1 {
+		t.Errorf("SearchLBound(chain3,chain4) = %d, want ≤ 1", got)
+	}
+}
+
+// TestMatchSizeUsesExactForNonMonotone: a crafted non-co-sorted instance
+// where a naive greedy-by-Pre undercounts; MatchSize must find 2.
+func TestMatchSizeUsesExactForNonMonotone(t *testing.T) {
+	// A: (1,10), (2,1)   — ancestor then descendant (Post drops).
+	// B: (1,1), (2,10)
+	// pr=0: compatible pairs are none (positions must agree in both).
+	// pr=1: (1,10)-(2,10)? pre diff 1 ok post diff 0 ok → yes.
+	//        (2,1)-(1,1): pre diff 1, post diff 0 → yes. Perfect matching 2.
+	a := []Occurrence{{1, 10}, {2, 1}}
+	b := []Occurrence{{1, 1}, {2, 10}}
+	if got := MatchSize(a, b, 1); got != 2 {
+		t.Errorf("MatchSize = %d, want 2", got)
+	}
+	if got := MatchSize(a, b, 0); got != 0 {
+		t.Errorf("MatchSize(pr=0) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,186 @@
+package branch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"treesim/internal/btree"
+	"treesim/internal/labels"
+	"treesim/internal/tree"
+	"treesim/internal/vector"
+)
+
+// Occurrence is one occurrence of a binary branch: the 1-based preorder and
+// postorder position (in the original tree T) of the node the branch is
+// rooted at. Proposition 4.1 bounds how far an occurrence can move under k
+// edit operations, which is what the positional filter exploits.
+type Occurrence struct {
+	Pre  int32
+	Post int32
+}
+
+// Profile is the binary branch representation of one tree: its branch
+// vector BRV_q(T) plus, for each non-zero dimension, the positions of the
+// branch's occurrences sorted by preorder position. Profiles built from the
+// same Space are directly comparable.
+type Profile struct {
+	// Size is |T|, the node count of the profiled tree. For every q the
+	// total branch count equals |T| (one branch rooted at each node).
+	Size int
+	// Vec is the sparse branch vector BRV_q(T).
+	Vec *vector.Sparse
+	// Pos holds the occurrence positions for each non-zero dimension,
+	// parallel to Vec.Elems(), each list in ascending preorder position.
+	Pos [][]Occurrence
+
+	space *Space
+}
+
+// Q returns the branch level the profile was built at.
+func (p *Profile) Q() int { return p.space.q }
+
+// Space returns the branch space the profile belongs to.
+func (p *Profile) Space() *Space { return p.space }
+
+// Branches enumerates the q-level binary branches of t in preorder of the
+// original tree, calling fn once per original node with the branch's
+// interned dimension and the node's 1-based preorder and postorder
+// positions. It returns |T|. This streaming form is the common core of
+// per-tree profiling and of the dataset-wide inverted file construction
+// (Algorithm 1): occurrences arrive grouped by tree and in ascending
+// preorder position.
+//
+// Complexity: O(|T| · 2^q) time.
+func (s *Space) Branches(t *tree.Tree, fn func(d vector.Dim, pre, post int32)) int {
+	bt := btree.Normalized(t)
+	size := 0
+
+	window := make([]string, 0, s.WindowLen())
+	var emit func(n *btree.Node, levels int)
+	emit = func(n *btree.Node, levels int) {
+		if levels == 0 {
+			return
+		}
+		if n == nil || n.Epsilon {
+			window = append(window, labels.EpsilonString)
+			emit(nil, levels-1)
+			emit(nil, levels-1)
+			return
+		}
+		window = append(window, n.Label)
+		emit(n.Left, levels-1)
+		emit(n.Right, levels-1)
+	}
+
+	// Visit original nodes in preorder of B(T) — which equals preorder of
+	// T — so per-branch occurrence sequences come out sorted by Pre.
+	var walk func(n *btree.Node)
+	walk = func(n *btree.Node) {
+		if n == nil || n.Epsilon {
+			return
+		}
+		size++
+		window = window[:0]
+		emit(n, s.q)
+		fn(s.intern(encodeKey(window)), int32(n.Pre), int32(n.Post))
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(bt.Root)
+	return size
+}
+
+// Profile computes the q-level binary branch profile of t, interning any
+// previously unseen branches into the space.
+//
+// Complexity: O(|T| · 2^q) time; O(distinct branches + |T|) space.
+func (s *Space) Profile(t *tree.Tree) *Profile {
+	occs := make(map[vector.Dim][]Occurrence)
+	b := vector.NewBuilder()
+	size := s.Branches(t, func(d vector.Dim, pre, post int32) {
+		b.Inc(d)
+		occs[d] = append(occs[d], Occurrence{Pre: pre, Post: post})
+	})
+
+	vec := b.MustVector()
+	pos := make([][]Occurrence, vec.NonZero())
+	for i, e := range vec.Elems() {
+		pos[i] = occs[e.Dim]
+	}
+	return &Profile{Size: size, Vec: vec, Pos: pos, space: s}
+}
+
+// ProfileAll profiles every tree of a dataset in order.
+func (s *Space) ProfileAll(ts []*tree.Tree) []*Profile {
+	out := make([]*Profile, len(ts))
+	for i, t := range ts {
+		out[i] = s.Profile(t)
+	}
+	return out
+}
+
+// ProfileAllParallel profiles a dataset with the given number of workers
+// (≤ 0 means GOMAXPROCS). The space's interner is safe for concurrent use,
+// and dimension assignment stays deterministic-per-space only in the sense
+// that equal branches get equal dimensions; the dimension *numbering* may
+// differ between runs, which never affects any distance.
+func (s *Space) ProfileAllParallel(ts []*tree.Tree, workers int) []*Profile {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ts) {
+		workers = len(ts)
+	}
+	if workers <= 1 {
+		return s.ProfileAll(ts)
+	}
+	out := make([]*Profile, len(ts))
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(ts) {
+					return
+				}
+				out[i] = s.Profile(ts[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Assemble constructs a Profile from pre-computed parts: the tree size, the
+// branch vector, and the per-dimension occurrence lists parallel to
+// vec.Elems(). It is used by the inverted-file scan (Algorithm 1 lines
+// 6–13) which materializes the same data laid out by dimension rather than
+// by tree. The vector's total count must equal size and the position lists
+// must be parallel to the vector's coordinates.
+func Assemble(s *Space, size int, vec *vector.Sparse, pos [][]Occurrence) *Profile {
+	if vec.Sum() != size {
+		panic("branch: vector total does not match tree size")
+	}
+	if len(pos) != vec.NonZero() {
+		panic("branch: position lists not parallel to vector coordinates")
+	}
+	for i, e := range vec.Elems() {
+		if len(pos[i]) != e.Count {
+			panic("branch: occurrence count does not match vector coordinate")
+		}
+	}
+	return &Profile{Size: size, Vec: vec, Pos: pos, space: s}
+}
+
+// sameSpace panics unless the two profiles were built from one Space;
+// vectors from different spaces use unrelated dimension numbering and any
+// distance between them would be meaningless.
+func sameSpace(a, b *Profile) {
+	if a.space != b.space {
+		panic("branch: profiles from different spaces are not comparable")
+	}
+}

@@ -1,0 +1,129 @@
+// Package branch implements the paper's primary contribution: the binary
+// branch embedding of rooted, ordered, labeled trees.
+//
+// A q-level binary branch (Definition 5; Definition 2 is the q=2 case) is
+// the perfect binary tree of height q−1 rooted at an original node u of the
+// ε-normalized binary tree representation B(T), padded with ε below the
+// leaves where necessary. Every tree T maps to a sparse vector BRV_q(T)
+// counting the occurrences of each distinct branch (Definition 3); the L1
+// distance of two such vectors is the (q-level) binary branch distance
+// BDist_q (Definition 4), and
+//
+//	BDist_q(T1,T2) ≤ [4(q−1)+1] · EDist(T1,T2)   (Theorems 3.2 and 3.3)
+//
+// so ceil(BDist_q/[4(q−1)+1]) lower-bounds the unit-cost tree edit
+// distance. The positional binary branch distance (Definition 6) tightens
+// the bound further using preorder/postorder positions, and SearchLBound
+// (Section 4.3) binary-searches the positional range for the best bound.
+package branch
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"treesim/internal/vector"
+)
+
+// MinQ is the smallest meaningful branch level. q=1 records single labels
+// only (no structure); the paper starts at q=2.
+const MinQ = 2
+
+// Factor returns the per-edit-operation bound 4(q−1)+1 of Theorem 3.3: one
+// edit operation changes at most Factor(q) q-level binary branches. For
+// q=2 this is the constant 5 of Theorem 3.2.
+func Factor(q int) int { return 4*(q-1) + 1 }
+
+// Space is the alphabet Γ of q-level binary branches observed in a dataset.
+// It interns each distinct branch into a dense vector dimension, so branch
+// vectors of different trees are directly comparable. A Space is safe for
+// concurrent use.
+type Space struct {
+	q  int
+	mu sync.RWMutex
+	// ids maps the encoded branch key to its dimension.
+	ids map[string]vector.Dim
+	// keys lists the branch keys by dimension, for debugging/inspection.
+	keys []string
+}
+
+// NewSpace returns an empty branch space at level q (q ≥ MinQ; q=2 is the
+// two-level branch of Definition 2).
+func NewSpace(q int) *Space {
+	if q < MinQ {
+		panic("branch: q must be >= 2")
+	}
+	return &Space{q: q, ids: make(map[string]vector.Dim, 256)}
+}
+
+// Q returns the branch level of the space.
+func (s *Space) Q() int { return s.q }
+
+// Size returns |Γ|, the number of distinct branches interned so far.
+func (s *Space) Size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.keys)
+}
+
+// WindowLen returns the number of labels in one branch window: 2^q − 1
+// (the node count of a perfect binary tree with q levels).
+func (s *Space) WindowLen() int { return (1 << uint(s.q)) - 1 }
+
+// intern returns the dimension of the branch encoded by key, assigning a
+// fresh dimension on first sight.
+func (s *Space) intern(key string) vector.Dim {
+	s.mu.RLock()
+	id, ok := s.ids[key]
+	s.mu.RUnlock()
+	if ok {
+		return id
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.ids[key]; ok {
+		return id
+	}
+	id = vector.Dim(len(s.keys))
+	s.keys = append(s.keys, key)
+	s.ids[key] = id
+	return id
+}
+
+// Key returns the encoded key of dimension d. It panics if d was never
+// issued by this space.
+func (s *Space) Key(d vector.Dim) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.keys[d]
+}
+
+// KeyLabels decodes an encoded branch key back into its label sequence
+// (the preorder traversal of the branch window; ε appears as "ε").
+func KeyLabels(key string) []string {
+	var out []string
+	for len(key) > 0 {
+		i := strings.IndexByte(key, ':')
+		n, err := strconv.Atoi(key[:i])
+		if err != nil {
+			panic("branch: corrupt key: " + key)
+		}
+		key = key[i+1:]
+		out = append(out, key[:n])
+		key = key[n:]
+	}
+	return out
+}
+
+// encodeKey builds an unambiguous string key from a label sequence using
+// length prefixes ("<len>:<label>" per label), so labels containing any
+// byte sequence are handled.
+func encodeKey(seq []string) string {
+	var sb strings.Builder
+	for _, l := range seq {
+		sb.WriteString(strconv.Itoa(len(l)))
+		sb.WriteByte(':')
+		sb.WriteString(l)
+	}
+	return sb.String()
+}

@@ -1,0 +1,336 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesim/internal/datagen"
+	"treesim/internal/editdist"
+	"treesim/internal/tree"
+)
+
+// This file tests the paper's formal results as properties over random
+// trees:
+//
+//	Theorem 3.2:      BDist(T1,T2)   ≤ 5·EDist(T1,T2)
+//	Theorem 3.3:      BDist_q(T1,T2) ≤ [4(q−1)+1]·EDist(T1,T2)
+//	Lemma 3.1:        every node occurs in at most 2 two-level branches
+//	                  (at most q q-level branches)
+//	Section 3.2:      BDist is a pseudometric (triangle inequality)
+//	Proposition 4.2:  PosBDist(T1,T2,l) > 5l ⇒ EDist > l
+//	Section 4.3:      SearchLBound ≤ EDist, SearchLBound ≥ ceil(BDist/5)
+
+func testGen(seed int64) *datagen.Generator {
+	spec := datagen.Spec{
+		FanoutMean: 2.5, FanoutStd: 1,
+		SizeMean: 12, SizeStd: 4,
+		Labels: 4, Decay: 0.1,
+	}
+	return datagen.New(spec, seed)
+}
+
+// TestTheorem32And33 checks the scaled lower bound for q ∈ {2,3,4} on
+// random pairs with exactly-known edit bounds and exact distances.
+func TestTheorem32And33(t *testing.T) {
+	g := testGen(1)
+	for _, q := range []int{2, 3, 4} {
+		s := NewSpace(q)
+		f := Factor(q)
+		for trial := 0; trial < 60; trial++ {
+			t1 := g.Seed()
+			t2 := g.RandomEdits(t1, 1+trial%8)
+			ed := editdist.Distance(t1, t2)
+			bd := BDist(s.Profile(t1), s.Profile(t2))
+			if bd > f*ed {
+				t.Fatalf("q=%d: BDist=%d > %d·EDist=%d for\n  %s\n  %s",
+					q, bd, f, ed, t1, t2)
+			}
+		}
+	}
+}
+
+// TestTheorem32UnrelatedTrees checks the bound on pairs that are not edit
+// neighbors of each other (independent random trees).
+func TestTheorem32UnrelatedTrees(t *testing.T) {
+	g := testGen(2)
+	s := NewSpace(2)
+	for trial := 0; trial < 60; trial++ {
+		t1, t2 := g.Seed(), g.Seed()
+		ed := editdist.Distance(t1, t2)
+		bd := BDist(s.Profile(t1), s.Profile(t2))
+		if bd > 5*ed {
+			t.Fatalf("BDist=%d > 5·EDist=%d for\n  %s\n  %s", bd, ed, t1, t2)
+		}
+	}
+}
+
+// TestSingleOperationDeltas verifies the per-operation cases of the proof
+// of Theorem 3.2: a relabel changes BDist by at most 4; an insert or delete
+// by at most 5.
+func TestSingleOperationDeltas(t *testing.T) {
+	g := testGen(3)
+	s := NewSpace(2)
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 200; trial++ {
+		t1 := g.Seed()
+		t2 := t1.Clone()
+		nodes := t2.PreOrder()
+		n := nodes[rng.Intn(len(nodes))]
+		var limit int
+		switch rng.Intn(3) {
+		case 0: // relabel
+			n.Label = "zz" // certainly a fresh label
+			limit = 4
+		case 1: // delete
+			if n == t2.Root && len(n.Children) != 1 {
+				continue
+			}
+			if err := tree.Delete(t2, n); err != nil {
+				continue
+			}
+			limit = 5
+		default: // insert
+			deg := len(n.Children)
+			pos := rng.Intn(deg + 1)
+			count := 0
+			if deg-pos > 0 {
+				count = rng.Intn(deg - pos + 1)
+			}
+			if _, err := tree.Insert(t2, n, pos, count, "zz"); err != nil {
+				continue
+			}
+			limit = 5
+		}
+		bd := BDist(s.Profile(t1), s.Profile(t2))
+		if bd > limit {
+			t.Fatalf("single op changed BDist by %d > %d:\n  %s\n  %s",
+				bd, limit, t1, t2)
+		}
+	}
+}
+
+// TestLemma31 counts, for each node of random trees, in how many q-level
+// branch windows it appears; Lemma 3.1 bounds this by 2 for q=2 and the
+// generalization by q.
+func TestLemma31(t *testing.T) {
+	g := testGen(4)
+	for _, q := range []int{2, 3, 4} {
+		for trial := 0; trial < 20; trial++ {
+			tr := g.Seed()
+			counts := windowMembership(tr, q)
+			for n, c := range counts {
+				if c > q {
+					t.Fatalf("q=%d: node %q appears in %d windows (max %d) in %s",
+						q, n.label, c, q, tr)
+				}
+			}
+		}
+	}
+}
+
+// windowMembership counts how many branch windows each original node of T
+// appears in, by replaying the window enumeration over B(T).
+func windowMembership(tr *tree.Tree, q int) map[*bNode]int {
+	root := toBNodes(tr)
+	counts := make(map[*bNode]int)
+	var collect func(n *bNode, levels int)
+	collect = func(n *bNode, levels int) {
+		if levels == 0 || n == nil {
+			return
+		}
+		counts[n]++
+		collect(n.left, levels-1)
+		collect(n.right, levels-1)
+	}
+	var walk func(n *bNode)
+	walk = func(n *bNode) {
+		if n == nil {
+			return
+		}
+		collect(n, q)
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(root)
+	return counts
+}
+
+// bNode is a minimal left-child/right-sibling node for the membership
+// test, independent of the production btree package.
+type bNode struct {
+	label       string
+	left, right *bNode
+}
+
+func toBNodes(tr *tree.Tree) *bNode {
+	if tr.IsEmpty() {
+		return nil
+	}
+	var build func(n *tree.Node) *bNode
+	build = func(n *tree.Node) *bNode {
+		bn := &bNode{label: n.Label}
+		var prev *bNode
+		for _, c := range n.Children {
+			cb := build(c)
+			if prev == nil {
+				bn.left = cb
+			} else {
+				prev.right = cb
+			}
+			prev = cb
+		}
+		return bn
+	}
+	return build(tr.Root)
+}
+
+// TestTriangleInequality: BDist is a pseudometric.
+func TestTriangleInequality(t *testing.T) {
+	g := testGen(5)
+	s := NewSpace(2)
+	profiles := make([]*Profile, 10)
+	for i := range profiles {
+		profiles[i] = s.Profile(g.Seed())
+	}
+	for i, a := range profiles {
+		for j, b := range profiles {
+			for k, c := range profiles {
+				if i == j || j == k || i == k {
+					continue
+				}
+				if BDist(a, c) > BDist(a, b)+BDist(b, c) {
+					t.Fatalf("triangle violated at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+// TestProposition42 and the SearchLBound soundness: the optimistic bound
+// never exceeds the true edit distance, and it dominates the plain bound.
+func TestSearchLBoundSound(t *testing.T) {
+	g := testGen(6)
+	for _, q := range []int{2, 3} {
+		s := NewSpace(q)
+		for trial := 0; trial < 80; trial++ {
+			var t1, t2 *tree.Tree
+			if trial%2 == 0 {
+				t1, t2 = g.Seed(), g.Seed()
+			} else {
+				t1 = g.Seed()
+				t2 = g.RandomEdits(t1, 1+trial%5)
+			}
+			p1, p2 := s.Profile(t1), s.Profile(t2)
+			ed := editdist.Distance(t1, t2)
+			lb := SearchLBound(p1, p2)
+			if lb > ed {
+				t.Fatalf("q=%d: SearchLBound=%d > EDist=%d for\n  %s\n  %s",
+					q, lb, ed, t1, t2)
+			}
+			if plain := BDistLowerBound(p1, p2); lb < plain {
+				t.Fatalf("q=%d: SearchLBound=%d below plain bound %d", q, lb, plain)
+			}
+			szd := t1.Size() - t2.Size()
+			if szd < 0 {
+				szd = -szd
+			}
+			if lb < szd {
+				t.Fatalf("q=%d: SearchLBound=%d below size difference %d", q, lb, szd)
+			}
+		}
+	}
+}
+
+// TestRangeLowerBoundSound: whenever EDist ≤ tau, RangeLowerBound ≤ tau
+// (no false dismissals in range queries).
+func TestRangeLowerBoundSound(t *testing.T) {
+	g := testGen(7)
+	s := NewSpace(2)
+	for trial := 0; trial < 120; trial++ {
+		t1 := g.Seed()
+		t2 := g.RandomEdits(t1, trial%7)
+		p1, p2 := s.Profile(t1), s.Profile(t2)
+		ed := editdist.Distance(t1, t2)
+		for _, tau := range []int{ed, ed + 1, ed + 3} {
+			if lb := RangeLowerBound(p1, p2, tau); lb > tau {
+				t.Fatalf("RangeLowerBound=%d > tau=%d but EDist=%d for\n  %s\n  %s",
+					lb, tau, ed, t1, t2)
+			}
+		}
+	}
+}
+
+// TestProposition41 checks the positional displacement bound directly: in
+// an optimal mapping... observable consequence: for related trees at edit
+// distance k, PosBDist at pr=k obeys the Proposition 4.2 inequality.
+func TestProposition42Inequality(t *testing.T) {
+	g := testGen(8)
+	s := NewSpace(2)
+	for trial := 0; trial < 100; trial++ {
+		t1 := g.Seed()
+		t2 := g.RandomEdits(t1, 1+trial%6)
+		ed := editdist.Distance(t1, t2)
+		p1, p2 := s.Profile(t1), s.Profile(t2)
+		// Contrapositive of Prop 4.2: EDist ≤ l ⇒ PosBDist(l) ≤ 5l.
+		for _, l := range []int{ed, ed + 2} {
+			if got := PosBDist(p1, p2, l); got > 5*l {
+				t.Fatalf("PosBDist(%d)=%d > 5·%d with EDist=%d for\n  %s\n  %s",
+					l, got, l, ed, t1, t2)
+			}
+		}
+	}
+}
+
+// TestPositionalStrictlyTighter: the positional bound must actually earn
+// its keep — on mid-sized synthetic trees it should beat the plain
+// ceil(BDist/5) bound on a substantial fraction of pairs.
+func TestPositionalStrictlyTighter(t *testing.T) {
+	spec := datagen.Spec{FanoutMean: 4, FanoutStd: 0.5, SizeMean: 50, SizeStd: 2, Labels: 8, Decay: 0.05}
+	ts := datagen.New(spec, 1).Dataset(60, 8)
+	s := NewSpace(2)
+	ps := s.ProfileAll(ts)
+	tighter, total := 0, 0
+	for i := range ps {
+		for j := i + 1; j < len(ps); j++ {
+			total++
+			if SearchLBound(ps[i], ps[j]) > BDistLowerBound(ps[i], ps[j]) {
+				tighter++
+			}
+		}
+	}
+	if tighter == 0 {
+		t.Error("positional bound never improved on the plain bound")
+	}
+	t.Logf("positional strictly tighter on %d/%d pairs", tighter, total)
+}
+
+// TestBDistVsEditOnIdentical: identical trees always embed to identical
+// vectors at every level.
+func TestBDistVsEditOnIdentical(t *testing.T) {
+	g := testGen(9)
+	for _, q := range []int{2, 3, 4} {
+		s := NewSpace(q)
+		tr := g.Seed()
+		if got := BDist(s.Profile(tr), s.Profile(tr.Clone())); got != 0 {
+			t.Errorf("q=%d: BDist of identical trees = %d", q, got)
+		}
+	}
+}
+
+// TestHigherQNeverLooser: BDist_q normalized by Factor(q) stays a valid
+// bound, and raw BDist is non-decreasing in q on average — here we assert
+// the weaker, always-true direction: each level's scaled bound ≤ EDist.
+func TestScaledBoundsAllLevels(t *testing.T) {
+	g := testGen(10)
+	spaces := map[int]*Space{2: NewSpace(2), 3: NewSpace(3), 4: NewSpace(4)}
+	for trial := 0; trial < 40; trial++ {
+		t1, t2 := g.Seed(), g.Seed()
+		ed := editdist.Distance(t1, t2)
+		for q, s := range spaces {
+			lb := EditLowerBound(BDist(s.Profile(t1), s.Profile(t2)), q)
+			if lb > ed {
+				t.Fatalf("q=%d: scaled bound %d exceeds EDist %d", q, lb, ed)
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package btree implements the binary tree representation of rooted,
+// ordered, labeled trees (Section 2.3 of the paper) and its ε-normalization
+// (Section 3.2).
+//
+// The transform is the classic left-child/right-sibling encoding: in B(T),
+// the left child of a node is its first child in T and the right child is
+// its next sibling in T. The encoding is lossless — every parent-child edge
+// of T other than "first child" edges is replaced by a sibling link, which
+// is exactly what makes edit operations touch only a constant number of
+// binary branches (Section 3.1).
+//
+// Normalization appends ε nodes so that every original node has exactly two
+// children in B(T); the ε padding makes the two-level branch structure
+// (label, left, right) total on original nodes.
+package btree
+
+import (
+	"strings"
+
+	"treesim/internal/tree"
+)
+
+// Node is a node of a binary tree representation. Original nodes carry the
+// 1-based preorder and postorder position of the corresponding node in the
+// source tree T (these equal the preorder and inorder positions in B(T));
+// ε padding nodes have Epsilon set and positions 0.
+type Node struct {
+	Label   string
+	Left    *Node
+	Right   *Node
+	Pre     int  // 1-based preorder position in T (0 for ε)
+	Post    int  // 1-based postorder position in T (0 for ε)
+	Epsilon bool // true for appended ε nodes
+}
+
+// IsLeaf reports whether the node has no children at all.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// BinaryTree is the binary tree representation B(T) of a tree T.
+type BinaryTree struct {
+	Root *Node
+	// Normalized records whether ε padding has been applied.
+	Normalized bool
+}
+
+// FromTree builds the (un-normalized) binary tree representation B(T) using
+// the left-child/right-sibling encoding, stamping each node with its
+// preorder and postorder position in T.
+func FromTree(t *tree.Tree) *BinaryTree {
+	if t.IsEmpty() {
+		return &BinaryTree{}
+	}
+	pre, post := 0, 0
+	var build func(n *tree.Node) *Node
+	build = func(n *tree.Node) *Node {
+		pre++
+		bn := &Node{Label: n.Label, Pre: pre}
+		var children []*Node
+		for _, c := range n.Children {
+			children = append(children, build(c))
+		}
+		post++
+		bn.Post = post
+		if len(children) > 0 {
+			bn.Left = children[0]
+			for i := 0; i+1 < len(children); i++ {
+				children[i].Right = children[i+1]
+			}
+		}
+		return bn
+	}
+	return &BinaryTree{Root: build(t.Root)}
+}
+
+// Normalize appends ε nodes so every non-ε node has exactly two children,
+// producing the full binary tree of Section 3.2. It is idempotent.
+func (b *BinaryTree) Normalize() {
+	if b.Root == nil || b.Normalized {
+		b.Normalized = true
+		return
+	}
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n.Epsilon {
+			return
+		}
+		if n.Left == nil {
+			n.Left = &Node{Label: "ε", Epsilon: true}
+		} else {
+			rec(n.Left)
+		}
+		if n.Right == nil {
+			n.Right = &Node{Label: "ε", Epsilon: true}
+		} else {
+			rec(n.Right)
+		}
+	}
+	rec(b.Root)
+	b.Normalized = true
+}
+
+// Normalized builds the normalized binary tree representation in one step.
+func Normalized(t *tree.Tree) *BinaryTree {
+	b := FromTree(t)
+	b.Normalize()
+	return b
+}
+
+// ToTree inverts the left-child/right-sibling encoding, ignoring ε nodes.
+// ToTree(FromTree(t)) is structurally equal to t.
+func (b *BinaryTree) ToTree() *tree.Tree {
+	if b.Root == nil || b.Root.Epsilon {
+		return tree.New(nil)
+	}
+	return tree.New(rebuild(b.Root))
+}
+
+func rebuild(bn *Node) *tree.Node {
+	n := &tree.Node{Label: bn.Label}
+	for c := bn.Left; c != nil && !c.Epsilon; c = c.Right {
+		n.Children = append(n.Children, rebuild(c))
+	}
+	return n
+}
+
+// Size returns the number of original (non-ε) nodes.
+func (b *BinaryTree) Size() int {
+	n := 0
+	b.Walk(func(nd *Node) {
+		if !nd.Epsilon {
+			n++
+		}
+	})
+	return n
+}
+
+// FullSize returns the number of nodes including ε padding.
+func (b *BinaryTree) FullSize() int {
+	n := 0
+	b.Walk(func(*Node) { n++ })
+	return n
+}
+
+// Height returns the number of nodes on the longest root-to-leaf path,
+// counting ε nodes.
+func (b *BinaryTree) Height() int {
+	var rec func(n *Node) int
+	rec = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		l, r := rec(n.Left), rec(n.Right)
+		if r > l {
+			l = r
+		}
+		return l + 1
+	}
+	return rec(b.Root)
+}
+
+// Walk visits every node (including ε nodes) in preorder.
+func (b *BinaryTree) Walk(visit func(*Node)) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n == nil {
+			return
+		}
+		visit(n)
+		rec(n.Left)
+		rec(n.Right)
+	}
+	rec(b.Root)
+}
+
+// IsFull reports whether every non-ε node has exactly two children and
+// every ε node is a leaf — the invariant established by Normalize.
+func (b *BinaryTree) IsFull() bool {
+	ok := true
+	b.Walk(func(n *Node) {
+		if n.Epsilon {
+			if n.Left != nil || n.Right != nil {
+				ok = false
+			}
+			return
+		}
+		if n.Left == nil || n.Right == nil {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// String renders the binary tree in a parenthesized (label left right)
+// format with "-" for absent children, e.g. "(a (b - -) (c - -))".
+// ε nodes render as "ε". Intended for tests and debugging.
+func (b *BinaryTree) String() string {
+	var sb strings.Builder
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n == nil {
+			sb.WriteByte('-')
+			return
+		}
+		if n.Epsilon {
+			sb.WriteString("ε")
+			return
+		}
+		sb.WriteByte('(')
+		sb.WriteString(n.Label)
+		sb.WriteByte(' ')
+		rec(n.Left)
+		sb.WriteByte(' ')
+		rec(n.Right)
+		sb.WriteByte(')')
+	}
+	rec(b.Root)
+	return sb.String()
+}

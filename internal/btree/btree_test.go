@@ -1,0 +1,188 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"treesim/internal/tree"
+)
+
+func paperT1() *tree.Tree { return tree.MustParse("a(b(c,d),b(c,d),e)") }
+func paperT2() *tree.Tree { return tree.MustParse("a(b(c,d,b(e)),c,d,e)") }
+
+// TestFromTreePaperFigure2 checks the left-child/right-sibling structure of
+// B(T1) against Fig. 2 of the paper, including the (pre, post) stamps.
+func TestFromTreePaperFigure2(t *testing.T) {
+	b := FromTree(paperT1())
+	r := b.Root
+	if r.Label != "a" || r.Pre != 1 || r.Post != 8 {
+		t.Fatalf("root = %q (%d,%d)", r.Label, r.Pre, r.Post)
+	}
+	if r.Right != nil {
+		t.Error("root of B(T) must have no right child (roots have no siblings)")
+	}
+	b1 := r.Left // first b
+	if b1.Label != "b" || b1.Pre != 2 || b1.Post != 3 {
+		t.Fatalf("first child = %q (%d,%d), want b (2,3)", b1.Label, b1.Pre, b1.Post)
+	}
+	c1 := b1.Left
+	if c1.Label != "c" || c1.Pre != 3 || c1.Post != 1 {
+		t.Errorf("c = %q (%d,%d), want c (3,1)", c1.Label, c1.Pre, c1.Post)
+	}
+	d1 := c1.Right
+	if d1.Label != "d" || d1.Pre != 4 || d1.Post != 2 {
+		t.Errorf("d = %q (%d,%d), want d (4,2)", d1.Label, d1.Pre, d1.Post)
+	}
+	b2 := b1.Right // second b, sibling link
+	if b2.Label != "b" || b2.Pre != 5 || b2.Post != 6 {
+		t.Errorf("second b = %q (%d,%d), want b (5,6)", b2.Label, b2.Pre, b2.Post)
+	}
+	e := b2.Right
+	if e.Label != "e" || e.Pre != 8 || e.Post != 7 {
+		t.Errorf("e = %q (%d,%d), want e (8,7)", e.Label, e.Pre, e.Post)
+	}
+}
+
+func TestNormalizeIsFull(t *testing.T) {
+	for _, tr := range []*tree.Tree{paperT1(), paperT2(), tree.MustParse("a")} {
+		b := Normalized(tr)
+		if !b.IsFull() {
+			t.Errorf("normalized B(%s) is not a full binary tree: %s", tr, b)
+		}
+		if b.Size() != tr.Size() {
+			t.Errorf("Size = %d, want %d", b.Size(), tr.Size())
+		}
+		// Every original node gains exactly 0 ε's... in total, a full
+		// binary tree with n internal (original) nodes has n+1 ε leaves.
+		if got, want := b.FullSize(), 2*tr.Size()+1; got != want {
+			t.Errorf("FullSize = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	b := FromTree(paperT1())
+	b.Normalize()
+	full := b.FullSize()
+	b.Normalize()
+	if b.FullSize() != full {
+		t.Error("second Normalize changed the tree")
+	}
+}
+
+func TestToTreeInverse(t *testing.T) {
+	for _, s := range []string{"a", "a(b)", "a(b,c)", "a(b(c,d),b(c,d),e)", "a(b(c,d,b(e)),c,d,e)"} {
+		tr := tree.MustParse(s)
+		if got := FromTree(tr).ToTree(); !tree.Equal(tr, got) {
+			t.Errorf("ToTree(FromTree(%q)) = %q", s, got)
+		}
+		// Inverse also holds after normalization (ε nodes are ignored).
+		if got := Normalized(tr).ToTree(); !tree.Equal(tr, got) {
+			t.Errorf("ToTree(Normalized(%q)) = %q", s, got)
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	b := FromTree(tree.New(nil))
+	if b.Root != nil || b.Size() != 0 || b.Height() != 0 {
+		t.Error("empty tree should produce empty binary tree")
+	}
+	b.Normalize()
+	if !b.IsFull() {
+		t.Error("empty binary tree is vacuously full")
+	}
+	if got := b.ToTree(); !got.IsEmpty() {
+		t.Error("ToTree of empty should be empty")
+	}
+}
+
+func randomTree(rng *rand.Rand, n int) *tree.Tree {
+	if n <= 0 {
+		return tree.New(nil)
+	}
+	alphabet := []string{"a", "b", "c", "d"}
+	nodes := make([]*tree.Node, n)
+	for i := range nodes {
+		nodes[i] = &tree.Node{Label: alphabet[rng.Intn(len(alphabet))]}
+	}
+	for i := 1; i < n; i++ {
+		p := nodes[rng.Intn(i)]
+		p.Children = append(p.Children, nodes[i])
+	}
+	return tree.New(nodes[0])
+}
+
+// TestRoundTripQuick: the binary representation is lossless on random trees.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, int(size)%60)
+		b := Normalized(tr)
+		return b.IsFull() && tree.Equal(tr, b.ToTree()) && b.Size() == tr.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNumberingMatchesTree: the Pre/Post stamps in B(T) equal the original
+// tree's preorder and postorder numbering.
+func TestNumberingMatchesTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		tr := randomTree(rng, 1+rng.Intn(40))
+		pos := tr.Number()
+		b := FromTree(tr)
+		// Collect (pre,post) pairs from both and compare as sets keyed by pre.
+		fromB := map[int]int{}
+		b.Walk(func(n *Node) {
+			if !n.Epsilon {
+				fromB[n.Pre] = n.Post
+			}
+		})
+		for _, n := range pos.Nodes {
+			if fromB[pos.Pre[n]] != pos.Post[n] {
+				t.Fatalf("node %q: B(T) has post %d for pre %d, tree says %d",
+					n.Label, fromB[pos.Pre[n]], pos.Pre[n], pos.Post[n])
+			}
+		}
+	}
+}
+
+func TestHeight(t *testing.T) {
+	// a(b,c): B(T) is a → b → (right) c: height 3 un-normalized.
+	b := FromTree(tree.MustParse("a(b,c)"))
+	if got := b.Height(); got != 3 {
+		t.Errorf("Height = %d, want 3", got)
+	}
+	b.Normalize()
+	if got := b.Height(); got != 4 {
+		t.Errorf("normalized Height = %d, want 4", got)
+	}
+}
+
+func TestIsLeaf(t *testing.T) {
+	b := FromTree(tree.MustParse("a(b)"))
+	if b.Root.IsLeaf() {
+		t.Error("root with a child reported as leaf")
+	}
+	if !b.Root.Left.IsLeaf() {
+		t.Error("childless node not reported as leaf")
+	}
+	b.Normalize()
+	if b.Root.IsLeaf() {
+		t.Error("normalized root reported as leaf")
+	}
+	if !b.Root.Right.IsLeaf() { // the appended ε
+		t.Error("ε node should be a leaf")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	b := Normalized(tree.MustParse("a(b)"))
+	if got := b.String(); got != "(a (b ε ε) ε)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,161 @@
+package classify
+
+import (
+	"testing"
+
+	"treesim/internal/datagen"
+	"treesim/internal/search"
+	"treesim/internal/tree"
+)
+
+// chainData builds c labeled mutation chains of length n each, returning
+// training trees/labels and held-out test trees/labels (later chain
+// members, further from the seed).
+func chainData(c, n int, seed int64) (train []*tree.Tree, trainY []string, test []*tree.Tree, testY []string) {
+	spec := datagen.Spec{FanoutMean: 3, FanoutStd: 0.5, SizeMean: 25, SizeStd: 2, Labels: 8, Decay: 0.08}
+	g := datagen.New(spec, seed)
+	for ci := 0; ci < c; ci++ {
+		label := string(rune('A' + ci))
+		cur := g.Seed()
+		for i := 0; i < n; i++ {
+			train = append(train, cur)
+			trainY = append(trainY, label)
+			cur = g.Derive(cur)
+		}
+		// Two more mutation steps beyond the training chain.
+		test = append(test, g.Derive(cur))
+		testY = append(testY, label)
+	}
+	return
+}
+
+func TestClassifierAccuracy(t *testing.T) {
+	train, trainY, test, testY := chainData(5, 25, 81)
+	c, err := New(train, trainY, 3, search.NewBiBranch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := c.Evaluate(test, testY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Total != 5 {
+		t.Fatalf("Total = %d", ev.Total)
+	}
+	// Chains are well separated; classification should be perfect.
+	if ev.Accuracy() < 0.99 {
+		t.Errorf("accuracy %.2f, expected 1.0 on well-separated chains (confusion %v)",
+			ev.Accuracy(), ev.Confusion)
+	}
+	if ev.Verified == 0 || ev.Verified > ev.Total*len(train) {
+		t.Errorf("verified count implausible: %d", ev.Verified)
+	}
+}
+
+func TestPredictDeterministicTieBreak(t *testing.T) {
+	// Two classes, equidistant neighbors: prediction must be stable.
+	train := []*tree.Tree{
+		tree.MustParse("a(b)"), tree.MustParse("a(c)"),
+	}
+	c, err := New(train, []string{"beta", "alpha"}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query at distance 1 from both.
+	p := c.Predict(tree.MustParse("a(d)"))
+	if p.Class != "alpha" { // tie on votes and distance → lexicographic
+		t.Errorf("tie broke to %q, want alpha", p.Class)
+	}
+	if p.Votes["alpha"] != 1 || p.Votes["beta"] != 1 {
+		t.Errorf("votes %v", p.Votes)
+	}
+}
+
+func TestPredictSelf(t *testing.T) {
+	train, trainY, _, _ := chainData(3, 10, 82)
+	c, err := New(train, trainY, 1, search.NewBiBranch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(train); i += 7 {
+		p := c.Predict(train[i])
+		if p.Class != trainY[i] {
+			t.Errorf("training member %d classified as %q, want %q", i, p.Class, trainY[i])
+		}
+		if p.Neighbors[0].Dist != 0 {
+			t.Errorf("nearest neighbor of a training member should be itself")
+		}
+	}
+}
+
+func TestPredictVoteAndDistanceTieBreaks(t *testing.T) {
+	// Class "far" has more votes; class "near" has fewer votes: majority
+	// must win regardless of distance.
+	train := []*tree.Tree{
+		tree.MustParse("a(b)"), tree.MustParse("a(c)"), // far ×2
+		tree.MustParse("a(b,c,d,e)"), // near ×1 (will be distance 3)
+	}
+	c, err := New(train, []string{"far", "far", "near"}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Predict(tree.MustParse("a(x)"))
+	if p.Class != "far" {
+		t.Errorf("majority lost: %q (votes %v)", p.Class, p.Votes)
+	}
+
+	// Equal votes: smaller summed distance wins over lexicographic order.
+	train2 := []*tree.Tree{
+		tree.MustParse("q(w)"),       // class "zzz", distance 0 to query
+		tree.MustParse("q(a,b,c,d)"), // class "aaa", distance 4
+	}
+	c2, err := New(train2, []string{"zzz", "aaa"}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := c2.Predict(tree.MustParse("q(w)"))
+	if p2.Class != "zzz" {
+		t.Errorf("distance tie-break lost: %q", p2.Class)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	ts := []*tree.Tree{tree.MustParse("a")}
+	if _, err := New(ts, []string{"x", "y"}, 1, nil); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	if _, err := New(nil, nil, 1, nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := New(ts, []string{"x"}, 0, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	ts := []*tree.Tree{tree.MustParse("a")}
+	c, _ := New(ts, []string{"x"}, 1, nil)
+	if _, err := c.Evaluate(ts, nil); err == nil {
+		t.Error("mismatched test labels accepted")
+	}
+}
+
+func TestEvaluationHelpers(t *testing.T) {
+	ev := Evaluation{
+		Total: 4, Correct: 3,
+		Confusion: map[string]map[string]int{
+			"A": {"A": 2},
+			"B": {"B": 1, "A": 1},
+		},
+	}
+	if ev.Accuracy() != 0.75 {
+		t.Errorf("accuracy %f", ev.Accuracy())
+	}
+	cls := ev.Classes()
+	if len(cls) != 2 || cls[0] != "A" || cls[1] != "B" {
+		t.Errorf("classes %v", cls)
+	}
+	if (Evaluation{}).Accuracy() != 0 {
+		t.Error("empty evaluation accuracy should be 0")
+	}
+}

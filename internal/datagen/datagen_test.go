@@ -1,0 +1,212 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"treesim/internal/tree"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	spec := Spec{FanoutMean: 4, FanoutStd: 0.5, SizeMean: 50, SizeStd: 2, Labels: 8, Decay: 0.05}
+	s := spec.String()
+	if s != "N{4,0.5}N{50,2}L8D0.05" {
+		t.Errorf("String = %q", s)
+	}
+	got, err := ParseSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != spec {
+		t.Errorf("ParseSpec(%q) = %+v, want %+v", s, got, spec)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"N{4,0.5}",
+		"N{4,0.5}N{50,2}L8",      // missing decay
+		"N{4,0.5}N{50,2}L0D0.05", // zero labels
+		"N{0,0.5}N{50,2}L8D0.05", // zero fanout
+		"N{4,0.5}N{50,2}L8D1.5",  // decay > 1
+		"garbage",
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestSeedSizeDistribution(t *testing.T) {
+	spec := Spec{FanoutMean: 4, FanoutStd: 0.5, SizeMean: 50, SizeStd: 2, Labels: 8, Decay: 0.05}
+	g := New(spec, 1)
+	sum, n := 0.0, 200
+	for i := 0; i < n; i++ {
+		s := g.Seed()
+		size := s.Size()
+		sum += float64(size)
+		// "most trees should have a size range from 46 to 54" (§5.1) —
+		// allow generous slack for the breadth-first cutoff.
+		if size < 40 || size > 60 {
+			t.Errorf("seed size %d outside expected envelope", size)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("invalid seed: %v", err)
+		}
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-50) > 3 {
+		t.Errorf("mean seed size %.1f, want ≈50", mean)
+	}
+}
+
+func TestSeedUsesAllLabels(t *testing.T) {
+	spec := Spec{FanoutMean: 4, FanoutStd: 0.5, SizeMean: 50, SizeStd: 2, Labels: 8, Decay: 0.05}
+	g := New(spec, 2)
+	seen := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		for l := range g.Seed().LabelCounts() {
+			seen[l] = true
+		}
+	}
+	if len(seen) != 8 {
+		t.Errorf("saw %d labels, want 8: %v", len(seen), seen)
+	}
+	for l := range seen {
+		if l != Label(0) && l != Label(1) && l != Label(2) && l != Label(3) &&
+			l != Label(4) && l != Label(5) && l != Label(6) && l != Label(7) {
+			t.Errorf("unexpected label %q", l)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	spec := Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 20, SizeStd: 3, Labels: 4, Decay: 0.05}
+	a := New(spec, 99).Dataset(20, 3)
+	b := New(spec, 99).Dataset(20, 3)
+	for i := range a {
+		if !tree.Equal(a[i], b[i]) {
+			t.Fatalf("dataset not deterministic at tree %d", i)
+		}
+	}
+	c := New(spec, 100).Dataset(20, 3)
+	same := true
+	for i := range a {
+		if !tree.Equal(a[i], c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestDeriveKeepsValidity(t *testing.T) {
+	spec := Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 25, SizeStd: 3, Labels: 4, Decay: 0.3}
+	g := New(spec, 5)
+	cur := g.Seed()
+	for i := 0; i < 30; i++ {
+		next := g.Derive(cur)
+		if err := next.Validate(); err != nil {
+			t.Fatalf("derived tree %d invalid: %v", i, err)
+		}
+		if next.IsEmpty() {
+			t.Fatalf("derived tree %d empty", i)
+		}
+		// The original must not be mutated.
+		if err := cur.Validate(); err != nil {
+			t.Fatalf("source tree corrupted by Derive: %v", err)
+		}
+		cur = next
+	}
+}
+
+func TestDatasetShape(t *testing.T) {
+	spec := Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 20, SizeStd: 3, Labels: 4, Decay: 0.05}
+	ds := New(spec, 7).Dataset(50, 5)
+	if len(ds) != 50 {
+		t.Fatalf("Dataset returned %d trees", len(ds))
+	}
+	for i, tr := range ds {
+		if tr.IsEmpty() {
+			t.Errorf("tree %d is empty", i)
+		}
+	}
+	// Degenerate parameters.
+	if got := New(spec, 7).Dataset(3, 10); len(got) != 3 {
+		t.Errorf("seeds>n: got %d trees", len(got))
+	}
+	if got := New(spec, 7).Dataset(4, 0); len(got) != 4 {
+		t.Errorf("seeds=0: got %d trees", len(got))
+	}
+}
+
+func TestRandomEditsZero(t *testing.T) {
+	spec := Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 15, SizeStd: 3, Labels: 4, Decay: 0.05}
+	g := New(spec, 9)
+	t1 := g.Seed()
+	t2 := g.RandomEdits(t1, 0)
+	if !tree.Equal(t1, t2) {
+		t.Error("zero edits changed the tree")
+	}
+}
+
+func TestLabelNaming(t *testing.T) {
+	if Label(0) != "l0" || Label(63) != "l63" {
+		t.Error("Label naming changed")
+	}
+}
+
+func TestGeneratorSpecAccessor(t *testing.T) {
+	spec := Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 10, SizeStd: 2, Labels: 4, Decay: 0.1}
+	if got := New(spec, 1).Spec(); got != spec {
+		t.Errorf("Spec() = %+v", got)
+	}
+}
+
+func TestNewPanicsOnInvalidSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid spec accepted")
+		}
+	}()
+	New(Spec{}, 1)
+}
+
+func TestRandomEditsValidAndDeterministic(t *testing.T) {
+	spec := Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 18, SizeStd: 3, Labels: 5, Decay: 0.1}
+	a := New(spec, 77)
+	b := New(spec, 77)
+	base := a.Seed()
+	_ = b.Seed()
+	for k := 0; k < 12; k++ {
+		ea := a.RandomEdits(base, k)
+		eb := b.RandomEdits(base, k)
+		if !tree.Equal(ea, eb) {
+			t.Fatalf("RandomEdits not deterministic at k=%d", k)
+		}
+		if err := ea.Validate(); err != nil {
+			t.Fatalf("k=%d produced invalid tree: %v", k, err)
+		}
+		if !tree.Equal(base, a.RandomEdits(base, 0)) {
+			t.Fatal("RandomEdits mutated its input")
+		}
+	}
+}
+
+func TestRandomEditsOnTinyTree(t *testing.T) {
+	spec := Spec{FanoutMean: 2, FanoutStd: 0.5, SizeMean: 1, SizeStd: 0, Labels: 2, Decay: 0.1}
+	g := New(spec, 3)
+	single := tree.MustParse("l0")
+	// Heavy mutation on a single-node tree must stay valid and non-empty
+	// recovery must work when deletions empty it.
+	for trial := 0; trial < 30; trial++ {
+		out := g.RandomEdits(single, 10)
+		if err := out.Validate(); err != nil {
+			t.Fatalf("invalid: %v", err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"treesim/internal/tree"
+)
+
+// Generator produces synthetic trees from a Spec. It is deterministic for a
+// given seed and not safe for concurrent use.
+type Generator struct {
+	spec Spec
+	rng  *rand.Rand
+}
+
+// New returns a generator for the spec with a deterministic random source.
+func New(spec Spec, seed int64) *Generator {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return &Generator{spec: spec, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Spec returns the generator's dataset specification.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Label returns the i-th label of the alphabet ("l0", "l1", ...).
+func Label(i int) string { return fmt.Sprintf("l%d", i) }
+
+func (g *Generator) randLabel() string {
+	return Label(g.rng.Intn(g.spec.Labels))
+}
+
+// normalInt samples round(Normal(mean, std)) clamped to [lo, ∞).
+func (g *Generator) normalInt(mean, std float64, lo int) int {
+	v := int(math.Round(g.rng.NormFloat64()*std + mean))
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+// Seed grows one seed tree: the maximum size is sampled from the size
+// distribution, then the tree grows breadth first, each processed node
+// receiving a fanout sampled from the fanout distribution until the size
+// budget is exhausted (Section 5).
+func (g *Generator) Seed() *tree.Tree {
+	maxSize := g.normalInt(g.spec.SizeMean, g.spec.SizeStd, 1)
+	root := &tree.Node{Label: g.randLabel()}
+	size := 1
+	queue := []*tree.Node{root}
+	for len(queue) > 0 && size < maxSize {
+		n := queue[0]
+		queue = queue[1:]
+		fanout := g.normalInt(g.spec.FanoutMean, g.spec.FanoutStd, 0)
+		for i := 0; i < fanout && size < maxSize; i++ {
+			c := &tree.Node{Label: g.randLabel()}
+			n.Children = append(n.Children, c)
+			queue = append(queue, c)
+			size++
+		}
+	}
+	return tree.New(root)
+}
+
+// Derive returns a new tree obtained from t by visiting every node and,
+// with probability Spec.Decay, applying one equiprobable edit operation
+// (insert a child adopting a random run of the node's children, delete the
+// node, or relabel it). t itself is not modified.
+func (g *Generator) Derive(t *tree.Tree) *tree.Tree {
+	out := t.Clone()
+	// Snapshot the nodes up front; nodes deleted by an earlier operation
+	// simply fail their ErrNotInTree check and are skipped.
+	nodes := out.PreOrder()
+	for _, n := range nodes {
+		if g.rng.Float64() >= g.spec.Decay {
+			continue
+		}
+		switch g.rng.Intn(3) {
+		case 0: // insert under n
+			deg := len(n.Children)
+			pos := g.rng.Intn(deg + 1)
+			count := 0
+			if deg-pos > 0 {
+				count = g.rng.Intn(deg - pos + 1)
+			}
+			_, _ = tree.Insert(out, n, pos, count, g.randLabel())
+		case 1: // delete n (skipped when n is a multi-child root or gone)
+			_ = tree.Delete(out, n)
+		default: // relabel n
+			n.Label = g.randLabel()
+		}
+	}
+	if out.IsEmpty() {
+		// Deletions emptied the tree; keep datasets free of empty trees.
+		out.Root = &tree.Node{Label: g.randLabel()}
+	}
+	return out
+}
+
+// Dataset produces n trees from the given number of seed trees. The first
+// seeds trees are fresh seeds; every further tree is derived from the tree
+// generated (seeds) positions earlier, so each seed starts a mutation chain
+// whose members drift apart gradually — the distance structure the paper's
+// sensitivity experiments rely on.
+func (g *Generator) Dataset(n, seeds int) []*tree.Tree {
+	if seeds < 1 {
+		seeds = 1
+	}
+	if seeds > n {
+		seeds = n
+	}
+	out := make([]*tree.Tree, 0, n)
+	for i := 0; i < seeds; i++ {
+		out = append(out, g.Seed())
+	}
+	for len(out) < n {
+		out = append(out, g.Derive(out[len(out)-seeds]))
+	}
+	return out
+}
+
+// RandomEdits applies exactly k random valid edit operations to a clone of
+// t and returns it. Unlike Derive, every operation is applied to the
+// current state of the tree, so the edit distance between t and the result
+// is at most k — the property the lower-bound tests are built on.
+func (g *Generator) RandomEdits(t *tree.Tree, k int) *tree.Tree {
+	out := t.Clone()
+	for i := 0; i < k; i++ {
+		if out.IsEmpty() {
+			out.Root = &tree.Node{Label: g.randLabel()}
+			continue // counted as one insert
+		}
+		nodes := out.PreOrder()
+		n := nodes[g.rng.Intn(len(nodes))]
+		switch g.rng.Intn(3) {
+		case 0:
+			deg := len(n.Children)
+			pos := g.rng.Intn(deg + 1)
+			count := 0
+			if deg-pos > 0 {
+				count = g.rng.Intn(deg - pos + 1)
+			}
+			_, _ = tree.Insert(out, n, pos, count, g.randLabel())
+		case 1:
+			if n == out.Root && len(n.Children) > 1 {
+				n.Label = g.randLabel() // root with several children: relabel instead
+			} else {
+				_ = tree.Delete(out, n)
+			}
+		default:
+			n.Label = g.randLabel()
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+// Package datagen implements the synthetic tree generator of Section 5 of
+// the paper (itself modeled on Zaki's tree generator, reference [21],
+// without the web-browsing simulation).
+//
+// A dataset is described by a Spec written in the paper's notation, e.g.
+//
+//	N{4,0.5}N{50,2}L8D0.05
+//
+// meaning: node fanout ~ Normal(4, 0.5), tree size ~ Normal(50, 2), 8
+// distinct labels, and a decay factor of 0.05. Seed trees are grown breadth
+// first up to a sampled maximum size with uniformly sampled labels; further
+// trees are derived by visiting each node of an existing tree and, with
+// probability equal to the decay factor, applying an equiprobable insert /
+// delete / relabel edit, each derived tree seeding the next generation.
+package datagen
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// Spec holds the four parameter groups of the Section 5 generator.
+type Spec struct {
+	FanoutMean float64 // mean node fanout
+	FanoutStd  float64 // fanout standard deviation
+	SizeMean   float64 // mean tree size (node count)
+	SizeStd    float64 // size standard deviation
+	Labels     int     // number of distinct labels in the dataset
+	Decay      float64 // per-node mutation probability when deriving trees
+}
+
+// String renders the spec in the paper's notation,
+// e.g. "N{4,0.5}N{50,2}L8D0.05".
+func (s Spec) String() string {
+	return fmt.Sprintf("N{%g,%g}N{%g,%g}L%dD%g",
+		s.FanoutMean, s.FanoutStd, s.SizeMean, s.SizeStd, s.Labels, s.Decay)
+}
+
+var specRE = regexp.MustCompile(
+	`^N\{([0-9.]+),([0-9.]+)\}N\{([0-9.]+),([0-9.]+)\}L([0-9]+)D([0-9.]+)$`)
+
+// ParseSpec parses the paper's dataset notation produced by Spec.String.
+func ParseSpec(s string) (Spec, error) {
+	m := specRE.FindStringSubmatch(s)
+	if m == nil {
+		return Spec{}, fmt.Errorf("datagen: malformed spec %q (want N{f,σ}N{s,σ}LyDz)", s)
+	}
+	f := func(i int) float64 {
+		v, _ := strconv.ParseFloat(m[i], 64)
+		return v
+	}
+	lab, _ := strconv.Atoi(m[5])
+	spec := Spec{
+		FanoutMean: f(1), FanoutStd: f(2),
+		SizeMean: f(3), SizeStd: f(4),
+		Labels: lab, Decay: f(6),
+	}
+	return spec, spec.Validate()
+}
+
+// Validate checks that the spec parameters are usable.
+func (s Spec) Validate() error {
+	switch {
+	case s.FanoutMean <= 0:
+		return fmt.Errorf("datagen: fanout mean must be positive, got %g", s.FanoutMean)
+	case s.SizeMean < 1:
+		return fmt.Errorf("datagen: size mean must be at least 1, got %g", s.SizeMean)
+	case s.FanoutStd < 0 || s.SizeStd < 0:
+		return fmt.Errorf("datagen: standard deviations must be non-negative")
+	case s.Labels < 1:
+		return fmt.Errorf("datagen: need at least one label, got %d", s.Labels)
+	case s.Decay < 0 || s.Decay > 1:
+		return fmt.Errorf("datagen: decay must be a probability, got %g", s.Decay)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package dataset loads and saves collections of trees. Two on-disk forms
+// are supported: the native line format (one tree per line in the
+// canonical text encoding of package tree, with #-comments) and
+// directories of XML documents (one tree per file).
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"treesim/internal/tree"
+	"treesim/internal/xmltree"
+)
+
+// Save writes the dataset in the line format: a header comment followed by
+// one canonical tree encoding per line.
+func Save(w io.Writer, ts []*tree.Tree) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# treesim dataset: %d trees\n", len(ts))
+	for i, t := range ts {
+		if t.IsEmpty() {
+			return fmt.Errorf("dataset: tree %d is empty", i)
+		}
+		bw.WriteString(t.String())
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the dataset to a file in the line format.
+func SaveFile(path string, ts []*tree.Tree) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, ts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dataset in the line format. Blank lines and lines starting
+// with '#' are skipped.
+func Load(r io.Reader) ([]*tree.Tree, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var out []*tree.Tree
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := tree.Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+		}
+		if t.IsEmpty() {
+			return nil, fmt.Errorf("dataset: line %d: empty tree", lineNo)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	return out, nil
+}
+
+// LoadFile reads a dataset file in the line format.
+func LoadFile(path string) ([]*tree.Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// LoadXMLDir parses every *.xml file in dir (sorted by name) into one tree
+// each, using the given conversion options.
+func LoadXMLDir(dir string, opts xmltree.Options) ([]*tree.Tree, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(strings.ToLower(e.Name()), ".xml") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	ts := make([]*tree.Tree, 0, len(names))
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, nil, err
+		}
+		t, err := xmltree.Parse(f, opts)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: %s: %w", name, err)
+		}
+		ts = append(ts, t)
+	}
+	return ts, names, nil
+}

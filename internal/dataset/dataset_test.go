@@ -1,0 +1,124 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"treesim/internal/datagen"
+	"treesim/internal/tree"
+	"treesim/internal/xmltree"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	spec := datagen.Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 15, SizeStd: 4, Labels: 5, Decay: 0.1}
+	ts := datagen.New(spec, 31).Dataset(40, 4)
+
+	var sb strings.Builder
+	if err := Save(&sb, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("loaded %d trees, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if !tree.Equal(ts[i], got[i]) {
+			t.Fatalf("tree %d changed in round trip", i)
+		}
+	}
+}
+
+func TestLoadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\na(b)\n   \n# more\nc\n"
+	got, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].String() != "a(b)" || got[1].String() != "c" {
+		t.Errorf("Load = %v", got)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("a(b\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := Load(strings.NewReader("a)\n")); err == nil {
+		t.Error("trailing junk accepted")
+	}
+}
+
+func TestSaveRejectsEmptyTree(t *testing.T) {
+	var sb strings.Builder
+	if err := Save(&sb, []*tree.Tree{tree.New(nil)}); err == nil {
+		t.Error("empty tree saved")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.trees")
+	ts := []*tree.Tree{tree.MustParse("a(b,c)"), tree.MustParse("x")}
+	if err := SaveFile(path, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !tree.Equal(got[0], ts[0]) || !tree.Equal(got[1], ts[1]) {
+		t.Error("file round trip failed")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadXMLDir(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"b.xml": `<b><x/></b>`,
+		"a.xml": `<a>hello</a>`,
+		"c.txt": "not xml",
+		"d.xml": `<d/>`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, names, err := LoadXMLDir(dir, xmltree.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 {
+		t.Fatalf("loaded %d trees, want 3", len(ts))
+	}
+	// Sorted by filename: a, b, d.
+	if names[0] != "a.xml" || names[1] != "b.xml" || names[2] != "d.xml" {
+		t.Errorf("names = %v", names)
+	}
+	if !tree.Equal(ts[0], tree.MustParse("a(hello)")) {
+		t.Errorf("a.xml parsed to %s", ts[0])
+	}
+
+	// A malformed XML file fails the whole load with its name in the error.
+	if err := os.WriteFile(filepath.Join(dir, "bad.xml"), []byte("<oops>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadXMLDir(dir, xmltree.DefaultOptions()); err == nil ||
+		!strings.Contains(err.Error(), "bad.xml") {
+		t.Errorf("malformed file not reported: %v", err)
+	}
+}
+
+func TestLoadXMLDirMissing(t *testing.T) {
+	if _, _, err := LoadXMLDir("/nonexistent-path-xyz", xmltree.DefaultOptions()); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

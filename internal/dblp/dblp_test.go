@@ -1,0 +1,135 @@
+package dblp
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesim/internal/editdist"
+	"treesim/internal/tree"
+)
+
+func TestRecordShape(t *testing.T) {
+	g := New(1)
+	for i := 0; i < 50; i++ {
+		r := g.Record()
+		if err := r.Validate(); err != nil {
+			t.Fatalf("invalid record: %v", err)
+		}
+		root := r.Root
+		if root.Label != "article" && root.Label != "inproceedings" {
+			t.Errorf("unexpected record type %q", root.Label)
+		}
+		// Every field is an element with exactly one text leaf.
+		authors := 0
+		hasTitle, hasYear, hasVenue := false, false, false
+		for _, f := range root.Children {
+			if f.Label != "ee" && (len(f.Children) != 1 || !f.Children[0].IsLeaf()) {
+				t.Errorf("field %q not element+text", f.Label)
+			}
+			switch f.Label {
+			case "author":
+				authors++
+			case "title":
+				hasTitle = true
+			case "year":
+				hasYear = true
+			case "journal", "booktitle":
+				hasVenue = true
+			}
+		}
+		if authors < 1 || authors > 3 || !hasTitle || !hasYear || !hasVenue {
+			t.Errorf("record missing mandatory fields: %s", r)
+		}
+		if root.Label == "article" {
+			for _, f := range root.Children {
+				if f.Label == "booktitle" {
+					t.Error("article with booktitle")
+				}
+			}
+		}
+	}
+}
+
+// TestDatasetCalibration: the synthetic DBLP sample matches the statistics
+// the paper reports for its real sample — ≈10 nodes per record, height 3,
+// clustered with small average pairwise distance (paper: 10.15 / 2.902 /
+// 5.031).
+func TestDatasetCalibration(t *testing.T) {
+	ts := New(2).Dataset(800)
+	if len(ts) != 800 {
+		t.Fatalf("dataset size %d", len(ts))
+	}
+	avgSize, avgHeight := Stats(ts)
+	if avgSize < 8 || avgSize > 14 {
+		t.Errorf("avg size %.2f outside [8,14]", avgSize)
+	}
+	if avgHeight < 2.7 || avgHeight > 3.2 {
+		t.Errorf("avg height %.2f outside [2.7,3.2]", avgHeight)
+	}
+	// Sampled average pairwise edit distance in the paper's ballpark.
+	rng := rand.New(rand.NewSource(3))
+	sum, n := 0, 300
+	for i := 0; i < n; i++ {
+		a, b := ts[rng.Intn(len(ts))], ts[rng.Intn(len(ts))]
+		sum += editdist.Distance(a, b)
+	}
+	avg := float64(sum) / float64(n)
+	if avg < 3 || avg > 9 {
+		t.Errorf("avg pairwise distance %.2f outside [3,9] (paper: 5.03)", avg)
+	}
+}
+
+// TestClustering: variants stay close to their source; unrelated records
+// from different venues are farther away on average.
+func TestVariantsAreNear(t *testing.T) {
+	g := New(5)
+	rng := rand.New(rand.NewSource(7))
+	base := g.Record()
+	farSum, nearSum := 0, 0
+	const n = 30
+	for i := 0; i < n; i++ {
+		v := g.Variant(base)
+		if err := v.Validate(); err != nil {
+			t.Fatalf("invalid variant: %v", err)
+		}
+		nearSum += editdist.Distance(base, v)
+		farSum += editdist.Distance(base, g.Record())
+		_ = rng
+	}
+	if nearSum >= farSum {
+		t.Errorf("variants (total dist %d) not closer than unrelated records (%d)",
+			nearSum, farSum)
+	}
+	if avg := float64(nearSum) / n; avg > 4.5 {
+		t.Errorf("variant average distance %.2f too large", avg)
+	}
+}
+
+func TestVariantDoesNotMutateSource(t *testing.T) {
+	g := New(8)
+	base := g.Record()
+	snapshot := base.String()
+	for i := 0; i < 10; i++ {
+		g.Variant(base)
+	}
+	if base.String() != snapshot {
+		t.Error("Variant mutated its source record")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(42).Dataset(50)
+	b := New(42).Dataset(50)
+	for i := range a {
+		if !tree.Equal(a[i], b[i]) {
+			t.Fatalf("dataset not deterministic at record %d", i)
+		}
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s, h := Stats(nil)
+	if s != 0 || h != 0 {
+		t.Error("Stats of empty dataset should be zero")
+	}
+}

@@ -1,0 +1,106 @@
+package editdist
+
+import "treesim/internal/tree"
+
+// BruteForce computes the tree edit distance by exhaustive search over all
+// valid Tai mappings between the two trees. A mapping is a one-to-one set
+// of node pairs preserving ancestor order and sibling order — equivalently,
+// preserving both the preorder and the postorder relative order of the
+// mapped nodes — and by Tai's theorem the edit distance equals the minimum
+// over valid mappings M of
+//
+//	Σ_{(u,v)∈M} relabel(u,v) + Σ_{u∉M} delete(u) + Σ_{v∉M} insert(v).
+//
+// The search is exponential; it exists solely to validate the Zhang–Shasha
+// dynamic program on small trees in tests. Keep inputs below ~10 nodes.
+func BruteForce(t1, t2 *tree.Tree, c CostModel) int {
+	n1 := numberNodes(t1)
+	n2 := numberNodes(t2)
+
+	deleteAll := 0
+	for _, u := range n1 {
+		deleteAll += c.Delete(u.label)
+	}
+	insertAll := 0
+	for _, v := range n2 {
+		insertAll += c.Insert(v.label)
+	}
+	best := deleteAll + insertAll // the empty mapping
+
+	used := make([]bool, len(n2))
+	var pairs []numbered2 // mapped (u,v) pairs so far, u in preorder
+
+	// remDel[i] = cost of deleting nodes i.. of T1 (suffix sums) for a
+	// cheap admissible bound while searching.
+	remDel := make([]int, len(n1)+1)
+	for i := len(n1) - 1; i >= 0; i-- {
+		remDel[i] = remDel[i+1] + c.Delete(n1[i].label)
+	}
+
+	var rec func(i int, cost int, usedCount int)
+	rec = func(i, cost, usedCount int) {
+		if cost >= best {
+			return
+		}
+		if i == len(n1) {
+			// Unmapped T2 nodes are insertions.
+			for j, v := range n2 {
+				if !used[j] {
+					cost += c.Insert(v.label)
+				}
+			}
+			if cost < best {
+				best = cost
+			}
+			return
+		}
+		u := n1[i]
+		// Option 1: map u to some unused, order-consistent v.
+		for j, v := range n2 {
+			if used[j] || !consistent(pairs, u, v) {
+				continue
+			}
+			used[j] = true
+			pairs = append(pairs, numbered2{u, v})
+			rec(i+1, cost+c.Relabel(u.label, v.label), usedCount+1)
+			pairs = pairs[:len(pairs)-1]
+			used[j] = false
+		}
+		// Option 2: delete u.
+		rec(i+1, cost+c.Delete(u.label), usedCount)
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+type numbered struct {
+	label     string
+	pre, post int
+}
+
+type numbered2 struct{ u, v numbered }
+
+// consistent checks that adding (u,v) preserves preorder and postorder
+// relative order against every existing pair. u is visited in ascending
+// preorder, so pre(u') < pre(u) for all prior pairs; v must follow suit,
+// and the postorder orders of the two sides must agree.
+func consistent(pairs []numbered2, u, v numbered) bool {
+	for _, p := range pairs {
+		if p.v.pre >= v.pre {
+			return false
+		}
+		if (p.u.post < u.post) != (p.v.post < v.post) {
+			return false
+		}
+	}
+	return true
+}
+
+func numberNodes(t *tree.Tree) []numbered {
+	pos := t.Number()
+	out := make([]numbered, 0, len(pos.Nodes))
+	for _, n := range pos.Nodes {
+		out = append(out, numbered{label: n.Label, pre: pos.Pre[n], post: pos.Post[n]})
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package editdist
+
+import "treesim/internal/tree"
+
+// Constrained tree edit distance — Zhang, "Algorithms for the constrained
+// editing distance between ordered labelled trees" (Pattern Recognition
+// 1995), reference [22] of the paper. The constrained distance restricts
+// Tai mappings so that two separate subtrees of T1 map to two separate
+// subtrees of T2 (Section 2.1's description). The restriction makes the
+// problem solvable in O(|T1|·|T2|) — versus the extra depth factors of the
+// unrestricted DP — at the price of possibly overestimating:
+//
+//	Distance(t1, t2) ≤ ConstrainedDistance(t1, t2)
+//
+// Under unit costs the constrained distance is itself a metric, so it also
+// serves as a cheap upper bound for the unrestricted distance (e.g. to
+// seed the k-NN pruning radius before any exact evaluation).
+
+// ConstrainedDistance returns the unit-cost constrained edit distance.
+func ConstrainedDistance(t1, t2 *tree.Tree) int {
+	return ConstrainedDistanceCost(t1, t2, UnitCost{})
+}
+
+// ConstrainedDistanceCost returns the constrained edit distance under an
+// arbitrary cost model.
+func ConstrainedDistanceCost(t1, t2 *tree.Tree, c CostModel) int {
+	a, b := indexTree(t1), indexTree(t2)
+	switch {
+	case a.n == 0 && b.n == 0:
+		return 0
+	case a.n == 0:
+		return b.wholeCost(c.Insert)
+	case b.n == 0:
+		return a.wholeCost(c.Delete)
+	}
+
+	// Whole-subtree and whole-forest deletion/insertion costs.
+	delT := make([]int, a.n)
+	delF := make([]int, a.n)
+	for i := 0; i < a.n; i++ { // postorder: children before parents
+		for _, ic := range a.children[i] {
+			delF[i] += delT[ic]
+		}
+		delT[i] = delF[i] + c.Delete(a.label[i])
+	}
+	insT := make([]int, b.n)
+	insF := make([]int, b.n)
+	for j := 0; j < b.n; j++ {
+		for _, jc := range b.children[j] {
+			insF[j] += insT[jc]
+		}
+		insT[j] = insF[j] + c.Insert(b.label[j])
+	}
+
+	// dt[i][j]: constrained distance between the subtrees rooted at i, j.
+	// df[i][j]: constrained distance between their children forests.
+	dt := make([][]int, a.n)
+	df := make([][]int, a.n)
+	for i := range dt {
+		dt[i] = make([]int, b.n)
+		df[i] = make([]int, b.n)
+	}
+
+	for i := 0; i < a.n; i++ {
+		for j := 0; j < b.n; j++ {
+			// Forest distance.
+			best := alignForests(a.children[i], b.children[j], delT, insT, dt)
+			// F(i) maps entirely inside the children forest of one
+			// subtree of F(j) (that subtree's root and siblings are
+			// inserted)...
+			for _, jc := range b.children[j] {
+				if v := insF[j] - insF[jc] + df[i][jc]; v < best {
+					best = v
+				}
+			}
+			// ...or symmetrically for F(j) inside F(i).
+			for _, ic := range a.children[i] {
+				if v := delF[i] - delF[ic] + df[ic][j]; v < best {
+					best = v
+				}
+			}
+			df[i][j] = best
+
+			// Tree distance.
+			best = df[i][j] + c.Relabel(a.label[i], b.label[j])
+			// Subtree i maps inside one child subtree of j (j's root
+			// inserted, j's other children inserted)...
+			for _, jc := range b.children[j] {
+				if v := insT[j] - insT[jc] + dt[i][jc]; v < best {
+					best = v
+				}
+			}
+			// ...or subtree j inside one child subtree of i.
+			for _, ic := range a.children[i] {
+				if v := delT[i] - delT[ic] + dt[ic][j]; v < best {
+					best = v
+				}
+			}
+			dt[i][j] = best
+		}
+	}
+	return dt[a.n-1][b.n-1] // roots are last in postorder
+}
+
+// alignForests computes the order-preserving alignment of two subtree
+// sequences, where substituting subtree ic for jc costs dt[ic][jc] and
+// gaps cost whole-subtree deletion/insertion — a string edit distance over
+// subtrees.
+func alignForests(f1, f2 []int, delT, insT []int, dt [][]int) int {
+	m, n := len(f1), len(f2)
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	prev[0] = 0
+	for j := 1; j <= n; j++ {
+		prev[j] = prev[j-1] + insT[f2[j-1]]
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = prev[0] + delT[f1[i-1]]
+		for j := 1; j <= n; j++ {
+			cur[j] = min3(
+				prev[j]+delT[f1[i-1]],
+				cur[j-1]+insT[f2[j-1]],
+				prev[j-1]+dt[f1[i-1]][f2[j-1]],
+			)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// indexed is a postorder-indexed tree: node i's children (by index) and
+// label, children always preceding their parent.
+type indexed struct {
+	n        int
+	label    []string
+	children [][]int
+}
+
+func indexTree(t *tree.Tree) *indexed {
+	x := &indexed{}
+	if t.IsEmpty() {
+		return x
+	}
+	var rec func(n *tree.Node) int
+	rec = func(n *tree.Node) int {
+		var kids []int
+		for _, c := range n.Children {
+			kids = append(kids, rec(c))
+		}
+		idx := x.n
+		x.n++
+		x.label = append(x.label, n.Label)
+		x.children = append(x.children, kids)
+		return idx
+	}
+	rec(t.Root)
+	return x
+}
+
+func (x *indexed) wholeCost(cost func(string) int) int {
+	s := 0
+	for _, l := range x.label {
+		s += cost(l)
+	}
+	return s
+}

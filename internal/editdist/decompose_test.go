@@ -1,0 +1,78 @@
+package editdist
+
+import (
+	"reflect"
+	"testing"
+
+	"treesim/internal/tree"
+)
+
+// TestDecomposeLeftmostLeaves verifies the l() array of the Zhang–Shasha
+// decomposition on a hand-worked tree.
+//
+//	T = a(b(c,d),e): postorder c=1, d=2, b=3, e=4, a=5.
+//	lml: c→1, d→2, b→1 (leftmost leaf c), e→4, a→1.
+func TestDecomposeLeftmostLeaves(t *testing.T) {
+	d := decompose(tree.MustParse("a(b(c,d),e)"))
+	if d.n != 5 {
+		t.Fatalf("n = %d", d.n)
+	}
+	wantLabels := []string{"", "c", "d", "b", "e", "a"}
+	if !reflect.DeepEqual(d.label, wantLabels) {
+		t.Errorf("labels = %v", d.label)
+	}
+	wantLml := []int{0, 1, 2, 1, 4, 1}
+	if !reflect.DeepEqual(d.lml, wantLml) {
+		t.Errorf("lml = %v, want %v", d.lml, wantLml)
+	}
+}
+
+// TestDecomposeKeyroots: keyroots are the highest node of each distinct
+// leftmost path — for a(b(c,d),e): d (lml 2), e (lml 4), a (lml 1).
+func TestDecomposeKeyroots(t *testing.T) {
+	d := decompose(tree.MustParse("a(b(c,d),e)"))
+	want := []int{2, 4, 5}
+	if !reflect.DeepEqual(d.keyroots, want) {
+		t.Errorf("keyroots = %v, want %v", d.keyroots, want)
+	}
+	// A pure path has a single keyroot (the root); a star has n-1 + root.
+	path := decompose(tree.MustParse("a(b(c(d)))"))
+	if !reflect.DeepEqual(path.keyroots, []int{4}) {
+		t.Errorf("path keyroots = %v", path.keyroots)
+	}
+	star := decompose(tree.MustParse("a(b,c,d)"))
+	if !reflect.DeepEqual(star.keyroots, []int{2, 3, 4}) {
+		t.Errorf("star keyroots = %v", star.keyroots)
+	}
+}
+
+// TestKeyrootsCoverAllNodes: every node lies on exactly one keyroot's
+// leftmost path, so the keyroots' lml values partition postorder indexes.
+func TestKeyrootsCoverAllNodes(t *testing.T) {
+	for _, s := range []string{"a", "a(b(c,d),b(c,d),e)", "a(b(c(d(e))))", "a(b,c(d,e(f)),g)"} {
+		d := decompose(tree.MustParse(s))
+		covered := make([]bool, d.n+1)
+		for _, k := range d.keyroots {
+			for i := d.lml[k]; i <= k; i++ {
+				if d.lml[i] == d.lml[k] {
+					covered[i] = true
+				}
+			}
+		}
+		for i := 1; i <= d.n; i++ {
+			if !covered[i] {
+				t.Errorf("%s: node %d not covered by any keyroot path", s, i)
+			}
+		}
+	}
+}
+
+func TestDecomposeEmpty(t *testing.T) {
+	d := decompose(tree.New(nil))
+	if d.n != 0 || len(d.keyroots) != 0 {
+		t.Errorf("empty decomposition: %+v", d)
+	}
+	if d.totalCost(func(string) int { return 1 }) != 0 {
+		t.Error("empty total cost")
+	}
+}

@@ -1,0 +1,222 @@
+package editdist
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesim/internal/datagen"
+	"treesim/internal/tree"
+)
+
+func paperT1() *tree.Tree { return tree.MustParse("a(b(c,d),b(c,d),e)") }
+func paperT2() *tree.Tree { return tree.MustParse("a(b(c,d,b(e)),c,d,e)") }
+
+func TestDistanceKnownCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "a", 1},
+		{"a", "a", 0},
+		{"a", "b", 1},
+		{"a(b)", "a", 1},
+		{"a(b)", "a(c)", 1},
+		{"a(b,c)", "a(c,b)", 2},                 // swap needs relabel×2 (order matters)
+		{"a(b(c))", "a(b,c)", 1},                // delete b? no: a(b(c)) → delete b → a(c); want a(b,c). Insert/delete: distance 2? see below
+		{"a(b,c,d)", "a(x(b,c,d))", 1},          // single insert
+		{"a(x(b,c,d))", "a(b,c,d)", 1},          // single delete
+		{"f(d(a,c(b)),e)", "f(c(d(a,b)),e)", 2}, // classic Zhang–Shasha example
+	}
+	// Fix the a(b(c)) vs a(b,c) case: delete c (child of b) then insert c
+	// under a — or relabel... minimum is 2? Actually: delete b gives a(c);
+	// not equal. Mapping keeping a,b,c: in a(b(c)) c is a descendant of b;
+	// in a(b,c) c is a sibling of b — ancestor order must be preserved, so
+	// b and c cannot both be mapped; distance 2.
+	cases[8].want = 2
+	for _, c := range cases {
+		got := Distance(tree.MustParse(c.a), tree.MustParse(c.b))
+		if got != c.want {
+			t.Errorf("Distance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestDistancePaperPair: T1→T2 of Fig. 1 takes delete(b), insert(b),
+// insert(e) — distance 3 (confirmed by brute force below).
+func TestDistancePaperPair(t *testing.T) {
+	if got := Distance(paperT1(), paperT2()); got != 3 {
+		t.Errorf("Distance(T1,T2) = %d, want 3", got)
+	}
+	if bf := BruteForce(paperT1(), paperT2(), UnitCost{}); bf != 3 {
+		t.Errorf("BruteForce(T1,T2) = %d, want 3", bf)
+	}
+}
+
+func smallRandomTree(rng *rand.Rand, maxN int, alphabet []string) *tree.Tree {
+	n := rng.Intn(maxN + 1)
+	if n == 0 {
+		return tree.New(nil)
+	}
+	nodes := make([]*tree.Node, n)
+	for i := range nodes {
+		nodes[i] = &tree.Node{Label: alphabet[rng.Intn(len(alphabet))]}
+	}
+	for i := 1; i < n; i++ {
+		p := nodes[rng.Intn(i)]
+		p.Children = append(p.Children, nodes[i])
+	}
+	return tree.New(nodes[0])
+}
+
+// TestDistanceAgainstBruteForce validates the Zhang–Shasha DP against
+// exhaustive Tai-mapping search on random small trees.
+func TestDistanceAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []string{"a", "b", "c"}
+	for trial := 0; trial < 300; trial++ {
+		t1 := smallRandomTree(rng, 7, alphabet)
+		t2 := smallRandomTree(rng, 7, alphabet)
+		zs := Distance(t1, t2)
+		bf := BruteForce(t1, t2, UnitCost{})
+		if zs != bf {
+			t.Fatalf("trial %d: ZhangShasha(%q,%q) = %d, brute force = %d",
+				trial, t1, t2, zs, bf)
+		}
+	}
+}
+
+// TestDistanceAgainstBruteForceCustomCost repeats the validation under a
+// non-unit cost model.
+func TestDistanceAgainstBruteForceCustomCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	alphabet := []string{"a", "b"}
+	c := weighted{rel: 3, ins: 2, del: 5}
+	for trial := 0; trial < 150; trial++ {
+		t1 := smallRandomTree(rng, 6, alphabet)
+		t2 := smallRandomTree(rng, 6, alphabet)
+		zs := DistanceCost(t1, t2, c)
+		bf := BruteForce(t1, t2, c)
+		if zs != bf {
+			t.Fatalf("trial %d: DistanceCost(%q,%q) = %d, brute force = %d",
+				trial, t1, t2, zs, bf)
+		}
+	}
+}
+
+type weighted struct{ rel, ins, del int }
+
+func (w weighted) Relabel(a, b string) int {
+	if a == b {
+		return 0
+	}
+	return w.rel
+}
+func (w weighted) Insert(string) int { return w.ins }
+func (w weighted) Delete(string) int { return w.del }
+
+// TestMetricAxioms: the unit-cost edit distance is a metric.
+func TestMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []string{"a", "b", "c"}
+	trees := make([]*tree.Tree, 12)
+	for i := range trees {
+		trees[i] = smallRandomTree(rng, 8, alphabet)
+	}
+	for i, a := range trees {
+		if Distance(a, a) != 0 {
+			t.Errorf("Distance(t,t) != 0 for %q", a)
+		}
+		for j, b := range trees {
+			dab := Distance(a, b)
+			if dab != Distance(b, a) {
+				t.Errorf("asymmetric distance between %q and %q", a, b)
+			}
+			if dab == 0 && !tree.Equal(a, b) {
+				t.Errorf("zero distance between distinct trees %q, %q", a, b)
+			}
+			for k, c := range trees {
+				if k <= j || j <= i {
+					continue
+				}
+				if Distance(a, c) > dab+Distance(b, c) {
+					t.Errorf("triangle violation on %q, %q, %q", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestDistanceUpperBounds: EDist ≤ |T1|+|T2| (delete all, insert all), and
+// EDist ≥ ||T1|−|T2||.
+func TestDistanceUpperBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 100; trial++ {
+		t1 := smallRandomTree(rng, 15, alphabet)
+		t2 := smallRandomTree(rng, 15, alphabet)
+		d := Distance(t1, t2)
+		if d > t1.Size()+t2.Size() {
+			t.Errorf("Distance(%q,%q) = %d exceeds size sum", t1, t2, d)
+		}
+		diff := t1.Size() - t2.Size()
+		if diff < 0 {
+			diff = -diff
+		}
+		if d < diff {
+			t.Errorf("Distance(%q,%q) = %d below size difference %d", t1, t2, d, diff)
+		}
+	}
+}
+
+// TestRandomEditsUpperBound: applying k random edit operations moves a tree
+// by at most k.
+func TestRandomEditsUpperBound(t *testing.T) {
+	spec := datagen.Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 20, SizeStd: 3, Labels: 5, Decay: 0.05}
+	g := datagen.New(spec, 5)
+	for trial := 0; trial < 40; trial++ {
+		t1 := g.Seed()
+		k := 1 + trial%6
+		t2 := g.RandomEdits(t1, k)
+		if d := Distance(t1, t2); d > k {
+			t.Errorf("distance %d after %d edits (t1=%q, t2=%q)", d, k, t1, t2)
+		}
+	}
+}
+
+func TestEmptyTrees(t *testing.T) {
+	e := tree.New(nil)
+	tr := paperT1()
+	if got := Distance(e, tr); got != tr.Size() {
+		t.Errorf("Distance(empty, T1) = %d, want %d", got, tr.Size())
+	}
+	if got := Distance(tr, e); got != tr.Size() {
+		t.Errorf("Distance(T1, empty) = %d, want %d", got, tr.Size())
+	}
+	if got := Distance(e, e); got != 0 {
+		t.Errorf("Distance(empty, empty) = %d, want 0", got)
+	}
+	c := weighted{rel: 1, ins: 7, del: 3}
+	if got := DistanceCost(e, tree.MustParse("a(b)"), c); got != 14 {
+		t.Errorf("weighted insert-all = %d, want 14", got)
+	}
+	if got := DistanceCost(tree.MustParse("a(b)"), e, c); got != 6 {
+		t.Errorf("weighted delete-all = %d, want 6", got)
+	}
+}
+
+// TestDeepAndBushy exercises both keyroot regimes: a path tree (depth n,
+// one keyroot chain) and a star tree (n−1 keyroots).
+func TestDeepAndBushy(t *testing.T) {
+	path := tree.MustParse("a(a(a(a(a(a(a(a)))))))")
+	star := tree.MustParse("a(a,a,a,a,a,a,a)")
+	// Same multiset of labels and size, different structure.
+	d := Distance(path, star)
+	if d == 0 {
+		t.Fatal("path and star must differ")
+	}
+	if bf := BruteForce(path, star, UnitCost{}); bf != d {
+		t.Errorf("ZS = %d, brute force = %d", d, bf)
+	}
+}

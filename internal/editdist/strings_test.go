@@ -1,0 +1,82 @@
+package editdist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"treesim/internal/tree"
+)
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "")
+}
+
+func TestStringDistanceKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"abc", "acb", 2}, // no transposition operation
+	}
+	for _, c := range cases {
+		if got := StringDistance(split(c.a), split(c.b)); got != c.want {
+			t.Errorf("StringDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStringDistanceSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		a := randString(rng, 12)
+		b := randString(rng, 12)
+		if StringDistance(a, b) != StringDistance(b, a) {
+			t.Fatalf("asymmetric for %v, %v", a, b)
+		}
+	}
+}
+
+func randString(rng *rand.Rand, maxLen int) []string {
+	n := rng.Intn(maxLen)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('a' + rng.Intn(3)))
+	}
+	return out
+}
+
+// TestSequenceLowerBoundSound: the Guha et al. bound never exceeds the true
+// tree edit distance.
+func TestSequenceLowerBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	alphabet := []string{"a", "b", "c"}
+	for trial := 0; trial < 200; trial++ {
+		t1 := smallRandomTree(rng, 8, alphabet)
+		t2 := smallRandomTree(rng, 8, alphabet)
+		lb := SequenceLowerBound(t1, t2)
+		d := Distance(t1, t2)
+		if lb > d {
+			t.Fatalf("sequence bound %d exceeds edit distance %d for %q vs %q",
+				lb, d, t1, t2)
+		}
+	}
+}
+
+func TestSequenceLowerBoundTakesMax(t *testing.T) {
+	// Identical preorders, different postorders: a(b(c)) vs a(b,c) have
+	// preorder abc/abc (distance 0) but postorder cba/bca (distance 2).
+	t1, t2 := tree.MustParse("a(b(c))"), tree.MustParse("a(b,c)")
+	if got := SequenceLowerBound(t1, t2); got != 2 {
+		t.Errorf("SequenceLowerBound = %d, want 2", got)
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"treesim/internal/datagen"
+	"treesim/internal/search"
+	"treesim/internal/tree"
+)
+
+// Ablations of the design choices DESIGN.md calls out. Each returns a
+// Table whose BiBranch column holds the variant under study and whose
+// Histo column is reused for the comparison variant, with the row label
+// naming the configuration.
+
+// AblationPositional compares the positional optimistic bound
+// (SearchLBound / RangeLowerBound) against plain ceil(BDist/5) filtering
+// on one synthetic dataset, for k-NN and range queries.
+func AblationPositional(cfg Config) *Table {
+	spec := syntheticSpec(4, 50, 8)
+	ts := datagen.New(spec, cfg.Seed).Dataset(cfg.DatasetSize, cfg.Seeds)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	avg := cfg.avgPairwiseDistance(ts, rng)
+	tau := int(avg*cfg.RangeFraction + 0.5)
+	if tau < 1 {
+		tau = 1
+	}
+	qs := cfg.sampleQueries(ts, rng)
+	k := cfg.k(len(ts))
+
+	pos := search.NewIndex(ts, &search.BiBranch{Q: 2, Positional: true})
+	plain := search.NewIndex(ts, &search.BiBranch{Q: 2, Positional: false})
+
+	t := &Table{
+		Figure:  "Ablation: positional bound",
+		Title:   "SearchLBound (BiBranch column) vs plain ceil(BDist/5) (Histo column)",
+		Dataset: spec.String(),
+		XLabel:  "query",
+	}
+	t.Rows = append(t.Rows,
+		ablationRow(cfg, fmt.Sprintf("knn k=%d", k), qs, func(q *tree.Tree) search.Stats {
+			_, st := pos.KNN(q, k)
+			return st
+		}, func(q *tree.Tree) search.Stats {
+			_, st := plain.KNN(q, k)
+			return st
+		}),
+		ablationRow(cfg, fmt.Sprintf("range tau=%d", tau), qs, func(q *tree.Tree) search.Stats {
+			_, st := pos.Range(q, tau)
+			return st
+		}, func(q *tree.Tree) search.Stats {
+			_, st := plain.Range(q, tau)
+			return st
+		}),
+	)
+	return t
+}
+
+// AblationQ sweeps the branch level q ∈ {2,3,4}: the BiBranch column holds
+// q's accessed percentage, the Histo column repeats q=2 as the reference.
+func AblationQ(cfg Config) *Table {
+	spec := syntheticSpec(4, 50, 8)
+	ts := datagen.New(spec, cfg.Seed).Dataset(cfg.DatasetSize, cfg.Seeds)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	avg := cfg.avgPairwiseDistance(ts, rng)
+	tau := int(avg*cfg.RangeFraction + 0.5)
+	if tau < 1 {
+		tau = 1
+	}
+	qs := cfg.sampleQueries(ts, rng)
+
+	ref := search.NewIndex(ts, &search.BiBranch{Q: 2, Positional: true})
+	t := &Table{
+		Figure:  "Ablation: branch level q",
+		Title:   "q-level filtering (BiBranch column) vs q=2 reference (Histo column), range queries",
+		Dataset: spec.String(),
+		XLabel:  "q",
+	}
+	for _, q := range []int{2, 3, 4} {
+		ix := search.NewIndex(ts, &search.BiBranch{Q: q, Positional: true})
+		t.Rows = append(t.Rows,
+			ablationRow(cfg, fmt.Sprintf("%d", q), qs, func(qt *tree.Tree) search.Stats {
+				_, st := ix.Range(qt, tau)
+				return st
+			}, func(qt *tree.Tree) search.Stats {
+				_, st := ref.Range(qt, tau)
+				return st
+			}))
+	}
+	return t
+}
+
+// AblationFilters compares the BiBranch filter family on range queries:
+// the plain per-candidate engine, the pivot cascade (stage-one bounds from
+// precomputed pivot distances), and the VP-tree candidate enumeration.
+// All three verify the same trees (they share the stage-two bound); the
+// difference is filter-phase time. The BiBranch column holds each
+// variant's accessed percentage, the Histo column the plain variant as
+// reference.
+func AblationFilters(cfg Config) *Table {
+	spec := syntheticSpec(4, 50, 8)
+	ts := datagen.New(spec, cfg.Seed).Dataset(cfg.DatasetSize, cfg.Seeds)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	avg := cfg.avgPairwiseDistance(ts, rng)
+	tau := int(avg*cfg.RangeFraction + 0.5)
+	if tau < 1 {
+		tau = 1
+	}
+	qs := cfg.sampleQueries(ts, rng)
+
+	ref := search.NewIndex(ts, search.NewBiBranch())
+	variants := []struct {
+		name string
+		f    search.Filter
+	}{
+		{"plain", search.NewBiBranch()},
+		{"pivot", search.NewPivotBiBranch()},
+		{"vptree", search.NewVPBiBranch()},
+	}
+	t := &Table{
+		Figure:  "Ablation: filter variants",
+		Title:   fmt.Sprintf("BiBranch engine variants, range queries at tau=%d (Histo column = plain reference)", tau),
+		Dataset: spec.String(),
+		XLabel:  "variant",
+	}
+	for _, v := range variants {
+		ix := search.NewIndex(ts, v.f)
+		t.Rows = append(t.Rows,
+			ablationRow(cfg, v.name, qs, func(q *tree.Tree) search.Stats {
+				_, st := ix.Range(q, tau)
+				return st
+			}, func(q *tree.Tree) search.Stats {
+				_, st := ref.Range(q, tau)
+				return st
+			}))
+	}
+	return t
+}
+
+// ablationRow runs the variant (→ BiBranch column) and the reference
+// (→ Histo column) over the query set and aggregates.
+func ablationRow(cfg Config, label string, qs []*tree.Tree,
+	variant, reference func(*tree.Tree) search.Stats) Row {
+	var va, ra search.Stats
+	for _, st := range cfg.forEachQuery(qs, variant) {
+		va.Add(st)
+	}
+	for _, st := range cfg.forEachQuery(qs, reference) {
+		ra.Add(st)
+	}
+	n := time.Duration(len(qs))
+	return Row{
+		X:            label,
+		BiBranchPct:  100 * va.AccessedFraction(),
+		HistoPct:     100 * ra.AccessedFraction(),
+		BiBranchTime: va.Total() / n,
+		SeqTime:      ra.Total() / n,
+	}
+}

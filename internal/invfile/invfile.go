@@ -1,0 +1,128 @@
+// Package invfile implements the extended inverted file index (IFI) of
+// Algorithm 1. The vocabulary is the set of distinct q-level binary
+// branches of the whole dataset (the alphabet Γ, interned by a
+// branch.Space); the inverted list of each branch records, per tree, the
+// number of occurrences and the preorder/postorder positions at which the
+// branch occurs. Scanning the IFI emits the sparse branch vector and
+// position arrays of every tree — the batch counterpart of profiling trees
+// one by one, and the representation a disk-resident system would persist.
+package invfile
+
+import (
+	"fmt"
+	"sort"
+
+	"treesim/internal/branch"
+	"treesim/internal/tree"
+	"treesim/internal/vector"
+)
+
+// Posting is one entry of an inverted list: the occurrences of a branch in
+// one tree. Pre and Post are parallel, ordered by ascending Pre.
+type Posting struct {
+	TreeID int32
+	Pre    []int32
+	Post   []int32
+}
+
+// Count returns the number of occurrences of the branch in the tree.
+func (p *Posting) Count() int { return len(p.Pre) }
+
+// Index is the populated inverted file.
+type Index struct {
+	space    *branch.Space
+	postings map[vector.Dim][]*Posting
+	sizes    []int // node count per tree, indexed by TreeID
+}
+
+// Build constructs the IFI over the dataset in one pass (Algorithm 1 lines
+// 1–5): each tree is traversed once and every branch occurrence is appended
+// to the tail of its inverted list, so construction is linear in the total
+// node count Σ|Ti|.
+func Build(space *branch.Space, ts []*tree.Tree) *Index {
+	x := &Index{
+		space:    space,
+		postings: make(map[vector.Dim][]*Posting),
+		sizes:    make([]int, len(ts)),
+	}
+	for id, t := range ts {
+		x.sizes[id] = space.Branches(t, func(d vector.Dim, pre, post int32) {
+			list := x.postings[d]
+			if len(list) == 0 || list[len(list)-1].TreeID != int32(id) {
+				list = append(list, &Posting{TreeID: int32(id)})
+				x.postings[d] = list
+			}
+			p := list[len(list)-1]
+			p.Pre = append(p.Pre, pre)
+			p.Post = append(p.Post, post)
+		})
+	}
+	return x
+}
+
+// Space returns the branch space (vocabulary interner) of the index.
+func (x *Index) Space() *branch.Space { return x.space }
+
+// Trees returns the number of indexed trees.
+func (x *Index) Trees() int { return len(x.sizes) }
+
+// Vocabulary returns the number of distinct branches with at least one
+// posting.
+func (x *Index) Vocabulary() int { return len(x.postings) }
+
+// TotalNodes returns Σ|Ti| over the indexed trees — the quantity the
+// linear time/space complexity claims of Section 4.4 are stated in.
+func (x *Index) TotalNodes() int {
+	s := 0
+	for _, n := range x.sizes {
+		s += n
+	}
+	return s
+}
+
+// PostingList returns the inverted list of dimension d in tree-id order
+// (the append order of Build). The slice is shared; do not modify.
+func (x *Index) PostingList(d vector.Dim) []*Posting { return x.postings[d] }
+
+// Profiles scans the whole IFI and materializes the sparse branch vector
+// and position arrays of every indexed tree (Algorithm 1 lines 6–13). The
+// result is identical to profiling each tree individually with
+// Space.Profile.
+func (x *Index) Profiles() []*branch.Profile {
+	type acc struct {
+		elems []vector.Elem
+		pos   [][]branch.Occurrence
+	}
+	accs := make([]acc, len(x.sizes))
+
+	dims := make([]vector.Dim, 0, len(x.postings))
+	for d := range x.postings {
+		dims = append(dims, d)
+	}
+	sort.Slice(dims, func(i, j int) bool { return dims[i] < dims[j] })
+
+	for _, d := range dims {
+		for _, p := range x.postings[d] {
+			a := &accs[p.TreeID]
+			a.elems = append(a.elems, vector.Elem{Dim: d, Count: p.Count()})
+			occ := make([]branch.Occurrence, p.Count())
+			for i := range occ {
+				occ[i] = branch.Occurrence{Pre: p.Pre[i], Post: p.Post[i]}
+			}
+			a.pos = append(a.pos, occ)
+		}
+	}
+
+	out := make([]*branch.Profile, len(x.sizes))
+	for id := range accs {
+		// Dimensions were visited in ascending order, so each tree's
+		// coordinate list is already sorted and parallel to its position
+		// lists.
+		v, err := vector.FromSorted(accs[id].elems)
+		if err != nil {
+			panic(fmt.Sprintf("invfile: corrupt postings for tree %d: %v", id, err))
+		}
+		out[id] = branch.Assemble(x.space, x.sizes[id], v, accs[id].pos)
+	}
+	return out
+}

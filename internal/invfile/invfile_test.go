@@ -1,0 +1,139 @@
+package invfile
+
+import (
+	"testing"
+
+	"treesim/internal/branch"
+	"treesim/internal/datagen"
+	"treesim/internal/tree"
+	"treesim/internal/vector"
+)
+
+func dataset() []*tree.Tree {
+	spec := datagen.Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 15, SizeStd: 5, Labels: 5, Decay: 0.1}
+	g := datagen.New(spec, 23)
+	return g.Dataset(40, 4)
+}
+
+// TestProfilesMatchDirect: scanning the IFI yields exactly the same
+// profiles as profiling each tree directly (Algorithm 1's two halves are
+// consistent).
+func TestProfilesMatchDirect(t *testing.T) {
+	ts := dataset()
+	for _, q := range []int{2, 3} {
+		space := branch.NewSpace(q)
+		direct := space.ProfileAll(ts)
+		x := Build(space, ts)
+		scanned := x.Profiles()
+		if len(scanned) != len(direct) {
+			t.Fatalf("q=%d: %d profiles, want %d", q, len(scanned), len(direct))
+		}
+		for i := range direct {
+			if !vector.Equal(direct[i].Vec, scanned[i].Vec) {
+				t.Fatalf("q=%d tree %d: vectors differ\n direct: %v\n scanned: %v",
+					q, i, direct[i].Vec, scanned[i].Vec)
+			}
+			if direct[i].Size != scanned[i].Size {
+				t.Fatalf("q=%d tree %d: sizes differ", q, i)
+			}
+			for j := range direct[i].Pos {
+				if len(direct[i].Pos[j]) != len(scanned[i].Pos[j]) {
+					t.Fatalf("q=%d tree %d dim %d: occurrence lists differ", q, i, j)
+				}
+				for k := range direct[i].Pos[j] {
+					if direct[i].Pos[j][k] != scanned[i].Pos[j][k] {
+						t.Fatalf("q=%d tree %d dim %d occ %d: %v vs %v",
+							q, i, j, k, direct[i].Pos[j][k], scanned[i].Pos[j][k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDistancesMatch: branch distances computed through IFI-scanned
+// profiles agree with the direct ones.
+func TestDistancesMatch(t *testing.T) {
+	ts := dataset()[:12]
+	space := branch.NewSpace(2)
+	direct := space.ProfileAll(ts)
+	scanned := Build(branch.NewSpace(2), ts).Profiles()
+	for i := range ts {
+		for j := range ts {
+			want := branch.BDist(direct[i], direct[j])
+			got := branch.BDist(scanned[i], scanned[j])
+			if got != want {
+				t.Fatalf("BDist(%d,%d): scanned %d, direct %d", i, j, got, want)
+			}
+			if lb, lb2 := branch.SearchLBound(direct[i], direct[j]),
+				branch.SearchLBound(scanned[i], scanned[j]); lb != lb2 {
+				t.Fatalf("SearchLBound(%d,%d): scanned %d, direct %d", i, j, lb2, lb)
+			}
+		}
+	}
+}
+
+func TestIndexAccounting(t *testing.T) {
+	ts := dataset()
+	space := branch.NewSpace(2)
+	x := Build(space, ts)
+	if x.Trees() != len(ts) {
+		t.Errorf("Trees = %d, want %d", x.Trees(), len(ts))
+	}
+	total := 0
+	for _, tr := range ts {
+		total += tr.Size()
+	}
+	if x.TotalNodes() != total {
+		t.Errorf("TotalNodes = %d, want %d", x.TotalNodes(), total)
+	}
+	if x.Vocabulary() == 0 || x.Vocabulary() != space.Size() {
+		t.Errorf("Vocabulary = %d, space = %d", x.Vocabulary(), space.Size())
+	}
+	// Postings cover all nodes exactly once.
+	covered := 0
+	for d := 0; d < space.Size(); d++ {
+		for _, p := range x.PostingList(vector.Dim(d)) {
+			covered += p.Count()
+			if len(p.Pre) != len(p.Post) {
+				t.Fatal("pre/post lists not parallel")
+			}
+			for k := 1; k < len(p.Pre); k++ {
+				if p.Pre[k] <= p.Pre[k-1] {
+					t.Fatal("posting Pre positions not ascending")
+				}
+			}
+		}
+	}
+	if covered != total {
+		t.Errorf("postings cover %d occurrences, want %d", covered, total)
+	}
+}
+
+func TestSpaceAccessorAndPostingOrder(t *testing.T) {
+	ts := dataset()
+	space := branch.NewSpace(2)
+	x := Build(space, ts)
+	if x.Space() != space {
+		t.Error("Space accessor broken")
+	}
+	// Postings are appended in tree order, so tree ids ascend per list.
+	for d := 0; d < space.Size(); d++ {
+		list := x.PostingList(vector.Dim(d))
+		for k := 1; k < len(list); k++ {
+			if list[k].TreeID <= list[k-1].TreeID {
+				t.Fatalf("dim %d: posting tree ids not ascending", d)
+			}
+		}
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	x := Build(branch.NewSpace(2), nil)
+	if x.Trees() != 0 || x.Vocabulary() != 0 || x.TotalNodes() != 0 {
+		t.Error("empty dataset index should be empty")
+	}
+	if got := x.Profiles(); len(got) != 0 {
+		t.Error("empty dataset should yield no profiles")
+	}
+}

@@ -1,0 +1,94 @@
+// Package labels provides string interning for tree node labels.
+//
+// Similarity evaluation touches every label of every tree many times
+// (branch construction, histogram construction, edit-distance cost
+// evaluation). Interning labels into dense small integer identifiers makes
+// branch keys hashable as fixed-size values and lets per-label tables be
+// plain slices instead of string-keyed maps.
+//
+// Identifier 0 is reserved for the ε label: the artificial "does not exist"
+// node appended when the binary tree representation of a tree is normalized
+// into a full binary tree (Section 3.2 of the paper). ε never appears as a
+// label of a real tree node.
+package labels
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ID is a dense identifier for an interned label. The zero value is Epsilon.
+type ID int32
+
+// Epsilon is the reserved identifier of the ε label used to pad binary tree
+// representations into full binary trees.
+const Epsilon ID = 0
+
+// EpsilonString is the textual rendering of the ε label.
+const EpsilonString = "ε"
+
+// Interner assigns dense IDs to label strings. It is safe for concurrent
+// use. The zero value is not usable; call NewInterner.
+type Interner struct {
+	mu   sync.RWMutex
+	ids  map[string]ID
+	strs []string
+}
+
+// NewInterner returns an interner whose table is pre-populated with ε at
+// identifier 0.
+func NewInterner() *Interner {
+	in := &Interner{
+		ids:  make(map[string]ID, 64),
+		strs: make([]string, 0, 64),
+	}
+	in.strs = append(in.strs, EpsilonString)
+	in.ids[EpsilonString] = Epsilon
+	return in
+}
+
+// Intern returns the identifier for s, assigning a fresh one if s has not
+// been seen before.
+func (in *Interner) Intern(s string) ID {
+	in.mu.RLock()
+	id, ok := in.ids[s]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	id = ID(len(in.strs))
+	in.strs = append(in.strs, s)
+	in.ids[s] = id
+	return id
+}
+
+// Lookup returns the identifier for s if it has been interned.
+func (in *Interner) Lookup(s string) (ID, bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	id, ok := in.ids[s]
+	return id, ok
+}
+
+// String returns the label string for id. It panics if id was never issued
+// by this interner.
+func (in *Interner) String(id ID) string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if id < 0 || int(id) >= len(in.strs) {
+		panic(fmt.Sprintf("labels: unknown id %d", id))
+	}
+	return in.strs[id]
+}
+
+// Len reports how many distinct labels (including ε) have been interned.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.strs)
+}

@@ -1,0 +1,80 @@
+package labels
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEpsilonReserved(t *testing.T) {
+	in := NewInterner()
+	if in.Len() != 1 {
+		t.Fatalf("fresh interner has %d labels, want 1 (ε)", in.Len())
+	}
+	if got := in.String(Epsilon); got != EpsilonString {
+		t.Errorf("String(Epsilon) = %q", got)
+	}
+	if id := in.Intern(EpsilonString); id != Epsilon {
+		t.Errorf("re-interning ε gave %d", id)
+	}
+}
+
+func TestInternStable(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("a")
+	b := in.Intern("b")
+	if a == b || a == Epsilon || b == Epsilon {
+		t.Fatalf("ids not distinct: a=%d b=%d", a, b)
+	}
+	if in.Intern("a") != a {
+		t.Error("second Intern returned a different id")
+	}
+	if got, ok := in.Lookup("a"); !ok || got != a {
+		t.Error("Lookup failed for interned label")
+	}
+	if _, ok := in.Lookup("zzz"); ok {
+		t.Error("Lookup succeeded for unknown label")
+	}
+	if in.String(a) != "a" || in.String(b) != "b" {
+		t.Error("String round trip failed")
+	}
+}
+
+func TestStringPanicsOnUnknown(t *testing.T) {
+	in := NewInterner()
+	defer func() {
+		if recover() == nil {
+			t.Error("String of unknown id should panic")
+		}
+	}()
+	in.String(42)
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	in := NewInterner()
+	var wg sync.WaitGroup
+	const workers = 8
+	ids := make([][]ID, workers)
+	for w := 0; w < workers; w++ {
+		ids[w] = make([]ID, 100)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ids[w][i] = in.Intern(fmt.Sprintf("label-%d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range ids[w] {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got id %d for label %d, worker 0 got %d",
+					w, ids[w][i], i, ids[0][i])
+			}
+		}
+	}
+	if in.Len() != 101 { // 100 labels + ε
+		t.Errorf("Len = %d, want 101", in.Len())
+	}
+}

@@ -1,0 +1,98 @@
+package qgram
+
+import "sort"
+
+// Positional q-grams — Sutinen & Tarhio and Gravano et al. (references
+// [17] and [5] of the paper): if two strings are within edit distance k,
+// two identical q-grams can correspond only when their positions differ by
+// at most k. Section 4.2 builds the positional binary branch distance as
+// the tree analogue of exactly this refinement.
+
+// PositionalProfile is a q-gram profile that also records the (0-based)
+// start positions of every gram, each list ascending.
+type PositionalProfile struct {
+	Q         int
+	Length    int
+	Positions map[string][]int
+}
+
+// NewPositionalProfile collects the positional q-grams of s.
+func NewPositionalProfile(s string, q int) *PositionalProfile {
+	if q < 1 {
+		panic("qgram: q must be positive")
+	}
+	p := &PositionalProfile{Q: q, Length: len(s), Positions: make(map[string][]int)}
+	for i := 0; i+q <= len(s); i++ {
+		g := s[i : i+q]
+		p.Positions[g] = append(p.Positions[g], i)
+	}
+	return p
+}
+
+// Total returns the number of q-grams (with multiplicity).
+func (p *PositionalProfile) Total() int {
+	if p.Length < p.Q {
+		return 0
+	}
+	return p.Length - p.Q + 1
+}
+
+// PosL1 is the positional q-gram distance with positional range pr: the
+// string analogue of the paper's PosBDist. Occurrences of a gram match
+// one-to-one only when their positions differ by at most pr; the distance
+// is totals minus twice the maximum matching. Positions are
+// one-dimensional, so the sorted greedy sweep is a maximum matching.
+func PosL1(a, b *PositionalProfile, pr int) int {
+	if a.Q != b.Q {
+		panic("qgram: profiles with different q are not comparable")
+	}
+	matched := 0
+	for g, ap := range a.Positions {
+		bp, ok := b.Positions[g]
+		if !ok {
+			continue
+		}
+		matched += matchPositions(ap, bp, pr)
+	}
+	return a.Total() + b.Total() - 2*matched
+}
+
+// matchPositions greedily matches two ascending position lists under
+// |pa − pb| ≤ pr (maximum for 1-D interval matching).
+func matchPositions(ap, bp []int, pr int) int {
+	i, j, m := 0, 0, 0
+	for i < len(ap) && j < len(bp) {
+		d := ap[i] - bp[j]
+		switch {
+		case d < -pr:
+			i++
+		case d > pr:
+			j++
+		default:
+			m++
+			i++
+			j++
+		}
+	}
+	return m
+}
+
+// WithinDistancePositional reports whether the positional filter permits
+// edit distance ≤ k: a false result proves the strings are farther than k
+// apart. Each edit operation destroys or displaces at most q grams, and
+// surviving grams shift by at most k positions, so within distance k the
+// positional match at range k leaves at most 2·q·k unmatched mass.
+func WithinDistancePositional(a, b *PositionalProfile, k int) bool {
+	return PosL1(a, b, k) <= 2*a.Q*k
+}
+
+// Grams returns the distinct grams of the profile, sorted (for inspection
+// and deterministic iteration in callers).
+func (p *PositionalProfile) Grams() []string {
+	out := make([]string, 0, len(p.Positions))
+	for g := range p.Positions {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}

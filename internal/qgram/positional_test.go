@@ -1,0 +1,123 @@
+package qgram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPositionalProfile(t *testing.T) {
+	p := NewPositionalProfile("banana", 2)
+	if got := p.Positions["an"]; len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("positions of 'an' = %v", got)
+	}
+	if p.Total() != 5 {
+		t.Errorf("Total = %d", p.Total())
+	}
+	grams := p.Grams()
+	if len(grams) != 3 || grams[0] != "an" || grams[1] != "ba" || grams[2] != "na" {
+		t.Errorf("Grams = %v", grams)
+	}
+}
+
+func TestPosL1Monotone(t *testing.T) {
+	a := NewPositionalProfile("abcabcabc", 2)
+	b := NewPositionalProfile("xabcabcab", 2)
+	plain := L1(NewProfile("abcabcabc", 2), NewProfile("xabcabcab", 2))
+	prev := PosL1(a, b, 0)
+	for pr := 1; pr <= 10; pr++ {
+		cur := PosL1(a, b, pr)
+		if cur > prev {
+			t.Fatalf("PosL1 increased at pr=%d", pr)
+		}
+		prev = cur
+	}
+	if prev != plain {
+		t.Errorf("PosL1 at large pr = %d, plain L1 = %d", prev, plain)
+	}
+	// At pr=0 shifted copies share almost nothing positionally.
+	if PosL1(a, b, 0) <= plain {
+		t.Error("pr=0 should be strictly larger than plain L1 for shifted strings")
+	}
+}
+
+func TestPosL1Identity(t *testing.T) {
+	p := NewPositionalProfile("hello world", 3)
+	if PosL1(p, p, 0) != 0 {
+		t.Error("self positional distance non-zero")
+	}
+}
+
+// TestPositionalFilterSound: strings within edit distance k always pass
+// the positional filter at range k.
+func TestPositionalFilterSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, q := range []int{2, 3} {
+		for trial := 0; trial < 300; trial++ {
+			s1 := randString(rng, 10+rng.Intn(25))
+			k := 1 + trial%5
+			s2 := editString(rng, s1, k)
+			if Distance(s1, s2) > k {
+				t.Fatal("edit helper exceeded budget")
+			}
+			a := NewPositionalProfile(s1, q)
+			b := NewPositionalProfile(s2, q)
+			if !WithinDistancePositional(a, b, k) {
+				t.Fatalf("q=%d: positional filter rejected %q ~ %q at k=%d",
+					q, s1, s2, k)
+			}
+		}
+	}
+}
+
+// TestPositionalStrongerThanPlain: the positional filter rejects shifted
+// repetitions that the plain count filter cannot (the exact phenomenon
+// positions are for).
+func TestPositionalStrongerThanPlain(t *testing.T) {
+	// A block swap: nearly the same gram multiset, but every shared gram
+	// is displaced by 4 positions.
+	s1 := "abcdefgh"
+	s2 := "efghabcd"
+	k := 1
+	a2, b2 := NewProfile(s1, 2), NewProfile(s2, 2)
+	pa, pb := NewPositionalProfile(s1, 2), NewPositionalProfile(s2, 2)
+	// The plain count filter is blind at k=1 (6 of 7 grams shared)...
+	if !WithinDistance(a2, b2, k) {
+		t.Fatal("plain filter unexpectedly rejected the block swap")
+	}
+	// ...although the true distance is far larger.
+	if d := Distance(s1, s2); d <= k {
+		t.Fatalf("example broken: distance %d", d)
+	}
+	// The positional filter sees the displacement and rejects.
+	if WithinDistancePositional(pa, pb, k) {
+		t.Error("positional filter failed to reject the block swap at k=1")
+	}
+}
+
+func TestMatchPositions(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		pr   int
+		want int
+	}{
+		{[]int{1, 5, 9}, []int{2, 6, 10}, 1, 3},
+		{[]int{1, 5, 9}, []int{2, 6, 10}, 0, 0},
+		{[]int{0, 1, 2}, []int{10}, 3, 0},
+		{[]int{0, 4}, []int{2}, 2, 1},
+		{nil, []int{1}, 5, 0},
+	}
+	for _, c := range cases {
+		if got := matchPositions(c.a, c.b, c.pr); got != c.want {
+			t.Errorf("matchPositions(%v,%v,%d) = %d, want %d", c.a, c.b, c.pr, got, c.want)
+		}
+	}
+}
+
+func TestPosL1MismatchedQPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed q accepted")
+		}
+	}()
+	PosL1(NewPositionalProfile("abc", 2), NewPositionalProfile("abc", 3), 1)
+}

@@ -1,0 +1,150 @@
+package qgram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestProfileCounts(t *testing.T) {
+	p := NewProfile("banana", 2)
+	want := map[string]int{"ba": 1, "an": 2, "na": 2}
+	if len(p.Counts) != len(want) {
+		t.Fatalf("Counts = %v", p.Counts)
+	}
+	for g, c := range want {
+		if p.Counts[g] != c {
+			t.Errorf("count[%q] = %d, want %d", g, p.Counts[g], c)
+		}
+	}
+	if p.Total() != 5 {
+		t.Errorf("Total = %d, want 5", p.Total())
+	}
+}
+
+func TestShortStrings(t *testing.T) {
+	p := NewProfile("ab", 3)
+	if p.Total() != 0 || len(p.Counts) != 0 {
+		t.Errorf("short string profile: %v (total %d)", p.Counts, p.Total())
+	}
+	if L1(p, NewProfile("xyz", 3)) != 1 {
+		t.Error("L1 vs single-gram string")
+	}
+}
+
+func TestCommonAndL1(t *testing.T) {
+	a := NewProfile("banana", 2)
+	b := NewProfile("ananas", 2)
+	// a: ba, an×2, na×2; b: an×2, na×2, as. Common = 4, totals 5 and 5.
+	if got := Common(a, b); got != 4 {
+		t.Errorf("Common = %d, want 4", got)
+	}
+	if got := L1(a, b); got != 2 {
+		t.Errorf("L1 = %d, want 2", got)
+	}
+	if L1(a, a) != 0 {
+		t.Error("self L1 non-zero")
+	}
+}
+
+func randString(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(4))
+	}
+	return string(b)
+}
+
+// editString applies k random single-character edits.
+func editString(rng *rand.Rand, s string, k int) string {
+	b := []byte(s)
+	for i := 0; i < k; i++ {
+		switch op := rng.Intn(3); {
+		case op == 0 && len(b) > 0: // substitute
+			b[rng.Intn(len(b))] = byte('a' + rng.Intn(4))
+		case op == 1 && len(b) > 0: // delete
+			p := rng.Intn(len(b))
+			b = append(b[:p], b[p+1:]...)
+		default: // insert
+			p := rng.Intn(len(b) + 1)
+			b = append(b[:p], append([]byte{byte('a' + rng.Intn(4))}, b[p:]...)...)
+		}
+	}
+	return string(b)
+}
+
+// TestLowerBoundSound: the q-gram lower bound never exceeds the true
+// string edit distance, for several q.
+func TestLowerBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, q := range []int{1, 2, 3, 4} {
+		for trial := 0; trial < 200; trial++ {
+			s1 := randString(rng, 5+rng.Intn(25))
+			var s2 string
+			if trial%2 == 0 {
+				s2 = randString(rng, 5+rng.Intn(25))
+			} else {
+				s2 = editString(rng, s1, 1+trial%6)
+			}
+			ed := Distance(s1, s2)
+			lb := EditLowerBound(NewProfile(s1, q), NewProfile(s2, q))
+			if lb > ed {
+				t.Fatalf("q=%d: bound %d exceeds distance %d for %q vs %q",
+					q, lb, ed, s1, s2)
+			}
+		}
+	}
+}
+
+// TestWithinDistanceNoFalseDismissals: Ukkonen's count condition never
+// rejects a pair that is truly within distance k.
+func TestWithinDistanceNoFalseDismissals(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, q := range []int{2, 3} {
+		for trial := 0; trial < 200; trial++ {
+			s1 := randString(rng, 8+rng.Intn(20))
+			k := 1 + trial%5
+			s2 := editString(rng, s1, k)
+			ed := Distance(s1, s2)
+			if ed > k {
+				t.Fatalf("edit script exceeded budget: %d > %d", ed, k)
+			}
+			if !WithinDistance(NewProfile(s1, q), NewProfile(s2, q), k) {
+				t.Fatalf("q=%d: filter rejected %q ~ %q at k=%d (true distance %d)",
+					q, s1, s2, k, ed)
+			}
+		}
+	}
+}
+
+// TestFilterSelective: unrelated random strings usually fail the filter at
+// small k.
+func TestFilterSelective(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rejected := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		a := NewProfile(randString(rng, 30), 3)
+		b := NewProfile(randString(rng, 30), 3)
+		if !WithinDistance(a, b, 2) {
+			rejected++
+		}
+	}
+	if rejected < trials/2 {
+		t.Errorf("filter rejected only %d/%d unrelated pairs", rejected, trials)
+	}
+}
+
+func TestMismatchedQPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mixing q values should panic")
+		}
+	}()
+	L1(NewProfile("abc", 2), NewProfile("abc", 3))
+}
+
+func TestDistance(t *testing.T) {
+	if Distance("kitten", "sitting") != 3 {
+		t.Error("Levenshtein broken")
+	}
+}

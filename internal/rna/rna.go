@@ -1,0 +1,204 @@
+// Package rna converts RNA secondary structures into rooted, ordered,
+// labeled trees — one of the paper's motivating applications (Section 1:
+// "efficient prediction of the functions of RNA molecules").
+//
+// A secondary structure is given in dot-bracket notation over a base
+// sequence: matching parentheses denote a base pair (a stem position),
+// dots denote unpaired bases. The conventional tree encoding makes every
+// base pair an internal node labeled with the two paired bases (e.g. "GC")
+// whose children are the structure elements enclosed by the pair, and
+// every unpaired base a leaf labeled with the base; a virtual root labeled
+// "RNA" holds the top-level elements. Structurally similar molecules then
+// have small tree edit distance — the classic Shapiro/Zhang view of RNA
+// comparison.
+package rna
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"treesim/internal/tree"
+)
+
+// Molecule is an RNA sequence with its secondary structure annotation.
+type Molecule struct {
+	Name      string
+	Sequence  string // bases: A, C, G, U
+	Structure string // dot-bracket, same length as Sequence
+}
+
+// Validate checks that the molecule is well-formed: equal lengths, known
+// bases, balanced brackets.
+func (m Molecule) Validate() error {
+	if len(m.Sequence) != len(m.Structure) {
+		return fmt.Errorf("rna: sequence length %d != structure length %d",
+			len(m.Sequence), len(m.Structure))
+	}
+	depth := 0
+	for i := 0; i < len(m.Sequence); i++ {
+		switch b := m.Sequence[i]; b {
+		case 'A', 'C', 'G', 'U':
+		default:
+			return fmt.Errorf("rna: unknown base %q at position %d", string(b), i)
+		}
+		switch c := m.Structure[i]; c {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return fmt.Errorf("rna: unbalanced ')' at position %d", i)
+			}
+		case '.':
+		default:
+			return fmt.Errorf("rna: unknown structure char %q at position %d", string(c), i)
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("rna: %d unclosed '('", depth)
+	}
+	return nil
+}
+
+// Tree converts the molecule into its structure tree.
+func (m Molecule) Tree() (*tree.Tree, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	root := &tree.Node{Label: "RNA"}
+	stack := []*tree.Node{root}
+	opens := []int{} // positions of currently open '('
+	for i := 0; i < len(m.Structure); i++ {
+		cur := stack[len(stack)-1]
+		switch m.Structure[i] {
+		case '.':
+			cur.Children = append(cur.Children, &tree.Node{Label: string(m.Sequence[i])})
+		case '(':
+			n := &tree.Node{} // label completed at the matching ')'
+			cur.Children = append(cur.Children, n)
+			stack = append(stack, n)
+			opens = append(opens, i)
+		case ')':
+			open := opens[len(opens)-1]
+			opens = opens[:len(opens)-1]
+			pairNode := stack[len(stack)-1]
+			pairNode.Label = string(m.Sequence[open]) + string(m.Sequence[i])
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return tree.New(root), nil
+}
+
+// MustTree is Tree that panics on error, for literals in examples.
+func (m Molecule) MustTree() *tree.Tree {
+	t, err := m.Tree()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Random generates a random molecule of roughly n bases: hairpin stems of
+// 3–6 pairs with 3–5-base loops, joined by short unpaired linkers. The
+// shapes are plausible enough to exercise structure similarity search.
+func Random(rng *rand.Rand, n int) Molecule {
+	bases := "ACGU"
+	pairs := []string{"AU", "UA", "GC", "CG", "GU", "UG"}
+	var seq, str strings.Builder
+	for seq.Len() < n {
+		// Linker.
+		for k := rng.Intn(3); k > 0 && seq.Len() < n; k-- {
+			seq.WriteByte(bases[rng.Intn(4)])
+			str.WriteByte('.')
+		}
+		// Hairpin: stem of s pairs around a loop of l bases.
+		s, l := 3+rng.Intn(4), 3+rng.Intn(3)
+		if seq.Len()+2*s+l > n+6 {
+			break
+		}
+		stem := make([]string, s)
+		for i := range stem {
+			stem[i] = pairs[rng.Intn(len(pairs))]
+		}
+		for i := 0; i < s; i++ {
+			seq.WriteByte(stem[i][0])
+			str.WriteByte('(')
+		}
+		for i := 0; i < l; i++ {
+			seq.WriteByte(bases[rng.Intn(4)])
+			str.WriteByte('.')
+		}
+		for i := s - 1; i >= 0; i-- {
+			seq.WriteByte(stem[i][1])
+			str.WriteByte(')')
+		}
+	}
+	return Molecule{
+		Name:      fmt.Sprintf("synthetic-%d", n),
+		Sequence:  seq.String(),
+		Structure: str.String(),
+	}
+}
+
+// Mutate returns a copy of m with k point mutations: an unpaired base
+// substitution, a base-pair substitution, or an unpaired-base
+// insertion/deletion. The result stays well-formed.
+func Mutate(rng *rand.Rand, m Molecule, k int) Molecule {
+	seq := []byte(m.Sequence)
+	str := []byte(m.Structure)
+	bases := "ACGU"
+	for i := 0; i < k && len(seq) > 0; i++ {
+		p := rng.Intn(len(seq))
+		switch str[p] {
+		case '.':
+			if rng.Intn(2) == 0 {
+				seq[p] = bases[rng.Intn(4)] // substitute
+			} else { // delete the unpaired base
+				seq = append(seq[:p], seq[p+1:]...)
+				str = append(str[:p], str[p+1:]...)
+			}
+		case '(', ')':
+			// Substitute the pair consistently.
+			q := matchOf(str, p)
+			pair := []string{"AU", "UA", "GC", "CG"}[rng.Intn(4)]
+			lo, hi := p, q
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			seq[lo], seq[hi] = pair[0], pair[1]
+		}
+	}
+	return Molecule{Name: m.Name + "*", Sequence: string(seq), Structure: string(str)}
+}
+
+// matchOf finds the partner of the bracket at position p.
+func matchOf(str []byte, p int) int {
+	depth := 0
+	if str[p] == '(' {
+		for i := p; i < len(str); i++ {
+			switch str[i] {
+			case '(':
+				depth++
+			case ')':
+				depth--
+				if depth == 0 {
+					return i
+				}
+			}
+		}
+	} else {
+		for i := p; i >= 0; i-- {
+			switch str[i] {
+			case ')':
+				depth++
+			case '(':
+				depth--
+				if depth == 0 {
+					return i
+				}
+			}
+		}
+	}
+	return p
+}

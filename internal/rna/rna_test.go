@@ -1,0 +1,130 @@
+package rna
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesim/internal/editdist"
+	"treesim/internal/tree"
+)
+
+func TestValidate(t *testing.T) {
+	good := Molecule{Sequence: "GCAU", Structure: "(..)"}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid molecule rejected: %v", err)
+	}
+	bad := []Molecule{
+		{Sequence: "GCA", Structure: "(..)"},  // length mismatch
+		{Sequence: "GCAT", Structure: "(..)"}, // T is DNA, not RNA
+		{Sequence: "GCAU", Structure: "(..("}, // unclosed
+		{Sequence: "GCAU", Structure: ")..("}, // negative depth
+		{Sequence: "GCAU", Structure: "(.x)"}, // unknown char
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("invalid molecule %+v accepted", m)
+		}
+	}
+}
+
+func TestTreeHairpin(t *testing.T) {
+	// G-C pair around loop AAA:  G A A A C
+	m := Molecule{Sequence: "GAAAC", Structure: "(...)"}
+	got := m.MustTree()
+	want := tree.MustParse("RNA(GC(A,A,A))")
+	if !tree.Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestTreeNestedStem(t *testing.T) {
+	// Two stacked pairs: G( A( U U )U )C with leading/trailing dots.
+	m := Molecule{Sequence: "GAUUUC", Structure: "((..))"}
+	got := m.MustTree()
+	want := tree.MustParse("RNA(GC(AU(U,U)))")
+	if !tree.Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestTreeMultiloop(t *testing.T) {
+	m := Molecule{Sequence: "AGAAACGGGCU", Structure: ".(...)(...)"}
+	got := m.MustTree()
+	// Positions: A unpaired; (1,5) is a G–C pair around loop AAA;
+	// (6,10) is a G–U pair around loop GGC.
+	want := tree.MustParse("RNA(A,GC(A,A,A),GU(G,G,C))")
+	if !tree.Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestTreeSizeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		m := Random(rng, 30+rng.Intn(60))
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Random produced invalid molecule: %v", err)
+		}
+		tr := m.MustTree()
+		// Node count = 1 (root) + unpaired + pairs.
+		pairs, unpaired := 0, 0
+		for _, c := range m.Structure {
+			switch c {
+			case '(':
+				pairs++
+			case '.':
+				unpaired++
+			}
+		}
+		if got, want := tr.Size(), 1+pairs+unpaired; got != want {
+			t.Fatalf("tree size %d, want %d for %q", got, want, m.Structure)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("structure tree invalid: %v", err)
+		}
+	}
+}
+
+func TestMutateStaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	base := Random(rng, 60)
+	for k := 0; k < 20; k++ {
+		m := Mutate(rng, base, k)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("mutant with %d mutations invalid: %v (%q/%q)",
+				k, err, m.Sequence, m.Structure)
+		}
+	}
+}
+
+// TestMutantsAreNear: point mutations keep structures close in edit
+// distance relative to unrelated molecules — the property the RNA
+// similarity-search example relies on.
+func TestMutantsAreNear(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := Random(rng, 60)
+	other := Random(rng, 60)
+	bt := base.MustTree()
+	mutant := Mutate(rng, base, 2)
+	dNear := editdist.Distance(bt, mutant.MustTree())
+	dFar := editdist.Distance(bt, other.MustTree())
+	if dNear >= dFar {
+		t.Errorf("mutant distance %d not below unrelated distance %d", dNear, dFar)
+	}
+	if dNear > 8 {
+		t.Errorf("2-point mutant unexpectedly far: %d", dNear)
+	}
+}
+
+func TestMatchOf(t *testing.T) {
+	str := []byte("((..))")
+	if got := matchOf(str, 0); got != 5 {
+		t.Errorf("matchOf(0) = %d, want 5", got)
+	}
+	if got := matchOf(str, 1); got != 4 {
+		t.Errorf("matchOf(1) = %d, want 4", got)
+	}
+	if got := matchOf(str, 5); got != 0 {
+		t.Errorf("matchOf(5) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,67 @@
+package search
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"treesim/internal/tree"
+)
+
+// Batch query execution. Queries are independent, so a query workload
+// parallelizes trivially; the index is read-only during querying and safe
+// for concurrent use.
+
+// BatchKNN answers every query with its k nearest neighbors, running up to
+// workers queries concurrently (≤ 0 means GOMAXPROCS). Results and stats
+// are returned in query order.
+func (ix *Index) BatchKNN(qs []*tree.Tree, k, workers int) ([][]Result, []Stats) {
+	res := make([][]Result, len(qs))
+	stats := make([]Stats, len(qs))
+	forEach(len(qs), workers, func(i int) {
+		res[i], stats[i] = ix.KNN(qs[i], k)
+	})
+	return res, stats
+}
+
+// BatchRange answers every query with all trees within distance tau,
+// running up to workers queries concurrently (≤ 0 means GOMAXPROCS).
+func (ix *Index) BatchRange(qs []*tree.Tree, tau, workers int) ([][]Result, []Stats) {
+	res := make([][]Result, len(qs))
+	stats := make([]Stats, len(qs))
+	forEach(len(qs), workers, func(i int) {
+		res[i], stats[i] = ix.Range(qs[i], tau)
+	})
+	return res, stats
+}
+
+func forEach(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,78 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+
+	"treesim/internal/tree"
+)
+
+func TestBatchKNNMatchesSequentialCalls(t *testing.T) {
+	ts := testDataset(80, 41)
+	ix := NewIndex(ts, NewBiBranch())
+	qs := []*tree.Tree{ts[0], ts[10], ts[20], ts[30], ts[40], ts[50], ts[60]}
+
+	batch, stats := ix.BatchKNN(qs, 4, 3)
+	if len(batch) != len(qs) || len(stats) != len(qs) {
+		t.Fatalf("batch sizes: %d results, %d stats", len(batch), len(stats))
+	}
+	for i, q := range qs {
+		want, _ := ix.KNN(q, 4)
+		if !reflect.DeepEqual(batch[i], want) {
+			t.Fatalf("query %d: batch %v, sequential %v", i, batch[i], want)
+		}
+		if stats[i].Dataset != len(ts) {
+			t.Fatalf("query %d stats missing", i)
+		}
+	}
+}
+
+func TestBatchRangeMatchesSequentialCalls(t *testing.T) {
+	ts := testDataset(60, 42)
+	ix := NewIndex(ts, NewBiBranch())
+	qs := []*tree.Tree{ts[1], ts[2], ts[3]}
+
+	batch, _ := ix.BatchRange(qs, 3, 0)
+	for i, q := range qs {
+		want, _ := ix.Range(q, 3)
+		if !reflect.DeepEqual(batch[i], want) {
+			t.Fatalf("query %d: batch %v, sequential %v", i, batch[i], want)
+		}
+	}
+}
+
+func TestBatchDegenerate(t *testing.T) {
+	ts := testDataset(20, 43)
+	ix := NewIndex(ts, NewBiBranch())
+	if res, stats := ix.BatchKNN(nil, 3, 4); len(res) != 0 || len(stats) != 0 {
+		t.Error("empty batch should return empty slices")
+	}
+	// One query, more workers than queries.
+	res, _ := ix.BatchKNN([]*tree.Tree{ts[0]}, 2, 16)
+	want, _ := ix.KNN(ts[0], 2)
+	if !reflect.DeepEqual(res[0], want) {
+		t.Error("single-query batch differs")
+	}
+	// Serial path (workers=1).
+	res2, _ := ix.BatchKNN([]*tree.Tree{ts[0], ts[1]}, 2, 1)
+	if len(res2) != 2 {
+		t.Error("serial batch broken")
+	}
+}
+
+// TestParallelProfilesMatchSerial: parallel index construction produces
+// distances identical to serial construction.
+func TestParallelProfilesMatchSerial(t *testing.T) {
+	ts := testDataset(100, 44)
+	serial := &BiBranch{Q: 2, Positional: true}
+	serial.space = nil
+	ixP := NewIndex(ts, NewBiBranch()) // parallel build inside Index
+	ixS := NewIndex(ts, &BiBranch{Q: 2, Positional: true})
+	for _, q := range []*tree.Tree{ts[7], ts[77]} {
+		a, _ := ixP.KNN(q, 5)
+		b, _ := ixS.KNN(q, 5)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("parallel vs serial build differ: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package search
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"treesim/internal/branch"
+	"treesim/internal/tree"
+)
+
+// Persistence of a BiBranch-filtered index: the dataset trees (canonical
+// text encoding) plus the pre-built branch space and profiles, so loading
+// skips both tree parsing of external formats and re-profiling.
+//
+// Format: magic "TSIX1\x00", u8 positional flag, branch.Write blob, u32
+// tree count, then each tree as (u32 len, canonical text bytes).
+
+var indexMagic = [6]byte{'T', 'S', 'I', 'X', '1', 0}
+
+// SaveIndex serializes an index whose filter is a *BiBranch. Other filters
+// are cheap to rebuild from the dataset and are not supported.
+func SaveIndex(w io.Writer, ix *Index) error {
+	f, ok := ix.filter.(*BiBranch)
+	if !ok {
+		return fmt.Errorf("search: only BiBranch indexes can be saved (have %s)", ix.filter.Name())
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(indexMagic[:]); err != nil {
+		return err
+	}
+	positional := byte(0)
+	if f.Positional {
+		positional = 1
+	}
+	if err := bw.WriteByte(positional); err != nil {
+		return err
+	}
+	if err := branch.Write(bw, f.space, f.profiles); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(ix.trees))); err != nil {
+		return err
+	}
+	for _, t := range ix.trees {
+		s := t.String()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(s))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadIndex deserializes an index saved by SaveIndex. The loaded index
+// uses unit edit costs; wrap with NewIndexCost manually if needed.
+func LoadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("search: reading magic: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("search: bad index magic %q", magic)
+	}
+	positional, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	space, profiles, err := branch.Read(br)
+	if err != nil {
+		return nil, err
+	}
+
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if int(n) != len(profiles) {
+		return nil, fmt.Errorf("search: %d trees but %d profiles", n, len(profiles))
+	}
+	trees := make([]*tree.Tree, n)
+	for i := range trees {
+		var l uint32
+		if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
+			return nil, err
+		}
+		if l > 1<<26 {
+			return nil, fmt.Errorf("search: tree %d implausibly large (%d bytes)", i, l)
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		t, err := tree.Parse(string(buf))
+		if err != nil {
+			return nil, fmt.Errorf("search: tree %d: %w", i, err)
+		}
+		if t.Size() != profiles[i].Size {
+			return nil, fmt.Errorf("search: tree %d has %d nodes but profile says %d",
+				i, t.Size(), profiles[i].Size)
+		}
+		trees[i] = t
+	}
+
+	f := &BiBranch{
+		Q:          space.Q(),
+		Positional: positional == 1,
+		space:      space,
+		profiles:   profiles,
+	}
+	return &Index{trees: trees, filter: f, cost: defaultCost()}, nil
+}

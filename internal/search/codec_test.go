@@ -1,0 +1,102 @@
+package search
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"treesim/internal/tree"
+)
+
+func TestSaveLoadIndexRoundTrip(t *testing.T) {
+	ts := testDataset(60, 21)
+	ix := NewIndex(ts, NewBiBranch())
+
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != ix.Size() {
+		t.Fatalf("loaded %d trees, want %d", loaded.Size(), ix.Size())
+	}
+	for i := 0; i < ix.Size(); i++ {
+		if !tree.Equal(loaded.Tree(i), ix.Tree(i)) {
+			t.Fatalf("tree %d changed in round trip", i)
+		}
+	}
+
+	// Queries return identical results through the loaded index.
+	for _, q := range []*tree.Tree{ts[0], ts[33], testDataset(1, 5)[0]} {
+		wantK, _ := ix.KNN(q, 5)
+		gotK, _ := loaded.KNN(q, 5)
+		if !reflect.DeepEqual(wantK, gotK) {
+			t.Fatalf("KNN differs after reload: %v vs %v", gotK, wantK)
+		}
+		wantR, _ := ix.Range(q, 3)
+		gotR, _ := loaded.Range(q, 3)
+		if !reflect.DeepEqual(wantR, gotR) {
+			t.Fatalf("Range differs after reload: %v vs %v", gotR, wantR)
+		}
+	}
+}
+
+func TestSaveLoadPreservesConfig(t *testing.T) {
+	ts := testDataset(20, 22)
+	for _, f := range []*BiBranch{
+		{Q: 2, Positional: true},
+		{Q: 3, Positional: false},
+	} {
+		ix := NewIndex(ts, f)
+		var buf bytes.Buffer
+		if err := SaveIndex(&buf, ix); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadIndex(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lf := loaded.Filter().(*BiBranch)
+		if lf.Q != f.Q || lf.Positional != f.Positional {
+			t.Errorf("config lost: got Q=%d pos=%v, want Q=%d pos=%v",
+				lf.Q, lf.Positional, f.Q, f.Positional)
+		}
+	}
+}
+
+func TestSaveRejectsOtherFilters(t *testing.T) {
+	ix := NewIndex(testDataset(5, 23), NewHisto())
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, ix); err == nil {
+		t.Error("Histo index saved")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("WRONGM agic and more data here..."),
+	}
+	for _, c := range cases {
+		if _, err := LoadIndex(bytes.NewReader(c)); err == nil {
+			t.Errorf("garbage %q accepted", c)
+		}
+	}
+	// Truncated valid prefix.
+	ts := testDataset(10, 24)
+	ix := NewIndex(ts, NewBiBranch())
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{7, len(full) / 2, len(full) - 3} {
+		if _, err := LoadIndex(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package search
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"treesim/internal/editdist"
+	"treesim/internal/tree"
+)
+
+// Result is one answer of a similarity query.
+type Result struct {
+	ID   int // index of the tree in the dataset
+	Dist int // exact tree edit distance to the query
+}
+
+// Stats records what one query cost. The headline measure of the paper's
+// experiments is AccessedFraction — the share of the dataset whose real
+// edit distance had to be computed.
+type Stats struct {
+	Dataset    int           // dataset size |D|
+	Verified   int           // trees whose exact edit distance was computed
+	Results    int           // result set size
+	FilterTime time.Duration // time spent computing lower bounds
+	RefineTime time.Duration // time spent computing exact distances
+}
+
+// AccessedFraction returns Verified/Dataset in [0,1].
+func (s Stats) AccessedFraction() float64 {
+	if s.Dataset == 0 {
+		return 0
+	}
+	return float64(s.Verified) / float64(s.Dataset)
+}
+
+// Total returns the end-to-end query time.
+func (s Stats) Total() time.Duration { return s.FilterTime + s.RefineTime }
+
+// Add accumulates another query's stats (for averaging over query sets).
+func (s *Stats) Add(o Stats) {
+	s.Dataset += o.Dataset
+	s.Verified += o.Verified
+	s.Results += o.Results
+	s.FilterTime += o.FilterTime
+	s.RefineTime += o.RefineTime
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("verified %d/%d (%.2f%%), filter %v, refine %v",
+		s.Verified, s.Dataset, 100*s.AccessedFraction(), s.FilterTime, s.RefineTime)
+}
+
+// Index is a similarity-searchable tree collection: the dataset plus the
+// preprocessed state of one filter.
+type Index struct {
+	trees  []*tree.Tree
+	filter Filter
+	cost   editdist.CostModel
+}
+
+// defaultCost is the cost model of indexes built without an explicit one.
+func defaultCost() editdist.CostModel { return editdist.UnitCost{} }
+
+// NewIndex builds an index over the dataset with the given filter,
+// preprocessing the whole dataset once. The filter may be nil, which means
+// None (sequential scan). Unit edit costs are used; see NewIndexCost.
+func NewIndex(ts []*tree.Tree, f Filter) *Index {
+	return NewIndexCost(ts, f, editdist.UnitCost{})
+}
+
+// NewIndexCost is NewIndex with an explicit cost model for the refine step.
+// The filters' lower bounds are proved for unit costs; a custom model is
+// sound for filtering as long as every operation costs at least 1.
+func NewIndexCost(ts []*tree.Tree, f Filter, c editdist.CostModel) *Index {
+	if f == nil {
+		f = NewNone()
+	}
+	f.Index(ts)
+	return &Index{trees: ts, filter: f, cost: c}
+}
+
+// Size returns the number of indexed trees.
+func (ix *Index) Size() int { return len(ix.trees) }
+
+// Insert appends a tree to the index without rebuilding, returning its
+// dataset position. It fails when the index's filter keeps precomputed
+// global structures that appending would invalidate (the pivot and
+// VP-tree filters); rebuild with NewIndex in that case. Insert is not safe
+// to call concurrently with queries.
+func (ix *Index) Insert(t *tree.Tree) (int, error) {
+	ap, ok := ix.filter.(Appender)
+	if !ok {
+		return -1, fmt.Errorf("search: filter %s does not support incremental inserts", ix.filter.Name())
+	}
+	ap.Append(t)
+	ix.trees = append(ix.trees, t)
+	return len(ix.trees) - 1, nil
+}
+
+// Tree returns the i-th indexed tree.
+func (ix *Index) Tree(i int) *tree.Tree { return ix.trees[i] }
+
+// Filter returns the index's filter.
+func (ix *Index) Filter() Filter { return ix.filter }
+
+// KNN returns the k nearest neighbors of q by tree edit distance,
+// implementing Algorithm 2: lower bounds are computed for the whole
+// dataset, candidates are verified in ascending bound order, and the scan
+// stops as soon as the next bound exceeds the current k-th distance. The
+// result is sorted by ascending distance (ties by ascending ID).
+func (ix *Index) KNN(q *tree.Tree, k int) ([]Result, Stats) {
+	stats := Stats{Dataset: len(ix.trees)}
+	if k <= 0 || len(ix.trees) == 0 {
+		return nil, stats
+	}
+	if k > len(ix.trees) {
+		k = len(ix.trees)
+	}
+
+	start := time.Now()
+	b := ix.filter.Query(q)
+	order := make([]int, len(ix.trees))
+	bounds := make([]int, len(ix.trees))
+	for i := range ix.trees {
+		order[i] = i
+		bounds[i] = b.KNNBound(i)
+	}
+	sort.Slice(order, func(x, y int) bool {
+		bx, by := bounds[order[x]], bounds[order[y]]
+		if bx != by {
+			return bx < by
+		}
+		return order[x] < order[y]
+	})
+	stats.FilterTime = time.Since(start)
+
+	start = time.Now()
+	h := &maxHeap{}
+	for _, id := range order {
+		if h.Len() == k && bounds[id] > h.top().Dist {
+			break
+		}
+		d := editdist.DistanceCost(q, ix.trees[id], ix.cost)
+		stats.Verified++
+		switch {
+		case h.Len() < k:
+			heap.Push(h, Result{ID: id, Dist: d})
+		case d < h.top().Dist:
+			h.items[0] = Result{ID: id, Dist: d}
+			heap.Fix(h, 0)
+		}
+	}
+	stats.RefineTime = time.Since(start)
+
+	out := make([]Result, h.Len())
+	copy(out, h.items)
+	sort.Slice(out, func(x, y int) bool {
+		if out[x].Dist != out[y].Dist {
+			return out[x].Dist < out[y].Dist
+		}
+		return out[x].ID < out[y].ID
+	})
+	stats.Results = len(out)
+	return out, stats
+}
+
+// Range returns every tree within edit distance tau of q (inclusive),
+// sorted by ascending distance then ID. A candidate is verified only when
+// its range lower bound does not exceed tau; the lower-bound property makes
+// the result exact.
+func (ix *Index) Range(q *tree.Tree, tau int) ([]Result, Stats) {
+	stats := Stats{Dataset: len(ix.trees)}
+	if tau < 0 {
+		return nil, stats
+	}
+
+	start := time.Now()
+	b := ix.filter.Query(q)
+	var pool []int
+	if cl, ok := b.(CandidateLister); ok {
+		// The filter can enumerate a sound candidate superset directly
+		// (e.g. through a VP-tree in BDist space) without touching every
+		// indexed tree.
+		pool = cl.RangeCandidates(tau)
+	}
+	candidates := make([]int, 0, len(ix.trees))
+	if pool != nil {
+		for _, i := range pool {
+			if b.RangeBound(i, tau) <= tau {
+				candidates = append(candidates, i)
+			}
+		}
+	} else {
+		for i := range ix.trees {
+			if b.RangeBound(i, tau) <= tau {
+				candidates = append(candidates, i)
+			}
+		}
+	}
+	stats.FilterTime = time.Since(start)
+
+	start = time.Now()
+	var out []Result
+	for _, id := range candidates {
+		d := editdist.DistanceCost(q, ix.trees[id], ix.cost)
+		stats.Verified++
+		if d <= tau {
+			out = append(out, Result{ID: id, Dist: d})
+		}
+	}
+	stats.RefineTime = time.Since(start)
+
+	sort.Slice(out, func(x, y int) bool {
+		if out[x].Dist != out[y].Dist {
+			return out[x].Dist < out[y].Dist
+		}
+		return out[x].ID < out[y].ID
+	})
+	stats.Results = len(out)
+	return out, stats
+}
+
+// maxHeap is a max-heap of Results keyed by distance, holding the current
+// k best candidates; the root is the worst of them (the pruning key).
+type maxHeap struct {
+	items []Result
+}
+
+func (h *maxHeap) Len() int           { return len(h.items) }
+func (h *maxHeap) Less(i, j int) bool { return h.items[i].Dist > h.items[j].Dist }
+func (h *maxHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *maxHeap) Push(x interface{}) { h.items = append(h.items, x.(Result)) }
+func (h *maxHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+func (h *maxHeap) top() Result { return h.items[0] }

@@ -1,0 +1,75 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+
+	"treesim/internal/tree"
+)
+
+// TestInsertMatchesRebuild: incrementally built indexes answer queries
+// identically to an index built over the full dataset at once.
+func TestInsertMatchesRebuild(t *testing.T) {
+	all := testDataset(60, 51)
+	for _, mk := range []func() Filter{
+		func() Filter { return NewBiBranch() },
+		func() Filter { return NewHisto() },
+		func() Filter { return NewSeq() },
+		func() Filter { return NewNone() },
+	} {
+		incr := NewIndex(all[:30], mk())
+		for _, tr := range all[30:] {
+			id, err := incr.Insert(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if incr.Tree(id) != tr {
+				t.Fatal("Insert returned wrong id")
+			}
+		}
+		full := NewIndex(all, mk())
+		for _, q := range []*tree.Tree{all[0], all[45], testDataset(1, 52)[0]} {
+			a, _ := incr.KNN(q, 4)
+			b, _ := full.KNN(q, 4)
+			if !sameDistances(a, b) {
+				t.Fatalf("%s: incremental KNN %v, rebuilt %v", incr.Filter().Name(), dists(a), dists(b))
+			}
+			ar, _ := incr.Range(q, 3)
+			br, _ := full.Range(q, 3)
+			if !reflect.DeepEqual(ar, br) {
+				t.Fatalf("%s: incremental Range differs", incr.Filter().Name())
+			}
+		}
+	}
+}
+
+// TestInsertRejectedByGlobalFilters: pivot tables and VP-trees cannot be
+// appended to; Insert must refuse rather than silently corrupt bounds.
+func TestInsertRejectedByGlobalFilters(t *testing.T) {
+	ts := testDataset(20, 53)
+	extra := testDataset(1, 54)[0]
+	for _, f := range []Filter{NewPivotBiBranch(), NewVPBiBranch()} {
+		ix := NewIndex(ts, f)
+		if _, err := ix.Insert(extra); err == nil {
+			t.Errorf("%s accepted an incremental insert", f.Name())
+		}
+		if ix.Size() != 20 {
+			t.Errorf("%s: failed insert changed the dataset", f.Name())
+		}
+	}
+}
+
+// TestInsertFindable: a newly inserted tree is immediately retrievable as
+// its own nearest neighbor.
+func TestInsertFindable(t *testing.T) {
+	ix := NewIndex(testDataset(25, 55), NewBiBranch())
+	novel := tree.MustParse("zz(yy(xx),ww,vv(uu,tt))")
+	id, err := ix.Insert(novel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := ix.KNN(novel, 1)
+	if len(res) != 1 || res[0].ID != id || res[0].Dist != 0 {
+		t.Fatalf("inserted tree not found: %v", res)
+	}
+}

@@ -1,0 +1,99 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+
+	"treesim/internal/tree"
+)
+
+func TestPivotCompleteness(t *testing.T) {
+	ts := testDataset(80, 71)
+	seq := NewIndex(ts, NewNone())
+	for _, f := range []*PivotBiBranch{
+		NewPivotBiBranch(),
+		{Q: 2, Pivots: 1, Positional: true},
+		{Q: 2, Pivots: 16, Positional: false},
+		{Q: 3, Pivots: 4, Positional: true},
+	} {
+		ix := NewIndex(ts, f)
+		for _, q := range []*tree.Tree{ts[0], ts[40], testDataset(1, 99)[0]} {
+			want, _ := seq.KNN(q, 5)
+			got, _ := ix.KNN(q, 5)
+			if !sameDistances(got, want) {
+				t.Fatalf("pivot KNN differs: %v vs %v", dists(got), dists(want))
+			}
+			wantR, _ := seq.Range(q, 4)
+			gotR, _ := ix.Range(q, 4)
+			if !reflect.DeepEqual(gotR, wantR) {
+				t.Fatalf("pivot Range differs: %v vs %v", gotR, wantR)
+			}
+		}
+	}
+}
+
+// TestPivotBoundSound: the stage-one pivot bound alone never exceeds the
+// true edit distance (soundness of the BDist triangle-inequality
+// argument), and the combined bound dominates it.
+func TestPivotBoundSound(t *testing.T) {
+	ts := testDataset(50, 72)
+	f := NewPivotBiBranch()
+	ix := NewIndex(ts, f)
+	q := testDataset(1, 73)[0]
+	b := f.Query(q).(*pivotBounder)
+	exact, _ := NewIndex(ts, NewNone()).KNN(q, ix.Size())
+	distByID := make(map[int]int, len(exact))
+	for _, r := range exact {
+		distByID[r.ID] = r.Dist
+	}
+	for i := 0; i < ix.Size(); i++ {
+		pb := b.pivotBound(i)
+		if pb > distByID[i] {
+			t.Fatalf("pivot bound %d exceeds exact distance %d for tree %d",
+				pb, distByID[i], i)
+		}
+		if pb > b.KNNBound(i) {
+			t.Fatalf("pivot bound %d above combined bound %d", pb, b.KNNBound(i))
+		}
+	}
+}
+
+func TestPivotSelectionSpread(t *testing.T) {
+	ts := testDataset(60, 74)
+	f := &PivotBiBranch{Pivots: 6}
+	f.Index(ts)
+	if len(f.pivots) == 0 || len(f.pivots) > 6 {
+		t.Fatalf("chose %d pivots", len(f.pivots))
+	}
+	seen := map[int]bool{}
+	for _, p := range f.pivots {
+		if seen[p] {
+			t.Fatalf("pivot %d chosen twice", p)
+		}
+		seen[p] = true
+	}
+	// Row p must be the distances from pivot p (zero at the pivot).
+	for p, idx := range f.pivots {
+		if f.pivotDists[p][idx] != 0 {
+			t.Errorf("pivot %d self-distance %d", p, f.pivotDists[p][idx])
+		}
+	}
+}
+
+func TestPivotMoreThanDataset(t *testing.T) {
+	ts := testDataset(3, 75)
+	f := &PivotBiBranch{Pivots: 50}
+	ix := NewIndex(ts, f)
+	res, _ := ix.KNN(ts[0], 2)
+	if len(res) != 2 || res[0].Dist != 0 {
+		t.Fatalf("tiny dataset with excess pivots broken: %v", res)
+	}
+}
+
+func TestPivotEmptyDataset(t *testing.T) {
+	f := NewPivotBiBranch()
+	ix := NewIndex(nil, f)
+	if res, _ := ix.KNN(tree.MustParse("a"), 1); res != nil {
+		t.Error("empty index returned results")
+	}
+}

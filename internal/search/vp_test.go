@@ -1,0 +1,80 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+
+	"treesim/internal/tree"
+)
+
+func TestVPCompleteness(t *testing.T) {
+	ts := testDataset(90, 91)
+	seq := NewIndex(ts, NewNone())
+	for _, f := range []*VPBiBranch{
+		NewVPBiBranch(),
+		{Q: 2, Positional: false, Seed: 7},
+		{Q: 3, Positional: true},
+	} {
+		ix := NewIndex(ts, f)
+		for _, q := range []*tree.Tree{ts[3], ts[45], testDataset(1, 92)[0]} {
+			for _, tau := range []int{0, 2, 5} {
+				want, _ := seq.Range(q, tau)
+				got, _ := ix.Range(q, tau)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s tau=%d: %v, want %v", f.Name(), tau, got, want)
+				}
+			}
+			wantK, _ := seq.KNN(q, 4)
+			gotK, _ := ix.KNN(q, 4)
+			if !sameDistances(gotK, wantK) {
+				t.Fatalf("VP KNN differs: %v vs %v", dists(gotK), dists(wantK))
+			}
+		}
+	}
+}
+
+// TestVPCandidatesSuperset: the VP candidate set must contain every true
+// result and be no larger than the dataset.
+func TestVPCandidatesSuperset(t *testing.T) {
+	ts := testDataset(80, 93)
+	f := NewVPBiBranch()
+	ix := NewIndex(ts, f)
+	q := ts[11]
+	b := f.Query(q).(*vpBounder)
+	for _, tau := range []int{1, 3} {
+		cands := b.RangeCandidates(tau)
+		if len(cands) > len(ts) {
+			t.Fatalf("candidate set larger than dataset")
+		}
+		inCands := map[int]bool{}
+		for _, c := range cands {
+			inCands[c] = true
+		}
+		want, _ := ix.Range(q, tau)
+		for _, r := range want {
+			if !inCands[r.ID] {
+				t.Fatalf("tau=%d: true result %d missing from candidates", tau, r.ID)
+			}
+		}
+	}
+}
+
+// TestVPSelective: on a clustered dataset a selective range query's
+// candidate set is much smaller than the dataset.
+func TestVPSelective(t *testing.T) {
+	ts := testDataset(300, 94)
+	f := NewVPBiBranch()
+	NewIndex(ts, f)
+	b := f.Query(ts[50]).(*vpBounder)
+	cands := b.RangeCandidates(1)
+	if len(cands) > len(ts)/2 {
+		t.Errorf("tau=1 candidate set has %d of %d trees — VP-tree not pruning", len(cands), len(ts))
+	}
+}
+
+func TestVPEmptyDataset(t *testing.T) {
+	ix := NewIndex(nil, NewVPBiBranch())
+	if res, _ := ix.Range(tree.MustParse("a"), 3); res != nil {
+		t.Error("empty index returned results")
+	}
+}

@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"treesim/internal/tree"
+)
+
+// File format:
+//
+//	page 0 (header): magic "TSST1\x00", u64 record count, u64 directory
+//	                 byte offset, u64 data byte length
+//	data region:     canonical tree encodings back to back, starting at
+//	                 page 1; records may span pages
+//	directory:       recordCount × (u64 offset, u32 length), immediately
+//	                 after the data region (page aligned)
+
+var storeMagic = [6]byte{'T', 'S', 'S', 'T', '1', 0}
+
+const headerSize = 6 + 8 + 8 + 8
+
+// TreeStore provides record-id access to a paged tree dataset through a
+// buffer pool, with per-query I/O accounting.
+type TreeStore struct {
+	pager *Pager
+	pool  *Pool
+	dir   []dirEntry // loaded eagerly (the directory is small)
+}
+
+type dirEntry struct {
+	off uint64
+	len uint32
+}
+
+// Create writes the dataset to path in the store format.
+func Create(path string, ts []*tree.Tree) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	// Data region.
+	var dir []dirEntry
+	off := uint64(PageSize) // data starts at page 1
+	if _, err := f.Seek(int64(off), 0); err != nil {
+		return err
+	}
+	for i, t := range ts {
+		if t.IsEmpty() {
+			return fmt.Errorf("storage: tree %d is empty", i)
+		}
+		enc := t.String()
+		if _, err := f.WriteString(enc); err != nil {
+			return err
+		}
+		dir = append(dir, dirEntry{off: off, len: uint32(len(enc))})
+		off += uint64(len(enc))
+	}
+	dataEnd := off
+
+	// Directory, page aligned.
+	dirOff := (dataEnd + PageSize - 1) / PageSize * PageSize
+	if _, err := f.Seek(int64(dirOff), 0); err != nil {
+		return err
+	}
+	var rec [12]byte
+	for _, e := range dir {
+		binary.LittleEndian.PutUint64(rec[0:8], e.off)
+		binary.LittleEndian.PutUint32(rec[8:12], e.len)
+		if _, err := f.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+
+	// Header.
+	hdr := make([]byte, headerSize)
+	copy(hdr, storeMagic[:])
+	binary.LittleEndian.PutUint64(hdr[6:14], uint64(len(ts)))
+	binary.LittleEndian.PutUint64(hdr[14:22], dirOff)
+	binary.LittleEndian.PutUint64(hdr[22:30], dataEnd-PageSize)
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Open opens a store with a buffer pool of poolPages pages.
+func Open(path string, poolPages int) (*TreeStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	pager, err := newPager(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s := &TreeStore{pager: pager, pool: NewPool(pager, poolPages)}
+
+	hdr := make([]byte, PageSize)
+	if err := pager.ReadPage(0, hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if [6]byte(hdr[:6]) != storeMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: bad magic in %s", path)
+	}
+	count := binary.LittleEndian.Uint64(hdr[6:14])
+	dirOff := binary.LittleEndian.Uint64(hdr[14:22])
+	if count > 1<<32 {
+		f.Close()
+		return nil, fmt.Errorf("storage: implausible record count %d", count)
+	}
+
+	// Load the directory (sequential read, not counted through the pool).
+	dirBytes := make([]byte, 12*count)
+	if _, err := f.ReadAt(dirBytes, int64(dirOff)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: reading directory: %w", err)
+	}
+	s.dir = make([]dirEntry, count)
+	for i := range s.dir {
+		s.dir[i] = dirEntry{
+			off: binary.LittleEndian.Uint64(dirBytes[i*12 : i*12+8]),
+			len: binary.LittleEndian.Uint32(dirBytes[i*12+8 : i*12+12]),
+		}
+	}
+	return s, nil
+}
+
+// Close releases the underlying file.
+func (s *TreeStore) Close() error { return s.pager.close() }
+
+// Len returns the number of stored trees.
+func (s *TreeStore) Len() int { return len(s.dir) }
+
+// DataPages returns the number of pages in the data region.
+func (s *TreeStore) DataPages() int64 {
+	if len(s.dir) == 0 {
+		return 0
+	}
+	last := s.dir[len(s.dir)-1]
+	end := last.off + uint64(last.len)
+	return int64((end+PageSize-1)/PageSize) - 1 // minus the header page
+}
+
+// Tree fetches and parses record id, pulling its pages through the buffer
+// pool.
+func (s *TreeStore) Tree(id int) (*tree.Tree, error) {
+	if id < 0 || id >= len(s.dir) {
+		return nil, fmt.Errorf("storage: record %d out of range [0,%d)", id, len(s.dir))
+	}
+	e := s.dir[id]
+	buf := make([]byte, e.len)
+	filled := 0
+	for filled < int(e.len) {
+		byteOff := e.off + uint64(filled)
+		pid := int64(byteOff / PageSize)
+		within := int(byteOff % PageSize)
+		page, err := s.pool.Page(pid)
+		if err != nil {
+			return nil, err
+		}
+		filled += copy(buf[filled:], page[within:])
+	}
+	t, err := tree.Parse(string(buf))
+	if err != nil {
+		return nil, fmt.Errorf("storage: record %d corrupt: %w", id, err)
+	}
+	return t, nil
+}
+
+// Pool exposes the buffer pool for I/O accounting.
+func (s *TreeStore) Pool() *Pool { return s.pool }
+
+// ReadAll parses every record in order (a sequential scan).
+func (s *TreeStore) ReadAll() ([]*tree.Tree, error) {
+	out := make([]*tree.Tree, len(s.dir))
+	for i := range s.dir {
+		t, err := s.Tree(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}

@@ -1,0 +1,202 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The canonical text format for trees:
+//
+//	tree  := node
+//	node  := label [ "(" node ("," node)* ")" ]
+//	label := bare | "'" escaped "'"
+//
+// A bare label is any non-empty run of characters excluding "(", ")", ",",
+// "'" and whitespace. Labels containing those characters (or empty labels)
+// are written single-quoted, with "\\" escaping "'" and "\\" itself.
+// Whitespace between tokens is ignored. Examples:
+//
+//	a
+//	a(b,c)
+//	a(b(c,d),e)
+//	'has space'('x,y')
+
+// Format renders the tree in the canonical text format. It is equivalent to
+// t.String and exists for symmetry with Parse.
+func Format(t *Tree) string { return t.String() }
+
+func formatNode(sb *strings.Builder, n *Node) {
+	formatLabel(sb, n.Label)
+	if len(n.Children) == 0 {
+		return
+	}
+	sb.WriteByte('(')
+	for i, c := range n.Children {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		formatNode(sb, c)
+	}
+	sb.WriteByte(')')
+}
+
+// formatLabel writes the label byte-exactly: labels are arbitrary byte
+// strings (not necessarily valid UTF-8), so quoting operates on bytes,
+// escaping only the quote and the backslash.
+func formatLabel(sb *strings.Builder, label string) {
+	if bareLabel(label) {
+		sb.WriteString(label)
+		return
+	}
+	sb.WriteByte('\'')
+	for i := 0; i < len(label); i++ {
+		b := label[i]
+		if b == '\'' || b == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(b)
+	}
+	sb.WriteByte('\'')
+}
+
+// bareLabel reports whether the label can be written without quotes: no
+// structural bytes, no backslash, and nothing at or below ASCII space
+// (which covers all whitespace and control characters the parser treats
+// specially or rejects between tokens).
+func bareLabel(label string) bool {
+	if label == "" {
+		return false
+	}
+	for i := 0; i < len(label); i++ {
+		switch b := label[i]; {
+		case b == '(' || b == ')' || b == ',' || b == '\'' || b == '\\':
+			return false
+		case b <= ' ':
+			return false
+		}
+	}
+	return true
+}
+
+// Parse decodes a tree from the canonical text format produced by Format.
+// The empty string (or a string of only whitespace) parses to the empty
+// tree.
+func Parse(s string) (*Tree, error) {
+	p := &parser{src: s}
+	p.skipSpace()
+	if p.eof() {
+		return New(nil), nil
+	}
+	root, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, fmt.Errorf("tree: trailing input at offset %d: %q", p.off, p.rest())
+	}
+	return New(root), nil
+}
+
+// MustParse is Parse that panics on error; it is intended for tests and
+// examples with literal inputs.
+func MustParse(s string) *Tree {
+	t, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type parser struct {
+	src string
+	off int
+}
+
+func (p *parser) eof() bool    { return p.off >= len(p.src) }
+func (p *parser) peek() byte   { return p.src[p.off] }
+func (p *parser) rest() string { return p.src[p.off:] }
+
+func (p *parser) skipSpace() {
+	for !p.eof() && (p.peek() == ' ' || p.peek() == '\t' || p.peek() == '\n' || p.peek() == '\r') {
+		p.off++
+	}
+}
+
+func (p *parser) parseNode() (*Node, error) {
+	label, err := p.parseLabel()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Label: label}
+	p.skipSpace()
+	if p.eof() || p.peek() != '(' {
+		return n, nil
+	}
+	p.off++ // consume '('
+	for {
+		p.skipSpace()
+		child, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, child)
+		p.skipSpace()
+		if p.eof() {
+			return nil, fmt.Errorf("tree: unterminated child list for %q", label)
+		}
+		switch p.peek() {
+		case ',':
+			p.off++
+		case ')':
+			p.off++
+			return n, nil
+		default:
+			return nil, fmt.Errorf("tree: expected ',' or ')' at offset %d, found %q", p.off, p.peek())
+		}
+	}
+}
+
+func (p *parser) parseLabel() (string, error) {
+	p.skipSpace()
+	if p.eof() {
+		return "", fmt.Errorf("tree: expected label at offset %d", p.off)
+	}
+	if p.peek() == '\'' {
+		return p.parseQuoted()
+	}
+	start := p.off
+	for !p.eof() {
+		c := p.peek()
+		if c == '(' || c == ')' || c == ',' || c == '\'' || c == '\\' || c <= ' ' {
+			break
+		}
+		p.off++
+	}
+	if p.off == start {
+		return "", fmt.Errorf("tree: expected label at offset %d, found %q", p.off, p.peek())
+	}
+	return p.src[start:p.off], nil
+}
+
+func (p *parser) parseQuoted() (string, error) {
+	p.off++ // consume opening quote
+	var sb strings.Builder
+	for !p.eof() {
+		c := p.peek()
+		p.off++
+		switch c {
+		case '\'':
+			return sb.String(), nil
+		case '\\':
+			if p.eof() {
+				return "", fmt.Errorf("tree: dangling escape at offset %d", p.off)
+			}
+			sb.WriteByte(p.peek())
+			p.off++
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return "", fmt.Errorf("tree: unterminated quoted label")
+}

@@ -1,0 +1,132 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"a",
+		"a(b)",
+		"a(b,c)",
+		"a(b(c,d),b(c,d),e)",
+		"'has space'",
+		"'x,y'(a,'(')",
+		"''",      // empty label
+		"'it''s'", // two adjacent quoted? no — single label "it" then junk; skip
+	}
+	// Last case is actually invalid; handle separately below.
+	for _, c := range cases[:len(cases)-1] {
+		tr, err := Parse(c)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c, err)
+			continue
+		}
+		out := tr.String()
+		tr2, err := Parse(out)
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", out, err)
+			continue
+		}
+		if !Equal(tr, tr2) {
+			t.Errorf("round trip of %q changed the tree: %q", c, out)
+		}
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	a := MustParse(" a ( b , c ( d ) ) ")
+	b := MustParse("a(b,c(d))")
+	if !Equal(a, b) {
+		t.Error("whitespace should be ignored between tokens")
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	tr := MustParse(`'it\'s'('a\\b')`)
+	if tr.Root.Label != "it's" {
+		t.Errorf("root label = %q, want %q", tr.Root.Label, "it's")
+	}
+	if tr.Root.Children[0].Label != `a\b` {
+		t.Errorf("child label = %q, want %q", tr.Root.Children[0].Label, `a\b`)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"a(",
+		"a(b",
+		"a(b,)", // missing label after comma... wait: ')' follows ','
+		"a)",    // trailing input
+		"a(b))", // trailing input
+		"(a)",   // missing label
+		"a(,b)", // missing label
+		"'unclosed",
+		`'dangling\`,
+		"a b",     // trailing input
+		"a('x'y)", // quoted label followed by junk label? -> 'x' then y unexpected
+	}
+	for _, c := range bad {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", c)
+		}
+	}
+}
+
+// randomTree builds a random tree with n nodes and labels (possibly nasty
+// ones) drawn from the given alphabet.
+func randomTree(rng *rand.Rand, n int, alphabet []string) *Tree {
+	if n <= 0 {
+		return New(nil)
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = &Node{Label: alphabet[rng.Intn(len(alphabet))]}
+	}
+	for i := 1; i < n; i++ {
+		p := nodes[rng.Intn(i)]
+		p.Children = append(p.Children, nodes[i])
+	}
+	return New(nodes[0])
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	alphabet := []string{"a", "b", "label", "", "with space", "x,y", "(", ")", "'", `\`, "ε"}
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTree(r, int(size)%40, alphabet)
+		got, err := Parse(tr.String())
+		if err != nil {
+			t.Logf("Parse(%q): %v", tr.String(), err)
+			return false
+		}
+		return Equal(tr, got)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatFunction(t *testing.T) {
+	tr := MustParse("a(b,c)")
+	if Format(tr) != tr.String() {
+		t.Error("Format and String disagree")
+	}
+	if Format(New(nil)) != "" {
+		t.Error("empty tree should format to empty string")
+	}
+}
+
+func TestFormatQuoting(t *testing.T) {
+	tr := New(NewNode("with space", NewNode("a,b")))
+	s := tr.String()
+	if !strings.Contains(s, "'with space'") || !strings.Contains(s, "'a,b'") {
+		t.Errorf("special labels should be quoted, got %q", s)
+	}
+}

@@ -1,0 +1,46 @@
+package tree
+
+import "testing"
+
+// FuzzParse checks the codec's core contract on arbitrary inputs: Parse
+// either fails cleanly or produces a tree whose canonical rendering parses
+// back to an equal tree with a stable (fixed-point) rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"a",
+		"a(b,c)",
+		"a(b(c,d),b(c,d),e)",
+		"'with space'('x,y',z)",
+		`'esc\'aped'`,
+		"a(b",
+		"a)",
+		"(a)",
+		"'unterminated",
+		"  a ( b , c ) ",
+		"ε(ε)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Parse(input)
+		if err != nil {
+			return // malformed input must fail cleanly, never panic
+		}
+		rendered := tr.String()
+		tr2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("canonical rendering %q of %q does not re-parse: %v", rendered, input, err)
+		}
+		if !Equal(tr, tr2) {
+			t.Fatalf("round trip changed the tree: %q -> %q", input, rendered)
+		}
+		if again := tr2.String(); again != rendered {
+			t.Fatalf("rendering not a fixed point: %q vs %q", rendered, again)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("parsed tree invalid: %v", err)
+		}
+	})
+}

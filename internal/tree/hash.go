@@ -1,0 +1,62 @@
+package tree
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Structural hashing: a Merkle-style 64-bit digest over the tree's shape
+// and labels. Equal trees always hash equally, so the hash serves as a
+// fast pre-filter for equality tests and as a grouping key for duplicate
+// detection in large collections (data cleansing, Section 1).
+
+// Hash returns a 64-bit structural digest of the tree. Hash(a) != Hash(b)
+// proves the trees differ; equal hashes are verified with Equal when exact
+// answers matter.
+func (t *Tree) Hash() uint64 {
+	if t.IsEmpty() {
+		return 0
+	}
+	return hashNode(t.Root)
+}
+
+func hashNode(n *Node) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(n.Label)))
+	h.Write(buf[:])
+	h.Write([]byte(n.Label))
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(n.Children)))
+	h.Write(buf[:])
+	for _, c := range n.Children {
+		binary.LittleEndian.PutUint64(buf[:], hashNode(c))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Dedup partitions the collection into groups of structurally identical
+// trees, returning for each distinct tree the indexes of its occurrences
+// (in ascending order, grouped under the first occurrence). Hashing makes
+// the expected cost linear in total node count; hash collisions are
+// resolved with exact Equal comparisons, so the result is always correct.
+func Dedup(ts []*Tree) map[int][]int {
+	groups := make(map[int][]int)
+	byHash := make(map[uint64][]int) // representative indexes per hash
+	for i, t := range ts {
+		h := t.Hash()
+		found := -1
+		for _, rep := range byHash[h] {
+			if Equal(ts[rep], t) {
+				found = rep
+				break
+			}
+		}
+		if found == -1 {
+			byHash[h] = append(byHash[h], i)
+			found = i
+		}
+		groups[found] = append(groups[found], i)
+	}
+	return groups
+}

@@ -1,0 +1,87 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHashEqualTreesEqualHashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	alphabet := []string{"a", "b", "c", ""}
+	for trial := 0; trial < 100; trial++ {
+		tr := randomTree(rng, 1+rng.Intn(30), alphabet)
+		if tr.Hash() != tr.Clone().Hash() {
+			t.Fatalf("clone hash differs for %s", tr)
+		}
+	}
+}
+
+func TestHashDistinguishes(t *testing.T) {
+	pairs := [][2]string{
+		{"a", "b"},
+		{"a(b,c)", "a(c,b)"},
+		{"a(b(c))", "a(b,c)"},
+		{"a(b)", "a(b,b)"},
+		{"ab", "a"}, // label boundary: not confusable with nested labels
+	}
+	for _, p := range pairs {
+		h1, h2 := MustParse(p[0]).Hash(), MustParse(p[1]).Hash()
+		if h1 == h2 {
+			t.Errorf("Hash(%q) == Hash(%q)", p[0], p[1])
+		}
+	}
+	if New(nil).Hash() != 0 {
+		t.Error("empty tree hash should be 0")
+	}
+}
+
+// TestHashLabelBoundaries: length-prefixed hashing must not confuse label
+// splits, e.g. a node "ab" with leaf child vs node "a" with child "b...".
+func TestHashLabelBoundaries(t *testing.T) {
+	a := MustParse("ab(c)")
+	b := MustParse("a(bc)")
+	if a.Hash() == b.Hash() {
+		t.Error("label boundary collision")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	ts := []*Tree{
+		MustParse("a(b,c)"), // 0
+		MustParse("x"),      // 1
+		MustParse("a(b,c)"), // 2: dup of 0
+		MustParse("a(c,b)"), // 3: distinct
+		MustParse("x"),      // 4: dup of 1
+		MustParse("a(b,c)"), // 5: dup of 0
+	}
+	groups := Dedup(ts)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3: %v", len(groups), groups)
+	}
+	if g := groups[0]; len(g) != 3 || g[0] != 0 || g[1] != 2 || g[2] != 5 {
+		t.Errorf("group of 0: %v", g)
+	}
+	if g := groups[1]; len(g) != 2 || g[0] != 1 || g[1] != 4 {
+		t.Errorf("group of 1: %v", g)
+	}
+	if g := groups[3]; len(g) != 1 || g[0] != 3 {
+		t.Errorf("group of 3: %v", g)
+	}
+}
+
+func TestDedupEmpty(t *testing.T) {
+	if groups := Dedup(nil); len(groups) != 0 {
+		t.Error("empty dedup should be empty")
+	}
+}
+
+func TestDedupAllSame(t *testing.T) {
+	ts := make([]*Tree, 10)
+	for i := range ts {
+		ts[i] = MustParse("q(w,e(r))")
+	}
+	groups := Dedup(ts)
+	if len(groups) != 1 || len(groups[0]) != 10 {
+		t.Errorf("groups = %v", groups)
+	}
+}

@@ -1,0 +1,92 @@
+package tree
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestLabelCounts(t *testing.T) {
+	got := paperT1().LabelCounts()
+	want := map[string]int{"a": 1, "b": 2, "c": 2, "d": 2, "e": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("LabelCounts = %v, want %v", got, want)
+	}
+}
+
+func TestDegreeCounts(t *testing.T) {
+	got := paperT1().DegreeCounts()
+	// a has 3 children, each b has 2, the five leaves have 0.
+	want := map[int]int{3: 1, 2: 2, 0: 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DegreeCounts = %v, want %v", got, want)
+	}
+}
+
+func TestHeightCounts(t *testing.T) {
+	got := paperT1().HeightCounts()
+	// Leaves have height 1 (×5), the b's height 2 (×2), a height 3.
+	want := map[int]int{1: 5, 2: 2, 3: 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("HeightCounts = %v, want %v", got, want)
+	}
+}
+
+func TestDepthCounts(t *testing.T) {
+	got := paperT2().DepthCounts()
+	// T2 = a(b(c,d,b(e)),c,d,e): depth1 a; depth2 b,c,d,e; depth3 c,d,b; depth4 e.
+	want := map[int]int{1: 1, 2: 4, 3: 3, 4: 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DepthCounts = %v, want %v", got, want)
+	}
+}
+
+func TestAvgDepth(t *testing.T) {
+	// a(b): depths 1,2 → 1.5
+	if got := MustParse("a(b)").AvgDepth(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("AvgDepth = %g, want 1.5", got)
+	}
+	if got := New(nil).AvgDepth(); got != 0 {
+		t.Errorf("AvgDepth(empty) = %g, want 0", got)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	if got := paperT2().MaxDegree(); got != 4 {
+		t.Errorf("MaxDegree = %d, want 4", got)
+	}
+	if got := New(nil).MaxDegree(); got != 0 {
+		t.Errorf("MaxDegree(empty) = %d, want 0", got)
+	}
+}
+
+// TestHistogramSumsEqualSize: every histogram distributes exactly the |T|
+// nodes.
+func TestHistogramSumsEqualSize(t *testing.T) {
+	for _, tr := range []*Tree{paperT1(), paperT2(), MustParse("a")} {
+		n := tr.Size()
+		sum := func(m map[int]int) int {
+			s := 0
+			for _, v := range m {
+				s += v
+			}
+			return s
+		}
+		if s := sum(tr.DegreeCounts()); s != n {
+			t.Errorf("degree histogram sums to %d, want %d", s, n)
+		}
+		if s := sum(tr.HeightCounts()); s != n {
+			t.Errorf("height histogram sums to %d, want %d", s, n)
+		}
+		if s := sum(tr.DepthCounts()); s != n {
+			t.Errorf("depth histogram sums to %d, want %d", s, n)
+		}
+		ls := 0
+		for _, v := range tr.LabelCounts() {
+			ls += v
+		}
+		if ls != n {
+			t.Errorf("label histogram sums to %d, want %d", ls, n)
+		}
+	}
+}

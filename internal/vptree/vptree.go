@@ -1,0 +1,180 @@
+// Package vptree implements a vantage-point tree over an arbitrary
+// pseudometric. The binary branch distance satisfies the triangle
+// inequality (Section 3.2 of the paper), so a VP-tree built in BDist space
+// can answer "all trees with BDist ≤ r from the query" without comparing
+// the query against every vector — and since EDist ≤ τ implies
+// BDist ≤ Factor(q)·τ, a BDist ball of radius Factor(q)·τ is a sound
+// candidate set for an edit-distance range query. This pushes the filter
+// step itself below linear for selective queries, the direction the
+// paper's conclusion gestures at ("CPU and I/O efficient solutions").
+//
+// The tree stores item identifiers only; distances are supplied as
+// callbacks, so any pseudometric space plugs in.
+package vptree
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// bucketSize is the leaf capacity; below this size recursion stops and
+// items are scanned linearly.
+const bucketSize = 12
+
+// Tree is an immutable vantage-point tree over item identifiers.
+type Tree struct {
+	nodes []node
+	root  int32
+}
+
+type node struct {
+	vp              int32 // vantage point item
+	mu              int32 // median distance: inside iff d(vp, x) <= mu
+	inside, outside int32 // child node indexes (-1 = none)
+	bucket          []int32
+	leaf            bool
+}
+
+// Build constructs a VP-tree over the given items. dist must be a
+// pseudometric (symmetric, triangle inequality); seed makes vantage-point
+// sampling deterministic.
+func Build(items []int, dist func(a, b int) int, seed int64) *Tree {
+	t := &Tree{}
+	ids := make([]int32, len(items))
+	for i, v := range items {
+		ids[i] = int32(v)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t.root = t.build(ids, dist, rng)
+	return t
+}
+
+func (t *Tree) build(ids []int32, dist func(a, b int) int, rng *rand.Rand) int32 {
+	if len(ids) == 0 {
+		return -1
+	}
+	if len(ids) <= bucketSize {
+		t.nodes = append(t.nodes, node{leaf: true, bucket: ids, inside: -1, outside: -1})
+		return int32(len(t.nodes) - 1)
+	}
+	// Pick a random vantage point and split the rest at the median
+	// distance.
+	vi := rng.Intn(len(ids))
+	ids[0], ids[vi] = ids[vi], ids[0]
+	vp := ids[0]
+	rest := ids[1:]
+
+	type distItem struct {
+		id int32
+		d  int
+	}
+	di := make([]distItem, len(rest))
+	for i, id := range rest {
+		di[i] = distItem{id: id, d: dist(int(vp), int(id))}
+	}
+	sort.Slice(di, func(x, y int) bool { return di[x].d < di[y].d })
+	mid := len(di) / 2
+	mu := di[mid].d
+	// Put everything with d <= mu inside; in degenerate (all-equal)
+	// splits fall back to a leaf to guarantee termination.
+	split := sort.Search(len(di), func(i int) bool { return di[i].d > mu })
+	if split == 0 || split == len(di) {
+		all := make([]int32, 0, len(ids))
+		all = append(all, vp)
+		for _, e := range di {
+			all = append(all, e.id)
+		}
+		t.nodes = append(t.nodes, node{leaf: true, bucket: all, inside: -1, outside: -1})
+		return int32(len(t.nodes) - 1)
+	}
+	inside := make([]int32, 0, split)
+	outside := make([]int32, 0, len(di)-split)
+	for _, e := range di[:split] {
+		inside = append(inside, e.id)
+	}
+	for _, e := range di[split:] {
+		outside = append(outside, e.id)
+	}
+
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{vp: vp, mu: int32(mu), inside: -1, outside: -1})
+	in := t.build(inside, dist, rng)
+	out := t.build(outside, dist, rng)
+	t.nodes[idx].inside = in
+	t.nodes[idx].outside = out
+	return idx
+}
+
+// Range visits every item whose distance to the query is ≤ radius.
+// distToQuery returns the distance between the query and an item; it is
+// called once per touched item (vantage points and bucket members on the
+// search path), which for selective radii is far fewer than the
+// collection size.
+func (t *Tree) Range(distToQuery func(id int) int, radius int, visit func(id int)) {
+	if radius < 0 {
+		return
+	}
+	var rec func(ni int32)
+	rec = func(ni int32) {
+		if ni < 0 {
+			return
+		}
+		n := &t.nodes[ni]
+		if n.leaf {
+			for _, id := range n.bucket {
+				if distToQuery(int(id)) <= radius {
+					visit(int(id))
+				}
+			}
+			return
+		}
+		d := distToQuery(int(n.vp))
+		if d <= radius {
+			visit(int(n.vp))
+		}
+		// Triangle inequality pruning: the inside region holds items
+		// with d(vp,x) ≤ mu, so it can contain a result only if
+		// d(vp,q) − radius ≤ mu; the outside region only if
+		// d(vp,q) + radius > mu.
+		if d-radius <= int(n.mu) {
+			rec(n.inside)
+		}
+		if d+radius > int(n.mu) {
+			rec(n.outside)
+		}
+	}
+	rec(t.root)
+}
+
+// Size returns the number of stored items.
+func (t *Tree) Size() int {
+	total := 0
+	for i := range t.nodes {
+		if t.nodes[i].leaf {
+			total += len(t.nodes[i].bucket)
+		} else {
+			total++
+		}
+	}
+	return total
+}
+
+// Depth returns the maximum node depth (1 for a single leaf).
+func (t *Tree) Depth() int {
+	var rec func(ni int32) int
+	rec = func(ni int32) int {
+		if ni < 0 {
+			return 0
+		}
+		n := &t.nodes[ni]
+		if n.leaf {
+			return 1
+		}
+		l, r := rec(n.inside), rec(n.outside)
+		if r > l {
+			l = r
+		}
+		return l + 1
+	}
+	return rec(t.root)
+}

@@ -1,0 +1,159 @@
+package vptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// lineMetric places items on the integer line; distance is |a−b| over the
+// item values.
+type lineMetric []int
+
+func (m lineMetric) dist(a, b int) int {
+	d := m[a] - m[b]
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+func buildLine(n int, seed int64) (lineMetric, *Tree) {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make(lineMetric, n)
+	ids := make([]int, n)
+	for i := range vals {
+		vals[i] = rng.Intn(1000)
+		ids[i] = i
+	}
+	return vals, Build(ids, vals.dist, seed)
+}
+
+func linearRange(m lineMetric, q, r int) []int {
+	var out []int
+	for i, v := range m {
+		d := v - q
+		if d < 0 {
+			d = -d
+		}
+		if d <= r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestRangeMatchesLinearScan(t *testing.T) {
+	m, tr := buildLine(500, 1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		q := rng.Intn(1000)
+		r := rng.Intn(100)
+		var got []int
+		tr.Range(func(id int) int {
+			d := m[id] - q
+			if d < 0 {
+				d = -d
+			}
+			return d
+		}, r, func(id int) { got = append(got, id) })
+		sort.Ints(got)
+		want := linearRange(m, q, r)
+		if len(got) != len(want) {
+			t.Fatalf("q=%d r=%d: got %d items, want %d", q, r, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("q=%d r=%d: item mismatch at %d", q, r, i)
+			}
+		}
+	}
+}
+
+func TestRangeTouchesFewItems(t *testing.T) {
+	m, tr := buildLine(2000, 3)
+	touched := 0
+	tr.Range(func(id int) int {
+		touched++
+		d := m[id] - 500
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}, 5, func(int) {})
+	if touched >= 2000/2 {
+		t.Errorf("selective range touched %d of 2000 items — no pruning", touched)
+	}
+}
+
+func TestSizeAndDepth(t *testing.T) {
+	_, tr := buildLine(300, 4)
+	if tr.Size() != 300 {
+		t.Errorf("Size = %d, want 300", tr.Size())
+	}
+	if d := tr.Depth(); d < 2 || d > 60 {
+		t.Errorf("Depth = %d implausible", d)
+	}
+}
+
+func TestDegenerateAllEqual(t *testing.T) {
+	// Every pairwise distance is 0: build must terminate (single leaf)
+	// and range must return everything for r ≥ 0.
+	n := 100
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	tr := Build(ids, func(a, b int) int { return 0 }, 5)
+	found := 0
+	tr.Range(func(int) int { return 0 }, 0, func(int) { found++ })
+	if found != n {
+		t.Errorf("found %d of %d identical items", found, n)
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	tr := Build(nil, func(a, b int) int { return 0 }, 6)
+	tr.Range(func(int) int { return 0 }, 10, func(int) {
+		t.Error("empty tree visited an item")
+	})
+	one := Build([]int{7}, func(a, b int) int { return 0 }, 7)
+	got := -1
+	one.Range(func(int) int { return 0 }, 0, func(id int) { got = id })
+	if got != 7 {
+		t.Errorf("singleton range returned %d", got)
+	}
+}
+
+func TestNegativeRadius(t *testing.T) {
+	_, tr := buildLine(50, 8)
+	tr.Range(func(int) int { return 0 }, -1, func(int) {
+		t.Error("negative radius visited an item")
+	})
+}
+
+// TestPseudometricWithTies: many duplicate coordinates exercise the
+// degenerate-split fallback inside a larger tree.
+func TestPseudometricWithTies(t *testing.T) {
+	vals := make(lineMetric, 400)
+	ids := make([]int, 400)
+	for i := range vals {
+		vals[i] = (i % 5) * 10 // only 5 distinct positions
+		ids[i] = i
+	}
+	tr := Build(ids, vals.dist, 9)
+	if tr.Size() != 400 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	var got []int
+	tr.Range(func(id int) int {
+		d := vals[id] - 20
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}, 0, func(id int) { got = append(got, id) })
+	if len(got) != 80 { // ids with value 20
+		t.Errorf("found %d items at distance 0, want 80", len(got))
+	}
+}

@@ -1,0 +1,65 @@
+package xmltree
+
+import (
+	"testing"
+
+	"treesim/internal/tree"
+)
+
+// FuzzParseString checks that arbitrary input never panics the XML
+// conversion, and that documents it accepts survive a Marshal/Parse round
+// trip whenever they are marshalable.
+func FuzzParseString(f *testing.F) {
+	seeds := []string{
+		"<a/>",
+		"<a><b>text</b></a>",
+		`<a id="1"><b/></a>`,
+		"<a>&lt;x&gt;</a>",
+		"<a><![CDATA[raw]]></a>",
+		"<a>",
+		"</a>",
+		"<a/><b/>",
+		"plain text",
+		"<a xmlns:x='u'><x:b/></a>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	allValidNames := func(tr *tree.Tree) bool {
+		ok := true
+		tr.Walk(func(n *tree.Node) bool {
+			if !ValidName(n.Label) {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, opts := range []Options{{}, DefaultOptions(), {IncludeText: true, IncludeAttributes: true}} {
+			tr, err := ParseString(input, opts)
+			if err != nil {
+				continue
+			}
+			if tr.IsEmpty() {
+				t.Fatalf("successful parse of %q produced empty tree", input)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("parsed tree invalid for %q: %v", input, err)
+			}
+			out, err := Marshal(tr)
+			if err != nil {
+				continue // e.g. labels that are not valid XML names
+			}
+			tr2, err := ParseString(out, opts)
+			if err != nil {
+				t.Fatalf("marshaled form %q of %q does not re-parse: %v", out, input, err)
+			}
+			// Losslessness is guaranteed only on the all-element subset:
+			// text leaves merge under XML semantics, attributes reorder.
+			if allValidNames(tr) && !tree.Equal(tr, tr2) {
+				t.Fatalf("round trip changed all-element tree: %q -> %q", input, out)
+			}
+		}
+	})
+}

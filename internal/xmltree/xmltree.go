@@ -1,0 +1,183 @@
+// Package xmltree converts XML documents to and from the rooted, ordered,
+// labeled trees of this repository. XML is the paper's motivating data
+// model: element nesting gives the tree structure, document order gives the
+// sibling order, and tag names (plus, optionally, attributes and text
+// content) give the labels.
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"treesim/internal/tree"
+)
+
+// Options controls how XML constructs map to tree nodes.
+type Options struct {
+	// IncludeText adds a leaf child per non-whitespace character data run,
+	// labeled with the trimmed text. Content-bearing similarity (e.g.
+	// catching spelling errors in DBLP records) needs this.
+	IncludeText bool
+	// IncludeAttributes adds one child per attribute, labeled "@name",
+	// with a leaf child holding the value when IncludeText is set.
+	IncludeAttributes bool
+}
+
+// DefaultOptions includes text but not attributes — the mapping used
+// throughout the experiments.
+func DefaultOptions() Options { return Options{IncludeText: true} }
+
+// Parse decodes one XML document from r into a tree.
+func Parse(r io.Reader, opts Options) (*tree.Tree, error) {
+	dec := xml.NewDecoder(r)
+	var root *tree.Node
+	var stack []*tree.Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &tree.Node{Label: t.Name.Local}
+			if opts.IncludeAttributes {
+				for _, a := range t.Attr {
+					attr := &tree.Node{Label: "@" + a.Name.Local}
+					if opts.IncludeText && a.Value != "" {
+						attr.Children = []*tree.Node{{Label: a.Value}}
+					}
+					n.Children = append(n.Children, attr)
+				}
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: multiple root elements")
+				}
+				root = n
+			} else {
+				p := stack[len(stack)-1]
+				p.Children = append(p.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: unbalanced end element %q", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if !opts.IncludeText || len(stack) == 0 {
+				continue
+			}
+			text := strings.TrimSpace(string(t))
+			if text == "" {
+				continue
+			}
+			p := stack[len(stack)-1]
+			p.Children = append(p.Children, &tree.Node{Label: text})
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: unterminated element %q", stack[len(stack)-1].Label)
+	}
+	return tree.New(root), nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string, opts Options) (*tree.Tree, error) {
+	return Parse(strings.NewReader(s), opts)
+}
+
+// MustParseString is ParseString that panics on error, for literals in
+// tests and examples.
+func MustParseString(s string, opts Options) *tree.Tree {
+	t, err := ParseString(s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Marshal renders a tree as an XML document. Nodes whose label starts with
+// "@" become attributes of their parent (their first child's label is the
+// value); leaf nodes whose label is not a valid XML name are rendered as
+// text content; all other nodes become elements. Marshal(Parse(x)) is
+// structure-preserving for documents produced by this package.
+func Marshal(t *tree.Tree) (string, error) {
+	if t.IsEmpty() {
+		return "", fmt.Errorf("xmltree: cannot marshal the empty tree")
+	}
+	var sb strings.Builder
+	if err := writeElem(&sb, t.Root); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func writeElem(sb *strings.Builder, n *tree.Node) error {
+	if !validName(n.Label) {
+		return fmt.Errorf("xmltree: label %q is not a valid element name", n.Label)
+	}
+	sb.WriteByte('<')
+	sb.WriteString(n.Label)
+	rest := make([]*tree.Node, 0, len(n.Children))
+	for _, c := range n.Children {
+		if strings.HasPrefix(c.Label, "@") && validName(c.Label[1:]) {
+			val := ""
+			if len(c.Children) == 1 && c.Children[0].IsLeaf() {
+				val = c.Children[0].Label
+			}
+			fmt.Fprintf(sb, " %s=%q", c.Label[1:], val)
+			continue
+		}
+		rest = append(rest, c)
+	}
+	if len(rest) == 0 {
+		sb.WriteString("/>")
+		return nil
+	}
+	sb.WriteByte('>')
+	for _, c := range rest {
+		if c.IsLeaf() && !validName(c.Label) {
+			xml.EscapeText(sb, []byte(c.Label))
+			continue
+		}
+		if err := writeElem(sb, c); err != nil {
+			return err
+		}
+	}
+	sb.WriteString("</")
+	sb.WriteString(n.Label)
+	sb.WriteByte('>')
+	return nil
+}
+
+// ValidName reports whether s is usable as an XML element/attribute name
+// (conservative ASCII subset). Trees whose every label is a valid name
+// marshal losslessly: Parse(Marshal(t)) is structurally equal to t.
+// Other labels are rendered as text content (leaves) or attributes, where
+// XML's own semantics (adjacent text runs merge into one) can coarsen the
+// structure.
+func ValidName(s string) bool { return validName(s) }
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case i > 0 && (r >= '0' && r <= '9' || r == '-' || r == '.'):
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,161 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+
+	"treesim/internal/tree"
+)
+
+func TestParseElementsOnly(t *testing.T) {
+	doc := `<a><b><c/><d/></b><e/></a>`
+	got, err := ParseString(doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tree.MustParse("a(b(c,d),e)")
+	if !tree.Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestParseWithText(t *testing.T) {
+	doc := `<article><author>Jane Doe</author><year>2005</year></article>`
+	got, err := ParseString(doc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tree.MustParse("article(author('Jane Doe'),year(2005))")
+	if !tree.Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestParseWhitespaceIgnored(t *testing.T) {
+	doc := "<a>\n  <b>x</b>\n  <c/>\n</a>"
+	got, err := ParseString(doc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tree.MustParse("a(b(x),c)")
+	if !tree.Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	doc := `<a id="7" lang="en"><b ref="x"/></a>`
+	got, err := ParseString(doc, Options{IncludeAttributes: true, IncludeText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tree.MustParse("a('@id'(7),'@lang'(en),b('@ref'(x)))")
+	if !tree.Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+	// Attributes off: they disappear entirely.
+	got2, err := ParseString(doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(got2, tree.MustParse("a(b)")) {
+		t.Errorf("without attributes: %s", got2)
+	}
+}
+
+func TestParseEntitiesAndCDATA(t *testing.T) {
+	doc := `<t>&lt;hello&gt;<![CDATA[ raw & data ]]></t>`
+	got, err := ParseString(doc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// encoding/xml merges adjacent character data per token; expect two
+	// text children (entity run, CDATA run) or one merged — accept both
+	// by checking the label content.
+	labels := got.Root.Children
+	joined := ""
+	for _, c := range labels {
+		joined += c.Label
+	}
+	if !strings.Contains(joined, "<hello>") || !strings.Contains(joined, "raw & data") {
+		t.Errorf("text content lost: %q", joined)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"<a>",
+		"<a></b>",
+		"<a/><b/>", // multiple roots
+		"just text",
+	}
+	for _, doc := range bad {
+		if _, err := ParseString(doc, DefaultOptions()); err == nil {
+			t.Errorf("ParseString(%q) unexpectedly succeeded", doc)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	docs := []string{
+		`<a><b><c/><d/></b><e/></a>`,
+		`<article><author>Jane Doe</author><year>2005</year></article>`,
+		`<x><y>a &amp; b</y></x>`,
+	}
+	for _, doc := range docs {
+		t1, err := ParseString(doc, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Marshal(t1)
+		if err != nil {
+			t.Fatalf("Marshal(%q): %v", doc, err)
+		}
+		t2, err := ParseString(out, DefaultOptions())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", out, err)
+		}
+		if !tree.Equal(t1, t2) {
+			t.Errorf("round trip changed tree: %q -> %q", doc, out)
+		}
+	}
+}
+
+func TestMarshalAttributes(t *testing.T) {
+	tr := tree.MustParse("a('@id'(7),b)")
+	out, err := Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `id="7"`) {
+		t.Errorf("attribute lost: %q", out)
+	}
+	back, err := ParseString(out, Options{IncludeAttributes: true, IncludeText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(tr, back) {
+		t.Errorf("attribute round trip: %s vs %s", tr, back)
+	}
+}
+
+func TestMarshalErrors(t *testing.T) {
+	if _, err := Marshal(tree.New(nil)); err == nil {
+		t.Error("empty tree marshaled")
+	}
+	// Root with an invalid element name cannot be marshaled.
+	if _, err := Marshal(tree.MustParse("'not a name'(x)")); err == nil {
+		t.Error("invalid root name marshaled")
+	}
+}
+
+func TestMustParseStringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseString should panic on bad input")
+		}
+	}()
+	MustParseString("<a>", DefaultOptions())
+}

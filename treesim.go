@@ -1,0 +1,272 @@
+// Package treesim is a library for similarity evaluation on tree-structured
+// data, implementing Yang, Kalnis and Tung, "Similarity Evaluation on
+// Tree-structured Data" (SIGMOD 2005).
+//
+// The core idea: a rooted, ordered, labeled tree is transformed into a
+// sparse numeric vector counting its *binary branches* — the one-level
+// branch structures of the tree's left-child/right-sibling binary
+// representation. The L1 distance of two such vectors (the binary branch
+// distance) is computable in O(|T1|+|T2|) and lower-bounds the tree edit
+// distance scaled by a constant:
+//
+//	BDist_q(T1,T2) ≤ [4(q−1)+1] · EDist(T1,T2)
+//
+// so similarity queries under the (expensive) tree edit distance can run in
+// a filter-and-refine loop that prunes most candidates with the cheap
+// bound and computes the exact Zhang–Shasha distance only for survivors —
+// with exact results guaranteed.
+//
+// # Quick start
+//
+//	t1 := treesim.MustParseTree("a(b(c,d),b(c,d),e)")
+//	t2 := treesim.MustParseTree("a(b(c,d,b(e)),c,d,e)")
+//	d := treesim.EditDistance(t1, t2)                 // 3
+//
+//	space := treesim.NewBranchSpace(2)
+//	p1, p2 := space.Profile(t1), space.Profile(t2)
+//	bd := treesim.BDist(p1, p2)                       // 9 → EDist ≥ 2
+//
+//	ix := treesim.NewIndex(dataset, treesim.NewBiBranchFilter())
+//	top5, stats := ix.KNN(query, 5)
+//
+// See the examples directory for XML search, RNA structure retrieval,
+// clustering and similarity joins, and cmd/experiments for the paper's
+// full evaluation suite.
+package treesim
+
+import (
+	"io"
+
+	"treesim/internal/branch"
+	"treesim/internal/datagen"
+	"treesim/internal/dataset"
+	"treesim/internal/dblp"
+	"treesim/internal/editdist"
+	"treesim/internal/join"
+	"treesim/internal/rna"
+	"treesim/internal/search"
+	"treesim/internal/tree"
+	"treesim/internal/xmltree"
+)
+
+// Trees.
+
+// Tree is a rooted, ordered, labeled tree.
+type Tree = tree.Tree
+
+// Node is a node of a Tree; children are ordered left to right.
+type Node = tree.Node
+
+// NewTree returns a tree rooted at root (nil means the empty tree).
+func NewTree(root *Node) *Tree { return tree.New(root) }
+
+// NewNode returns a node with the given label and children.
+func NewNode(label string, children ...*Node) *Node { return tree.NewNode(label, children...) }
+
+// ParseTree decodes a tree from the canonical text format, e.g.
+// "a(b(c,d),e)"; labels with special characters are single-quoted.
+func ParseTree(s string) (*Tree, error) { return tree.Parse(s) }
+
+// MustParseTree is ParseTree that panics on malformed input.
+func MustParseTree(s string) *Tree { return tree.MustParse(s) }
+
+// Edit distance.
+
+// CostModel assigns costs to relabel/insert/delete operations.
+type CostModel = editdist.CostModel
+
+// UnitCost charges 1 per operation — the paper's model, under which the
+// edit distance is a metric.
+type UnitCost = editdist.UnitCost
+
+// EditDistance returns the unit-cost tree edit distance (Zhang–Shasha).
+func EditDistance(t1, t2 *Tree) int { return editdist.Distance(t1, t2) }
+
+// EditDistanceCost returns the tree edit distance under a custom cost
+// model.
+func EditDistanceCost(t1, t2 *Tree, c CostModel) int { return editdist.DistanceCost(t1, t2, c) }
+
+// ConstrainedEditDistance returns Zhang's constrained edit distance
+// (Pattern Recognition 1995): an O(|T1|·|T2|) metric that upper-bounds the
+// unrestricted edit distance by restricting mappings so separate subtrees
+// map to separate subtrees.
+func ConstrainedEditDistance(t1, t2 *Tree) int { return editdist.ConstrainedDistance(t1, t2) }
+
+// Binary branch embedding (the paper's contribution).
+
+// BranchSpace interns the q-level binary branches of a dataset into vector
+// dimensions; profiles from one space are mutually comparable.
+type BranchSpace = branch.Space
+
+// BranchProfile is a tree's branch vector plus positional information.
+type BranchProfile = branch.Profile
+
+// NewBranchSpace returns a branch space at level q ≥ 2 (q = 2 is the
+// two-level binary branch of the paper's Definition 2).
+func NewBranchSpace(q int) *BranchSpace { return branch.NewSpace(q) }
+
+// BDist returns the binary branch distance — the L1 distance of the branch
+// vectors, computed in O(|T1|+|T2|).
+func BDist(a, b *BranchProfile) int { return branch.BDist(a, b) }
+
+// BranchFactor returns 4(q−1)+1, the per-operation bound of Theorems
+// 3.2/3.3: BDist_q ≤ BranchFactor(q)·EDist.
+func BranchFactor(q int) int { return branch.Factor(q) }
+
+// EditLowerBound converts a q-level branch distance into an edit-distance
+// lower bound: ceil(bdist/BranchFactor(q)).
+func EditLowerBound(bdist, q int) int { return branch.EditLowerBound(bdist, q) }
+
+// PosBDist returns the positional binary branch distance at positional
+// range pr (Definition 6): like BDist, but occurrences of a branch match
+// only when their preorder and postorder positions are within pr.
+func PosBDist(a, b *BranchProfile, pr int) int { return branch.PosBDist(a, b, pr) }
+
+// SearchLBound returns the optimistic positional lower bound on the edit
+// distance (Section 4.3) — always at least EditLowerBound(BDist(a,b), q).
+func SearchLBound(a, b *BranchProfile) int { return branch.SearchLBound(a, b) }
+
+// Similarity search.
+
+// Index is a similarity-searchable tree collection (filter-and-refine).
+type Index = search.Index
+
+// Filter produces edit-distance lower bounds for pruning.
+type Filter = search.Filter
+
+// Result is one similarity query answer: dataset position and exact
+// distance.
+type Result = search.Result
+
+// Stats reports what a query cost (verified count, filter/refine time).
+type Stats = search.Stats
+
+// NewIndex preprocesses a dataset under the given filter (nil = none, i.e.
+// sequential scan) with unit edit costs.
+func NewIndex(ts []*Tree, f Filter) *Index { return search.NewIndex(ts, f) }
+
+// NewIndexCost is NewIndex with a custom refine cost model; filtering
+// remains exact as long as every operation costs at least 1.
+func NewIndexCost(ts []*Tree, f Filter, c CostModel) *Index {
+	return search.NewIndexCost(ts, f, c)
+}
+
+// NewBiBranchFilter returns the paper's filter: two-level binary branches
+// with the positional optimistic bound.
+func NewBiBranchFilter() Filter { return search.NewBiBranch() }
+
+// NewBiBranchFilterQ returns a binary branch filter at level q, optionally
+// without the positional bound (plain ceil(BDist/factor) filtering).
+func NewBiBranchFilterQ(q int, positional bool) Filter {
+	return &search.BiBranch{Q: q, Positional: positional}
+}
+
+// NewHistoFilter returns the histogram filtration baseline of Kailing et
+// al. with the paper's equal-space sizing.
+func NewHistoFilter() Filter { return search.NewHisto() }
+
+// NewSeqFilter returns the preorder/postorder sequence lower bound filter
+// of Guha et al. (quadratic per pair; included as a baseline).
+func NewSeqFilter() Filter { return search.NewSeq() }
+
+// NewNoFilter disables filtering (sequential scan).
+func NewNoFilter() Filter { return search.NewNone() }
+
+// NewPivotFilter returns the pivot-cascade variant of the BiBranch filter:
+// precomputed distances to a few pivot trees give an O(#pivots) stage-one
+// bound per candidate (via BDist's triangle inequality) before the full
+// positional bound runs.
+func NewPivotFilter() Filter { return search.NewPivotBiBranch() }
+
+// NewVPTreeFilter returns the BiBranch filter with a vantage-point tree
+// over the BDist pseudometric: range queries enumerate a sound candidate
+// ball without touching every indexed vector.
+func NewVPTreeFilter() Filter { return search.NewVPBiBranch() }
+
+// Similarity joins.
+
+// JoinPair is one result of a similarity join.
+type JoinPair = join.Pair
+
+// JoinStats reports a join's pruning statistics.
+type JoinStats = join.Stats
+
+// JoinOptions tunes a similarity join.
+type JoinOptions = join.Options
+
+// SelfJoin returns every unordered pair of trees within edit distance tau,
+// filter-and-refine accelerated and exact.
+func SelfJoin(ts []*Tree, tau int, opts JoinOptions) ([]JoinPair, JoinStats) {
+	return join.SelfJoin(ts, tau, opts)
+}
+
+// SimilarityJoin returns every pair (r ∈ rs, s ∈ ss) within edit distance
+// tau.
+func SimilarityJoin(rs, ss []*Tree, tau int, opts JoinOptions) ([]JoinPair, JoinStats) {
+	return join.Join(rs, ss, tau, opts)
+}
+
+// Data sources.
+
+// GeneratorSpec describes the paper's synthetic tree generator, e.g.
+// parsed from "N{4,0.5}N{50,2}L8D0.05".
+type GeneratorSpec = datagen.Spec
+
+// ParseGeneratorSpec parses the paper's dataset notation.
+func ParseGeneratorSpec(s string) (GeneratorSpec, error) { return datagen.ParseSpec(s) }
+
+// GenerateDataset produces n synthetic trees from the spec using the given
+// number of seed trees (mutation chains) and random seed.
+func GenerateDataset(spec GeneratorSpec, n, seeds int, seed int64) []*Tree {
+	return datagen.New(spec, seed).Dataset(n, seeds)
+}
+
+// GenerateDBLP produces n DBLP-like bibliographic record trees.
+func GenerateDBLP(n int, seed int64) []*Tree { return dblp.New(seed).Dataset(n) }
+
+// XMLOptions controls XML→tree conversion.
+type XMLOptions = xmltree.Options
+
+// ParseXML converts one XML document into a tree.
+func ParseXML(r io.Reader, opts XMLOptions) (*Tree, error) { return xmltree.Parse(r, opts) }
+
+// ParseXMLString converts an XML string into a tree.
+func ParseXMLString(s string, opts XMLOptions) (*Tree, error) {
+	return xmltree.ParseString(s, opts)
+}
+
+// DefaultXMLOptions includes element text as leaf labels.
+func DefaultXMLOptions() XMLOptions { return xmltree.DefaultOptions() }
+
+// RNAMolecule is an RNA sequence with dot-bracket secondary structure; its
+// Tree method yields the structure tree used for similarity search.
+type RNAMolecule = rna.Molecule
+
+// Datasets and indexes on disk.
+
+// SaveDataset writes trees in the native line format.
+func SaveDataset(w io.Writer, ts []*Tree) error { return dataset.Save(w, ts) }
+
+// LoadDataset reads trees in the native line format.
+func LoadDataset(r io.Reader) ([]*Tree, error) { return dataset.Load(r) }
+
+// SaveIndex serializes a BiBranch-filtered index (dataset plus pre-built
+// branch vectors) so it can be reloaded without re-profiling.
+func SaveIndex(w io.Writer, ix *Index) error { return search.SaveIndex(w, ix) }
+
+// LoadIndex reloads an index saved with SaveIndex.
+func LoadIndex(r io.Reader) (*Index, error) { return search.LoadIndex(r) }
+
+// Edit scripts.
+
+// EditOp is one step of an optimal edit script.
+type EditOp = editdist.Op
+
+// EditScriptResult is an optimal edit script: the minimum-cost operation
+// sequence transforming one tree into another, with the underlying Tai
+// mapping.
+type EditScriptResult = editdist.Script
+
+// EditScript backtraces the Zhang–Shasha dynamic program into an optimal
+// unit-cost edit script from t1 to t2; its Cost equals EditDistance(t1,t2).
+func EditScript(t1, t2 *Tree) *EditScriptResult { return editdist.EditScript(t1, t2) }

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 gate: build, vet, test, and race-test the whole module.
+# Equivalent to `make ci`; kept as a shell script for environments
+# without make.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "ci: all green"

@@ -10,6 +10,8 @@
 // Datasets are line-format files (see cmd/treegen) or directories of XML
 // documents (-xml dir). Filters: bibranch (default; the paper's positional
 // binary branch bound), bibranch-nopos, histo, seq, none.
+//
+// For a long-lived server over the same engine, see cmd/treesimd.
 package main
 
 import (
@@ -28,27 +30,37 @@ import (
 	"treesim/internal/xmltree"
 )
 
+// Every subcommand returns an error instead of exiting, so failures (a
+// missing dataset file, an unparsable query) surface as a clear message
+// and exit code 1 — and so tests can exercise the failure paths
+// in-process.
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	var err error
 	switch os.Args[1] {
 	case "knn":
-		runKNN(os.Args[2:])
+		err = runKNN(os.Args[2:])
 	case "range":
-		runRange(os.Args[2:])
+		err = runRange(os.Args[2:])
 	case "dist":
-		runDist(os.Args[2:])
+		err = runDist(os.Args[2:])
 	case "diff":
-		runDiff(os.Args[2:])
+		err = runDiff(os.Args[2:])
 	case "stats":
-		runStats(os.Args[2:])
+		err = runStats(os.Args[2:])
 	case "index":
-		runIndex(os.Args[2:])
+		err = runIndex(os.Args[2:])
 	case "selfjoin":
-		runSelfJoin(os.Args[2:])
+		err = runSelfJoin(os.Args[2:])
 	default:
 		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "treesim: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -78,37 +90,56 @@ func (d *dataFlags) register(fs *flag.FlagSet) {
 }
 
 // buildIndex loads or builds the search index and resolves the query tree.
-func (d *dataFlags) buildIndex() (*search.Index, *tree.Tree) {
+func (d *dataFlags) buildIndex() (*search.Index, *tree.Tree, error) {
 	if d.index != "" {
 		f, err := os.Open(d.index)
-		fatalIf(err)
+		if err != nil {
+			return nil, nil, err
+		}
 		defer f.Close()
 		ix, err := search.LoadIndex(f)
-		fatalIf(err)
-		q := d.resolveQuery(nil, ix)
-		return ix, q
+		if err != nil {
+			return nil, nil, err
+		}
+		q, err := d.resolveQuery(ix.Size())
+		if err != nil {
+			return nil, nil, err
+		}
+		if q == nil {
+			q = ix.Tree(d.queryIndex)
+		}
+		return ix, q, nil
 	}
-	ts, q := d.load()
-	return search.NewIndex(ts, d.makeFilter()), q
+	ts, q, err := d.load()
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := d.makeFilter()
+	if err != nil {
+		return nil, nil, err
+	}
+	return search.NewIndex(ts, f), q, nil
 }
 
-// resolveQuery picks the query from -query or -query-index against a
-// loaded index.
-func (d *dataFlags) resolveQuery(_ []*tree.Tree, ix *search.Index) *tree.Tree {
+// resolveQuery parses -query, or validates -query-index against a dataset
+// of n trees (returning nil, nil to mean "use tree -query-index").
+func (d *dataFlags) resolveQuery(n int) (*tree.Tree, error) {
 	switch {
 	case d.query != "":
 		q, err := tree.Parse(d.query)
-		fatalIf(err)
-		return q
-	case d.queryIndex >= 0 && d.queryIndex < ix.Size():
-		return ix.Tree(d.queryIndex)
+		if err != nil {
+			return nil, fmt.Errorf("bad -query: %w", err)
+		}
+		return q, nil
+	case d.queryIndex >= 0 && d.queryIndex < n:
+		return nil, nil
 	default:
-		fatalIf(fmt.Errorf("need -query or a valid -query-index (0..%d)", ix.Size()-1))
-		return nil
+		return nil, fmt.Errorf("need -query or a valid -query-index (0..%d)", n-1)
 	}
 }
 
-func (d *dataFlags) load() ([]*tree.Tree, *tree.Tree) {
+// loadData loads the dataset from -data or -xml.
+func (d *dataFlags) loadData() ([]*tree.Tree, error) {
 	var ts []*tree.Tree
 	var err error
 	switch {
@@ -119,44 +150,48 @@ func (d *dataFlags) load() ([]*tree.Tree, *tree.Tree) {
 	default:
 		err = fmt.Errorf("need -data or -xml")
 	}
-	fatalIf(err)
+	if err != nil {
+		return nil, err
+	}
 	if len(ts) == 0 {
-		fatalIf(fmt.Errorf("dataset is empty"))
+		return nil, fmt.Errorf("dataset is empty")
 	}
-
-	var q *tree.Tree
-	switch {
-	case d.query != "":
-		q, err = tree.Parse(d.query)
-		fatalIf(err)
-	case d.queryIndex >= 0 && d.queryIndex < len(ts):
-		q = ts[d.queryIndex]
-	default:
-		err = fmt.Errorf("need -query or a valid -query-index (0..%d)", len(ts)-1)
-		fatalIf(err)
-	}
-	return ts, q
+	return ts, nil
 }
 
-func (d *dataFlags) makeFilter() search.Filter {
+func (d *dataFlags) load() ([]*tree.Tree, *tree.Tree, error) {
+	ts, err := d.loadData()
+	if err != nil {
+		return nil, nil, err
+	}
+	q, err := d.resolveQuery(len(ts))
+	if err != nil {
+		return nil, nil, err
+	}
+	if q == nil {
+		q = ts[d.queryIndex]
+	}
+	return ts, q, nil
+}
+
+func (d *dataFlags) makeFilter() (search.Filter, error) {
 	switch d.filter {
 	case "bibranch":
-		return &search.BiBranch{Q: d.q, Positional: true}
+		return &search.BiBranch{Q: d.q, Positional: true}, nil
 	case "bibranch-nopos":
-		return &search.BiBranch{Q: d.q, Positional: false}
+		return &search.BiBranch{Q: d.q, Positional: false}, nil
 	case "histo":
-		return search.NewHisto()
+		return search.NewHisto(), nil
 	case "seq":
-		return search.NewSeq()
+		return search.NewSeq(), nil
 	case "none":
-		return search.NewNone()
+		return search.NewNone(), nil
 	default:
-		fatalIf(fmt.Errorf("unknown filter %q", d.filter))
-		return nil
+		return nil, fmt.Errorf("unknown filter %q", d.filter)
 	}
 }
 
-func runKNN(args []string) {
+func runKNN(args []string) error {
 	fs := flag.NewFlagSet("knn", flag.ExitOnError)
 	var df dataFlags
 	df.register(fs)
@@ -164,7 +199,10 @@ func runKNN(args []string) {
 	fs.Parse(args)
 
 	start := time.Now()
-	ix, q := df.buildIndex()
+	ix, q, err := df.buildIndex()
+	if err != nil {
+		return err
+	}
 	buildTime := time.Since(start)
 	res, stats := ix.KNN(q, *k)
 
@@ -174,16 +212,20 @@ func runKNN(args []string) {
 	for rank, r := range res {
 		fmt.Printf("%3d. dist=%d  id=%d  %s\n", rank+1, r.Dist, r.ID, ix.Tree(r.ID))
 	}
+	return nil
 }
 
-func runRange(args []string) {
+func runRange(args []string) error {
 	fs := flag.NewFlagSet("range", flag.ExitOnError)
 	var df dataFlags
 	df.register(fs)
 	tau := fs.Int("tau", 2, "range radius (edit distance)")
 	fs.Parse(args)
 
-	ix, q := df.buildIndex()
+	ix, q, err := df.buildIndex()
+	if err != nil {
+		return err
+	}
 	res, stats := ix.Range(q, *tau)
 
 	fmt.Printf("index: %d trees, filter %s\n", ix.Size(), ix.Filter().Name())
@@ -192,20 +234,25 @@ func runRange(args []string) {
 	for _, r := range res {
 		fmt.Printf("dist=%d  id=%d  %s\n", r.Dist, r.ID, ix.Tree(r.ID))
 	}
+	return nil
 }
 
-func runDist(args []string) {
+func runDist(args []string) error {
 	fs := flag.NewFlagSet("dist", flag.ExitOnError)
 	q := fs.Int("q", 2, "binary branch level")
 	fs.Parse(args)
 	rest := fs.Args()
 	if len(rest) != 2 {
-		fatalIf(fmt.Errorf("dist needs exactly two tree arguments"))
+		return fmt.Errorf("dist needs exactly two tree arguments")
 	}
 	t1, err := tree.Parse(rest[0])
-	fatalIf(err)
+	if err != nil {
+		return fmt.Errorf("bad first tree: %w", err)
+	}
 	t2, err := tree.Parse(rest[1])
-	fatalIf(err)
+	if err != nil {
+		return fmt.Errorf("bad second tree: %w", err)
+	}
 
 	space := branch.NewSpace(*q)
 	p1, p2 := space.Profile(t1), space.Profile(t2)
@@ -215,74 +262,71 @@ func runDist(args []string) {
 	fmt.Printf("binary branch dist:   %d (lower bound %d)\n", bd, branch.EditLowerBound(bd, *q))
 	fmt.Printf("positional bound:     %d\n", branch.SearchLBound(p1, p2))
 	fmt.Printf("sequence lower bound: %d\n", editdist.SequenceLowerBound(t1, t2))
+	return nil
 }
 
 // runDiff prints an optimal edit script between two trees.
-func runDiff(args []string) {
+func runDiff(args []string) error {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	fs.Parse(args)
 	rest := fs.Args()
 	if len(rest) != 2 {
-		fatalIf(fmt.Errorf("diff needs exactly two tree arguments"))
+		return fmt.Errorf("diff needs exactly two tree arguments")
 	}
 	t1, err := tree.Parse(rest[0])
-	fatalIf(err)
+	if err != nil {
+		return fmt.Errorf("bad first tree: %w", err)
+	}
 	t2, err := tree.Parse(rest[1])
-	fatalIf(err)
+	if err != nil {
+		return fmt.Errorf("bad second tree: %w", err)
+	}
 	fmt.Print(editdist.EditScript(t1, t2))
+	return nil
 }
 
 // runIndex builds a BiBranch index from a dataset and saves it.
-func runIndex(args []string) {
+func runIndex(args []string) error {
 	fs := flag.NewFlagSet("index", flag.ExitOnError)
 	var df dataFlags
 	df.register(fs)
 	out := fs.String("o", "index.tsix", "output index file")
 	fs.Parse(args)
 
-	var ts []*tree.Tree
-	var err error
-	switch {
-	case df.data != "":
-		ts, err = dataset.LoadFile(df.data)
-	case df.xmlDir != "":
-		ts, _, err = dataset.LoadXMLDir(df.xmlDir, xmltree.DefaultOptions())
-	default:
-		err = fmt.Errorf("need -data or -xml")
+	ts, err := df.loadData()
+	if err != nil {
+		return err
 	}
-	fatalIf(err)
 
 	positional := df.filter != "bibranch-nopos"
 	start := time.Now()
 	ix := search.NewIndex(ts, &search.BiBranch{Q: df.q, Positional: positional})
 	f, err := os.Create(*out)
-	fatalIf(err)
+	if err != nil {
+		return err
+	}
 	err = search.SaveIndex(f, ix)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
-	fatalIf(err)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("indexed %d trees (q=%d, positional=%v) into %s in %v\n",
 		ix.Size(), df.q, positional, *out, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
-func runStats(args []string) {
+func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	var df dataFlags
 	df.register(fs)
 	fs.Parse(args)
 
-	var ts []*tree.Tree
-	var err error
-	switch {
-	case df.data != "":
-		ts, err = dataset.LoadFile(df.data)
-	case df.xmlDir != "":
-		ts, _, err = dataset.LoadXMLDir(df.xmlDir, xmltree.DefaultOptions())
-	default:
-		err = fmt.Errorf("need -data or -xml")
+	ts, err := df.loadData()
+	if err != nil {
+		return err
 	}
-	fatalIf(err)
 
 	var size, height, leaves int
 	labels := map[string]bool{}
@@ -303,10 +347,11 @@ func runStats(args []string) {
 	fmt.Printf("avg leaves:      %.2f\n", float64(leaves)/n)
 	fmt.Printf("distinct labels: %d\n", len(labels))
 	fmt.Printf("branch space:    %s distinct %d-level branches\n", strconv.Itoa(space.Size()), df.q)
+	return nil
 }
 
 // runSelfJoin finds every pair of dataset trees within edit distance tau.
-func runSelfJoin(args []string) {
+func runSelfJoin(args []string) error {
 	fs := flag.NewFlagSet("selfjoin", flag.ExitOnError)
 	var df dataFlags
 	df.register(fs)
@@ -315,17 +360,10 @@ func runSelfJoin(args []string) {
 	limit := fs.Int("limit", 20, "print at most this many pairs (0 = all)")
 	fs.Parse(args)
 
-	var ts []*tree.Tree
-	var err error
-	switch {
-	case df.data != "":
-		ts, err = dataset.LoadFile(df.data)
-	case df.xmlDir != "":
-		ts, _, err = dataset.LoadXMLDir(df.xmlDir, xmltree.DefaultOptions())
-	default:
-		err = fmt.Errorf("need -data or -xml")
+	ts, err := df.loadData()
+	if err != nil {
+		return err
 	}
-	fatalIf(err)
 
 	start := time.Now()
 	pairs, stats := join.SelfJoin(ts, *tau, join.Options{Q: df.q, Workers: *workers})
@@ -342,6 +380,7 @@ func runSelfJoin(args []string) {
 		}
 		fmt.Printf("dist=%d  (%d, %d)\n", p.Dist, p.R, p.S)
 	}
+	return nil
 }
 
 func max(a, b int) int {
@@ -349,11 +388,4 @@ func max(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "treesim: %v\n", err)
-		os.Exit(1)
-	}
 }

@@ -160,3 +160,85 @@ func TestXMLDirInput(t *testing.T) {
 }
 
 func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+// TestMissingDatasetError: a missing dataset file is a returned error (so
+// main exits 1 with a message), never a panic or a zero exit.
+func TestMissingDatasetError(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.trees")
+	for name, fn := range map[string]func([]string) error{
+		"knn":      runKNN,
+		"range":    runRange,
+		"stats":    runStats,
+		"index":    runIndex,
+		"selfjoin": runSelfJoin,
+	} {
+		err := fn([]string{"-data", missing, "-query", "a(b)"})
+		if name == "stats" || name == "index" || name == "selfjoin" {
+			err = fn([]string{"-data", missing})
+		}
+		if err == nil {
+			t.Errorf("%s with missing dataset: nil error", name)
+			continue
+		}
+		if !contains(err.Error(), "no such file") {
+			t.Errorf("%s with missing dataset: unclear error %q", name, err)
+		}
+	}
+}
+
+// TestBadQueryError: an unparsable -query is a clear returned error.
+func TestBadQueryError(t *testing.T) {
+	data := writeTestData(t)
+	err := runKNN([]string{"-data", data, "-query", "a(b", "-k", "2"})
+	if err == nil || !contains(err.Error(), "bad -query") {
+		t.Errorf("bad query: error %v, want parse failure mentioning -query", err)
+	}
+	err = runRange([]string{"-data", data, "-query", "a(b,", "-tau", "1"})
+	if err == nil || !contains(err.Error(), "bad -query") {
+		t.Errorf("bad range query: error %v", err)
+	}
+}
+
+// TestMissingQueryError: neither -query nor a valid -query-index.
+func TestMissingQueryError(t *testing.T) {
+	data := writeTestData(t)
+	err := runKNN([]string{"-data", data})
+	if err == nil || !contains(err.Error(), "need -query") {
+		t.Errorf("missing query: error %v", err)
+	}
+	err = runKNN([]string{"-data", data, "-query-index", "999"})
+	if err == nil || !contains(err.Error(), "need -query") {
+		t.Errorf("out-of-range query index: error %v", err)
+	}
+}
+
+// TestBadTreeArgsError: dist/diff reject malformed tree literals.
+func TestBadTreeArgsError(t *testing.T) {
+	if err := runDist([]string{"a(b", "c"}); err == nil || !contains(err.Error(), "bad first tree") {
+		t.Errorf("dist bad tree: error %v", err)
+	}
+	if err := runDiff([]string{"a", "c)"}); err == nil || !contains(err.Error(), "bad second tree") {
+		t.Errorf("diff bad tree: error %v", err)
+	}
+	if err := runDist([]string{"a"}); err == nil || !contains(err.Error(), "exactly two") {
+		t.Errorf("dist arity: error %v", err)
+	}
+}
+
+// TestUnknownFilterError: a bogus -filter name is a returned error.
+func TestUnknownFilterError(t *testing.T) {
+	data := writeTestData(t)
+	err := runKNN([]string{"-data", data, "-query-index", "0", "-filter", "bogus"})
+	if err == nil || !contains(err.Error(), "unknown filter") {
+		t.Errorf("unknown filter: error %v", err)
+	}
+}
+
+// TestBadIndexFileError: loading a non-index file fails cleanly.
+func TestBadIndexFileError(t *testing.T) {
+	data := writeTestData(t) // a line-format dataset, not an index
+	err := runKNN([]string{"-index", data, "-query", "a(b)"})
+	if err == nil || !contains(err.Error(), "magic") {
+		t.Errorf("bad index file: error %v", err)
+	}
+}

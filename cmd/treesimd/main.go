@@ -1,0 +1,203 @@
+// Command treesimd is the long-lived similarity-search server: it loads or
+// builds a filter-and-refine index once at startup and serves concurrent
+// k-NN / range / insert traffic over HTTP/JSON (see internal/server for
+// the API).
+//
+//	treesimd -data data.trees -addr :8080
+//	treesimd -data data.trees -snapshot index.tsix     # warm restarts
+//	treesimd -index data.tsix -max-inflight 128 -timeout 5s
+//
+// Index sources, in priority order: -snapshot (when the file exists — a
+// warm restart), -index (a file written by 'treesim index'), -data/-xml
+// (build from a dataset with -filter/-q). With -snapshot set, the server
+// persists the live index there periodically and again on shutdown, so
+// inserts survive restarts.
+//
+// SIGINT/SIGTERM trigger a graceful drain: readiness flips to 503,
+// in-flight queries finish, a final snapshot is written, then the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"treesim/internal/dataset"
+	"treesim/internal/search"
+	"treesim/internal/server"
+	"treesim/internal/tree"
+	"treesim/internal/xmltree"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// config is the parsed flag set.
+type config struct {
+	addr         string
+	data, xmlDir string
+	indexFile    string
+	snapshot     string
+	snapInterval time.Duration
+	filter       string
+	q            int
+	maxInFlight  int
+	timeout      time.Duration
+	drain        time.Duration
+	addrFile     string
+	omitTrees    bool
+}
+
+// run is main with injectable args/stderr and an exit code, so the
+// lifecycle is testable in-process.
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("treesimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c config
+	fs.StringVar(&c.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&c.data, "data", "", "dataset file in line format (build an index at startup)")
+	fs.StringVar(&c.xmlDir, "xml", "", "directory of XML documents (alternative to -data)")
+	fs.StringVar(&c.indexFile, "index", "", "saved index file from 'treesim index' (alternative to -data/-xml)")
+	fs.StringVar(&c.snapshot, "snapshot", "", "snapshot path: loaded at startup when present, persisted periodically and at shutdown")
+	fs.DurationVar(&c.snapInterval, "snapshot-interval", time.Minute, "periodic snapshot cadence (requires -snapshot)")
+	fs.StringVar(&c.filter, "filter", "bibranch", "filter when building from -data/-xml: bibranch, bibranch-nopos")
+	fs.IntVar(&c.q, "q", 2, "binary branch level when building from -data/-xml")
+	fs.IntVar(&c.maxInFlight, "max-inflight", 64, "admitted concurrent query requests; beyond this the server answers 429")
+	fs.DurationVar(&c.timeout, "timeout", 10*time.Second, "per-query deadline (504 beyond it)")
+	fs.DurationVar(&c.drain, "drain", 15*time.Second, "graceful-shutdown drain budget")
+	fs.StringVar(&c.addrFile, "addr-file", "", "write the bound address to this file once listening (for scripts)")
+	fs.BoolVar(&c.omitTrees, "omit-trees", false, "leave tree text out of query results")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	log := slog.New(slog.NewTextHandler(stderr, nil))
+	ix, origin, err := loadIndex(c)
+	if err != nil {
+		fmt.Fprintf(stderr, "treesimd: %v\n", err)
+		return 1
+	}
+	log.Info("index ready", "trees", ix.Size(), "filter", ix.Filter().Name(), "origin", origin)
+
+	srv := server.New(ix, server.Config{
+		MaxInFlight:      c.maxInFlight,
+		QueryTimeout:     c.timeout,
+		SnapshotPath:     c.snapshot,
+		SnapshotInterval: c.snapInterval,
+		OmitTrees:        c.omitTrees,
+		Logger:           log,
+	})
+
+	ln, err := net.Listen("tcp", c.addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "treesimd: %v\n", err)
+		return 1
+	}
+	if c.addrFile != "" {
+		if err := os.WriteFile(c.addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fmt.Fprintf(stderr, "treesimd: writing -addr-file: %v\n", err)
+			ln.Close()
+			return 1
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener failed before any signal.
+		fmt.Fprintf(stderr, "treesimd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	log.Info("signal received, draining", "budget", c.drain)
+	sctx, cancel := context.WithTimeout(context.Background(), c.drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(stderr, "treesimd: shutdown: %v\n", err)
+		return 1
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "treesimd: serve: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// loadIndex resolves the index source: warm snapshot, saved index file, or
+// a dataset to build from.
+func loadIndex(c config) (*search.Index, string, error) {
+	if c.snapshot != "" {
+		if f, err := os.Open(c.snapshot); err == nil {
+			defer f.Close()
+			ix, err := search.LoadIndex(f)
+			if err != nil {
+				return nil, "", fmt.Errorf("loading snapshot %s: %w", c.snapshot, err)
+			}
+			return ix, "snapshot " + c.snapshot, nil
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, "", fmt.Errorf("opening snapshot %s: %w", c.snapshot, err)
+		}
+	}
+	if c.indexFile != "" {
+		f, err := os.Open(c.indexFile)
+		if err != nil {
+			return nil, "", fmt.Errorf("opening index: %w", err)
+		}
+		defer f.Close()
+		ix, err := search.LoadIndex(f)
+		if err != nil {
+			return nil, "", fmt.Errorf("loading index %s: %w", c.indexFile, err)
+		}
+		return ix, "index " + c.indexFile, nil
+	}
+
+	switch {
+	case c.data != "":
+		ts, err := dataset.LoadFile(c.data)
+		if err != nil {
+			return nil, "", fmt.Errorf("loading dataset: %w", err)
+		}
+		return buildIndex(c, ts, "dataset "+c.data)
+	case c.xmlDir != "":
+		ts, _, err := dataset.LoadXMLDir(c.xmlDir, xmltree.DefaultOptions())
+		if err != nil {
+			return nil, "", fmt.Errorf("loading XML directory: %w", err)
+		}
+		return buildIndex(c, ts, "xml "+c.xmlDir)
+	}
+	return nil, "", errors.New("need an index source: -snapshot (existing), -index, -data or -xml")
+}
+
+func buildIndex(c config, ts []*tree.Tree, origin string) (*search.Index, string, error) {
+	if len(ts) == 0 {
+		return nil, "", errors.New("dataset is empty")
+	}
+	var positional bool
+	switch c.filter {
+	case "bibranch":
+		positional = true
+	case "bibranch-nopos":
+		positional = false
+	default:
+		return nil, "", fmt.Errorf("unknown filter %q (want bibranch or bibranch-nopos)", c.filter)
+	}
+	return search.NewIndex(ts, &search.BiBranch{Q: c.q, Positional: positional}), origin, nil
+}

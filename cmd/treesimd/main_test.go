@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"treesim/internal/datagen"
+	"treesim/internal/dataset"
+	"treesim/internal/search"
+)
+
+func writeTestData(t *testing.T) string {
+	t.Helper()
+	spec := datagen.Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 12, SizeStd: 3, Labels: 5, Decay: 0.1}
+	ts := datagen.New(spec, 9).Dataset(30, 5)
+	path := filepath.Join(t.TempDir(), "data.trees")
+	if err := dataset.SaveFile(path, ts); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunErrors: startup failures exit non-zero with a clear message.
+func TestRunErrors(t *testing.T) {
+	data := writeTestData(t)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no source", nil, "need an index source"},
+		{"missing dataset", []string{"-data", filepath.Join(t.TempDir(), "nope.trees")}, "loading dataset"},
+		{"bad filter", []string{"-data", data, "-filter", "bogus"}, "unknown filter"},
+		{"bad flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
+		{"bad index file", []string{"-index", data}, "loading index"},
+	}
+	for _, c := range cases {
+		var stderr bytes.Buffer
+		if code := run(c.args, &stderr); code == 0 {
+			t.Errorf("%s: exit 0, want non-zero", c.name)
+		}
+		if !strings.Contains(stderr.String(), c.want) {
+			t.Errorf("%s: stderr %q missing %q", c.name, stderr.String(), c.want)
+		}
+	}
+}
+
+// startServer runs the daemon in-process on an ephemeral port and waits
+// until it serves, returning the base URL and the exit-code channel.
+func startServer(t *testing.T, args []string) (string, chan int) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args = append(args, "-addr", "127.0.0.1:0", "-addr-file", addrFile)
+	exit := make(chan int, 1)
+	go func() { exit <- run(args, io.Discard) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var base string
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil {
+			base = "http://" + strings.TrimSpace(string(b))
+			if resp, err := http.Get(base + "/healthz"); err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == 200 {
+					break
+				}
+			}
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("server exited early with %d", code)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return base, exit
+}
+
+// sigterm asks the daemon to drain (the signal handler is registered
+// before the listener starts answering, so this is race-free) and waits
+// for its exit code.
+func sigterm(t *testing.T, exit chan int) int {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		return code
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+		return -1
+	}
+}
+
+// TestLifecycleSIGTERM: the daemon builds an index from a dataset, serves
+// queries and inserts, drains on SIGTERM with exit 0, persists a final
+// snapshot that holds the insert, and warm-restarts from it.
+func TestLifecycleSIGTERM(t *testing.T) {
+	data := writeTestData(t)
+	snap := filepath.Join(t.TempDir(), "index.tsix")
+
+	base, exit := startServer(t, []string{"-data", data, "-snapshot", snap, "-snapshot-interval", "1h"})
+
+	// A k-NN query works end to end.
+	body := []byte(`{"tree":"a(b,c)","k":3}`)
+	resp, err := http.Post(base+"/v1/knn", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("knn status %d", resp.StatusCode)
+	}
+	// Insert one tree so the final snapshot has something unsaved.
+	resp, err = http.Post(base+"/v1/trees", "application/json",
+		bytes.NewReader([]byte(`{"tree":"sig(term(x),y)"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+
+	if code := sigterm(t, exit); code != 0 {
+		t.Fatalf("exit code %d after SIGTERM, want 0", code)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still answering after SIGTERM")
+	}
+
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatalf("final snapshot missing: %v", err)
+	}
+	loaded, err := search.LoadIndex(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("final snapshot corrupt: %v", err)
+	}
+	if loaded.Size() != 31 {
+		t.Fatalf("snapshot holds %d trees, want 31 (30 dataset + 1 insert)", loaded.Size())
+	}
+
+	// Warm restart from the snapshot: the insert is still there.
+	base2, exit2 := startServer(t, []string{"-snapshot", snap})
+	resp, err = http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		IndexSize int `json:"index_size"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if metrics.IndexSize != 31 {
+		t.Fatalf("warm restart index size %d, want 31", metrics.IndexSize)
+	}
+	if code := sigterm(t, exit2); code != 0 {
+		t.Fatalf("warm restart exit code %d, want 0", code)
+	}
+}

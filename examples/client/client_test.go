@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"treesim/internal/datagen"
+	"treesim/internal/search"
+	"treesim/internal/server"
+)
+
+// TestClientAgainstServer runs the whole example end to end against an
+// in-process treesimd: insert trees, query, fetch a match.
+func TestClientAgainstServer(t *testing.T) {
+	spec := datagen.Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 10, SizeStd: 3, Labels: 6, Decay: 0.1}
+	ix := search.NewIndex(datagen.New(spec, 7).Dataset(20, 4), search.NewBiBranch())
+	s := server.New(ix, server.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	var out bytes.Buffer
+	if err := Run(hs.URL, &out); err != nil {
+		t.Fatalf("client run: %v\ntranscript:\n%s", err, out.String())
+	}
+	transcript := out.String()
+	for _, want := range []string{
+		"inserted id=20",              // first insert lands after the dataset
+		"index now 25 trees",          // all five inserts arrived
+		"dist=1 id=20",                // the near-duplicate is the best match
+		"accessed fraction",           // the quality metric came through
+		"best match",                  // the GET-by-id round trip worked
+		"author(yang),author(kalnis)", // with the right tree text
+	} {
+		if !strings.Contains(transcript, want) {
+			t.Errorf("transcript missing %q:\n%s", want, transcript)
+		}
+	}
+	if ix.Size() != 25 {
+		t.Fatalf("server index holds %d trees, want 25", ix.Size())
+	}
+}

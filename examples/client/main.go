@@ -1,0 +1,135 @@
+// Client: talk to a running treesimd over its HTTP/JSON API.
+//
+// Inserts a handful of trees into the live index, asks for the nearest
+// neighbors of a query, fetches one matched tree back by id, and prints
+// the server's accessed-fraction quality metric — the round trip every
+// treesimd client makes.
+//
+//	go run ./cmd/treesimd -data data.trees &   # or any running server
+//	go run ./examples/client -addr http://localhost:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+// The wire types, as a client would declare them (they mirror
+// internal/server's API; a real deployment would share a schema).
+type insertRequest struct {
+	Tree string `json:"tree"`
+}
+
+type insertResponse struct {
+	ID   int `json:"id"`
+	Size int `json:"size"`
+}
+
+type knnRequest struct {
+	Tree string `json:"tree"`
+	K    int    `json:"k"`
+}
+
+type result struct {
+	ID   int    `json:"id"`
+	Dist int    `json:"dist"`
+	Tree string `json:"tree"`
+}
+
+type knnResponse struct {
+	Results []result `json:"results"`
+	Stats   struct {
+		Dataset          int     `json:"dataset"`
+		Verified         int     `json:"verified"`
+		AccessedFraction float64 `json:"accessed_fraction"`
+	} `json:"stats"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "treesimd base URL")
+	flag.Parse()
+	if err := Run(*addr, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "client: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// Run executes the demo round trip against a treesimd at base, writing a
+// transcript to out. It is the whole example; main only parses flags.
+func Run(base string, out io.Writer) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// A few document-ish trees, one of them nearly a duplicate.
+	trees := []string{
+		"article(title(trees),author(yang),author(kalnis),year(2005))",
+		"article(title(trees),author(yang),author(kalnis),year(2004))",
+		"article(title(graphs),author(lee),year(1999))",
+		"book(title(algorithms),author(knuth))",
+		"article(title(streams),author(das),author(gehrke),year(2003))",
+	}
+	for _, t := range trees {
+		var ins insertResponse
+		if err := post(client, base+"/v1/trees", insertRequest{Tree: t}, &ins); err != nil {
+			return fmt.Errorf("inserting %q: %w", t, err)
+		}
+		fmt.Fprintf(out, "inserted id=%d (index now %d trees)\n", ins.ID, ins.Size)
+	}
+
+	// Nearest neighbors of a slightly mistyped record.
+	query := "article(title(trees),author(yang),author(kalnis),year(2006))"
+	var knn knnResponse
+	if err := post(client, base+"/v1/knn", knnRequest{Tree: query, K: 3}, &knn); err != nil {
+		return fmt.Errorf("knn: %w", err)
+	}
+	fmt.Fprintf(out, "query: %s\n", query)
+	for rank, r := range knn.Results {
+		fmt.Fprintf(out, "%3d. dist=%d id=%d %s\n", rank+1, r.Dist, r.ID, r.Tree)
+	}
+	fmt.Fprintf(out, "filter quality: verified %d of %d trees (accessed fraction %.2f)\n",
+		knn.Stats.Verified, knn.Stats.Dataset, knn.Stats.AccessedFraction)
+
+	// Fetch the best match back by id.
+	if len(knn.Results) > 0 {
+		resp, err := client.Get(fmt.Sprintf("%s/v1/trees/%d", base, knn.Results[0].ID))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET tree: status %s", resp.Status)
+		}
+		var tr struct {
+			Tree string `json:"tree"`
+			Size int    `json:"size"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "best match (%d nodes): %s\n", tr.Size, tr.Tree)
+	}
+	return nil
+}
+
+// post sends v as JSON and decodes the 200 response into res.
+func post(client *http.Client, url string, v, res any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("status %s: %s", resp.Status, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(res)
+}

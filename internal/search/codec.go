@@ -21,11 +21,23 @@ var indexMagic = [6]byte{'T', 'S', 'I', 'X', '1', 0}
 
 // SaveIndex serializes an index whose filter is a *BiBranch. Other filters
 // are cheap to rebuild from the dataset and are not supported.
+//
+// SaveIndex is safe to call while the index serves queries and inserts: it
+// copies the tree and profile slices under the index's read lock (a
+// consistent cut — inserts are atomic under the write lock), then
+// serializes from the copies without blocking anyone.
 func SaveIndex(w io.Writer, ix *Index) error {
+	ix.mu.RLock()
 	f, ok := ix.filter.(*BiBranch)
 	if !ok {
-		return fmt.Errorf("search: only BiBranch indexes can be saved (have %s)", ix.filter.Name())
+		name := ix.filter.Name()
+		ix.mu.RUnlock()
+		return fmt.Errorf("search: only BiBranch indexes can be saved (have %s)", name)
 	}
+	trees := append([]*tree.Tree(nil), ix.trees...)
+	profiles := append([]*branch.Profile(nil), f.profiles...)
+	ix.mu.RUnlock()
+
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(indexMagic[:]); err != nil {
 		return err
@@ -37,13 +49,13 @@ func SaveIndex(w io.Writer, ix *Index) error {
 	if err := bw.WriteByte(positional); err != nil {
 		return err
 	}
-	if err := branch.Write(bw, f.space, f.profiles); err != nil {
+	if err := branch.Write(bw, f.space, profiles); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(ix.trees))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(trees))); err != nil {
 		return err
 	}
-	for _, t := range ix.trees {
+	for _, t := range trees {
 		s := t.String()
 		if err := binary.Write(bw, binary.LittleEndian, uint32(len(s))); err != nil {
 			return err

@@ -2,8 +2,10 @@ package search
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"treesim/internal/editdist"
@@ -54,11 +56,23 @@ func (s Stats) String() string {
 
 // Index is a similarity-searchable tree collection: the dataset plus the
 // preprocessed state of one filter.
+//
+// An Index is safe for concurrent use: queries run under a shared read
+// lock and Insert takes the write lock, so readers never observe a
+// half-appended dataset. Long-running queries therefore delay inserts (and
+// vice versa); servers that need bounded insert latency should bound query
+// time with KNNContext/RangeContext.
 type Index struct {
+	mu     sync.RWMutex
 	trees  []*tree.Tree
 	filter Filter
 	cost   editdist.CostModel
 }
+
+// ctxCheckEvery is how many cheap filter-bound computations happen between
+// context checks. Exact-distance verifications check on every iteration —
+// a single verification can cost milliseconds.
+const ctxCheckEvery = 1024
 
 // defaultCost is the cost model of indexes built without an explicit one.
 func defaultCost() editdist.CostModel { return editdist.UnitCost{} }
@@ -82,14 +96,21 @@ func NewIndexCost(ts []*tree.Tree, f Filter, c editdist.CostModel) *Index {
 }
 
 // Size returns the number of indexed trees.
-func (ix *Index) Size() int { return len(ix.trees) }
+func (ix *Index) Size() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.trees)
+}
 
 // Insert appends a tree to the index without rebuilding, returning its
 // dataset position. It fails when the index's filter keeps precomputed
 // global structures that appending would invalidate (the pivot and
-// VP-tree filters); rebuild with NewIndex in that case. Insert is not safe
-// to call concurrently with queries.
+// VP-tree filters); rebuild with NewIndex in that case. Insert is safe to
+// call concurrently with queries: it takes the index's write lock, so it
+// waits for in-flight queries and appears atomically to later ones.
 func (ix *Index) Insert(t *tree.Tree) (int, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	ap, ok := ix.filter.(Appender)
 	if !ok {
 		return -1, fmt.Errorf("search: filter %s does not support incremental inserts", ix.filter.Name())
@@ -99,8 +120,25 @@ func (ix *Index) Insert(t *tree.Tree) (int, error) {
 	return len(ix.trees) - 1, nil
 }
 
-// Tree returns the i-th indexed tree.
-func (ix *Index) Tree(i int) *tree.Tree { return ix.trees[i] }
+// Tree returns the i-th indexed tree and true, or nil and false when i is
+// out of range. Dataset positions are stable: trees are only ever
+// appended, never removed or reordered.
+func (ix *Index) TreeAt(i int) (*tree.Tree, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if i < 0 || i >= len(ix.trees) {
+		return nil, false
+	}
+	return ix.trees[i], true
+}
+
+// Tree returns the i-th indexed tree. It panics when i is out of range;
+// see TreeAt for the checked variant.
+func (ix *Index) Tree(i int) *tree.Tree {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.trees[i]
+}
 
 // Filter returns the index's filter.
 func (ix *Index) Filter() Filter { return ix.filter }
@@ -111,9 +149,21 @@ func (ix *Index) Filter() Filter { return ix.filter }
 // stops as soon as the next bound exceeds the current k-th distance. The
 // result is sorted by ascending distance (ties by ascending ID).
 func (ix *Index) KNN(q *tree.Tree, k int) ([]Result, Stats) {
+	res, stats, _ := ix.KNNContext(context.Background(), q, k)
+	return res, stats
+}
+
+// KNNContext is KNN with cancellation: the scan checks ctx before every
+// exact-distance verification (and periodically during the cheap filter
+// pass) and returns ctx.Err() with nil results and the stats accumulated
+// so far. A nil error means the result is complete and exact.
+func (ix *Index) KNNContext(ctx context.Context, q *tree.Tree, k int) ([]Result, Stats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
 	stats := Stats{Dataset: len(ix.trees)}
 	if k <= 0 || len(ix.trees) == 0 {
-		return nil, stats
+		return nil, stats, nil
 	}
 	if k > len(ix.trees) {
 		k = len(ix.trees)
@@ -124,6 +174,10 @@ func (ix *Index) KNN(q *tree.Tree, k int) ([]Result, Stats) {
 	order := make([]int, len(ix.trees))
 	bounds := make([]int, len(ix.trees))
 	for i := range ix.trees {
+		if i%ctxCheckEvery == 0 && ctx.Err() != nil {
+			stats.FilterTime = time.Since(start)
+			return nil, stats, ctx.Err()
+		}
 		order[i] = i
 		bounds[i] = b.KNNBound(i)
 	}
@@ -141,6 +195,10 @@ func (ix *Index) KNN(q *tree.Tree, k int) ([]Result, Stats) {
 	for _, id := range order {
 		if h.Len() == k && bounds[id] > h.top().Dist {
 			break
+		}
+		if ctx.Err() != nil {
+			stats.RefineTime = time.Since(start)
+			return nil, stats, ctx.Err()
 		}
 		d := editdist.DistanceCost(q, ix.trees[id], ix.cost)
 		stats.Verified++
@@ -163,7 +221,7 @@ func (ix *Index) KNN(q *tree.Tree, k int) ([]Result, Stats) {
 		return out[x].ID < out[y].ID
 	})
 	stats.Results = len(out)
-	return out, stats
+	return out, stats, nil
 }
 
 // Range returns every tree within edit distance tau of q (inclusive),
@@ -171,9 +229,19 @@ func (ix *Index) KNN(q *tree.Tree, k int) ([]Result, Stats) {
 // its range lower bound does not exceed tau; the lower-bound property makes
 // the result exact.
 func (ix *Index) Range(q *tree.Tree, tau int) ([]Result, Stats) {
+	res, stats, _ := ix.RangeContext(context.Background(), q, tau)
+	return res, stats
+}
+
+// RangeContext is Range with cancellation, under the same contract as
+// KNNContext.
+func (ix *Index) RangeContext(ctx context.Context, q *tree.Tree, tau int) ([]Result, Stats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
 	stats := Stats{Dataset: len(ix.trees)}
 	if tau < 0 {
-		return nil, stats
+		return nil, stats, nil
 	}
 
 	start := time.Now()
@@ -194,6 +262,10 @@ func (ix *Index) Range(q *tree.Tree, tau int) ([]Result, Stats) {
 		}
 	} else {
 		for i := range ix.trees {
+			if i%ctxCheckEvery == 0 && ctx.Err() != nil {
+				stats.FilterTime = time.Since(start)
+				return nil, stats, ctx.Err()
+			}
 			if b.RangeBound(i, tau) <= tau {
 				candidates = append(candidates, i)
 			}
@@ -204,6 +276,10 @@ func (ix *Index) Range(q *tree.Tree, tau int) ([]Result, Stats) {
 	start = time.Now()
 	var out []Result
 	for _, id := range candidates {
+		if ctx.Err() != nil {
+			stats.RefineTime = time.Since(start)
+			return nil, stats, ctx.Err()
+		}
 		d := editdist.DistanceCost(q, ix.trees[id], ix.cost)
 		stats.Verified++
 		if d <= tau {
@@ -219,7 +295,7 @@ func (ix *Index) Range(q *tree.Tree, tau int) ([]Result, Stats) {
 		return out[x].ID < out[y].ID
 	})
 	stats.Results = len(out)
-	return out, stats
+	return out, stats, nil
 }
 
 // maxHeap is a max-heap of Results keyed by distance, holding the current

@@ -1,0 +1,109 @@
+package server
+
+import "treesim/internal/search"
+
+// Wire types of the HTTP/JSON API. Trees travel in the canonical text
+// encoding of package tree (the same format datasets use on disk), e.g.
+// "a(b(c,d),e)".
+
+// KNNRequest asks for the K nearest neighbors of Tree.
+type KNNRequest struct {
+	Tree string `json:"tree"`
+	K    int    `json:"k"`
+}
+
+// RangeRequest asks for every indexed tree within edit distance Tau of
+// Tree (inclusive).
+type RangeRequest struct {
+	Tree string `json:"tree"`
+	Tau  int    `json:"tau"`
+}
+
+// DistRequest asks for the exact edit distance between two ad-hoc trees
+// (neither needs to be indexed).
+type DistRequest struct {
+	T1 string `json:"t1"`
+	T2 string `json:"t2"`
+}
+
+// DistResponse reports the exact distance and the binary branch lower
+// bound that a filter would have used — handy for eyeballing filter
+// tightness.
+type DistResponse struct {
+	EditDistance int `json:"edit_distance"`
+	LowerBound   int `json:"lower_bound"`
+}
+
+// BatchRequest runs one query per tree, all with the same parameters.
+// Op is "knn" or "range".
+type BatchRequest struct {
+	Op    string   `json:"op"`
+	Trees []string `json:"trees"`
+	K     int      `json:"k,omitempty"`
+	Tau   int      `json:"tau,omitempty"`
+}
+
+// InsertRequest adds one tree to the live index.
+type InsertRequest struct {
+	Tree string `json:"tree"`
+}
+
+// InsertResponse reports the dataset position assigned to the inserted
+// tree and the index size after the insert.
+type InsertResponse struct {
+	ID   int `json:"id"`
+	Size int `json:"size"`
+}
+
+// TreeResponse is one indexed tree.
+type TreeResponse struct {
+	ID   int    `json:"id"`
+	Tree string `json:"tree"`
+	Size int    `json:"size"`
+}
+
+// ResultJSON is one query answer.
+type ResultJSON struct {
+	ID   int    `json:"id"`
+	Dist int    `json:"dist"`
+	Tree string `json:"tree,omitempty"`
+}
+
+// StatsJSON mirrors search.Stats; AccessedFraction is the paper's quality
+// measure (share of the dataset that paid an exact distance computation).
+type StatsJSON struct {
+	Dataset          int     `json:"dataset"`
+	Verified         int     `json:"verified"`
+	Results          int     `json:"results"`
+	AccessedFraction float64 `json:"accessed_fraction"`
+	FilterMicros     int64   `json:"filter_us"`
+	RefineMicros     int64   `json:"refine_us"`
+}
+
+// QueryResponse answers /v1/knn and /v1/range.
+type QueryResponse struct {
+	Results []ResultJSON `json:"results"`
+	Stats   StatsJSON    `json:"stats"`
+}
+
+// BatchResponse answers /v1/batch, one entry per input tree in order.
+type BatchResponse struct {
+	Queries []QueryResponse `json:"queries"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON answer.
+type ErrorResponse struct {
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+func statsJSON(s search.Stats) StatsJSON {
+	return StatsJSON{
+		Dataset:          s.Dataset,
+		Verified:         s.Verified,
+		Results:          s.Results,
+		AccessedFraction: s.AccessedFraction(),
+		FilterMicros:     s.FilterTime.Microseconds(),
+		RefineMicros:     s.RefineTime.Microseconds(),
+	}
+}

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"treesim/internal/branch"
+	"treesim/internal/editdist"
+	"treesim/internal/search"
+	"treesim/internal/tree"
+)
+
+// statusClientClosed is nginx's convention for "client canceled the
+// request"; no standard code exists.
+const statusClientClosed = 499
+
+// ctxStatus maps a context error from a query to a response status.
+func ctxStatus(err error) (int, string) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout, "query deadline exceeded"
+	}
+	return statusClientClosed, "client canceled request"
+}
+
+// parseTree parses a request tree, rejecting empties.
+func parseTree(field, s string) (*tree.Tree, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing %q", field)
+	}
+	t, err := tree.Parse(s)
+	if err != nil {
+		return nil, fmt.Errorf("bad %q: %v", field, err)
+	}
+	if t.IsEmpty() {
+		return nil, fmt.Errorf("bad %q: empty tree", field)
+	}
+	return t, nil
+}
+
+// queryResponse converts results + stats to the wire form, attaching tree
+// text unless configured away.
+func (s *Server) queryResponse(res []search.Result, stats search.Stats) QueryResponse {
+	out := QueryResponse{Results: make([]ResultJSON, len(res)), Stats: statsJSON(stats)}
+	for i, r := range res {
+		out.Results[i] = ResultJSON{ID: r.ID, Dist: r.Dist}
+		if !s.cfg.OmitTrees {
+			if t, ok := s.ix.TreeAt(r.ID); ok {
+				out.Results[i].Tree = t.String()
+			}
+		}
+	}
+	return out
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req KNNRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		return
+	}
+	if req.K <= 0 {
+		writeError(w, http.StatusBadRequest, "k must be positive", requestID(w))
+		return
+	}
+	q, err := parseTree("tree", req.Tree)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		return
+	}
+	res, stats, err := s.ix.KNNContext(r.Context(), q, req.K)
+	if err != nil {
+		code, msg := ctxStatus(err)
+		writeError(w, code, msg, requestID(w))
+		return
+	}
+	s.metrics.ObserveQuery(stats)
+	writeJSON(w, http.StatusOK, s.queryResponse(res, stats))
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req RangeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		return
+	}
+	if req.Tau < 0 {
+		writeError(w, http.StatusBadRequest, "tau must be non-negative", requestID(w))
+		return
+	}
+	q, err := parseTree("tree", req.Tree)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		return
+	}
+	res, stats, err := s.ix.RangeContext(r.Context(), q, req.Tau)
+	if err != nil {
+		code, msg := ctxStatus(err)
+		writeError(w, code, msg, requestID(w))
+		return
+	}
+	s.metrics.ObserveQuery(stats)
+	writeJSON(w, http.StatusOK, s.queryResponse(res, stats))
+}
+
+func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
+	var req DistRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		return
+	}
+	t1, err := parseTree("t1", req.T1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		return
+	}
+	t2, err := parseTree("t2", req.T2)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		return
+	}
+	space := branch.NewSpace(branch.MinQ)
+	lb := branch.SearchLBound(space.Profile(t1), space.Profile(t2))
+	writeJSON(w, http.StatusOK, DistResponse{
+		EditDistance: editdist.Distance(t1, t2),
+		LowerBound:   lb,
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		return
+	}
+	if req.Op != "knn" && req.Op != "range" {
+		writeError(w, http.StatusBadRequest, `op must be "knn" or "range"`, requestID(w))
+		return
+	}
+	if len(req.Trees) == 0 {
+		writeError(w, http.StatusBadRequest, "trees must be non-empty", requestID(w))
+		return
+	}
+	if len(req.Trees) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Trees), s.cfg.MaxBatch), requestID(w))
+		return
+	}
+	if req.Op == "knn" && req.K <= 0 {
+		writeError(w, http.StatusBadRequest, "k must be positive", requestID(w))
+		return
+	}
+	if req.Op == "range" && req.Tau < 0 {
+		writeError(w, http.StatusBadRequest, "tau must be non-negative", requestID(w))
+		return
+	}
+	qs := make([]*tree.Tree, len(req.Trees))
+	for i, ts := range req.Trees {
+		q, err := parseTree(fmt.Sprintf("trees[%d]", i), ts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+			return
+		}
+		qs[i] = q
+	}
+
+	// One admission slot covers the whole batch; inside it the queries
+	// fan out over the cores, each honoring the request deadline.
+	ctx := r.Context()
+	out := make([]QueryResponse, len(qs))
+	allStats := make([]search.Stats, len(qs))
+	var qerr atomic.Value // first context error
+	var next atomic.Int64
+	next.Store(-1)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(qs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					qerr.CompareAndSwap(nil, err)
+					return
+				}
+				var res []search.Result
+				var stats search.Stats
+				var err error
+				if req.Op == "knn" {
+					res, stats, err = s.ix.KNNContext(ctx, qs[i], req.K)
+				} else {
+					res, stats, err = s.ix.RangeContext(ctx, qs[i], req.Tau)
+				}
+				if err != nil {
+					qerr.CompareAndSwap(nil, err)
+					return
+				}
+				out[i] = s.queryResponse(res, stats)
+				allStats[i] = stats
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := qerr.Load().(error); err != nil {
+		code, msg := ctxStatus(err)
+		writeError(w, code, msg, requestID(w))
+		return
+	}
+	for _, st := range allStats {
+		s.metrics.ObserveQuery(st)
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Queries: out})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		return
+	}
+	t, err := parseTree("tree", req.Tree)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		return
+	}
+	id, err := s.ix.Insert(t)
+	if err != nil {
+		// The filter keeps global precomputed structures (pivot tables,
+		// VP-trees) that appending would corrupt; this deployment needs a
+		// rebuild, not a retry.
+		writeError(w, http.StatusUnprocessableEntity, err.Error(), requestID(w))
+		return
+	}
+	s.inserts.Add(1)
+	writeJSON(w, http.StatusOK, InsertResponse{ID: id, Size: s.ix.Size()})
+}
+
+func (s *Server) handleGetTree(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "tree id must be an integer", requestID(w))
+		return
+	}
+	t, ok := s.ix.TreeAt(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no tree %d (index holds %d)", id, s.ix.Size()), requestID(w))
+		return
+	}
+	writeJSON(w, http.StatusOK, TreeResponse{ID: id, Tree: t.String(), Size: t.Size()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.metrics.Snapshot()
+	snap.IndexSize = s.ix.Size()
+	snap.IndexFilter = s.ix.Filter().Name()
+	snap.InFlight = s.sem.inflight()
+	snap.MaxInFlight = cap(s.sem)
+	snap.Inserts = s.inserts.Load()
+	snap.Snapshots = s.snapshots.Load()
+	writeJSON(w, http.StatusOK, snap)
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"treesim/internal/search"
+)
+
+// TestServeShutdownFinalSnapshot runs the full lifecycle on a real
+// listener: serve, mutate the index over HTTP, shut down gracefully, and
+// verify the final snapshot reloads into an equivalent index — the
+// acceptance criterion for graceful shutdown.
+func TestServeShutdownFinalSnapshot(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "index.tsix")
+	ts := testDataset(30, 20)
+	ix := search.NewIndex(ts, search.NewBiBranch())
+	cfg := quietConfig()
+	cfg.SnapshotPath = snap
+	cfg.SnapshotInterval = -1 // only the final shutdown snapshot
+	s := New(ix, cfg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// Wait until the server answers readiness.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Mutate and query over the wire.
+	novel := "q0(q1(q2),q3)"
+	body, _ := json.Marshal(InsertRequest{Tree: novel})
+	resp, err := http.Post(base+"/v1/trees", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	// The listener is really closed.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+
+	// The final snapshot holds the insert and reloads equivalently.
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatalf("final snapshot missing: %v", err)
+	}
+	defer f.Close()
+	loaded, err := search.LoadIndex(f)
+	if err != nil {
+		t.Fatalf("loading final snapshot: %v", err)
+	}
+	if loaded.Size() != len(ts)+1 {
+		t.Fatalf("snapshot holds %d trees, want %d", loaded.Size(), len(ts)+1)
+	}
+	for qi, q := range []int{0, 15, 30} {
+		a, _ := ix.KNN(ix.Tree(q), 4)
+		b, _ := loaded.KNN(loaded.Tree(q), 4)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: reloaded index answers differently", qi)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d result %d: live %+v, reloaded %+v", qi, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestPeriodicSnapshot: the background loop persists inserts without any
+// shutdown.
+func TestPeriodicSnapshot(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "index.tsix")
+	ix := search.NewIndex(testDataset(15, 21), search.NewBiBranch())
+	cfg := quietConfig()
+	cfg.SnapshotPath = snap
+	cfg.SnapshotInterval = 10 * time.Millisecond
+	s := New(ix, cfg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	if _, err := ix.Insert(testDataset(1, 22)[0]); err != nil {
+		t.Fatal(err)
+	}
+	s.inserts.Add(1) // as the insert handler would
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.snapshots.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("periodic snapshot never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatalf("periodic snapshot missing: %v", err)
+	}
+	defer f.Close()
+	loaded, err := search.LoadIndex(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != 16 {
+		t.Fatalf("periodic snapshot holds %d trees, want 16", loaded.Size())
+	}
+}
+
+// TestSnapshotWithoutPath: Snapshot is a configured no-op.
+func TestSnapshotWithoutPath(t *testing.T) {
+	ix := search.NewIndex(testDataset(5, 23), search.NewBiBranch())
+	s := New(ix, quietConfig())
+	if err := s.Snapshot(); err != nil {
+		t.Fatalf("Snapshot without a path: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown without serving: %v", err)
+	}
+}

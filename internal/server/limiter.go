@@ -1,0 +1,25 @@
+package server
+
+// limiter is a semaphore-based admission controller: at most cap(l) query
+// requests execute at once; the rest are rejected immediately with 429
+// (backpressure beats queueing — the client can retry against a replica).
+// Cheap endpoints (health, metrics, tree lookup) are not admitted through
+// it.
+type limiter chan struct{}
+
+func newLimiter(n int) limiter { return make(limiter, n) }
+
+// tryAcquire claims a slot without blocking; false means saturated.
+func (l limiter) tryAcquire() bool {
+	select {
+	case l <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l limiter) release() { <-l }
+
+// inflight returns the number of slots currently held.
+func (l limiter) inflight() int { return len(l) }

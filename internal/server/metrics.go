@@ -1,0 +1,203 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"treesim/internal/search"
+)
+
+// Metrics is the server's expvar-style instrumentation: per-endpoint
+// request counters and latency histograms, plus the paper's own quality
+// measure aggregated over every similarity query served — the accessed
+// fraction (share of the dataset verified with an exact edit distance,
+// from search.Stats). Everything is rendered as one JSON document at
+// GET /metrics.
+type Metrics struct {
+	start time.Time
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+	query     queryStats
+}
+
+// latencyBounds are the histogram bucket upper bounds.
+var latencyBounds = []time.Duration{
+	500 * time.Microsecond,
+	time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	2500 * time.Millisecond,
+}
+
+// accessedBounds bucket the per-query accessed fraction.
+var accessedBounds = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1}
+
+type endpointStats struct {
+	requests uint64
+	errors   uint64 // 5xx
+	rejected uint64 // 429 (admission)
+	timeouts uint64 // 504 (query deadline)
+	buckets  []uint64
+	sum      time.Duration
+}
+
+type queryStats struct {
+	count           uint64
+	total           search.Stats
+	accessedBuckets []uint64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+}
+
+// Observe records one finished request.
+func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.endpoints[endpoint]
+	if e == nil {
+		e = &endpointStats{buckets: make([]uint64, len(latencyBounds)+1)}
+		m.endpoints[endpoint] = e
+	}
+	e.requests++
+	switch {
+	case status == 429:
+		e.rejected++
+	case status == 504:
+		e.timeouts++
+	case status >= 500:
+		e.errors++
+	}
+	e.sum += d
+	i := sort.Search(len(latencyBounds), func(i int) bool { return d <= latencyBounds[i] })
+	e.buckets[i]++
+}
+
+// ObserveQuery folds one similarity query's stats into the aggregate.
+// Batch requests call it once per inner query.
+func (m *Metrics) ObserveQuery(s search.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.query.accessedBuckets == nil {
+		m.query.accessedBuckets = make([]uint64, len(accessedBounds)+1)
+	}
+	m.query.count++
+	m.query.total.Add(s)
+	f := s.AccessedFraction()
+	i := sort.Search(len(accessedBounds), func(i int) bool { return f <= accessedBounds[i] })
+	m.query.accessedBuckets[i]++
+}
+
+// EndpointSnapshot is the rendered state of one endpoint.
+type EndpointSnapshot struct {
+	Requests  uint64            `json:"requests"`
+	Errors    uint64            `json:"errors"`
+	Rejected  uint64            `json:"rejected"`
+	Timeouts  uint64            `json:"timeouts"`
+	LatencyUS LatencySnapshot   `json:"latency_us"`
+	Buckets   map[string]uint64 `json:"latency_buckets"`
+}
+
+// LatencySnapshot summarizes an endpoint's latency histogram.
+type LatencySnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   int64  `json:"sum"`
+	Mean  int64  `json:"mean"`
+}
+
+// QuerySnapshot is the rendered aggregate over all similarity queries.
+type QuerySnapshot struct {
+	Count                uint64            `json:"count"`
+	VerifiedTotal        int               `json:"verified_total"`
+	DatasetTotal         int               `json:"dataset_total"`
+	ResultsTotal         int               `json:"results_total"`
+	MeanAccessedFraction float64           `json:"mean_accessed_fraction"`
+	FilterMicrosTotal    int64             `json:"filter_us_total"`
+	RefineMicrosTotal    int64             `json:"refine_us_total"`
+	AccessedBuckets      map[string]uint64 `json:"accessed_fraction_buckets"`
+}
+
+// Snapshot is the full /metrics document; the server adds the live gauges
+// (index size, in-flight requests) before marshaling.
+type Snapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	IndexSize     int                         `json:"index_size"`
+	IndexFilter   string                      `json:"index_filter"`
+	InFlight      int                         `json:"inflight"`
+	MaxInFlight   int                         `json:"max_inflight"`
+	Inserts       uint64                      `json:"inserts_total"`
+	Snapshots     uint64                      `json:"snapshots_total"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Queries       QuerySnapshot               `json:"queries"`
+}
+
+// Snapshot renders the counters; the caller fills the gauge fields.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Endpoints:     make(map[string]EndpointSnapshot, len(m.endpoints)),
+	}
+	for name, e := range m.endpoints {
+		snap := EndpointSnapshot{
+			Requests: e.requests,
+			Errors:   e.errors,
+			Rejected: e.rejected,
+			Timeouts: e.timeouts,
+			Buckets:  make(map[string]uint64, len(e.buckets)),
+			LatencyUS: LatencySnapshot{
+				Count: e.requests,
+				Sum:   e.sum.Microseconds(),
+			},
+		}
+		if e.requests > 0 {
+			snap.LatencyUS.Mean = e.sum.Microseconds() / int64(e.requests)
+		}
+		for i, c := range e.buckets {
+			snap.Buckets[latencyBucketLabel(i)] = c
+		}
+		out.Endpoints[name] = snap
+	}
+	q := m.query
+	out.Queries = QuerySnapshot{
+		Count:             q.count,
+		VerifiedTotal:     q.total.Verified,
+		DatasetTotal:      q.total.Dataset,
+		ResultsTotal:      q.total.Results,
+		FilterMicrosTotal: q.total.FilterTime.Microseconds(),
+		RefineMicrosTotal: q.total.RefineTime.Microseconds(),
+		AccessedBuckets:   make(map[string]uint64, len(q.accessedBuckets)),
+	}
+	out.Queries.MeanAccessedFraction = q.total.AccessedFraction()
+	for i, c := range q.accessedBuckets {
+		out.Queries.AccessedBuckets[accessedBucketLabel(i)] = c
+	}
+	return out
+}
+
+func latencyBucketLabel(i int) string {
+	if i == len(latencyBounds) {
+		return "le_inf"
+	}
+	return fmt.Sprintf("le_%s", latencyBounds[i])
+}
+
+func accessedBucketLabel(i int) string {
+	if i == len(accessedBounds) {
+		return "le_inf"
+	}
+	return fmt.Sprintf("le_%g", accessedBounds[i])
+}

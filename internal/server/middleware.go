@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// statusWriter records the status code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the server's middleware stack: request
+// ID assignment, panic recovery, structured logging, metrics, body-size
+// capping and — for query endpoints (limited=true) — semaphore admission
+// with 429 backpressure and the per-request deadline.
+func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = fmt.Sprintf("r%08x", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", rid)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+
+		defer func() {
+			if p := recover(); p != nil {
+				s.log.Error("handler panic", "request_id", rid, "endpoint", endpoint, "panic", p)
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal error", rid)
+				}
+				sw.status = http.StatusInternalServerError
+			}
+			s.metrics.Observe(endpoint, sw.status, time.Since(start))
+			s.log.Info("request",
+				"request_id", rid,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"dur_us", time.Since(start).Microseconds(),
+				"remote", r.RemoteAddr)
+		}()
+
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		}
+		if limited {
+			if !s.sem.tryAcquire() {
+				sw.Header().Set("Retry-After", "1")
+				writeError(sw, http.StatusTooManyRequests,
+					fmt.Sprintf("server saturated (%d queries in flight); retry", cap(s.sem)), rid)
+				return
+			}
+			defer s.sem.release()
+			if s.cfg.QueryTimeout > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
+		h(sw, r)
+	})
+}
+
+// writeJSON writes v as the JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the standard error body.
+func writeError(w http.ResponseWriter, status int, msg, rid string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, RequestID: rid})
+}
+
+// requestID returns the ID the middleware assigned to this response.
+func requestID(w http.ResponseWriter) string { return w.Header().Get("X-Request-Id") }
+
+// decodeJSON parses the request body into v, returning a client-facing
+// error message on failure.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+// Package server puts the filter-and-refine similarity-search engine of
+// internal/search behind a long-lived, concurrent HTTP/JSON service — the
+// serve-path the paper's binary branch filter was designed for: a cheap
+// lower bound gating the expensive edit-distance verification, now shared
+// by many clients against one live index.
+//
+// Endpoints:
+//
+//	POST /v1/knn         k nearest neighbors of a query tree
+//	POST /v1/range       all indexed trees within edit distance tau
+//	POST /v1/dist        exact distance between two ad-hoc trees
+//	POST /v1/batch       many knn/range queries in one request
+//	POST /v1/trees       insert a tree into the live index
+//	GET  /v1/trees/{id}  fetch an indexed tree
+//	GET  /healthz        liveness (always 200 while the process runs)
+//	GET  /readyz         readiness (503 while draining)
+//	GET  /metrics        counters, latency histograms, accessed-fraction
+//
+// The server owns the index (which is internally synchronized: inserts
+// take its write lock, queries its read lock), admits at most
+// Config.MaxInFlight queries at once (429 beyond that), bounds each query
+// with a context deadline, logs every request with a request ID, persists
+// periodic snapshots through the internal/search codec, and drains
+// in-flight queries before writing a final snapshot on shutdown.
+package server
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treesim/internal/search"
+)
+
+// Config tunes the server; the zero value gets sensible defaults.
+type Config struct {
+	// MaxInFlight caps concurrently executing query requests; excess
+	// requests are rejected with 429. Default 64.
+	MaxInFlight int
+	// QueryTimeout bounds one query request's work; exceeding it returns
+	// 504. Default 10s; negative disables.
+	QueryTimeout time.Duration
+	// MaxBodyBytes caps request body size. Default 8 MiB.
+	MaxBodyBytes int64
+	// MaxBatch caps the number of trees in one /v1/batch request.
+	// Default 256.
+	MaxBatch int
+	// SnapshotPath, when set, is where the index is persisted (written
+	// atomically via a temp file + rename). Empty disables persistence.
+	SnapshotPath string
+	// SnapshotInterval is how often the snapshot loop checks for new
+	// inserts to persist. Default 1m; negative disables the periodic
+	// loop (the final shutdown snapshot still happens).
+	SnapshotInterval time.Duration
+	// IncludeTrees selects whether query results carry the matched
+	// trees' text encodings (default true via zero-value trickery: set
+	// OmitTrees to leave them out).
+	OmitTrees bool
+	// Logger receives structured request logs. Default: slog text
+	// handler on stderr.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	return c
+}
+
+// Server serves similarity queries over one live index.
+type Server struct {
+	cfg     Config
+	ix      *search.Index
+	log     *slog.Logger
+	metrics *Metrics
+	sem     limiter
+	mux     *http.ServeMux
+
+	ready     atomic.Bool   // readyz: accepting traffic
+	reqSeq    atomic.Uint64 // request-ID counter
+	inserts   atomic.Uint64 // total inserts accepted
+	saved     atomic.Uint64 // value of inserts at the last snapshot
+	snapshots atomic.Uint64 // snapshots written
+
+	httpSrv  *http.Server
+	ln       net.Listener
+	bg       sync.WaitGroup
+	stopSnap chan struct{}
+	snapOnce sync.Once
+	snapMu   sync.Mutex // serializes snapshot writes
+}
+
+// New wraps a built index in a server. The index is served as-is; build or
+// load it first (see cmd/treesimd).
+func New(ix *search.Index, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		ix:       ix,
+		log:      cfg.Logger,
+		metrics:  NewMetrics(),
+		sem:      newLimiter(cfg.MaxInFlight),
+		stopSnap: make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.Handle("POST /v1/knn", s.instrument("/v1/knn", true, s.handleKNN))
+	s.mux.Handle("POST /v1/range", s.instrument("/v1/range", true, s.handleRange))
+	s.mux.Handle("POST /v1/dist", s.instrument("/v1/dist", true, s.handleDist))
+	s.mux.Handle("POST /v1/batch", s.instrument("/v1/batch", true, s.handleBatch))
+	s.mux.Handle("POST /v1/trees", s.instrument("/v1/trees", true, s.handleInsert))
+	s.mux.Handle("GET /v1/trees/{id}", s.instrument("/v1/trees/{id}", false, s.handleGetTree))
+	s.mux.Handle("GET /healthz", s.instrument("/healthz", false, s.handleHealthz))
+	s.mux.Handle("GET /readyz", s.instrument("/readyz", false, s.handleReadyz))
+	s.mux.Handle("GET /metrics", s.instrument("/metrics", false, s.handleMetrics))
+	s.ready.Store(true)
+	return s
+}
+
+// Handler returns the server's full route tree (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Index returns the served index.
+func (s *Server) Index() *search.Index { return s.ix }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Serve accepts connections on ln until Shutdown. It starts the periodic
+// snapshot loop and blocks like http.Server.Serve (returning
+// http.ErrServerClosed after a clean shutdown).
+func (s *Server) Serve(ln net.Listener) error {
+	s.ln = ln
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	s.startSnapshotLoop()
+	s.log.Info("serving", "addr", ln.Addr().String(), "trees", s.ix.Size(), "filter", s.ix.Filter().Name())
+	return s.httpSrv.Serve(ln)
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound address after Serve/ListenAndServe started
+// listening ("" before).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the server gracefully: readiness flips to 503 (load
+// balancers stop sending traffic), in-flight requests run to completion
+// (bounded by ctx), the snapshot loop stops, and a final snapshot persists
+// any inserts the periodic loop hasn't seen.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	s.stopSnapshotLoop()
+	if s.dirty() {
+		if serr := s.Snapshot(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	s.log.Info("shut down", "final_snapshot", s.cfg.SnapshotPath != "", "err", err)
+	return err
+}
+
+// dirty reports whether inserts happened since the last snapshot.
+func (s *Server) dirty() bool { return s.inserts.Load() != s.saved.Load() }
+
+// Snapshot persists the index to Config.SnapshotPath atomically (temp
+// file in the same directory, then rename). It is a no-op without a
+// configured path, and safe to call while queries and inserts are running:
+// the codec copies the index state under its read lock.
+func (s *Server) Snapshot() error {
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	// Inserts accepted after this read land in the next snapshot.
+	mark := s.inserts.Load()
+	dir := filepath.Dir(s.cfg.SnapshotPath)
+	tmp, err := os.CreateTemp(dir, ".treesimd-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := search.SaveIndex(tmp, s.ix); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.cfg.SnapshotPath); err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	s.saved.Store(mark)
+	s.snapshots.Add(1)
+	s.log.Info("snapshot written", "path", s.cfg.SnapshotPath, "trees", s.ix.Size())
+	return nil
+}
+
+func (s *Server) startSnapshotLoop() {
+	if s.cfg.SnapshotPath == "" || s.cfg.SnapshotInterval < 0 {
+		return
+	}
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		t := time.NewTicker(s.cfg.SnapshotInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopSnap:
+				return
+			case <-t.C:
+				if s.dirty() {
+					if err := s.Snapshot(); err != nil {
+						s.log.Error("periodic snapshot failed", "err", err)
+					}
+				}
+			}
+		}
+	}()
+}
+
+func (s *Server) stopSnapshotLoop() {
+	s.snapOnce.Do(func() { close(s.stopSnap) })
+	s.bg.Wait()
+}

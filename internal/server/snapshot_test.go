@@ -1,0 +1,139 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"treesim/internal/search"
+	"treesim/internal/tree"
+)
+
+// TestSnapshotUnderLoad is the codec round-trip through the server's
+// snapshot path: snapshots are written while concurrent inserts and
+// queries are in full flight, and every snapshot must reload into an
+// index that answers k-NN queries identically to a clean rebuild over the
+// same trees. This is what makes a warm restart trustworthy.
+func TestSnapshotUnderLoad(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "index.tsix")
+	base := testDataset(30, 30)
+	ix := search.NewIndex(base, search.NewBiBranch())
+	cfg := quietConfig()
+	cfg.SnapshotPath = snap
+	cfg.SnapshotInterval = -1 // snapshots triggered by hand mid-load
+	s := New(ix, cfg)
+
+	hs := httptestServer(t, s)
+	extra := testDataset(60, 31)
+	queries := testDataset(4, 32)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Inserters via HTTP (so the server's insert accounting runs too).
+	for wk := 0; wk < 3; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for _, tr := range extra[wk*20 : (wk+1)*20] {
+				body, _ := json.Marshal(InsertRequest{Tree: tr.String()})
+				resp, err := http.Post(hs+"/v1/trees", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(wk)
+	}
+	// Querier, running until explicitly stopped (after the inserters).
+	var qwg sync.WaitGroup
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			body, _ := json.Marshal(KNNRequest{Tree: queries[i%len(queries)].String(), K: 3})
+			resp, err := http.Post(hs+"/v1/knn", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			i++
+		}
+	}()
+
+	// Snapshot repeatedly while the load runs, verifying each on the fly.
+	for i := 0; i < 4; i++ {
+		if err := s.Snapshot(); err != nil {
+			t.Fatalf("snapshot %d under load: %v", i, err)
+		}
+		verifySnapshot(t, snap, queries)
+	}
+	wg.Wait()
+	close(stop)
+	qwg.Wait()
+
+	// Final snapshot sees every insert.
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	loaded := verifySnapshot(t, snap, queries)
+	if loaded.Size() != len(base)+len(extra) {
+		t.Fatalf("final snapshot holds %d trees, want %d", loaded.Size(), len(base)+len(extra))
+	}
+}
+
+// verifySnapshot loads the snapshot and checks it answers k-NN like a
+// clean index rebuilt from the same trees.
+func verifySnapshot(t *testing.T, path string, queries []*tree.Tree) *search.Index {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := search.LoadIndex(f)
+	if err != nil {
+		t.Fatalf("snapshot does not reload: %v", err)
+	}
+	trees := make([]*tree.Tree, loaded.Size())
+	for i := range trees {
+		trees[i] = loaded.Tree(i)
+	}
+	clean := search.NewIndex(trees, search.NewBiBranch())
+	for _, q := range queries {
+		a, _ := loaded.KNN(q, 3)
+		b, _ := clean.KNN(q, 3)
+		if len(a) != len(b) {
+			t.Fatalf("snapshot index: %d results, clean rebuild %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Dist != b[i].Dist {
+				t.Fatalf("snapshot k-NN differs from clean rebuild: %v vs %v", a, b)
+			}
+		}
+	}
+	return loaded
+}
+
+// httptestServer wraps the server handler and returns its base URL.
+func httptestServer(t *testing.T, s *Server) string {
+	t.Helper()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return hs.URL
+}

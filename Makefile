@@ -1,8 +1,9 @@
 # Tier-1 gate: `make ci` is what every change must keep green.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race bench fuzz ci
 
 build:
 	$(GO) build ./...
@@ -19,4 +20,9 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
 
-ci: build vet test race
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/tree
+	$(GO) test -run='^$$' -fuzz='^FuzzParseString$$' -fuzztime=$(FUZZTIME) ./internal/xmltree
+	$(GO) test -run='^$$' -fuzz='^FuzzLoadIndex$$' -fuzztime=$(FUZZTIME) ./internal/search
+
+ci: build vet test race fuzz

@@ -18,4 +18,12 @@ go test ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Fuzz smoke: a short budget per target catches parser and codec
+# regressions on the spot; long runs belong in a dedicated job.
+FUZZTIME="${FUZZTIME:-10s}"
+echo "== go test -fuzz (fuzztime $FUZZTIME per target)"
+go test -run='^$' -fuzz='^FuzzParse$' -fuzztime="$FUZZTIME" ./internal/tree
+go test -run='^$' -fuzz='^FuzzParseString$' -fuzztime="$FUZZTIME" ./internal/xmltree
+go test -run='^$' -fuzz='^FuzzLoadIndex$' -fuzztime="$FUZZTIME" ./internal/search
+
 echo "ci: all green"

@@ -13,6 +13,14 @@
 // persists the live index there periodically and again on shutdown, so
 // inserts survive restarts.
 //
+// With -wal set, every accepted insert is appended to a write-ahead log
+// before it is acknowledged, closing the crash window between snapshots:
+// startup recovery loads the snapshot, replays the WAL records it does
+// not cover, and trims the log once a fresh snapshot is published. A
+// corrupt snapshot aborts startup with a non-zero exit — delete or
+// restore the file rather than silently serving a damaged index.
+// -wal-sync chooses the fsync policy ("always" per record, or "never").
+//
 // SIGINT/SIGTERM trigger a graceful drain: readiness flips to 503,
 // in-flight queries finish, a final snapshot is written, then the process
 // exits 0.
@@ -36,6 +44,7 @@ import (
 	"treesim/internal/search"
 	"treesim/internal/server"
 	"treesim/internal/tree"
+	"treesim/internal/wal"
 	"treesim/internal/xmltree"
 )
 
@@ -50,6 +59,8 @@ type config struct {
 	indexFile    string
 	snapshot     string
 	snapInterval time.Duration
+	walPath      string
+	walSync      string
 	filter       string
 	q            int
 	maxInFlight  int
@@ -71,6 +82,8 @@ func run(args []string, stderr io.Writer) int {
 	fs.StringVar(&c.indexFile, "index", "", "saved index file from 'treesim index' (alternative to -data/-xml)")
 	fs.StringVar(&c.snapshot, "snapshot", "", "snapshot path: loaded at startup when present, persisted periodically and at shutdown")
 	fs.DurationVar(&c.snapInterval, "snapshot-interval", time.Minute, "periodic snapshot cadence (requires -snapshot)")
+	fs.StringVar(&c.walPath, "wal", "", "write-ahead log path: inserts are logged before acknowledgment and replayed at startup")
+	fs.StringVar(&c.walSync, "wal-sync", "always", "WAL fsync policy: always (fsync per record) or never")
 	fs.StringVar(&c.filter, "filter", "bibranch", "filter when building from -data/-xml: bibranch, bibranch-nopos")
 	fs.IntVar(&c.q, "q", 2, "binary branch level when building from -data/-xml")
 	fs.IntVar(&c.maxInFlight, "max-inflight", 64, "admitted concurrent query requests; beyond this the server answers 429")
@@ -79,6 +92,12 @@ func run(args []string, stderr io.Writer) int {
 	fs.StringVar(&c.addrFile, "addr-file", "", "write the bound address to this file once listening (for scripts)")
 	fs.BoolVar(&c.omitTrees, "omit-trees", false, "leave tree text out of query results")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	syncPolicy, err := wal.ParseSyncPolicy(c.walSync)
+	if err != nil {
+		fmt.Fprintf(stderr, "treesimd: -wal-sync: %v\n", err)
 		return 2
 	}
 
@@ -95,9 +114,20 @@ func run(args []string, stderr io.Writer) int {
 		QueryTimeout:     c.timeout,
 		SnapshotPath:     c.snapshot,
 		SnapshotInterval: c.snapInterval,
+		WALPath:          c.walPath,
+		WALSync:          syncPolicy,
 		OmitTrees:        c.omitTrees,
 		Logger:           log,
 	})
+
+	rec, err := srv.Recover()
+	if err != nil {
+		fmt.Fprintf(stderr, "treesimd: recovery: %v\n", err)
+		return 1
+	}
+	if c.walPath != "" {
+		log.Info("recovery complete", "result", rec.String(), "trees", ix.Size())
+	}
 
 	ln, err := net.Listen("tcp", c.addr)
 	if err != nil {

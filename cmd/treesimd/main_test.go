@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -15,6 +16,7 @@ import (
 	"treesim/internal/datagen"
 	"treesim/internal/dataset"
 	"treesim/internal/search"
+	"treesim/internal/wal"
 )
 
 func writeTestData(t *testing.T) string {
@@ -174,5 +176,129 @@ func TestLifecycleSIGTERM(t *testing.T) {
 	}
 	if code := sigterm(t, exit2); code != 0 {
 		t.Fatalf("warm restart exit code %d, want 0", code)
+	}
+}
+
+// writeSnapshot builds a small index and persists it, returning its path
+// and size.
+func writeSnapshot(t *testing.T, dir string) (string, int) {
+	t.Helper()
+	spec := datagen.Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 12, SizeStd: 3, Labels: 5, Decay: 0.1}
+	ts := datagen.New(spec, 9).Dataset(20, 5)
+	ix := search.NewIndex(ts, search.NewBiBranch())
+	path := filepath.Join(dir, "index.tsix")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := search.SaveIndex(f, ix); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, len(ts)
+}
+
+// TestCorruptSnapshotRefusesStart: a damaged snapshot must abort startup
+// with a non-zero exit and a clear message, never serve silently.
+func TestCorruptSnapshotRefusesStart(t *testing.T) {
+	snap, _ := writeSnapshot(t, t.TempDir())
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(snap, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stderr bytes.Buffer
+	if code := run([]string{"-snapshot", snap}, &stderr); code != 1 {
+		t.Fatalf("exit %d with corrupt snapshot, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "corrupt") {
+		t.Fatalf("stderr %q does not name the corruption", stderr.String())
+	}
+}
+
+// TestBadWALSyncFlag: an unknown -wal-sync value is a usage error.
+func TestBadWALSyncFlag(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run([]string{"-wal-sync", "sometimes"}, &stderr); code != 2 {
+		t.Fatalf("exit %d with bad -wal-sync, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-wal-sync") {
+		t.Fatalf("stderr %q does not name the flag", stderr.String())
+	}
+}
+
+// TestWALWarmStart: the daemon replays a write-ahead log over a snapshot
+// at startup — the crash-recovery path as a real restarted process runs
+// it — and reports the replay in /metrics.
+func TestWALWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	snap, base := writeSnapshot(t, dir)
+	walPath := filepath.Join(dir, "wal.log")
+
+	// Two acknowledged-but-unsnapshotted inserts, as the WAL of a killed
+	// process would hold them: u32 dataset position + canonical text.
+	l, err := wal.Open(walPath, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, text := range []string{"warm(a,b)", "warm2(c(d),e)"} {
+		rec := make([]byte, 4+len(text))
+		binary.LittleEndian.PutUint32(rec[:4], uint32(base+i))
+		copy(rec[4:], text)
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	url, exit := startServer(t, []string{"-snapshot", snap, "-wal", walPath})
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		IndexSize   int    `json:"index_size"`
+		WALReplayed uint64 `json:"wal_replayed_records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if metrics.IndexSize != base+2 {
+		t.Fatalf("index size %d after replay, want %d", metrics.IndexSize, base+2)
+	}
+	if metrics.WALReplayed != 2 {
+		t.Fatalf("wal_replayed_records %d, want 2", metrics.WALReplayed)
+	}
+	if code := sigterm(t, exit); code != 0 {
+		t.Fatalf("exit %d after SIGTERM, want 0", code)
+	}
+
+	// Recovery re-persisted the replayed state: a second start finds it
+	// in the snapshot with nothing left to replay.
+	url2, exit2 := startServer(t, []string{"-snapshot", snap, "-wal", walPath})
+	resp, err = http.Get(url2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics.IndexSize, metrics.WALReplayed = 0, 99
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if metrics.IndexSize != base+2 || metrics.WALReplayed != 0 {
+		t.Fatalf("second start: size %d replayed %d, want %d and 0",
+			metrics.IndexSize, metrics.WALReplayed, base+2)
+	}
+	if code := sigterm(t, exit2); code != 0 {
+		t.Fatalf("second exit %d after SIGTERM, want 0", code)
 	}
 }

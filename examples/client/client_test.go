@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"treesim/internal/datagen"
 	"treesim/internal/search"
@@ -41,5 +45,120 @@ func TestClientAgainstServer(t *testing.T) {
 	}
 	if ix.Size() != 25 {
 		t.Fatalf("server index holds %d trees, want 25", ix.Size())
+	}
+}
+
+// flakyHandler answers with a scripted status sequence, then 200.
+func flakyHandler(t *testing.T, statuses []int, retryAfter string) (http.Handler, *int) {
+	t.Helper()
+	attempts := new(int)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := *attempts
+		*attempts++
+		if i < len(statuses) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(statuses[i])
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":1,"size":2}`)
+	}), attempts
+}
+
+// TestPostRetriesTransientStatuses: 429/503/504 are retried with backoff
+// until the server recovers; the eventual 200 is decoded normally.
+func TestPostRetriesTransientStatuses(t *testing.T) {
+	for _, status := range []int{429, 503, 504} {
+		h, attempts := flakyHandler(t, []int{status, status}, "")
+		hs := httptest.NewServer(h)
+		var slept []time.Duration
+		p := retryPolicy{
+			maxAttempts: 5,
+			baseDelay:   10 * time.Millisecond,
+			maxDelay:    80 * time.Millisecond,
+			sleep:       func(d time.Duration) { slept = append(slept, d) },
+			jitter:      rand.New(rand.NewSource(1)),
+		}
+		var res insertResponse
+		err := post(hs.Client(), p, hs.URL, insertRequest{Tree: "a"}, &res)
+		hs.Close()
+		if err != nil {
+			t.Fatalf("status %d: post failed after recovery: %v", status, err)
+		}
+		if *attempts != 3 {
+			t.Fatalf("status %d: server saw %d attempts, want 3", status, *attempts)
+		}
+		if len(slept) != 2 {
+			t.Fatalf("status %d: %d sleeps, want 2", status, len(slept))
+		}
+		// Equal jitter: each delay lies in [backoff/2, backoff].
+		for i, d := range slept {
+			base := p.baseDelay << i
+			if d < base/2 || d > base {
+				t.Fatalf("status %d: sleep %d = %v outside [%v, %v]", status, i, d, base/2, base)
+			}
+		}
+		if res.Size != 2 {
+			t.Fatalf("status %d: response not decoded: %+v", status, res)
+		}
+	}
+}
+
+// TestPostHonorsRetryAfter: a Retry-After above the computed backoff
+// stretches the wait to what the server asked for.
+func TestPostHonorsRetryAfter(t *testing.T) {
+	h, _ := flakyHandler(t, []int{503}, "2")
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+	var slept []time.Duration
+	p := retryPolicy{
+		maxAttempts: 3,
+		baseDelay:   time.Millisecond,
+		maxDelay:    time.Second,
+		sleep:       func(d time.Duration) { slept = append(slept, d) },
+		jitter:      rand.New(rand.NewSource(1)),
+	}
+	var res insertResponse
+	if err := post(hs.Client(), p, hs.URL, insertRequest{Tree: "a"}, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Fatalf("sleeps %v, want exactly the server's 2s Retry-After", slept)
+	}
+}
+
+// TestPostGivesUp: a server that never recovers exhausts the budget and
+// surfaces the last transient status; a non-transient status fails at
+// once with no sleeps.
+func TestPostGivesUp(t *testing.T) {
+	h, attempts := flakyHandler(t, []int{503, 503, 503, 503, 503, 503}, "")
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+	sleeps := 0
+	p := retryPolicy{
+		maxAttempts: 3,
+		baseDelay:   time.Millisecond,
+		maxDelay:    time.Second,
+		sleep:       func(time.Duration) { sleeps++ },
+	}
+	err := post(hs.Client(), p, hs.URL, insertRequest{Tree: "a"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("err = %v, want give-up after 3 attempts", err)
+	}
+	if *attempts != 3 || sleeps != 2 {
+		t.Fatalf("attempts %d sleeps %d, want 3 and 2", *attempts, sleeps)
+	}
+
+	h2, attempts2 := flakyHandler(t, []int{422, 422}, "")
+	hs2 := httptest.NewServer(h2)
+	defer hs2.Close()
+	sleeps = 0
+	if err := post(hs2.Client(), p, hs2.URL, insertRequest{Tree: "a"}, nil); err == nil {
+		t.Fatal("non-transient 422 did not fail")
+	}
+	if *attempts2 != 1 || sleeps != 0 {
+		t.Fatalf("422: attempts %d sleeps %d, want 1 and 0", *attempts2, sleeps)
 	}
 }

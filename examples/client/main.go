@@ -15,8 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"time"
 )
 
@@ -60,10 +62,71 @@ func main() {
 	}
 }
 
+// retryPolicy says how to treat the server's transient answers: 429
+// (admission control sheds load), 503 (durability temporarily
+// unavailable) and 504 (query deadline). Those are retried with capped
+// exponential backoff and equal jitter — half the backoff is
+// deterministic, half random, so a herd of clients spreads out — and a
+// Retry-After header overrides the computed delay when it asks for
+// longer. Everything else (4xx mistakes, 5xx bugs) fails immediately.
+type retryPolicy struct {
+	maxAttempts int
+	baseDelay   time.Duration
+	maxDelay    time.Duration
+	sleep       func(time.Duration) // nil means time.Sleep
+	jitter      *rand.Rand          // nil means the global source
+}
+
+func defaultRetryPolicy() retryPolicy {
+	return retryPolicy{maxAttempts: 5, baseDelay: 100 * time.Millisecond, maxDelay: 5 * time.Second}
+}
+
+// retryable reports whether the status is worth another attempt.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusServiceUnavailable ||
+		status == http.StatusGatewayTimeout
+}
+
+// delay computes the wait before retry number attempt (0-based), folding
+// in the server's Retry-After when it asks for more.
+func (p retryPolicy) delay(attempt int, retryAfter string) time.Duration {
+	d := p.baseDelay << attempt
+	if d > p.maxDelay || d <= 0 {
+		d = p.maxDelay
+	}
+	half := d / 2
+	jittered := half + time.Duration(p.intn(int64(half)+1))
+	if s, err := strconv.Atoi(retryAfter); err == nil && s >= 0 {
+		if ra := time.Duration(s) * time.Second; ra > jittered {
+			return ra
+		}
+	}
+	return jittered
+}
+
+func (p retryPolicy) intn(n int64) int64 {
+	if p.jitter != nil {
+		return p.jitter.Int63n(n)
+	}
+	return rand.Int63n(n)
+}
+
+func (p retryPolicy) wait(d time.Duration) {
+	if p.sleep != nil {
+		p.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
 // Run executes the demo round trip against a treesimd at base, writing a
 // transcript to out. It is the whole example; main only parses flags.
 func Run(base string, out io.Writer) error {
-	client := &http.Client{Timeout: 30 * time.Second}
+	return run(base, out, &http.Client{Timeout: 30 * time.Second}, defaultRetryPolicy())
+}
+
+func run(base string, out io.Writer, client *http.Client, policy retryPolicy) error {
 
 	// A few document-ish trees, one of them nearly a duplicate.
 	trees := []string{
@@ -75,7 +138,7 @@ func Run(base string, out io.Writer) error {
 	}
 	for _, t := range trees {
 		var ins insertResponse
-		if err := post(client, base+"/v1/trees", insertRequest{Tree: t}, &ins); err != nil {
+		if err := post(client, policy, base+"/v1/trees", insertRequest{Tree: t}, &ins); err != nil {
 			return fmt.Errorf("inserting %q: %w", t, err)
 		}
 		fmt.Fprintf(out, "inserted id=%d (index now %d trees)\n", ins.ID, ins.Size)
@@ -84,7 +147,7 @@ func Run(base string, out io.Writer) error {
 	// Nearest neighbors of a slightly mistyped record.
 	query := "article(title(trees),author(yang),author(kalnis),year(2006))"
 	var knn knnResponse
-	if err := post(client, base+"/v1/knn", knnRequest{Tree: query, K: 3}, &knn); err != nil {
+	if err := post(client, policy, base+"/v1/knn", knnRequest{Tree: query, K: 3}, &knn); err != nil {
 		return fmt.Errorf("knn: %w", err)
 	}
 	fmt.Fprintf(out, "query: %s\n", query)
@@ -116,20 +179,35 @@ func Run(base string, out io.Writer) error {
 	return nil
 }
 
-// post sends v as JSON and decodes the 200 response into res.
-func post(client *http.Client, url string, v, res any) error {
+// post sends v as JSON and decodes the 200 response into res, retrying
+// transient statuses per the policy.
+func post(client *http.Client, p retryPolicy, url string, v, res any) error {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
+	var lastErr error
+	for attempt := 0; attempt < p.maxAttempts; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if retryable(resp.StatusCode) {
+			retryAfter := resp.Header.Get("Retry-After")
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("status %s: %s", resp.Status, msg)
+			if attempt < p.maxAttempts-1 {
+				p.wait(p.delay(attempt, retryAfter))
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+			return fmt.Errorf("status %s: %s", resp.Status, msg)
+		}
+		return json.NewDecoder(resp.Body).Decode(res)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("status %s: %s", resp.Status, msg)
-	}
-	return json.NewDecoder(resp.Body).Decode(res)
+	return fmt.Errorf("giving up after %d attempts: %w", p.maxAttempts, lastErr)
 }

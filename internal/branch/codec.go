@@ -134,18 +134,30 @@ func Read(r io.Reader) (*Space, []*Profile, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	ps := make([]*Profile, nProfiles)
-	for pi := range ps {
+	// Untrusted counts never size an allocation directly: slices grow as
+	// bytes actually arrive (a lying length prefix then dies on EOF or a
+	// validation check, having cost only a small starter capacity), and
+	// counts with a structural bound are checked against it.
+	ps := make([]*Profile, 0, capAlloc(nProfiles))
+	for pi := 0; pi < nProfiles; pi++ {
 		size, err := u32()
 		if err != nil {
 			return nil, nil, err
+		}
+		if size > maxTreeSize {
+			return nil, nil, fmt.Errorf("branch: profile %d implausibly large (%d nodes)", pi, size)
 		}
 		nnz, err := u32()
 		if err != nil {
 			return nil, nil, err
 		}
-		elems := make([]vector.Elem, nnz)
-		pos := make([][]Occurrence, nnz)
+		if nnz > size {
+			// Each distinct branch occurs at least once and the counts
+			// sum to size, so nnz beyond size is corruption.
+			return nil, nil, fmt.Errorf("branch: profile %d has %d branch kinds but only %d nodes", pi, nnz, size)
+		}
+		elems := make([]vector.Elem, 0, capAlloc(nnz))
+		pos := make([][]Occurrence, 0, capAlloc(nnz))
 		for ei := 0; ei < nnz; ei++ {
 			dim, err := u32()
 			if err != nil {
@@ -161,17 +173,19 @@ func Read(r io.Reader) (*Space, []*Profile, error) {
 			if count == 0 || count > size {
 				return nil, nil, fmt.Errorf("branch: profile %d dim %d has bad count %d", pi, dim, count)
 			}
-			elems[ei] = vector.Elem{Dim: vector.Dim(dim), Count: count}
-			occ := make([]Occurrence, count)
-			for oi := range occ {
-				if err := binary.Read(br, binary.LittleEndian, &occ[oi].Pre); err != nil {
+			elems = append(elems, vector.Elem{Dim: vector.Dim(dim), Count: count})
+			occ := make([]Occurrence, 0, capAlloc(count))
+			for oi := 0; oi < count; oi++ {
+				var o Occurrence
+				if err := binary.Read(br, binary.LittleEndian, &o.Pre); err != nil {
 					return nil, nil, err
 				}
-				if err := binary.Read(br, binary.LittleEndian, &occ[oi].Post); err != nil {
+				if err := binary.Read(br, binary.LittleEndian, &o.Post); err != nil {
 					return nil, nil, err
 				}
+				occ = append(occ, o)
 			}
-			pos[ei] = occ
+			pos = append(pos, occ)
 		}
 		vec, err := vector.FromSorted(elems)
 		if err != nil {
@@ -181,7 +195,15 @@ func Read(r io.Reader) (*Space, []*Profile, error) {
 			return nil, nil, fmt.Errorf("branch: profile %d counts sum to %d, size says %d",
 				pi, vec.Sum(), size)
 		}
-		ps[pi] = Assemble(s, size, vec, pos)
+		ps = append(ps, Assemble(s, size, vec, pos))
 	}
 	return s, ps, nil
 }
+
+// maxTreeSize mirrors the tree codec's 1<<26 cap: profiles claiming more
+// nodes than any loadable tree are corrupt.
+const maxTreeSize = 1 << 26
+
+// capAlloc bounds the starter capacity taken from an untrusted count, so
+// a lying length prefix cannot demand a huge allocation up front.
+func capAlloc(n int) int { return min(n, 4096) }

@@ -1,0 +1,276 @@
+// Package faultfs is the filesystem seam of the durability subsystem: a
+// narrow write-oriented interface (OpenFile/CreateTemp/Rename/SyncDir and
+// friends) with two implementations — the real OS, and an Injector that
+// fails the Nth write, short-writes, refuses renames or syncs, or
+// "crashes" at a chosen point (every later operation fails).
+//
+// internal/wal and internal/server write through this interface, so tests
+// can prove crash-recovery guarantees end to end: abandon the in-memory
+// state after an injected crash, reopen the real files a second process
+// would see, and check that recovery reconstructs every acknowledged
+// write.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// File is the slice of *os.File the durability code needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Name() string
+}
+
+// FS is the filesystem surface the durability code writes through.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making a just-renamed entry durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Injected faults are distinguishable from real filesystem errors.
+var (
+	ErrInjected = errors.New("faultfs: injected fault")
+	ErrCrashed  = errors.New("faultfs: crashed")
+)
+
+// Injector wraps a base FS (default OS) and injects faults according to
+// its plan fields. The zero value injects nothing. Write operations are
+// counted across all files opened through the injector, in call order;
+// the counting fields are 1-based ("fail the 3rd write").
+//
+// A "crash" freezes the filesystem as a kill -9 would: every operation on
+// the Injector and on files opened through it fails with ErrCrashed and
+// has no effect. Bytes written before the crash remain on disk (the
+// simulated kernel survived; lost-page-cache scenarios are modeled with
+// FailWriteN/ShortWriteN instead). Tests then reopen the real files —
+// through OS or a fresh Injector — to observe what a restarted process
+// would find.
+type Injector struct {
+	// Base is the wrapped filesystem; nil means OS.
+	Base FS
+
+	// FailWriteN, when > 0, makes the Nth write call fail with
+	// ErrInjected before writing anything.
+	FailWriteN int
+	// ShortWriteN, when > 0, makes the Nth write call persist only the
+	// first half of its bytes, then return ErrInjected — a torn write.
+	ShortWriteN int
+	// CrashAfterWriteN, when > 0, crashes the filesystem immediately
+	// after the Nth write call completes.
+	CrashAfterWriteN int
+	// CrashOnRename crashes instead of performing the rename — the
+	// classic "temp file written, never published" power-cut point.
+	CrashOnRename bool
+	// FailSync makes every Sync and SyncDir call fail with ErrInjected
+	// (the write itself still lands in the page cache).
+	FailSync bool
+
+	mu      sync.Mutex
+	writes  int
+	crashed bool
+}
+
+func (in *Injector) base() FS {
+	if in.Base == nil {
+		return OS
+	}
+	return in.Base
+}
+
+// Writes returns how many write calls the injector has seen.
+func (in *Injector) Writes() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.writes
+}
+
+// Crashed reports whether a crash point has triggered.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// checkAlive fails every operation after a crash.
+func (in *Injector) checkAlive() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err := in.checkAlive(); err != nil {
+		return nil, err
+	}
+	f, err := in.base().OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{in: in, f: f}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if err := in.checkAlive(); err != nil {
+		return nil, err
+	}
+	f, err := in.base().CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{in: in, f: f}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.checkAlive(); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	if in.CrashOnRename {
+		in.crashed = true
+		in.mu.Unlock()
+		return fmt.Errorf("rename %s: %w", newpath, ErrCrashed)
+	}
+	in.mu.Unlock()
+	return in.base().Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err := in.checkAlive(); err != nil {
+		return err
+	}
+	return in.base().Remove(name)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if err := in.checkAlive(); err != nil {
+		return err
+	}
+	if in.FailSync {
+		return fmt.Errorf("syncdir %s: %w", dir, ErrInjected)
+	}
+	return in.base().SyncDir(dir)
+}
+
+// faultFile routes a file's operations through its injector's plan.
+type faultFile struct {
+	in *Injector
+	f  File
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	w.in.mu.Lock()
+	if w.in.crashed {
+		w.in.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	w.in.writes++
+	n := w.in.writes
+	fail := w.in.FailWriteN > 0 && n == w.in.FailWriteN
+	short := w.in.ShortWriteN > 0 && n == w.in.ShortWriteN
+	crashAfter := w.in.CrashAfterWriteN > 0 && n >= w.in.CrashAfterWriteN
+	w.in.mu.Unlock()
+
+	if fail {
+		return 0, fmt.Errorf("write %d: %w", n, ErrInjected)
+	}
+	var k int
+	var werr error
+	if short {
+		k, werr = w.f.Write(p[:len(p)/2])
+		if werr == nil {
+			werr = fmt.Errorf("short write %d: %w", n, ErrInjected)
+		}
+	} else {
+		k, werr = w.f.Write(p)
+	}
+	if crashAfter {
+		w.in.mu.Lock()
+		w.in.crashed = true
+		w.in.mu.Unlock()
+	}
+	return k, werr
+}
+
+func (w *faultFile) Read(p []byte) (int, error) {
+	if err := w.in.checkAlive(); err != nil {
+		return 0, err
+	}
+	return w.f.Read(p)
+}
+
+func (w *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if err := w.in.checkAlive(); err != nil {
+		return 0, err
+	}
+	return w.f.Seek(offset, whence)
+}
+
+func (w *faultFile) Sync() error {
+	if err := w.in.checkAlive(); err != nil {
+		return err
+	}
+	if w.in.FailSync {
+		return fmt.Errorf("sync %s: %w", w.f.Name(), ErrInjected)
+	}
+	return w.f.Sync()
+}
+
+func (w *faultFile) Truncate(size int64) error {
+	if err := w.in.checkAlive(); err != nil {
+		return err
+	}
+	return w.f.Truncate(size)
+}
+
+func (w *faultFile) Close() error {
+	// Closing after a crash is allowed (the test harness cleaning up);
+	// the descriptor is real either way.
+	return w.f.Close()
+}
+
+func (w *faultFile) Name() string { return w.f.Name() }

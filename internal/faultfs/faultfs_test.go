@@ -1,0 +1,139 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openForWrite(t *testing.T, fsys FS, path string) File {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	f := openForWrite(t, OS, path)
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(filepath.Dir(path)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+}
+
+func TestFailNthWrite(t *testing.T) {
+	in := &Injector{FailWriteN: 2}
+	f := openForWrite(t, in, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: %v, want ErrInjected", err)
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	if got := in.Writes(); got != 3 {
+		t.Fatalf("counted %d writes, want 3", got)
+	}
+}
+
+func TestShortWritePersistsHalf(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	in := &Injector{ShortWriteN: 1}
+	f := openForWrite(t, in, path)
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err %v, want ErrInjected", err)
+	}
+	if n != 4 {
+		t.Fatalf("short write persisted %d bytes, want 4", n)
+	}
+	f.Close()
+	b, _ := os.ReadFile(path)
+	if string(b) != "abcd" {
+		t.Fatalf("on disk %q, want %q", b, "abcd")
+	}
+}
+
+func TestCrashAfterWriteFreezesEverything(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	in := &Injector{CrashAfterWriteN: 1}
+	f := openForWrite(t, in, path)
+	if _, err := f.Write([]byte("survives")); err != nil {
+		t.Fatalf("the crashing write itself completes: %v", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector not crashed")
+	}
+	if _, err := f.Write([]byte("lost")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v, want ErrCrashed", err)
+	}
+	if _, err := in.OpenFile(path, os.O_RDONLY, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open: %v, want ErrCrashed", err)
+	}
+	if err := in.Rename(path, path+"2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v, want ErrCrashed", err)
+	}
+	f.Close()
+	// What a restarted process sees: the pre-crash bytes.
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "survives" {
+		t.Fatalf("post-restart read %q, %v", b, err)
+	}
+}
+
+func TestCrashOnRenameLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "snap")
+	if err := os.WriteFile(target, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := &Injector{CrashOnRename: true}
+	tmp, err := in.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp.Write([]byte("new"))
+	tmp.Close()
+	if err := in.Rename(tmp.Name(), target); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename: %v, want ErrCrashed", err)
+	}
+	b, _ := os.ReadFile(target)
+	if string(b) != "old" {
+		t.Fatalf("target is %q after crashed rename, want %q", b, "old")
+	}
+}
+
+func TestFailSync(t *testing.T) {
+	in := &Injector{FailSync: true}
+	f := openForWrite(t, in, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync: %v, want ErrInjected", err)
+	}
+	if err := in.SyncDir(t.TempDir()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("syncdir: %v, want ErrInjected", err)
+	}
+}

@@ -2,8 +2,12 @@ package search
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 
 	"treesim/internal/branch"
@@ -14,34 +18,116 @@ import (
 // text encoding) plus the pre-built branch space and profiles, so loading
 // skips both tree parsing of external formats and re-profiling.
 //
-// Format: magic "TSIX1\x00", u8 positional flag, branch.Write blob, u32
-// tree count, then each tree as (u32 len, canonical text bytes).
+// Two on-disk versions exist:
+//
+//	TSIX1 (legacy): magic "TSIX1\x00", then the payload.
+//	TSIX2:          magic "TSIX2\x00", u64 payload length, payload,
+//	                u32 CRC32C over the payload.
+//
+// The payload is identical in both: u8 positional flag, branch.Write
+// blob, u32 tree count, then each tree as (u32 len, canonical text
+// bytes). All integers are little-endian.
+//
+// SaveIndex writes TSIX2; LoadIndex reads both. The TSIX2 checksum makes
+// corruption a first-class, precisely reported condition instead of a
+// lucky structural-validation catch: LoadIndex distinguishes a truncated
+// snapshot (ErrSnapshotTruncated — the file ends before the declared
+// payload or trailer) from a corrupt one (ErrSnapshotCorrupt — checksum
+// mismatch, or structural nonsense inside a length-complete payload).
 
-var indexMagic = [6]byte{'T', 'S', 'I', 'X', '1', 0}
+var (
+	indexMagicV1 = [6]byte{'T', 'S', 'I', 'X', '1', 0}
+	indexMagicV2 = [6]byte{'T', 'S', 'I', 'X', '2', 0}
+)
 
-// SaveIndex serializes an index whose filter is a *BiBranch. Other filters
-// are cheap to rebuild from the dataset and are not supported.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxPayload caps the declared TSIX2 payload length (1 TiB) so a corrupt
+// header can neither overflow the int64 LimitReader nor promise absurd
+// work; real bounds come from the per-structure caps during decoding.
+const maxPayload = 1 << 40
+
+// ErrSnapshotCorrupt reports a snapshot whose bytes are all present but
+// wrong: the payload checksum does not match, or a structurally invalid
+// payload hides behind a matching length. Loaders must refuse to serve
+// from it.
+var ErrSnapshotCorrupt = errors.New("snapshot corrupt")
+
+// ErrSnapshotTruncated reports a snapshot that ends early — the classic
+// partial write. The prefix that exists may be pristine; there is just
+// not enough of it.
+var ErrSnapshotTruncated = errors.New("snapshot truncated")
+
+// SaveIndex serializes an index whose filter is a *BiBranch in the TSIX2
+// format (checksummed). Other filters are cheap to rebuild from the
+// dataset and are not supported.
 //
 // SaveIndex is safe to call while the index serves queries and inserts: it
 // copies the tree and profile slices under the index's read lock (a
 // consistent cut — inserts are atomic under the write lock), then
 // serializes from the copies without blocking anyone.
 func SaveIndex(w io.Writer, ix *Index) error {
+	f, profiles, trees, err := snapshotCut(ix)
+	if err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	if err := encodePayload(&payload, f, profiles, trees); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(indexMagicV2[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(payload.Len())); err != nil {
+		return err
+	}
+	sum := crc32.Checksum(payload.Bytes(), castagnoli)
+	if _, err := bw.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, sum); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// saveIndexV1 writes the legacy uncheck-summed TSIX1 format. Kept (and
+// exercised by tests) so the TSIX1-compatibility path in LoadIndex is
+// honest: snapshots from previous releases must keep loading.
+func saveIndexV1(w io.Writer, ix *Index) error {
+	f, profiles, trees, err := snapshotCut(ix)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(indexMagicV1[:]); err != nil {
+		return err
+	}
+	if err := encodePayload(bw, f, profiles, trees); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// snapshotCut copies the serializable state under the index's read lock.
+func snapshotCut(ix *Index) (*BiBranch, []*branch.Profile, []*tree.Tree, error) {
 	ix.mu.RLock()
 	f, ok := ix.filter.(*BiBranch)
 	if !ok {
 		name := ix.filter.Name()
 		ix.mu.RUnlock()
-		return fmt.Errorf("search: only BiBranch indexes can be saved (have %s)", name)
+		return nil, nil, nil, fmt.Errorf("search: only BiBranch indexes can be saved (have %s)", name)
 	}
 	trees := append([]*tree.Tree(nil), ix.trees...)
 	profiles := append([]*branch.Profile(nil), f.profiles...)
 	ix.mu.RUnlock()
+	return f, profiles, trees, nil
+}
 
+// encodePayload writes the version-independent payload.
+func encodePayload(w io.Writer, f *BiBranch, profiles []*branch.Profile, trees []*tree.Tree) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(indexMagic[:]); err != nil {
-		return err
-	}
 	positional := byte(0)
 	if f.Positional {
 		positional = 1
@@ -67,17 +153,141 @@ func SaveIndex(w io.Writer, ix *Index) error {
 	return bw.Flush()
 }
 
-// LoadIndex deserializes an index saved by SaveIndex. The loaded index
-// uses unit edit costs; wrap with NewIndexCost manually if needed.
+// LoadIndex deserializes an index saved by SaveIndex (TSIX2) or by a
+// previous release (TSIX1). The loaded index uses unit edit costs; wrap
+// with NewIndexCost manually if needed.
+//
+// For TSIX2, errors satisfy errors.Is against ErrSnapshotTruncated (file
+// ends early) or ErrSnapshotCorrupt (checksum mismatch / structural
+// damage) so callers can report the failure mode precisely.
 func LoadIndex(r io.Reader) (*Index, error) {
-	br := bufio.NewReader(r)
 	var magic [6]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("search: reading magic: %w", err)
 	}
-	if magic != indexMagic {
-		return nil, fmt.Errorf("search: bad index magic %q", magic)
+	switch magic {
+	case indexMagicV1:
+		// Legacy format: no checksum, structural validation only.
+		return decodePayload(bufio.NewReader(r))
+	case indexMagicV2:
+		return loadV2(r)
 	}
+	return nil, fmt.Errorf("search: bad index magic %q (want TSIX1 or TSIX2)", magic)
+}
+
+// countingHashReader hashes and counts everything read through it.
+type countingHashReader struct {
+	r io.Reader
+	h hash.Hash32
+	n int64
+}
+
+func (c *countingHashReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.h.Write(p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+func loadV2(r io.Reader) (*Index, error) {
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("search: %w: reading payload length: %v", ErrSnapshotTruncated, err)
+	}
+	plen := binary.LittleEndian.Uint64(lenBuf[:])
+	if plen > maxPayload {
+		return nil, fmt.Errorf("search: %w: implausible payload length %d", ErrSnapshotCorrupt, plen)
+	}
+
+	// Hash exactly the payload while decoding it. The hash taps the
+	// stream below the decoder's buffering and above the file, capped by
+	// the LimitReader at the payload boundary, so read-ahead can never
+	// swallow trailer bytes or hash past the payload.
+	cr := &countingHashReader{r: io.LimitReader(r, int64(plen)), h: crc32.New(castagnoli)}
+	br := bufio.NewReader(cr)
+	ix, derr := decodePayload(br)
+
+	// Drain whatever the decoder did not consume — on success this
+	// should be nothing; on error it completes the checksum so the
+	// failure can be classified.
+	var drained int64
+	if rest, err := io.Copy(io.Discard, br); err == nil {
+		drained = rest
+	}
+	if cr.n < int64(plen) {
+		return nil, fmt.Errorf("search: %w: payload has %d of %d declared bytes",
+			ErrSnapshotTruncated, cr.n, plen)
+	}
+
+	var trailer [4]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return nil, fmt.Errorf("search: %w: missing checksum trailer", ErrSnapshotTruncated)
+	}
+	want := binary.LittleEndian.Uint32(trailer[:])
+	if got := cr.h.Sum32(); got != want {
+		return nil, fmt.Errorf("search: %w: payload checksum %08x, trailer says %08x",
+			ErrSnapshotCorrupt, got, want)
+	}
+	// Checksum matched: the bytes are exactly what the writer produced,
+	// so any remaining failure is structural corruption (or a writer
+	// bug), not I/O damage.
+	if derr != nil {
+		return nil, fmt.Errorf("search: %w: %v", ErrSnapshotCorrupt, derr)
+	}
+	if drained > 0 {
+		return nil, fmt.Errorf("search: %w: %d payload bytes beyond the index structure",
+			ErrSnapshotCorrupt, drained)
+	}
+	return ix, nil
+}
+
+// VerifySnapshot checks a TSIX2 snapshot's integrity — length and
+// checksum — without decoding it: cheap enough to run after every
+// snapshot write, before the rename publishes it. TSIX1 snapshots carry
+// no checksum; they verify vacuously.
+func VerifySnapshot(r io.Reader) error {
+	var magic [6]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("search: %w: reading magic: %v", ErrSnapshotTruncated, err)
+	}
+	switch magic {
+	case indexMagicV1:
+		return nil
+	case indexMagicV2:
+	default:
+		return fmt.Errorf("search: %w: bad magic %q", ErrSnapshotCorrupt, magic)
+	}
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return fmt.Errorf("search: %w: reading payload length: %v", ErrSnapshotTruncated, err)
+	}
+	plen := binary.LittleEndian.Uint64(lenBuf[:])
+	if plen > maxPayload {
+		return fmt.Errorf("search: %w: implausible payload length %d", ErrSnapshotCorrupt, plen)
+	}
+	h := crc32.New(castagnoli)
+	n, err := io.Copy(h, io.LimitReader(r, int64(plen)))
+	if err != nil {
+		return fmt.Errorf("search: verifying snapshot: %w", err)
+	}
+	if n < int64(plen) {
+		return fmt.Errorf("search: %w: payload has %d of %d declared bytes", ErrSnapshotTruncated, n, plen)
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return fmt.Errorf("search: %w: missing checksum trailer", ErrSnapshotTruncated)
+	}
+	if want := binary.LittleEndian.Uint32(trailer[:]); h.Sum32() != want {
+		return fmt.Errorf("search: %w: payload checksum %08x, trailer says %08x",
+			ErrSnapshotCorrupt, h.Sum32(), want)
+	}
+	return nil
+}
+
+// decodePayload reads the version-independent payload. br must be the
+// single buffering layer over the source: branch.Read adopts a
+// *bufio.Reader as-is, so no read-ahead escapes the payload.
+func decodePayload(br *bufio.Reader) (*Index, error) {
 	positional, err := br.ReadByte()
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package search
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -72,6 +73,93 @@ func TestSaveRejectsOtherFilters(t *testing.T) {
 	var buf bytes.Buffer
 	if err := SaveIndex(&buf, ix); err == nil {
 		t.Error("Histo index saved")
+	}
+}
+
+// TestLoadTSIX1BackCompat: a snapshot in the previous release's format
+// (no checksum) must keep loading byte-for-byte.
+func TestLoadTSIX1BackCompat(t *testing.T) {
+	ts := testDataset(40, 25)
+	ix := NewIndex(ts, NewBiBranch())
+	var buf bytes.Buffer
+	if err := saveIndexV1(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[:6]; string(got) != "TSIX1\x00" {
+		t.Fatalf("legacy writer produced magic %q", got)
+	}
+	loaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatalf("TSIX1 snapshot does not load: %v", err)
+	}
+	if loaded.Size() != ix.Size() {
+		t.Fatalf("loaded %d trees, want %d", loaded.Size(), ix.Size())
+	}
+	for _, q := range []*tree.Tree{ts[0], ts[17]} {
+		wantK, _ := ix.KNN(q, 5)
+		gotK, _ := loaded.KNN(q, 5)
+		if !reflect.DeepEqual(wantK, gotK) {
+			t.Fatalf("KNN differs through TSIX1 reload: %v vs %v", gotK, wantK)
+		}
+	}
+}
+
+// TestLoadClassifiesCorruptVsTruncated: TSIX2's contract — a bit flip
+// anywhere in the payload is reported as corrupt, a short file as
+// truncated, and neither ever loads.
+func TestLoadClassifiesCorruptVsTruncated(t *testing.T) {
+	ix := NewIndex(testDataset(15, 26), NewBiBranch())
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	payloadStart := 6 + 8 // magic + u64 length
+
+	// Bit flips across the payload and the trailer: always ErrSnapshotCorrupt.
+	for _, flip := range []int{payloadStart, payloadStart + 100, len(full) / 2, len(full) - 2} {
+		mut := append([]byte(nil), full...)
+		mut[flip] ^= 0x20
+		_, err := LoadIndex(bytes.NewReader(mut))
+		if !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Errorf("flip at %d: err %v, want ErrSnapshotCorrupt", flip, err)
+		}
+	}
+
+	// Truncations: always ErrSnapshotTruncated.
+	for _, cut := range []int{7, payloadStart, payloadStart + 50, len(full) - 5, len(full) - 1} {
+		_, err := LoadIndex(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrSnapshotTruncated) {
+			t.Errorf("cut at %d: err %v, want ErrSnapshotTruncated", cut, err)
+		}
+	}
+}
+
+func TestVerifySnapshot(t *testing.T) {
+	ix := NewIndex(testDataset(12, 27), NewBiBranch())
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if err := VerifySnapshot(bytes.NewReader(full)); err != nil {
+		t.Fatalf("pristine snapshot fails verification: %v", err)
+	}
+	mut := append([]byte(nil), full...)
+	mut[len(mut)/2] ^= 0x01
+	if err := VerifySnapshot(bytes.NewReader(mut)); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("bit flip: %v, want ErrSnapshotCorrupt", err)
+	}
+	if err := VerifySnapshot(bytes.NewReader(full[:len(full)-7])); !errors.Is(err, ErrSnapshotTruncated) {
+		t.Fatal("truncation passed verification")
+	}
+	// TSIX1 has no checksum: verification is vacuous but not an error.
+	var v1 bytes.Buffer
+	if err := saveIndexV1(&v1, ix); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySnapshot(&v1); err != nil {
+		t.Fatalf("TSIX1 verification: %v", err)
 	}
 }
 

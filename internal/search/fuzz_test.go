@@ -1,0 +1,56 @@
+package search
+
+import (
+	"bytes"
+	"testing"
+
+	"treesim/internal/tree"
+)
+
+// FuzzLoadIndex feeds arbitrary bytes to the snapshot loader. The
+// contract under corruption: fail cleanly — no panics, and no allocation
+// sized by an untrusted length prefix (the codec caps every claimed
+// count, so a 50-byte input can never demand gigabytes). When an input
+// does load, it must re-save and re-load into an equivalent index.
+func FuzzLoadIndex(f *testing.F) {
+	ix := NewIndex(testDataset(8, 41), NewBiBranch())
+	var v2 bytes.Buffer
+	if err := SaveIndex(&v2, ix); err != nil {
+		f.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := saveIndexV1(&v1, ix); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes()[:len(v2.Bytes())/2])
+	f.Add([]byte("TSIX2\x00\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte("TSIX1\x00garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := LoadIndex(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input must fail cleanly, never panic
+		}
+		// A load that succeeded must be internally consistent enough to
+		// round-trip.
+		var buf bytes.Buffer
+		if err := SaveIndex(&buf, loaded); err != nil {
+			t.Fatalf("loaded index does not re-save: %v", err)
+		}
+		again, err := LoadIndex(&buf)
+		if err != nil {
+			t.Fatalf("re-saved index does not re-load: %v", err)
+		}
+		if again.Size() != loaded.Size() {
+			t.Fatalf("round trip changed size: %d -> %d", loaded.Size(), again.Size())
+		}
+		for i := 0; i < loaded.Size(); i++ {
+			if !tree.Equal(again.Tree(i), loaded.Tree(i)) {
+				t.Fatalf("round trip changed tree %d", i)
+			}
+		}
+	})
+}

@@ -120,6 +120,14 @@ func (ix *Index) Insert(t *tree.Tree) (int, error) {
 	return len(ix.trees) - 1, nil
 }
 
+// Appendable reports whether Insert can succeed — the filter supports
+// incremental appends. Callers with a durability log check this before
+// logging an insert that would then be refused.
+func (ix *Index) Appendable() bool {
+	_, ok := ix.filter.(Appender)
+	return ok
+}
+
 // Tree returns the i-th indexed tree and true, or nil and false when i is
 // out of range. Dataset positions are stable: trees are only ever
 // appended, never removed or reordered.

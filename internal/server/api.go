@@ -91,6 +91,16 @@ type BatchResponse struct {
 	Queries []QueryResponse `json:"queries"`
 }
 
+// ReadyResponse answers /readyz. Status is "ready", "recovering" (WAL
+// replay in progress; ReplayedRecords counts records applied so far) or
+// "draining". When ready, ReplayedRecords is the startup recovery total
+// and WALRecords counts inserts logged since.
+type ReadyResponse struct {
+	Status          string `json:"status"`
+	ReplayedRecords uint64 `json:"replayed_records,omitempty"`
+	WALRecords      uint64 `json:"wal_records,omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx JSON answer.
 type ErrorResponse struct {
 	Error     string `json:"error"`

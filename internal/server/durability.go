@@ -1,0 +1,144 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"treesim/internal/tree"
+	"treesim/internal/wal"
+)
+
+// Durability: the server's write-ahead log and startup recovery.
+//
+// Every accepted insert is appended to the WAL (Config.WALPath) before
+// the HTTP response acknowledges it, so the acknowledged index state is
+// reconstructible from disk at any crash point:
+//
+//	startup: snapshot-load (cmd/treesimd) → Recover: WAL replay →
+//	         post-replay snapshot → WAL trim
+//	running: insert → WAL append (fsync per policy) → apply → ack
+//	snapshot: capture WAL offset → consistent index cut → write/verify/
+//	          rename → trim the WAL below the captured offset
+//
+// WAL records carry the dataset position the insert was assigned, which
+// makes replay idempotent: records whose position is already inside the
+// loaded snapshot are skipped, so the overlap window between a snapshot's
+// consistent cut and the subsequent trim never duplicates trees. A
+// position beyond the index's end means records are missing (a foreign or
+// mismatched log) and recovery refuses to guess.
+
+// insertRecord is the WAL payload of one insert: u32 dataset position
+// (little-endian) followed by the tree's canonical text.
+func encodeInsertRecord(id int, text string) []byte {
+	buf := make([]byte, 4+len(text))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(id))
+	copy(buf[4:], text)
+	return buf
+}
+
+func decodeInsertRecord(p []byte) (id int, text string, err error) {
+	if len(p) < 4 {
+		return 0, "", fmt.Errorf("insert record of %d bytes", len(p))
+	}
+	return int(binary.LittleEndian.Uint32(p[:4])), string(p[4:]), nil
+}
+
+// RecoveryResult describes what Recover reconstructed.
+type RecoveryResult struct {
+	// Replayed counts WAL records applied to the index — inserts that
+	// were acknowledged but not yet in the snapshot when the process
+	// died.
+	Replayed int
+	// Skipped counts records already covered by the loaded snapshot.
+	Skipped int
+	// TornTail reports that the log ended in a torn or corrupt record
+	// (discarded; everything acknowledged before it was recovered).
+	TornTail bool
+	// Snapshotted reports that a post-replay snapshot was written (and
+	// the WAL trimmed), making the recovered state durable again.
+	Snapshotted bool
+}
+
+func (r RecoveryResult) String() string {
+	return fmt.Sprintf("replayed %d, skipped %d, torn tail %v, snapshotted %v",
+		r.Replayed, r.Skipped, r.TornTail, r.Snapshotted)
+}
+
+// Recover replays the write-ahead log into the index and opens it for
+// appending. Call it after loading the snapshot and before Serve; without
+// Config.WALPath it is a no-op. While Recover runs, /readyz answers 503
+// with the replay progress.
+//
+// After a replay that applied records, the recovered state is immediately
+// persisted to Config.SnapshotPath (when set) and the WAL trimmed, so a
+// second crash cannot replay twice against a stale snapshot (harmless,
+// but slow) and the log does not grow across restarts.
+func (s *Server) Recover() (RecoveryResult, error) {
+	if s.cfg.WALPath == "" {
+		return RecoveryResult{}, nil
+	}
+	s.recovering.Store(true)
+	defer s.recovering.Store(false)
+
+	var res RecoveryResult
+	rres, err := wal.Replay(s.cfg.WALPath, s.fs, func(p []byte) error {
+		id, text, err := decodeInsertRecord(p)
+		if err != nil {
+			return err
+		}
+		size := s.ix.Size()
+		switch {
+		case id < size:
+			res.Skipped++
+			return nil
+		case id > size:
+			return fmt.Errorf("record for position %d but the index ends at %d — "+
+				"the log does not belong to this snapshot", id, size)
+		}
+		t, err := tree.Parse(text)
+		if err != nil {
+			return fmt.Errorf("position %d: %w", id, err)
+		}
+		if _, err := s.ix.Insert(t); err != nil {
+			return fmt.Errorf("position %d: %w", id, err)
+		}
+		res.Replayed++
+		s.replayProgress.Add(1)
+		return nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("server: wal replay: %w", err)
+	}
+	res.TornTail = rres.Torn
+
+	l, err := wal.Open(s.cfg.WALPath, wal.Options{Sync: s.cfg.WALSync, FS: s.fs})
+	if err != nil {
+		return res, fmt.Errorf("server: wal open: %w", err)
+	}
+	s.wal = l
+	s.walReplayed.Store(uint64(res.Replayed))
+	s.log.Info("wal recovery", "path", s.cfg.WALPath,
+		"replayed", res.Replayed, "skipped", res.Skipped, "torn_tail", res.TornTail)
+
+	if rres.Records > 0 && s.cfg.SnapshotPath != "" {
+		if err := s.Snapshot(); err != nil {
+			return res, fmt.Errorf("server: post-recovery snapshot: %w", err)
+		}
+		res.Snapshotted = true
+	}
+	return res, nil
+}
+
+// appendToWAL logs one insert before it is applied; called with walMu
+// held. A nil s.wal (no WAL configured, or Recover not called) appends
+// nothing.
+func (s *Server) appendToWAL(id int, t *tree.Tree) error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Append(encodeInsertRecord(id, t.String())); err != nil {
+		return err
+	}
+	s.walRecords.Add(1)
+	return nil
+}

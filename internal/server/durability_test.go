@@ -1,0 +1,244 @@
+package server
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"treesim/internal/faultfs"
+	"treesim/internal/search"
+)
+
+// These tests prove the durability contract end to end: an insert the
+// server acknowledged survives any single crash point. Each scenario
+// "crashes" by abandoning the in-memory server and rebuilding a fresh one
+// from nothing but the on-disk snapshot and WAL — exactly what a
+// restarted process would see.
+
+// durableConfig is quietConfig with snapshot and WAL paths under dir.
+func durableConfig(dir string) Config {
+	cfg := quietConfig()
+	cfg.SnapshotPath = filepath.Join(dir, "index.tsix")
+	cfg.WALPath = filepath.Join(dir, "wal.log")
+	return cfg
+}
+
+// startDurable builds a server over a fresh dataset, runs recovery
+// (which opens the WAL), and writes a baseline snapshot to disk.
+func startDurable(t *testing.T, cfg Config, n int) (*Server, *httptest.Server) {
+	t.Helper()
+	ix := search.NewIndex(testDataset(n, 1), search.NewBiBranch())
+	s := New(ix, cfg)
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+// restartDurable models a process restart: load the snapshot from disk
+// exactly as cmd/treesimd would, then run recovery.
+func restartDurable(t *testing.T, cfg Config) (*Server, RecoveryResult) {
+	t.Helper()
+	f, err := os.Open(cfg.SnapshotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ix, err := search.LoadIndex(f)
+	if err != nil {
+		t.Fatalf("reloading snapshot: %v", err)
+	}
+	s := New(ix, cfg)
+	rec, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rec
+}
+
+func insertTree(t *testing.T, base, text string) {
+	t.Helper()
+	if code := postJSON(t, base+"/v1/trees", InsertRequest{Tree: text}, nil); code != 200 {
+		t.Fatalf("insert %q: status %d", text, code)
+	}
+}
+
+// expectTree checks the tree at dataset position id.
+func expectTree(t *testing.T, s *Server, id int, want string) {
+	t.Helper()
+	tr, ok := s.ix.TreeAt(id)
+	if !ok {
+		t.Fatalf("no tree at position %d", id)
+	}
+	if tr.String() != want {
+		t.Fatalf("tree %d = %q, want %q", id, tr.String(), want)
+	}
+}
+
+// TestInsertSurvivesCrashBeforeSnapshot: the process dies after
+// acknowledging inserts but before any snapshot covers them; the WAL
+// alone carries them across the restart.
+func TestInsertSurvivesCrashBeforeSnapshot(t *testing.T) {
+	cfg := durableConfig(t.TempDir())
+	s, hs := startDurable(t, cfg, 20)
+
+	inserted := []string{"crash(a(b),c)", "crash2(x,y(z))"}
+	for _, text := range inserted {
+		insertTree(t, hs.URL, text)
+	}
+	// Crash: no Shutdown, no snapshot — drop everything in memory.
+	hs.Close()
+	s.wal.Close()
+
+	s2, rec := restartDurable(t, cfg)
+	if rec.Replayed != len(inserted) {
+		t.Fatalf("recovery %s, want %d replayed", rec, len(inserted))
+	}
+	if !rec.Snapshotted {
+		t.Fatalf("recovery %s: replayed records not re-persisted", rec)
+	}
+	if got := s2.ix.Size(); got != 20+len(inserted) {
+		t.Fatalf("recovered index holds %d trees, want %d", got, 20+len(inserted))
+	}
+	for i, text := range inserted {
+		expectTree(t, s2, 20+i, text)
+	}
+
+	// The recovered server reports the replay on /readyz and /metrics.
+	hs2 := httptest.NewServer(s2.Handler())
+	defer hs2.Close()
+	var ready ReadyResponse
+	if code := getJSON(t, hs2.URL+"/readyz", &ready); code != 200 {
+		t.Fatalf("readyz status %d", code)
+	}
+	if ready.Status != "ready" || ready.ReplayedRecords != uint64(len(inserted)) {
+		t.Fatalf("readyz = %+v, want ready with %d replayed", ready, len(inserted))
+	}
+	var snap Snapshot
+	if code := getJSON(t, hs2.URL+"/metrics", &snap); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if snap.WALReplayedRecords != uint64(len(inserted)) {
+		t.Fatalf("metrics wal_replayed_records = %d, want %d", snap.WALReplayedRecords, len(inserted))
+	}
+	s2.wal.Close()
+
+	// Recovery snapshotted and trimmed, so a third start replays nothing.
+	s3, rec3 := restartDurable(t, cfg)
+	if rec3.Replayed != 0 || rec3.Skipped != 0 {
+		t.Fatalf("second recovery %s, want a clean log", rec3)
+	}
+	if got := s3.ix.Size(); got != 20+len(inserted) {
+		t.Fatalf("third start holds %d trees, want %d", got, 20+len(inserted))
+	}
+	s3.wal.Close()
+}
+
+// TestCorruptWALTailRecoversPrefix: a bit flip in the last WAL record
+// (a torn disk write) costs exactly that record; every earlier insert
+// is recovered.
+func TestCorruptWALTailRecoversPrefix(t *testing.T) {
+	cfg := durableConfig(t.TempDir())
+	s, hs := startDurable(t, cfg, 20)
+
+	inserted := []string{"w0(a,b)", "w1(c(d),e)", "w2(f,g(h))"}
+	for _, text := range inserted {
+		insertTree(t, hs.URL, text)
+	}
+	hs.Close()
+	s.wal.Close()
+
+	raw, err := os.ReadFile(cfg.WALPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x40
+	if err := os.WriteFile(cfg.WALPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := restartDurable(t, cfg)
+	if !rec.TornTail {
+		t.Fatalf("recovery %s: corrupt tail not detected", rec)
+	}
+	if rec.Replayed != 2 {
+		t.Fatalf("recovery %s, want 2 replayed (valid prefix)", rec)
+	}
+	if got := s2.ix.Size(); got != 22 {
+		t.Fatalf("recovered index holds %d trees, want 22", got)
+	}
+	expectTree(t, s2, 20, inserted[0])
+	expectTree(t, s2, 21, inserted[1])
+	s2.wal.Close()
+}
+
+// TestCrashDuringSnapshotKeepsWAL: a power cut at the snapshot's
+// publish point (temp file written, rename lost) leaves the old
+// snapshot intact and the WAL untrimmed, so the acknowledged insert
+// still recovers.
+func TestCrashDuringSnapshotKeepsWAL(t *testing.T) {
+	cfg := durableConfig(t.TempDir())
+	s, hs := startDurable(t, cfg, 20)
+
+	insertTree(t, hs.URL, "mid(snap,shot)")
+
+	inj := &faultfs.Injector{CrashOnRename: true}
+	s.fs = inj
+	if err := s.Snapshot(); err == nil {
+		t.Fatal("snapshot published through a crashed filesystem")
+	}
+	if !inj.Crashed() {
+		t.Fatal("injector never reached its crash point")
+	}
+	hs.Close()
+	s.wal.Close()
+
+	s2, rec := restartDurable(t, cfg)
+	if rec.Replayed != 1 {
+		t.Fatalf("recovery %s, want the acknowledged insert replayed", rec)
+	}
+	if got := s2.ix.Size(); got != 21 {
+		t.Fatalf("recovered index holds %d trees, want 21", got)
+	}
+	expectTree(t, s2, 20, "mid(snap,shot)")
+	s2.wal.Close()
+}
+
+// TestWALAppendFailureRefusesInsert: when the WAL write fails, the
+// insert is neither acknowledged nor applied — durability before
+// acknowledgment also means no acknowledgment without durability.
+func TestWALAppendFailureRefusesInsert(t *testing.T) {
+	cfg := durableConfig(t.TempDir())
+	// Write 1 is the WAL magic at Open; write 2 is the first append.
+	inj := &faultfs.Injector{FailWriteN: 2}
+	ix := search.NewIndex(testDataset(10, 1), search.NewBiBranch())
+	s := New(ix, cfg)
+	s.fs = inj
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	if code := postJSON(t, hs.URL+"/v1/trees", InsertRequest{Tree: "f(a,b)"}, nil); code != 503 {
+		t.Fatalf("insert with failing WAL: status %d, want 503", code)
+	}
+	if got := s.ix.Size(); got != 10 {
+		t.Fatalf("refused insert leaked into the index (size %d, want 10)", got)
+	}
+
+	// The fault was one-shot: the retried insert succeeds and lands at
+	// the position the failed attempt would have taken.
+	insertTree(t, hs.URL, "f(a,b)")
+	if got := s.ix.Size(); got != 11 {
+		t.Fatalf("retried insert missing (size %d, want 11)", got)
+	}
+	expectTree(t, s, 10, "f(a,b)")
+	s.wal.Close()
+}

@@ -235,11 +235,32 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
 		return
 	}
-	id, err := s.ix.Insert(t)
-	if err != nil {
+	if !s.ix.Appendable() {
 		// The filter keeps global precomputed structures (pivot tables,
 		// VP-trees) that appending would corrupt; this deployment needs a
-		// rebuild, not a retry.
+		// rebuild, not a retry. Checked before the WAL append so the log
+		// never records an insert that was refused.
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("filter %s does not support incremental inserts", s.ix.Filter().Name()), requestID(w))
+		return
+	}
+	// Durability before acknowledgment: the record must be in the WAL
+	// before the insert is applied or acked, and walMu makes (assign
+	// position, append, apply) atomic so log order matches position
+	// order — what makes replay deterministic.
+	s.walMu.Lock()
+	id := s.ix.Size()
+	if err := s.appendToWAL(id, t); err != nil {
+		s.walMu.Unlock()
+		s.log.Error("wal append failed, insert refused", "err", err)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"insert not durable (write-ahead log append failed); retry", requestID(w))
+		return
+	}
+	id, err = s.ix.Insert(t)
+	s.walMu.Unlock()
+	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error(), requestID(w))
 		return
 	}
@@ -266,11 +287,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if !s.ready.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	if s.recovering.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{
+			Status:          "recovering",
+			ReplayedRecords: s.replayProgress.Load(),
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{
+		Status:          "ready",
+		ReplayedRecords: s.walReplayed.Load(),
+		WALRecords:      s.walRecords.Load(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -281,5 +313,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap.MaxInFlight = cap(s.sem)
 	snap.Inserts = s.inserts.Load()
 	snap.Snapshots = s.snapshots.Load()
+	snap.WALRecords = s.walRecords.Load()
+	snap.WALReplayedRecords = s.walReplayed.Load()
+	snap.SnapshotCRCFailures = s.snapCRCFail.Load()
 	writeJSON(w, http.StatusOK, snap)
 }

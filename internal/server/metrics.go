@@ -132,15 +132,21 @@ type QuerySnapshot struct {
 // Snapshot is the full /metrics document; the server adds the live gauges
 // (index size, in-flight requests) before marshaling.
 type Snapshot struct {
-	UptimeSeconds float64                     `json:"uptime_seconds"`
-	IndexSize     int                         `json:"index_size"`
-	IndexFilter   string                      `json:"index_filter"`
-	InFlight      int                         `json:"inflight"`
-	MaxInFlight   int                         `json:"max_inflight"`
-	Inserts       uint64                      `json:"inserts_total"`
-	Snapshots     uint64                      `json:"snapshots_total"`
-	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
-	Queries       QuerySnapshot               `json:"queries"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	IndexSize     int     `json:"index_size"`
+	IndexFilter   string  `json:"index_filter"`
+	InFlight      int     `json:"inflight"`
+	MaxInFlight   int     `json:"max_inflight"`
+	Inserts       uint64  `json:"inserts_total"`
+	Snapshots     uint64  `json:"snapshots_total"`
+	// Durability gauges: WAL records appended by this process, records
+	// replayed during startup recovery, and snapshots that failed their
+	// checksum self-verification (and were therefore not published).
+	WALRecords          uint64                      `json:"wal_records_total"`
+	WALReplayedRecords  uint64                      `json:"wal_replayed_records"`
+	SnapshotCRCFailures uint64                      `json:"snapshot_crc_failures"`
+	Endpoints           map[string]EndpointSnapshot `json:"endpoints"`
+	Queries             QuerySnapshot               `json:"queries"`
 }
 
 // Snapshot renders the counters; the caller fills the gauge fields.

@@ -27,6 +27,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -36,7 +37,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"treesim/internal/faultfs"
 	"treesim/internal/search"
+	"treesim/internal/wal"
 )
 
 // Config tunes the server; the zero value gets sensible defaults.
@@ -53,8 +56,18 @@ type Config struct {
 	// Default 256.
 	MaxBatch int
 	// SnapshotPath, when set, is where the index is persisted (written
-	// atomically via a temp file + rename). Empty disables persistence.
+	// atomically: temp file, fsync, checksum verification, rename,
+	// directory fsync). Empty disables persistence.
 	SnapshotPath string
+	// WALPath, when set, enables the write-ahead log: every accepted
+	// insert is appended (and fsynced per WALSync) before the response
+	// acknowledges it, and Recover replays the log at startup. Empty
+	// means inserts between snapshots die with the process.
+	WALPath string
+	// WALSync picks the log's fsync policy: wal.SyncAlways (the zero
+	// value — acknowledged inserts survive power loss) or wal.SyncNever
+	// (survive a process crash only).
+	WALSync wal.SyncPolicy
 	// SnapshotInterval is how often the snapshot loop checks for new
 	// inserts to persist. Default 1m; negative disables the periodic
 	// loop (the final shutdown snapshot still happens).
@@ -105,6 +118,18 @@ type Server struct {
 	saved     atomic.Uint64 // value of inserts at the last snapshot
 	snapshots atomic.Uint64 // snapshots written
 
+	// Durability state (see durability.go). fs is the filesystem the
+	// snapshot and WAL paths write through; tests swap in a fault
+	// injector before first use.
+	fs             faultfs.FS
+	wal            *wal.Log
+	walMu          sync.Mutex    // makes (assign position, WAL append, apply) atomic
+	walRecords     atomic.Uint64 // records appended by this process
+	walReplayed    atomic.Uint64 // records replayed at startup
+	snapCRCFail    atomic.Uint64 // snapshots that failed checksum self-verification
+	recovering     atomic.Bool   // Recover in progress (readyz: 503)
+	replayProgress atomic.Uint64 // records applied so far during Recover
+
 	httpSrv  *http.Server
 	ln       net.Listener
 	bg       sync.WaitGroup
@@ -123,6 +148,7 @@ func New(ix *search.Index, cfg Config) *Server {
 		log:      cfg.Logger,
 		metrics:  NewMetrics(),
 		sem:      newLimiter(cfg.MaxInFlight),
+		fs:       faultfs.OS,
 		stopSnap: make(chan struct{}),
 	}
 	s.mux = http.NewServeMux()
@@ -196,6 +222,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			err = serr
 		}
 	}
+	if s.wal != nil {
+		if cerr := s.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	s.log.Info("shut down", "final_snapshot", s.cfg.SnapshotPath != "", "err", err)
 	return err
 }
@@ -203,37 +234,81 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // dirty reports whether inserts happened since the last snapshot.
 func (s *Server) dirty() bool { return s.inserts.Load() != s.saved.Load() }
 
-// Snapshot persists the index to Config.SnapshotPath atomically (temp
-// file in the same directory, then rename). It is a no-op without a
-// configured path, and safe to call while queries and inserts are running:
-// the codec copies the index state under its read lock.
+// Snapshot persists the index to Config.SnapshotPath atomically and
+// durably: temp file in the same directory, fsync, checksum
+// self-verification (a snapshot that would not load back is never
+// published), rename, directory fsync. It is a no-op without a configured
+// path, and safe to call while queries and inserts are running: the codec
+// copies the index state under its read lock.
+//
+// After a successful snapshot the write-ahead log is trimmed: records
+// below the offset captured here are covered by the snapshot (their
+// inserts happened before the codec's consistent cut) and no longer
+// needed for recovery.
 func (s *Server) Snapshot() error {
 	if s.cfg.SnapshotPath == "" {
 		return nil
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+	// Everything below walOff was applied to the index before this
+	// point, so the cut below includes it; records appended later may or
+	// may not be in the cut, which replay tolerates (positions make it
+	// idempotent).
+	var walOff int64
+	if s.wal != nil {
+		walOff = s.wal.Offset()
+	}
 	// Inserts accepted after this read land in the next snapshot.
 	mark := s.inserts.Load()
 	dir := filepath.Dir(s.cfg.SnapshotPath)
-	tmp, err := os.CreateTemp(dir, ".treesimd-snapshot-*")
+	tmp, err := s.fs.CreateTemp(dir, ".treesimd-snapshot-*")
 	if err != nil {
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer s.fs.Remove(tmp.Name())
 	if err := search.SaveIndex(tmp, s.ix); err != nil {
 		tmp.Close()
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
+	// Fsync before rename: without it, the rename can publish a file
+	// whose bytes are still only in the page cache, and a power cut
+	// leaves an empty or partial "atomic" snapshot.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: snapshot sync: %w", err)
+	}
+	// Read back and verify the checksum before publishing: a write that
+	// went wrong (bad disk, torn page) must not replace a good snapshot.
+	if _, err := tmp.Seek(0, io.SeekStart); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: snapshot verify: %w", err)
+	}
+	if err := search.VerifySnapshot(tmp); err != nil {
+		tmp.Close()
+		s.snapCRCFail.Add(1)
+		return fmt.Errorf("server: snapshot failed self-verification, not published: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), s.cfg.SnapshotPath); err != nil {
+	if err := s.fs.Rename(tmp.Name(), s.cfg.SnapshotPath); err != nil {
 		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	// Fsync the directory so the rename itself survives power loss.
+	if err := s.fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("server: snapshot dir sync: %w", err)
 	}
 	s.saved.Store(mark)
 	s.snapshots.Add(1)
 	s.log.Info("snapshot written", "path", s.cfg.SnapshotPath, "trees", s.ix.Size())
+	if s.wal != nil && walOff > 0 {
+		if err := s.wal.TrimPrefix(walOff); err != nil {
+			// Not fatal: the untrimmed records replay idempotently; the
+			// next snapshot retries the trim.
+			s.log.Error("wal trim after snapshot failed", "err", err)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,403 @@
+// Package wal is an append-only write-ahead log: the durability floor
+// under the treesimd server's live inserts. An insert is acknowledged
+// only after its record is appended here (and, under the default policy,
+// fsynced), so a crash at any point loses nothing that was acknowledged —
+// recovery is snapshot-load followed by replay of this log.
+//
+// On-disk layout:
+//
+//	magic "TSWL1\x00"
+//	records, each: u32 payload length | u32 CRC32C(payload) | payload
+//
+// All integers are little-endian; the checksum is CRC32-Castagnoli. The
+// format is designed for crash recovery rather than error correction:
+// Replay delivers records in order and stops cleanly at the first torn or
+// corrupt record (a partial header, a partial payload, an implausible
+// length, or a checksum mismatch), treating everything before it as the
+// durable prefix. Open discards such a tail before appending, so a log
+// that survived a crash mid-append keeps accepting records.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"treesim/internal/faultfs"
+)
+
+// MaxRecord caps one record's payload, mirroring the codec's tree cap: a
+// length prefix beyond it is treated as corruption, never as an
+// allocation request.
+const MaxRecord = 1 << 26
+
+var magic = [6]byte{'T', 'S', 'W', 'L', '1', 0}
+
+const headerLen = int64(len(magic))
+
+// recordHeader is u32 length + u32 CRC32C.
+const recordHeader = 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record
+	// survives power loss. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncNever leaves flushing to the OS: records survive a process
+	// crash but a power cut may lose the recently appended tail.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the flag spellings "always" and "never" (also
+// "none") to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "never", "none":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always or never)", s)
+}
+
+// Options tunes Open; the zero value is SyncAlways on the real
+// filesystem.
+type Options struct {
+	Sync SyncPolicy
+	// FS is the filesystem to write through; nil means the real one.
+	// Tests inject faults here (see internal/faultfs).
+	FS faultfs.FS
+}
+
+func (o Options) fs() faultfs.FS {
+	if o.FS == nil {
+		return faultfs.OS
+	}
+	return o.FS
+}
+
+// ErrTooLarge rejects appends beyond MaxRecord.
+var ErrTooLarge = errors.New("wal: record exceeds MaxRecord")
+
+// Log is an open write-ahead log. Methods are safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	fs   faultfs.FS
+	f    faultfs.File
+	path string
+	opts Options
+	off  int64 // end of the valid record prefix == append position
+	recs int   // valid records on disk (preexisting + appended)
+	// broken is set when a failed append could not be rolled back: the
+	// file may end in a torn record that later appends must not follow
+	// (replay would never reach them).
+	broken error
+}
+
+// Open opens (creating if absent) the log at path for appending. A torn
+// or corrupt tail left by a crash is truncated away first, so the
+// returned log appends after the last valid record. Replay the log before
+// opening it for append when recovering state.
+func Open(path string, opts Options) (*Log, error) {
+	fsys := opts.fs()
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	l := &Log{fs: fsys, f: f, path: path, opts: opts}
+
+	res, err := scan(f, nil)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if res.fresh {
+		// New/empty file: write the header.
+		if _, err := f.Write(magic[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: writing header: %w", err)
+		}
+		if err := l.maybeSync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.off = headerLen
+		return l, nil
+	}
+	if res.Torn {
+		// Drop the unreachable tail so new appends stay replayable.
+		if err := f.Truncate(res.ValidBytes); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(res.ValidBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seeking to append position: %w", err)
+	}
+	l.off = res.ValidBytes
+	l.recs = res.Records
+	return l, nil
+}
+
+// Append adds one record and, under SyncAlways, fsyncs it. When Append
+// returns nil the record will be delivered by every future Replay; when
+// it returns an error the log rolls back to its previous state (or, if
+// the rollback itself fails, refuses all further appends).
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("%w (%d bytes)", ErrTooLarge, len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return fmt.Errorf("wal: log damaged by earlier failed append: %w", l.broken)
+	}
+	buf := make([]byte, recordHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[recordHeader:], payload)
+
+	if _, err := l.f.Write(buf); err != nil {
+		l.rollback()
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.maybeSync(); err != nil {
+		// The bytes are written but possibly not durable; keeping them
+		// is safe (the record is valid), but the caller must not treat
+		// the append as acknowledged.
+		l.off += int64(len(buf))
+		l.recs++
+		return fmt.Errorf("wal: append sync: %w", err)
+	}
+	l.off += int64(len(buf))
+	l.recs++
+	return nil
+}
+
+// rollback restores the file to the last valid prefix after a failed
+// write; if that fails too, the log refuses further appends.
+func (l *Log) rollback() {
+	if err := l.f.Truncate(l.off); err != nil {
+		l.broken = err
+		return
+	}
+	if _, err := l.f.Seek(l.off, io.SeekStart); err != nil {
+		l.broken = err
+	}
+}
+
+func (l *Log) maybeSync() error {
+	if l.opts.Sync == SyncNever {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// Sync forces the log to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Sync()
+}
+
+// Offset returns the end of the valid record prefix (the append
+// position). A snapshot captures it before its consistent cut and hands
+// it to TrimPrefix afterwards: every record below the offset is covered
+// by the snapshot.
+func (l *Log) Offset() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.off
+}
+
+// Records returns how many valid records the log holds.
+func (l *Log) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recs
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// TrimPrefix drops every record below off — a value previously returned
+// by Offset — keeping records appended since. It rewrites the file
+// atomically (suffix copied to a temp file, fsynced, renamed over the
+// log, directory synced), so a crash at any point leaves either the old
+// or the trimmed log, never less than the uncovered records.
+func (l *Log) TrimPrefix(off int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return fmt.Errorf("wal: trim on damaged log: %w", l.broken)
+	}
+	if off <= headerLen {
+		return nil
+	}
+	if off > l.off {
+		return fmt.Errorf("wal: trim offset %d beyond valid prefix %d", off, l.off)
+	}
+
+	tmp, err := l.fs.CreateTemp(filepath.Dir(l.path), ".wal-trim-*")
+	if err != nil {
+		return fmt.Errorf("wal: trim: %w", err)
+	}
+	defer l.fs.Remove(tmp.Name())
+	if _, err := tmp.Write(magic[:]); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: trim: %w", err)
+	}
+	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: trim: %w", err)
+	}
+	kept, err := io.Copy(tmp, io.LimitReader(l.f, l.off-off))
+	if err != nil || kept != l.off-off {
+		tmp.Close()
+		return fmt.Errorf("wal: trim copied %d of %d suffix bytes: %v", kept, l.off-off, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: trim sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: trim close: %w", err)
+	}
+	if err := l.fs.Rename(tmp.Name(), l.path); err != nil {
+		return fmt.Errorf("wal: trim rename: %w", err)
+	}
+	if err := l.fs.SyncDir(filepath.Dir(l.path)); err != nil {
+		return fmt.Errorf("wal: trim dir sync: %w", err)
+	}
+
+	// Switch the append handle to the trimmed file, rescanning it (the
+	// suffix is small — records appended since the snapshot cut) to
+	// recount records and position the next append.
+	nf, err := l.fs.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		l.broken = err
+		return fmt.Errorf("wal: reopening trimmed log: %w", err)
+	}
+	res, err := scan(nf, nil)
+	if err != nil {
+		nf.Close()
+		l.broken = err
+		return fmt.Errorf("wal: rescanning trimmed log: %w", err)
+	}
+	if _, err := nf.Seek(res.ValidBytes, io.SeekStart); err != nil {
+		nf.Close()
+		l.broken = err
+		return fmt.Errorf("wal: reopening trimmed log: %w", err)
+	}
+	l.f.Close()
+	l.f = nf
+	l.recs = res.Records
+	l.off = res.ValidBytes
+	return nil
+}
+
+// Close syncs (under SyncAlways) and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.maybeSync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// ReplayResult describes what Replay (or Open's internal scan) found.
+type ReplayResult struct {
+	Records    int   // valid records delivered
+	ValidBytes int64 // file offset where the valid prefix ends
+	Torn       bool  // a torn/corrupt tail followed the valid prefix
+
+	fresh bool // file absent or empty (no header yet)
+}
+
+// Replay reads the log at path, calling fn for each valid record in
+// order, and stops cleanly at the first torn or corrupt record — the
+// contract that makes the log safe to append to without write barriers: a
+// crash mid-append tears only the final record, and recovery keeps
+// everything acknowledged before it. A missing or empty file replays zero
+// records. fn's error aborts the replay and is returned wrapped; fn may
+// retain payload only by copying it.
+func Replay(path string, fsys faultfs.FS, fn func(payload []byte) error) (ReplayResult, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return ReplayResult{fresh: true, ValidBytes: headerLen}, nil
+		}
+		return ReplayResult{}, fmt.Errorf("wal: replay open: %w", err)
+	}
+	defer f.Close()
+	return scan(f, fn)
+}
+
+// scan walks the record stream from the start of f, delivering payloads
+// to fn (when non-nil) and locating the end of the valid prefix.
+func scan(f faultfs.File, fn func([]byte) error) (ReplayResult, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return ReplayResult{}, fmt.Errorf("wal: scan: %w", err)
+	}
+	var hdr [6]byte
+	n, err := io.ReadFull(f, hdr[:])
+	if n == 0 && (err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF)) {
+		return ReplayResult{fresh: true, ValidBytes: headerLen}, nil
+	}
+	if err != nil {
+		return ReplayResult{}, fmt.Errorf("wal: reading header: %w", err)
+	}
+	if hdr != magic {
+		return ReplayResult{}, fmt.Errorf("wal: bad magic %q (not a WAL file)", hdr)
+	}
+
+	res := ReplayResult{ValidBytes: headerLen}
+	var rh [recordHeader]byte
+	for {
+		n, err := io.ReadFull(f, rh[:])
+		if n == 0 && err == io.EOF {
+			return res, nil // clean end
+		}
+		if err != nil {
+			res.Torn = true // partial record header
+			return res, nil
+		}
+		ln := binary.LittleEndian.Uint32(rh[0:4])
+		want := binary.LittleEndian.Uint32(rh[4:8])
+		if ln > MaxRecord {
+			res.Torn = true // implausible length: corrupt, not an alloc
+			return res, nil
+		}
+		payload := make([]byte, ln)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			res.Torn = true // partial payload
+			return res, nil
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			res.Torn = true // bit rot or torn overwrite
+			return res, nil
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return res, fmt.Errorf("wal: replay record %d: %w", res.Records, err)
+			}
+		}
+		res.Records++
+		res.ValidBytes += recordHeader + int64(ln)
+	}
+}

@@ -1,0 +1,416 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"treesim/internal/faultfs"
+)
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "insert.wal")
+}
+
+// collect replays the log into a slice of payload copies.
+func collect(t *testing.T, path string) ([][]byte, ReplayResult) {
+	t.Helper()
+	var got [][]byte
+	res, err := Replay(path, nil, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, res
+}
+
+func appendAll(t *testing.T, l *Log, payloads ...string) {
+	t.Helper()
+	for _, p := range payloads {
+		if err := l.Append([]byte(p)); err != nil {
+			t.Fatalf("append %q: %v", p, err)
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := walPath(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"first", "", "third record with some length", "4"}
+	appendAll(t, l, want...)
+	if l.Records() != 4 {
+		t.Fatalf("Records() = %d, want 4", l.Records())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, res := collect(t, path)
+	if res.Torn || res.Records != 4 {
+		t.Fatalf("replay result %+v, want 4 clean records", res)
+	}
+	for i, w := range want {
+		if string(got[i]) != w {
+			t.Fatalf("record %d = %q, want %q", i, got[i], w)
+		}
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	got, res := collect(t, filepath.Join(t.TempDir(), "nope.wal"))
+	if len(got) != 0 || res.Records != 0 || res.Torn {
+		t.Fatalf("missing file replayed %d records, %+v", len(got), res)
+	}
+}
+
+func TestReplayRejectsForeignFile(t *testing.T) {
+	path := walPath(t)
+	os.WriteFile(path, []byte("definitely not a WAL"), 0o644)
+	if _, err := Replay(path, nil, nil); err == nil {
+		t.Fatal("foreign file replayed without error")
+	}
+}
+
+// TestTornTailRecoversPrefix truncates the file at every byte boundary of
+// the final record: replay must always deliver the full prefix and flag
+// (but not fail on) the tear.
+func TestTornTailRecoversPrefix(t *testing.T) {
+	path := walPath(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "alpha", "beta", "gamma-the-last")
+	l.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoEnd := len(full) - recordHeader - len("gamma-the-last")
+
+	for cut := twoEnd + 1; cut < len(full); cut++ {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, res := collect(t, path)
+		if !res.Torn {
+			t.Fatalf("cut at %d: tear not detected", cut)
+		}
+		if res.Records != 2 || len(got) != 2 || string(got[0]) != "alpha" || string(got[1]) != "beta" {
+			t.Fatalf("cut at %d: recovered %d records %q, want the 2-record prefix", cut, res.Records, got)
+		}
+		if res.ValidBytes != int64(twoEnd) {
+			t.Fatalf("cut at %d: valid prefix ends at %d, want %d", cut, res.ValidBytes, twoEnd)
+		}
+	}
+}
+
+// TestCorruptTailRecoversPrefix flips one byte in the final record (header
+// and payload positions): checksum or length validation must stop replay
+// at the tear with the prefix intact.
+func TestCorruptTailRecoversPrefix(t *testing.T) {
+	path := walPath(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "alpha", "beta", "gamma-the-last")
+	l.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoEnd := len(full) - recordHeader - len("gamma-the-last")
+
+	for flip := twoEnd; flip < len(full); flip++ {
+		mut := append([]byte(nil), full...)
+		mut[flip] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, res := collect(t, path)
+		if res.Records != 2 || len(got) != 2 {
+			t.Fatalf("flip at %d: recovered %d records, want 2", flip, res.Records)
+		}
+		if !res.Torn {
+			t.Fatalf("flip at %d: corruption not flagged", flip)
+		}
+	}
+}
+
+// TestCorruptMiddleStopsThere: a bit flip in an interior record ends the
+// valid prefix at that record; later (physically intact) records are not
+// delivered — order is part of the contract.
+func TestCorruptMiddleStopsThere(t *testing.T) {
+	path := walPath(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "alpha", "beta", "gamma")
+	l.Close()
+	full, _ := os.ReadFile(path)
+	// Flip a payload byte of "alpha" (first record starts after the magic).
+	mut := append([]byte(nil), full...)
+	mut[int(headerLen)+recordHeader] ^= 0x01
+	os.WriteFile(path, mut, 0o644)
+
+	got, res := collect(t, path)
+	if len(got) != 0 || res.Records != 0 || !res.Torn {
+		t.Fatalf("corrupt first record: replayed %d records (%+v), want 0", len(got), res)
+	}
+}
+
+// TestOpenTruncatesTornTailAndAppends: after a crash mid-append, Open
+// discards the tear so new appends land where replay will find them.
+func TestOpenTruncatesTornTailAndAppends(t *testing.T) {
+	path := walPath(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "alpha", "beta")
+	l.Close()
+	full, _ := os.ReadFile(path)
+	os.WriteFile(path, full[:len(full)-3], 0o644) // tear "beta"
+
+	l, err = Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 1 {
+		t.Fatalf("reopened log sees %d records, want 1", l.Records())
+	}
+	appendAll(t, l, "gamma")
+	l.Close()
+
+	got, res := collect(t, path)
+	if res.Torn || res.Records != 2 {
+		t.Fatalf("after reopen+append: %+v, want 2 clean records", res)
+	}
+	if string(got[0]) != "alpha" || string(got[1]) != "gamma" {
+		t.Fatalf("records %q, want [alpha gamma]", got)
+	}
+}
+
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	l, err := Open(walPath(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(make([]byte, MaxRecord+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized append: %v, want ErrTooLarge", err)
+	}
+}
+
+// TestFailedWriteRollsBack: an injected write failure must leave the log
+// exactly as before — the next append succeeds and replay never sees the
+// failed record.
+func TestFailedWriteRollsBack(t *testing.T) {
+	path := walPath(t)
+	in := &faultfs.Injector{}
+	l, err := Open(path, Options{FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "good-1")
+	in.FailWriteN = in.Writes() + 1 // fail the next record write
+	if err := l.Append([]byte("never-acked")); err == nil {
+		t.Fatal("append with injected write failure succeeded")
+	}
+	appendAll(t, l, "good-2")
+	l.Close()
+
+	got, res := collect(t, path)
+	if res.Torn || res.Records != 2 {
+		t.Fatalf("%+v, want 2 clean records", res)
+	}
+	if string(got[0]) != "good-1" || string(got[1]) != "good-2" {
+		t.Fatalf("records %q", got)
+	}
+}
+
+// TestShortWriteTornRecordRecovered: a short (torn) write that the
+// process never gets to roll back — it "crashes" immediately — leaves a
+// tail that replay discards and Open truncates.
+func TestShortWriteTornRecordRecovered(t *testing.T) {
+	path := walPath(t)
+	in := &faultfs.Injector{}
+	l, err := Open(path, Options{FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "durable")
+	in.ShortWriteN = in.Writes() + 1
+	in.CrashAfterWriteN = in.Writes() + 1 // no rollback: truncate fails too
+	if err := l.Append([]byte("torn-record-payload")); err == nil {
+		t.Fatal("short write acked")
+	}
+	// The process is gone; a new one replays what's on disk.
+	got, res := collect(t, path)
+	if res.Records != 1 || string(got[0]) != "durable" {
+		t.Fatalf("recovered %q (%+v), want [durable]", got, res)
+	}
+	if !res.Torn {
+		t.Fatal("torn tail not flagged")
+	}
+}
+
+// TestCrashBetweenAppends: records acked before the crash survive.
+func TestCrashBetweenAppends(t *testing.T) {
+	path := walPath(t)
+	in := &faultfs.Injector{}
+	l, err := Open(path, Options{FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "first", "second")
+	in.CrashAfterWriteN = in.Writes() // crash now
+	l.f.Write([]byte{0}) // trip the crash
+	if err := l.Append([]byte("after-crash")); err == nil {
+		t.Fatal("append after crash acked")
+	}
+	got, res := collect(t, path)
+	if res.Records != 2 || string(got[0]) != "first" || string(got[1]) != "second" {
+		t.Fatalf("recovered %q (%+v), want the 2 acked records", got, res)
+	}
+}
+
+func TestTrimPrefix(t *testing.T) {
+	path := walPath(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "covered-1", "covered-2")
+	cut := l.Offset()
+	appendAll(t, l, "uncovered-3")
+	if err := l.TrimPrefix(cut); err != nil {
+		t.Fatalf("trim: %v", err)
+	}
+	if l.Records() != 1 {
+		t.Fatalf("after trim Records() = %d, want 1", l.Records())
+	}
+	// The log keeps accepting appends after the trim.
+	appendAll(t, l, "uncovered-4")
+	l.Close()
+
+	got, res := collect(t, path)
+	if res.Torn || res.Records != 2 {
+		t.Fatalf("%+v, want 2 records", res)
+	}
+	if string(got[0]) != "uncovered-3" || string(got[1]) != "uncovered-4" {
+		t.Fatalf("records %q, want the uncovered suffix", got)
+	}
+}
+
+func TestTrimPrefixWholeLog(t *testing.T) {
+	path := walPath(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "a", "b", "c")
+	if err := l.TrimPrefix(l.Offset()); err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 0 {
+		t.Fatalf("Records() = %d after full trim", l.Records())
+	}
+	appendAll(t, l, "fresh")
+	l.Close()
+	got, res := collect(t, path)
+	if res.Records != 1 || string(got[0]) != "fresh" {
+		t.Fatalf("recovered %q (%+v)", got, res)
+	}
+}
+
+// TestTrimCrashKeepsUncovered: a crash during the trim's rename window
+// leaves either the old or the new file; both contain every uncovered
+// record.
+func TestTrimCrashKeepsUncovered(t *testing.T) {
+	path := walPath(t)
+	in := &faultfs.Injector{}
+	l, err := Open(path, Options{FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "covered")
+	cut := l.Offset()
+	appendAll(t, l, "uncovered")
+	in.CrashOnRename = true
+	if err := l.TrimPrefix(cut); err == nil {
+		t.Fatal("trim with crashed rename succeeded")
+	}
+	// Restart: the old file must still hold the uncovered record.
+	got, res := collect(t, path)
+	if res.Records != 2 {
+		t.Fatalf("recovered %d records (%+v), want old intact log", res.Records, res)
+	}
+	if string(got[1]) != "uncovered" {
+		t.Fatalf("uncovered record lost: %q", got)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncNever} {
+		path := walPath(t)
+		l, err := Open(path, Options{Sync: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, l, fmt.Sprintf("policy-%d", pol))
+		if err := l.Sync(); err != nil { // manual sync always works
+			t.Fatal(err)
+		}
+		l.Close()
+		_, res := collect(t, path)
+		if res.Records != 1 {
+			t.Fatalf("policy %d: %d records", pol, res.Records)
+		}
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "never": SyncNever, "none": SyncNever} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+// TestLargePayloadBytes: binary payloads with embedded zeros and high
+// bytes survive byte-exact.
+func TestBinaryPayloads(t *testing.T) {
+	path := walPath(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if err := l.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	got, _ := collect(t, path)
+	if !bytes.Equal(got[0], payload) {
+		t.Fatal("binary payload mangled")
+	}
+}

@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race bench fuzz ci
+.PHONY: build vet test race bench bench-server fuzz ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
+
+# End-to-end serving benchmark: fixed-seed workload over real HTTP against
+# an in-process server; writes client percentiles + server stage means.
+bench-server:
+	$(GO) run ./cmd/benchserver -out BENCH_server.json
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/tree

@@ -18,6 +18,11 @@ go test ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Serving-benchmark smoke: a tiny fixed-seed run proves the end-to-end
+# harness works; real numbers come from `make bench-server`.
+echo "== benchserver smoke"
+go run ./cmd/benchserver -n 200 -queries 20 -out "$(mktemp /tmp/bench_server.XXXXXX.json)"
+
 # Fuzz smoke: a short budget per target catches parser and codec
 # regressions on the spot; long runs belong in a dedicated job.
 FUZZTIME="${FUZZTIME:-10s}"

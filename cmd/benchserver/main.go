@@ -1,0 +1,293 @@
+// Command benchserver measures the HTTP serving path end to end: it
+// builds a fixed-seed index, starts an in-process treesim server on a
+// loopback listener, drives a reproducible k-NN and range workload over
+// real HTTP, and writes a JSON report (BENCH_server.json) with
+// client-observed latency percentiles per endpoint, the mean accessed
+// fraction (the paper's quality measure), and per-stage means taken from
+// the server's own /metrics histograms.
+//
+//	benchserver -n 2000 -queries 200 -out BENCH_server.json
+//
+// The same seed always produces the same dataset and query mix, so two
+// reports differ only by machine and code version.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treesim/internal/datagen"
+	"treesim/internal/search"
+	"treesim/internal/server"
+	"treesim/internal/tree"
+)
+
+type config struct {
+	n           int
+	queries     int
+	k           int
+	tau         int
+	seed        int64
+	concurrency int
+	out         string
+}
+
+// endpointReport is the client-side view of one endpoint's latencies.
+type endpointReport struct {
+	Requests int     `json:"requests"`
+	P50US    int64   `json:"p50_us"`
+	P99US    int64   `json:"p99_us"`
+	MeanUS   int64   `json:"mean_us"`
+	MaxUS    int64   `json:"max_us"`
+	QPS      float64 `json:"qps"`
+}
+
+// report is the written JSON document.
+type report struct {
+	Timestamp            string                    `json:"timestamp"`
+	GoVersion            string                    `json:"go_version"`
+	N                    int                       `json:"n"`
+	Queries              int                       `json:"queries"`
+	K                    int                       `json:"k"`
+	Tau                  int                       `json:"tau"`
+	Seed                 int64                     `json:"seed"`
+	Concurrency          int                       `json:"concurrency"`
+	Filter               string                    `json:"filter"`
+	Endpoints            map[string]endpointReport `json:"endpoints"`
+	MeanAccessedFraction float64                   `json:"mean_accessed_fraction"`
+	StageMeansUS         map[string]float64        `json:"stage_means_us"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c config
+	fs.IntVar(&c.n, "n", 2000, "dataset size")
+	fs.IntVar(&c.queries, "queries", 200, "queries per endpoint")
+	fs.IntVar(&c.k, "k", 5, "k for the k-NN workload")
+	fs.IntVar(&c.tau, "tau", 3, "tau for the range workload")
+	fs.Int64Var(&c.seed, "seed", 1, "dataset and workload seed")
+	fs.IntVar(&c.concurrency, "c", runtime.GOMAXPROCS(0), "concurrent client connections")
+	fs.StringVar(&c.out, "out", "BENCH_server.json", "report path")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	rep, err := bench(c)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchserver: %v\n", err)
+		return 1
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(stderr, "benchserver: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(c.out, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchserver: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "benchserver: %d+%d queries against %d trees; report written to %s\n",
+		c.queries, c.queries, c.n, c.out)
+	return 0
+}
+
+func bench(c config) (*report, error) {
+	spec := datagen.Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 16, SizeStd: 5, Labels: 8, Decay: 0.1}
+	ts := datagen.New(spec, c.seed).Dataset(c.n, 5)
+	ix := search.NewIndex(ts, search.NewBiBranch())
+
+	srv := server.New(ix, server.Config{
+		MaxInFlight: c.concurrency * 2,
+		Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln) //nolint:errcheck // torn down with the process
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	// The workload queries are dataset members in a seed-fixed shuffle, so
+	// every run visits the same trees in the same order.
+	order := fixedShuffle(c.n, c.seed)
+
+	client := &http.Client{}
+	rep := &report{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		N:           c.n,
+		Queries:     c.queries,
+		K:           c.k,
+		Tau:         c.tau,
+		Seed:        c.seed,
+		Concurrency: c.concurrency,
+		Filter:      ix.Filter().Name(),
+		Endpoints:   make(map[string]endpointReport),
+	}
+
+	for _, w := range []struct {
+		endpoint string
+		body     func(q string) any
+	}{
+		{"/v1/knn", func(q string) any {
+			return map[string]any{"tree": q, "k": c.k}
+		}},
+		{"/v1/range", func(q string) any {
+			return map[string]any{"tree": q, "tau": c.tau}
+		}},
+	} {
+		lat, elapsed, err := drive(client, base+w.endpoint, c, ts, order, w.body)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.endpoint, err)
+		}
+		rep.Endpoints[w.endpoint] = summarize(lat, elapsed)
+	}
+
+	// Server-side aggregates: mean accessed fraction and per-stage means
+	// from the obs histograms behind /metrics.
+	var snap server.Snapshot
+	if err := getJSON(client, base+"/metrics", &snap); err != nil {
+		return nil, err
+	}
+	rep.MeanAccessedFraction = snap.Queries.MeanAccessedFraction
+	rep.StageMeansUS = map[string]float64{
+		"filter": histMeanUS(snap.QueryFilterSeconds),
+		"refine": histMeanUS(snap.QueryRefineSeconds),
+	}
+	return rep, nil
+}
+
+// fixedShuffle is a deterministic permutation of [0,n) (an LCG-driven
+// Fisher-Yates, independent of math/rand's evolving defaults).
+func fixedShuffle(n int, seed int64) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for i := n - 1; i > 0; i-- {
+		state = state*6364136223846793005 + 1442695040888963407
+		j := int(state % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// drive fires c.queries requests over c.concurrency workers and returns
+// per-request latencies plus the wall-clock to finish them all.
+func drive(client *http.Client, url string, c config, ts []*tree.Tree, order []int, body func(string) any) ([]time.Duration, time.Duration, error) {
+	lat := make([]time.Duration, c.queries)
+	var next atomic.Int64
+	next.Store(-1)
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < c.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= c.queries {
+					return
+				}
+				q := ts[order[i%len(order)]].String()
+				payload, err := json.Marshal(body(q))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("status %d", resp.StatusCode))
+					return
+				}
+				lat[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, 0, err
+	}
+	return lat, time.Since(start), nil
+}
+
+func summarize(lat []time.Duration, elapsed time.Duration) endpointReport {
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum, max time.Duration
+	for _, d := range sorted {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	pct := func(p float64) int64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i].Microseconds()
+	}
+	out := endpointReport{
+		Requests: len(lat),
+		P50US:    pct(0.50),
+		P99US:    pct(0.99),
+		MaxUS:    max.Microseconds(),
+	}
+	if len(lat) > 0 {
+		out.MeanUS = (sum / time.Duration(len(lat))).Microseconds()
+	}
+	if elapsed > 0 {
+		out.QPS = float64(len(lat)) / elapsed.Seconds()
+	}
+	return out
+}
+
+// histMeanUS converts a /metrics histogram to its mean in microseconds.
+func histMeanUS(h server.HistogramJSON) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.SumSeconds / float64(h.Count) * 1e6
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchServerSmoke: a small run exits 0 and writes a well-formed
+// report with both endpoints, ordered percentiles, and stage means.
+func TestBenchServerSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stderr bytes.Buffer
+	if code := run([]string{"-n", "120", "-queries", "15", "-out", out}, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	for _, ep := range []string{"/v1/knn", "/v1/range"} {
+		e, ok := rep.Endpoints[ep]
+		if !ok {
+			t.Fatalf("no %s in report", ep)
+		}
+		if e.Requests != 15 {
+			t.Errorf("%s requests %d, want 15", ep, e.Requests)
+		}
+		if e.P50US <= 0 || e.P99US < e.P50US {
+			t.Errorf("%s percentiles out of order: p50=%d p99=%d", ep, e.P50US, e.P99US)
+		}
+	}
+	if rep.MeanAccessedFraction <= 0 || rep.MeanAccessedFraction > 1 {
+		t.Errorf("mean accessed fraction %v out of (0,1]", rep.MeanAccessedFraction)
+	}
+	if rep.StageMeansUS["filter"] <= 0 || rep.StageMeansUS["refine"] <= 0 {
+		t.Errorf("stage means not populated: %v", rep.StageMeansUS)
+	}
+}
+
+// TestFixedShuffleDeterministic: the workload order is a permutation and
+// identical across runs with the same seed.
+func TestFixedShuffleDeterministic(t *testing.T) {
+	a := fixedShuffle(50, 7)
+	b := fixedShuffle(50, 7)
+	seen := make(map[int]bool, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shuffle not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+		seen[a[i]] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("not a permutation: %d distinct of 50", len(seen))
+	}
+	if c := fixedShuffle(50, 8); equalInts(a, c) {
+		t.Error("different seeds produced the same order")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

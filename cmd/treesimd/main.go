@@ -21,6 +21,12 @@
 // restore the file rather than silently serving a damaged index.
 // -wal-sync chooses the fsync policy ("always" per record, or "never").
 //
+// Observability: -slow-query logs the span tree of any query at or above
+// the threshold (0 logs every query), ?trace=1 on the query endpoints
+// returns the same breakdown inline, GET /metrics serves Prometheus text
+// with ?format=prom, and -pprof mounts net/http/pprof on a separate
+// loopback-only listener.
+//
 // SIGINT/SIGTERM trigger a graceful drain: readiness flips to 503,
 // in-flight queries finish, a final snapshot is written, then the process
 // exits 0.
@@ -35,6 +41,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -68,6 +75,8 @@ type config struct {
 	drain        time.Duration
 	addrFile     string
 	omitTrees    bool
+	slowQuery    time.Duration
+	pprofAddr    string
 }
 
 // run is main with injectable args/stderr and an exit code, so the
@@ -91,6 +100,8 @@ func run(args []string, stderr io.Writer) int {
 	fs.DurationVar(&c.drain, "drain", 15*time.Second, "graceful-shutdown drain budget")
 	fs.StringVar(&c.addrFile, "addr-file", "", "write the bound address to this file once listening (for scripts)")
 	fs.BoolVar(&c.omitTrees, "omit-trees", false, "leave tree text out of query results")
+	fs.DurationVar(&c.slowQuery, "slow-query", -1, "log the span tree of queries at or above this duration (0 logs every query; negative disables)")
+	fs.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -109,7 +120,7 @@ func run(args []string, stderr io.Writer) int {
 	}
 	log.Info("index ready", "trees", ix.Size(), "filter", ix.Filter().Name(), "origin", origin)
 
-	srv := server.New(ix, server.Config{
+	scfg := server.Config{
 		MaxInFlight:      c.maxInFlight,
 		QueryTimeout:     c.timeout,
 		SnapshotPath:     c.snapshot,
@@ -118,7 +129,12 @@ func run(args []string, stderr io.Writer) int {
 		WALSync:          syncPolicy,
 		OmitTrees:        c.omitTrees,
 		Logger:           log,
-	})
+	}
+	if c.slowQuery >= 0 {
+		threshold := c.slowQuery
+		scfg.SlowQuery = &threshold
+	}
+	srv := server.New(ix, scfg)
 
 	rec, err := srv.Recover()
 	if err != nil {
@@ -127,6 +143,17 @@ func run(args []string, stderr io.Writer) int {
 	}
 	if c.walPath != "" {
 		log.Info("recovery complete", "result", rec.String(), "trees", ix.Size())
+	}
+
+	if c.pprofAddr != "" {
+		pln, err := listenPprof(c.pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "treesimd: -pprof: %v\n", err)
+			return 2
+		}
+		defer pln.Close()
+		go servePprof(pln)
+		log.Info("pprof listening", "addr", pln.Addr().String())
 	}
 
 	ln, err := net.Listen("tcp", c.addr)
@@ -169,6 +196,34 @@ func run(args []string, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// listenPprof binds the debug listener, refusing non-loopback addresses:
+// pprof exposes heap contents and must never face the network.
+func listenPprof(addr string) (net.Listener, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("bad address %q: %v", addr, err)
+	}
+	ip := net.ParseIP(host)
+	if host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		return nil, fmt.Errorf("refusing non-loopback address %q (pprof exposes process internals)", addr)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// servePprof mounts the net/http/pprof handlers on a fresh mux — never the
+// default one, which other packages may have extended — and serves until
+// the listener closes.
+func servePprof(ln net.Listener) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	_ = srv.Serve(ln)
 }
 
 // loadIndex resolves the index source: warm snapshot, saved index file, or

@@ -48,6 +48,36 @@ func TestClientAgainstServer(t *testing.T) {
 	}
 }
 
+// TestClientTraced: with -trace the transcript ends in the server's span
+// tree — the request root with filter and refine stages and their
+// candidate counters.
+func TestClientTraced(t *testing.T) {
+	spec := datagen.Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 10, SizeStd: 3, Labels: 6, Decay: 0.1}
+	ix := search.NewIndex(datagen.New(spec, 8).Dataset(20, 4), search.NewBiBranch())
+	s := server.New(ix, server.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	var out bytes.Buffer
+	if err := RunTraced(hs.URL, &out, true); err != nil {
+		t.Fatalf("traced run: %v\ntranscript:\n%s", err, out.String())
+	}
+	transcript := out.String()
+	for _, want := range []string{
+		"trace (server-side time per stage):",
+		"/v1/knn",      // the root span
+		"filter",       // both pipeline stages appear...
+		"refine",       // ...as indented children
+		"candidates=",  // with the filter's candidate count
+		"verified=",    // and the refine verification count
+		"request_id=r", // the root carries its request ID
+	} {
+		if !strings.Contains(transcript, want) {
+			t.Errorf("transcript missing %q:\n%s", want, transcript)
+		}
+	}
+}
+
 // flakyHandler answers with a scripted status sequence, then 200.
 func flakyHandler(t *testing.T, statuses []int, retryAfter string) (http.Handler, *int) {
 	t.Helper()

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"time"
 )
@@ -51,12 +52,23 @@ type knnResponse struct {
 		Verified         int     `json:"verified"`
 		AccessedFraction float64 `json:"accessed_fraction"`
 	} `json:"stats"`
+	Trace *spanJSON `json:"trace"`
+}
+
+// spanJSON mirrors the server's span-tree rendering (?trace=1).
+type spanJSON struct {
+	Name     string         `json:"name"`
+	StartUS  int64          `json:"start_us"`
+	DurUS    int64          `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs"`
+	Children []spanJSON     `json:"children"`
 }
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8080", "treesimd base URL")
+	trace := flag.Bool("trace", false, "request ?trace=1 and print the per-stage breakdown of the k-NN query")
 	flag.Parse()
-	if err := Run(*addr, os.Stdout); err != nil {
+	if err := RunTraced(*addr, os.Stdout, *trace); err != nil {
 		fmt.Fprintf(os.Stderr, "client: %v\n", err)
 		os.Exit(1)
 	}
@@ -123,10 +135,17 @@ func (p retryPolicy) wait(d time.Duration) {
 // Run executes the demo round trip against a treesimd at base, writing a
 // transcript to out. It is the whole example; main only parses flags.
 func Run(base string, out io.Writer) error {
-	return run(base, out, &http.Client{Timeout: 30 * time.Second}, defaultRetryPolicy())
+	return RunTraced(base, out, false)
 }
 
-func run(base string, out io.Writer, client *http.Client, policy retryPolicy) error {
+// RunTraced is Run with an optional ?trace=1 on the k-NN query, printing
+// the server's span tree — where the request spent its time, stage by
+// stage — after the results.
+func RunTraced(base string, out io.Writer, trace bool) error {
+	return run(base, out, &http.Client{Timeout: 30 * time.Second}, defaultRetryPolicy(), trace)
+}
+
+func run(base string, out io.Writer, client *http.Client, policy retryPolicy, trace bool) error {
 
 	// A few document-ish trees, one of them nearly a duplicate.
 	trees := []string{
@@ -146,8 +165,12 @@ func run(base string, out io.Writer, client *http.Client, policy retryPolicy) er
 
 	// Nearest neighbors of a slightly mistyped record.
 	query := "article(title(trees),author(yang),author(kalnis),year(2006))"
+	knnURL := base + "/v1/knn"
+	if trace {
+		knnURL += "?trace=1"
+	}
 	var knn knnResponse
-	if err := post(client, policy, base+"/v1/knn", knnRequest{Tree: query, K: 3}, &knn); err != nil {
+	if err := post(client, policy, knnURL, knnRequest{Tree: query, K: 3}, &knn); err != nil {
 		return fmt.Errorf("knn: %w", err)
 	}
 	fmt.Fprintf(out, "query: %s\n", query)
@@ -156,6 +179,13 @@ func run(base string, out io.Writer, client *http.Client, policy retryPolicy) er
 	}
 	fmt.Fprintf(out, "filter quality: verified %d of %d trees (accessed fraction %.2f)\n",
 		knn.Stats.Verified, knn.Stats.Dataset, knn.Stats.AccessedFraction)
+	if trace {
+		if knn.Trace == nil {
+			return fmt.Errorf("asked for a trace but the response carries none")
+		}
+		fmt.Fprintf(out, "trace (server-side time per stage):\n")
+		printSpan(out, *knn.Trace, 0, knn.Trace.DurUS)
+	}
 
 	// Fetch the best match back by id.
 	if len(knn.Results) > 0 {
@@ -177,6 +207,29 @@ func run(base string, out io.Writer, client *http.Client, policy retryPolicy) er
 		fmt.Fprintf(out, "best match (%d nodes): %s\n", tr.Size, tr.Tree)
 	}
 	return nil
+}
+
+// printSpan renders one span and its children as an indented tree with
+// each stage's share of the root time and its attributes.
+func printSpan(out io.Writer, sp spanJSON, depth int, rootUS int64) {
+	pct := 0.0
+	if rootUS > 0 {
+		pct = 100 * float64(sp.DurUS) / float64(rootUS)
+	}
+	fmt.Fprintf(out, "  %*s%-12s %8dus %5.1f%%", depth*2, "", sp.Name, sp.DurUS, pct)
+	// Attrs in sorted order so the transcript is stable.
+	keys := make([]string, 0, len(sp.Attrs))
+	for k := range sp.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(out, "  %s=%v", k, sp.Attrs[k])
+	}
+	fmt.Fprintln(out)
+	for _, c := range sp.Children {
+		printSpan(out, c, depth+1, rootUS)
+	}
 }
 
 // post sends v as JSON and decodes the 200 response into res, retrying

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4): the format a Prometheus
+// server scrapes. A PromWriter renders metric families — a # HELP line, a
+// # TYPE line, then one sample per label set — with proper escaping and
+// cumulative histogram buckets ending in le="+Inf".
+//
+//	pw := obs.NewPromWriter(w)
+//	pw.Family("app_requests_total", "counter", "Requests served.").
+//	    Sample(obs.Labels{"endpoint": "/v1/knn"}, 42)
+//	pw.Family("app_latency_seconds", "histogram", "Request latency.").
+//	    Histogram(nil, hist.Snapshot())
+//	err := pw.Err()
+
+// Labels is one sample's label set. Rendering sorts keys, so output is
+// deterministic.
+type Labels map[string]string
+
+// PromWriter renders metric families to w, remembering the first write
+// error (check Err once at the end, encoder-style).
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter returns a writer rendering to w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first error any write hit.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Family opens a metric family, writing its # HELP and # TYPE header.
+// typ is "counter", "gauge" or "histogram". Call the returned family's
+// sample methods before opening the next family.
+func (p *PromWriter) Family(name, typ, help string) *PromFamily {
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, typ)
+	return &PromFamily{p: p, name: name}
+}
+
+// PromFamily renders the samples of one family.
+type PromFamily struct {
+	p    *PromWriter
+	name string
+}
+
+// Sample writes one counter or gauge sample.
+func (f *PromFamily) Sample(labels Labels, v float64) {
+	f.p.printf("%s%s %s\n", f.name, renderLabels(labels, "", ""), formatFloat(v))
+}
+
+// Histogram writes one label set's _bucket series (cumulative, ending in
+// le="+Inf"), _sum and _count. The _count equals the +Inf bucket by
+// construction, whatever races the snapshot saw.
+func (f *PromFamily) Histogram(labels Labels, s HistogramSnapshot) {
+	var cum uint64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		f.p.printf("%s_bucket%s %d\n", f.name, renderLabels(labels, "le", formatFloat(b)), cum)
+	}
+	if len(s.Counts) > 0 {
+		cum += s.Counts[len(s.Counts)-1]
+	}
+	f.p.printf("%s_bucket%s %d\n", f.name, renderLabels(labels, "le", "+Inf"), cum)
+	f.p.printf("%s_sum%s %s\n", f.name, renderLabels(labels, "", ""), formatFloat(s.Sum))
+	f.p.printf("%s_count%s %d\n", f.name, renderLabels(labels, "", ""), cum)
+}
+
+// renderLabels renders {k="v",...} with sorted keys, appending the extra
+// pair (the histogram le) last when set. Empty label sets render as "".
+func renderLabels(labels Labels, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders v the way Prometheus clients do: shortest exact
+// decimal ('g'), so bucket bounds like 0.0025 round-trip as written.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromCounterGauge: HELP/TYPE headers precede samples, labels render
+// sorted, floats render shortest-exact.
+func TestPromCounterGauge(t *testing.T) {
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	f := pw.Family("app_requests_total", "counter", "Requests served.")
+	f.Sample(Labels{"endpoint": "/v1/knn"}, 42)
+	f.Sample(Labels{"endpoint": "/v1/range"}, 7)
+	pw.Family("app_uptime_seconds", "gauge", "Uptime.").Sample(nil, 1.5)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{endpoint="/v1/knn"} 42
+app_requests_total{endpoint="/v1/range"} 7
+# HELP app_uptime_seconds Uptime.
+# TYPE app_uptime_seconds gauge
+app_uptime_seconds 1.5
+`
+	if b.String() != want {
+		t.Errorf("output:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestPromHistogram: buckets are cumulative, end in +Inf, and _count
+// matches the +Inf bucket.
+func TestPromHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.0025, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 3} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.Family("app_latency_seconds", "histogram", "Latency.").
+		Histogram(Labels{"endpoint": "/x"}, h.Snapshot())
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`app_latency_seconds_bucket{endpoint="/x",le="0.001"} 1`,
+		`app_latency_seconds_bucket{endpoint="/x",le="0.0025"} 3`,
+		`app_latency_seconds_bucket{endpoint="/x",le="0.1"} 4`,
+		`app_latency_seconds_bucket{endpoint="/x",le="+Inf"} 5`,
+		`app_latency_seconds_count{endpoint="/x"} 5`,
+	} {
+		if !strings.Contains(b.String(), want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, b.String())
+		}
+	}
+	if !strings.Contains(b.String(), "app_latency_seconds_sum{") {
+		t.Errorf("no _sum in:\n%s", b.String())
+	}
+}
+
+// TestPromEscaping: label values escape quotes, backslashes and newlines;
+// help escapes backslashes and newlines.
+func TestPromEscaping(t *testing.T) {
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.Family("m", "gauge", "line1\nline2 \\ done").
+		Sample(Labels{"path": "a\"b\\c\nd"}, 1)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `# HELP m line1\nline2 \\ done`) {
+		t.Errorf("help not escaped:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), `m{path="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped:\n%s", b.String())
+	}
+}

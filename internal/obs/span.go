@@ -1,0 +1,220 @@
+// Package obs is the repository's lightweight observability layer:
+// per-request span trees, lock-free histograms and a Prometheus text
+// renderer, all on the standard library alone.
+//
+// A Span is one timed region of work. Spans form a tree per request: the
+// server's middleware opens a root span, threads it through the request
+// context, and the search engine hangs filter/refine child spans (with
+// candidate and verification counts as attributes) off whatever span the
+// context carries. The whole tree renders three ways: inline in a JSON
+// response (?trace=1), as structured slog attributes (the slow-query
+// log), and — aggregated through Histogram — as /metrics families.
+//
+// Every method is safe on a nil *Span and does nothing, so instrumented
+// code calls spans unconditionally; running without a tracing context
+// costs one nil check per call.
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are int64, float64,
+// string or bool.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one node of a trace tree. Create roots with New, children with
+// StartChild, and close each span with End. Methods are safe for
+// concurrent use (a batch request appends child spans from many
+// goroutines) and safe on a nil receiver.
+type Span struct {
+	name  string
+	start time.Time // carries the monotonic clock
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// New starts a root span.
+func New(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild starts and attaches a child span.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End freezes the span's duration. Later Ends are no-ops, so deferred and
+// explicit ends can coexist on error paths.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns the frozen duration of an ended span, or the elapsed
+// time so far of a running one.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr appends one annotation.
+func (s *Span) SetAttr(a Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, a)
+	s.mu.Unlock()
+}
+
+// SetInt annotates the span with an integer value.
+func (s *Span) SetInt(key string, v int64) { s.SetAttr(Attr{Key: key, Value: v}) }
+
+// SetFloat annotates the span with a float value.
+func (s *Span) SetFloat(key string, v float64) { s.SetAttr(Attr{Key: key, Value: v}) }
+
+// SetStr annotates the span with a string value.
+func (s *Span) SetStr(key, v string) { s.SetAttr(Attr{Key: key, Value: v}) }
+
+// SetBool annotates the span with a boolean value.
+func (s *Span) SetBool(key string, v bool) { s.SetAttr(Attr{Key: key, Value: v}) }
+
+// ctxKey carries the active span in a context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying s as the active span.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the active span, or nil when ctx carries none — a
+// valid no-op receiver, so callers never branch on it.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartChildContext starts a child of the context's active span and
+// returns a context carrying the child. Without an active span it returns
+// ctx unchanged and a nil (no-op) span.
+func StartChildContext(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.StartChild(name)
+	return NewContext(ctx, c), c
+}
+
+// SpanSnapshot is the exportable form of a span tree: JSON for ?trace=1
+// responses, slog groups (via LogValue) for the slow-query log. StartUS is
+// the span's start relative to the snapshot root.
+type SpanSnapshot struct {
+	Name     string         `json:"name"`
+	StartUS  int64          `json:"start_us"`
+	DurUS    int64          `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot renders the tree rooted at s. A still-running span reports its
+// elapsed time so far, so snapshotting just before the response is written
+// yields a root that covers all its (ended) children.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	return s.snapshot(s.start)
+}
+
+func (s *Span) snapshot(base time.Time) SpanSnapshot {
+	s.mu.Lock()
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+	}
+	out := SpanSnapshot{
+		Name:    s.name,
+		StartUS: s.start.Sub(base).Microseconds(),
+		DurUS:   dur.Microseconds(),
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+
+	if len(children) > 0 {
+		out.Children = make([]SpanSnapshot, len(children))
+		for i, c := range children {
+			out.Children[i] = c.snapshot(base)
+		}
+	}
+	return out
+}
+
+// LogValue renders the snapshot as nested slog groups, so a slow-query
+// record stays structured under both text and JSON handlers.
+func (sn SpanSnapshot) LogValue() slog.Value {
+	attrs := make([]slog.Attr, 0, 2+len(sn.Attrs)+len(sn.Children))
+	attrs = append(attrs,
+		slog.Int64("start_us", sn.StartUS),
+		slog.Int64("dur_us", sn.DurUS))
+	keys := make([]string, 0, len(sn.Attrs))
+	for k := range sn.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		attrs = append(attrs, slog.Any(k, sn.Attrs[k]))
+	}
+	for _, c := range sn.Children {
+		attrs = append(attrs, slog.Attr{Key: c.Name, Value: c.LogValue()})
+	}
+	return slog.GroupValue(attrs...)
+}

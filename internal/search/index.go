@@ -9,8 +9,17 @@ import (
 	"time"
 
 	"treesim/internal/editdist"
+	"treesim/internal/obs"
 	"treesim/internal/tree"
 )
+
+// AttrReporter is an optional Bounder capability: annotate the query's
+// filter span with per-stage counters accumulated during the bound pass
+// (pivot-screen prunes, VP-tree distance evaluations). The engine calls it
+// once, after the filter stage, on the span that timed it.
+type AttrReporter interface {
+	ReportAttrs(sp *obs.Span)
+}
 
 // Result is one answer of a similarity query.
 type Result struct {
@@ -177,13 +186,20 @@ func (ix *Index) KNNContext(ctx context.Context, q *tree.Tree, k int) ([]Result,
 		k = len(ix.trees)
 	}
 
+	// Stage spans hang off the caller's trace (nil span methods are
+	// no-ops, so untraced queries pay one nil check per stage).
+	span := obs.FromContext(ctx)
+
 	start := time.Now()
+	fspan := span.StartChild("filter")
 	b := ix.filter.Query(q)
 	order := make([]int, len(ix.trees))
 	bounds := make([]int, len(ix.trees))
 	for i := range ix.trees {
 		if i%ctxCheckEvery == 0 && ctx.Err() != nil {
 			stats.FilterTime = time.Since(start)
+			fspan.SetBool("canceled", true)
+			fspan.End()
 			return nil, stats, ctx.Err()
 		}
 		order[i] = i
@@ -197,8 +213,14 @@ func (ix *Index) KNNContext(ctx context.Context, q *tree.Tree, k int) ([]Result,
 		return order[x] < order[y]
 	})
 	stats.FilterTime = time.Since(start)
+	fspan.SetInt("candidates", int64(len(order)))
+	if ar, ok := b.(AttrReporter); ok {
+		ar.ReportAttrs(fspan)
+	}
+	fspan.End()
 
 	start = time.Now()
+	rspan := span.StartChild("refine")
 	h := &maxHeap{}
 	for _, id := range order {
 		if h.Len() == k && bounds[id] > h.top().Dist {
@@ -206,6 +228,9 @@ func (ix *Index) KNNContext(ctx context.Context, q *tree.Tree, k int) ([]Result,
 		}
 		if ctx.Err() != nil {
 			stats.RefineTime = time.Since(start)
+			rspan.SetInt("verified", int64(stats.Verified))
+			rspan.SetBool("canceled", true)
+			rspan.End()
 			return nil, stats, ctx.Err()
 		}
 		d := editdist.DistanceCost(q, ix.trees[id], ix.cost)
@@ -229,6 +254,9 @@ func (ix *Index) KNNContext(ctx context.Context, q *tree.Tree, k int) ([]Result,
 		return out[x].ID < out[y].ID
 	})
 	stats.Results = len(out)
+	rspan.SetInt("verified", int64(stats.Verified))
+	rspan.SetInt("results", int64(len(out)))
+	rspan.End()
 	return out, stats, nil
 }
 
@@ -252,14 +280,20 @@ func (ix *Index) RangeContext(ctx context.Context, q *tree.Tree, tau int) ([]Res
 		return nil, stats, nil
 	}
 
+	span := obs.FromContext(ctx)
+
 	start := time.Now()
+	fspan := span.StartChild("filter")
 	b := ix.filter.Query(q)
 	var pool []int
 	if cl, ok := b.(CandidateLister); ok {
 		// The filter can enumerate a sound candidate superset directly
 		// (e.g. through a VP-tree in BDist space) without touching every
 		// indexed tree.
+		vspan := fspan.StartChild("vptree")
 		pool = cl.RangeCandidates(tau)
+		vspan.SetInt("candidates", int64(len(pool)))
+		vspan.End()
 	}
 	candidates := make([]int, 0, len(ix.trees))
 	if pool != nil {
@@ -272,6 +306,8 @@ func (ix *Index) RangeContext(ctx context.Context, q *tree.Tree, tau int) ([]Res
 		for i := range ix.trees {
 			if i%ctxCheckEvery == 0 && ctx.Err() != nil {
 				stats.FilterTime = time.Since(start)
+				fspan.SetBool("canceled", true)
+				fspan.End()
 				return nil, stats, ctx.Err()
 			}
 			if b.RangeBound(i, tau) <= tau {
@@ -280,12 +316,21 @@ func (ix *Index) RangeContext(ctx context.Context, q *tree.Tree, tau int) ([]Res
 		}
 	}
 	stats.FilterTime = time.Since(start)
+	fspan.SetInt("candidates", int64(len(candidates)))
+	if ar, ok := b.(AttrReporter); ok {
+		ar.ReportAttrs(fspan)
+	}
+	fspan.End()
 
 	start = time.Now()
+	rspan := span.StartChild("refine")
 	var out []Result
 	for _, id := range candidates {
 		if ctx.Err() != nil {
 			stats.RefineTime = time.Since(start)
+			rspan.SetInt("verified", int64(stats.Verified))
+			rspan.SetBool("canceled", true)
+			rspan.End()
 			return nil, stats, ctx.Err()
 		}
 		d := editdist.DistanceCost(q, ix.trees[id], ix.cost)
@@ -303,6 +348,9 @@ func (ix *Index) RangeContext(ctx context.Context, q *tree.Tree, tau int) ([]Res
 		return out[x].ID < out[y].ID
 	})
 	stats.Results = len(out)
+	rspan.SetInt("verified", int64(stats.Verified))
+	rspan.SetInt("results", int64(len(out)))
+	rspan.End()
 	return out, stats, nil
 }
 

@@ -2,6 +2,7 @@ package search
 
 import (
 	"treesim/internal/branch"
+	"treesim/internal/obs"
 	"treesim/internal/tree"
 )
 
@@ -106,6 +107,21 @@ type pivotBounder struct {
 	qp     *branch.Profile
 	qDist  []int
 	factor int
+
+	// Per-query stage counters for the trace layer: how often the cheap
+	// pivot screen settled the bound alone versus falling through to the
+	// stage-two vector merge. A bounder serves one query on one goroutine,
+	// so plain ints suffice.
+	pivotPruned int
+	stage2Evals int
+}
+
+// ReportAttrs implements AttrReporter: the cascade's effectiveness for
+// this query, attached to its filter span.
+func (b *pivotBounder) ReportAttrs(sp *obs.Span) {
+	sp.SetInt("pivots", int64(len(b.qDist)))
+	sp.SetInt("pivot_pruned", int64(b.pivotPruned))
+	sp.SetInt("stage2_evals", int64(b.stage2Evals))
 }
 
 // pivotBound returns ceil(max_p |BDist(q,p) − BDist(t_i,p)| / Factor(q)).
@@ -134,6 +150,7 @@ func (b *pivotBounder) stage2(i int) int {
 // two only ever tightens it.
 func (b *pivotBounder) KNNBound(i int) int {
 	pb := b.pivotBound(i)
+	b.stage2Evals++
 	if s2 := b.stage2(i); s2 > pb {
 		return s2
 	}
@@ -145,8 +162,10 @@ func (b *pivotBounder) KNNBound(i int) int {
 // full bound.
 func (b *pivotBounder) RangeBound(i, tau int) int {
 	if pb := b.pivotBound(i); pb > tau {
+		b.pivotPruned++
 		return pb
 	}
+	b.stage2Evals++
 	if b.f.inner.Positional {
 		return branch.RangeLowerBound(b.qp, b.f.inner.profiles[i], tau)
 	}

@@ -2,6 +2,7 @@ package search
 
 import (
 	"treesim/internal/branch"
+	"treesim/internal/obs"
 	"treesim/internal/tree"
 	"treesim/internal/vptree"
 )
@@ -66,11 +67,21 @@ func (f *VPBiBranch) Query(q *tree.Tree) Bounder {
 type vpBounder struct {
 	f     *VPBiBranch
 	inner *biBranchBounder
+
+	// distEvals counts BDist evaluations the VP-tree walk performed — the
+	// sub-linearity evidence a trace reports (compare against the dataset
+	// size). One query, one goroutine, so a plain int.
+	distEvals int
 }
 
 func (b *vpBounder) KNNBound(i int) int { return b.inner.KNNBound(i) }
 
 func (b *vpBounder) RangeBound(i, tau int) int { return b.inner.RangeBound(i, tau) }
+
+// ReportAttrs implements AttrReporter.
+func (b *vpBounder) ReportAttrs(sp *obs.Span) {
+	sp.SetInt("vptree_dist_evals", int64(b.distEvals))
+}
 
 // RangeCandidates implements CandidateLister: all trees within BDist
 // radius Factor(q)·tau of the query, found through the VP-tree.
@@ -79,6 +90,7 @@ func (b *vpBounder) RangeCandidates(tau int) []int {
 	var out []int
 	profiles := b.f.inner.profiles
 	b.f.vt.Range(func(id int) int {
+		b.distEvals++
 		return branch.BDist(b.inner.qp, profiles[id])
 	}, radius, func(id int) {
 		out = append(out, id)

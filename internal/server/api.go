@@ -1,6 +1,9 @@
 package server
 
-import "treesim/internal/search"
+import (
+	"treesim/internal/obs"
+	"treesim/internal/search"
+)
 
 // Wire types of the HTTP/JSON API. Trees travel in the canonical text
 // encoding of package tree (the same format datasets use on disk), e.g.
@@ -80,15 +83,21 @@ type StatsJSON struct {
 	RefineMicros     int64   `json:"refine_us"`
 }
 
-// QueryResponse answers /v1/knn and /v1/range.
+// QueryResponse answers /v1/knn and /v1/range. Trace is present only when
+// the request asked for it (?trace=1): the request's span tree, stage
+// durations and counters included.
 type QueryResponse struct {
-	Results []ResultJSON `json:"results"`
-	Stats   StatsJSON    `json:"stats"`
+	Results []ResultJSON      `json:"results"`
+	Stats   StatsJSON         `json:"stats"`
+	Trace   *obs.SpanSnapshot `json:"trace,omitempty"`
 }
 
 // BatchResponse answers /v1/batch, one entry per input tree in order.
+// With ?trace=1, Trace carries the whole batch's span tree (one query[i]
+// child per input tree).
 type BatchResponse struct {
-	Queries []QueryResponse `json:"queries"`
+	Queries []QueryResponse   `json:"queries"`
+	Trace   *obs.SpanSnapshot `json:"trace,omitempty"`
 }
 
 // ReadyResponse answers /readyz. Status is "ready", "recovering" (WAL

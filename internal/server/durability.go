@@ -111,7 +111,12 @@ func (s *Server) Recover() (RecoveryResult, error) {
 	}
 	res.TornTail = rres.Torn
 
-	l, err := wal.Open(s.cfg.WALPath, wal.Options{Sync: s.cfg.WALSync, FS: s.fs})
+	l, err := wal.Open(s.cfg.WALPath, wal.Options{
+		Sync:       s.cfg.WALSync,
+		FS:         s.fs,
+		AppendHist: s.metrics.WALAppend,
+		FsyncHist:  s.metrics.WALFsync,
+	})
 	if err != nil {
 		return res, fmt.Errorf("server: wal open: %w", err)
 	}

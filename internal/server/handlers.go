@@ -7,14 +7,32 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"treesim/internal/branch"
 	"treesim/internal/editdist"
+	"treesim/internal/obs"
 	"treesim/internal/search"
 	"treesim/internal/tree"
 )
+
+// wantTrace reports whether the request asked for an inline span tree.
+func wantTrace(r *http.Request) bool { return r.URL.Query().Get("trace") == "1" }
+
+// traceSnapshot renders the request's span tree for an inline response.
+// The root span is still running (the middleware ends it after the body is
+// written), so it reports elapsed-so-far, which always covers the ended
+// stage children.
+func traceSnapshot(r *http.Request) *obs.SpanSnapshot {
+	sp := obs.FromContext(r.Context())
+	if sp == nil {
+		return nil
+	}
+	snap := sp.Snapshot()
+	return &snap
+}
 
 // statusClientClosed is nginx's convention for "client canceled the
 // request"; no standard code exists.
@@ -80,7 +98,11 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.ObserveQuery(stats)
-	writeJSON(w, http.StatusOK, s.queryResponse(res, stats))
+	resp := s.queryResponse(res, stats)
+	if wantTrace(r) {
+		resp.Trace = traceSnapshot(r)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -105,7 +127,11 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.ObserveQuery(stats)
-	writeJSON(w, http.StatusOK, s.queryResponse(res, stats))
+	resp := s.queryResponse(res, stats)
+	if wantTrace(r) {
+		resp.Trace = traceSnapshot(r)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
@@ -170,8 +196,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// One admission slot covers the whole batch; inside it the queries
-	// fan out over the cores, each honoring the request deadline.
+	// fan out over the cores, each honoring the request deadline. Each
+	// query hangs its own query[i] child off the request span, so a trace
+	// shows the fan-out and each query's filter/refine breakdown.
 	ctx := r.Context()
+	rootSpan := obs.FromContext(ctx)
 	out := make([]QueryResponse, len(qs))
 	allStats := make([]search.Stats, len(qs))
 	var qerr atomic.Value // first context error
@@ -195,14 +224,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					qerr.CompareAndSwap(nil, err)
 					return
 				}
+				qsp := rootSpan.StartChild(fmt.Sprintf("query[%d]", i))
+				qctx := ctx
+				if qsp != nil {
+					qctx = obs.NewContext(ctx, qsp)
+				}
 				var res []search.Result
 				var stats search.Stats
 				var err error
 				if req.Op == "knn" {
-					res, stats, err = s.ix.KNNContext(ctx, qs[i], req.K)
+					res, stats, err = s.ix.KNNContext(qctx, qs[i], req.K)
 				} else {
-					res, stats, err = s.ix.RangeContext(ctx, qs[i], req.Tau)
+					res, stats, err = s.ix.RangeContext(qctx, qs[i], req.Tau)
 				}
+				qsp.End()
 				if err != nil {
 					qerr.CompareAndSwap(nil, err)
 					return
@@ -221,7 +256,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for _, st := range allStats {
 		s.metrics.ObserveQuery(st)
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{Queries: out})
+	resp := BatchResponse{Queries: out}
+	if wantTrace(r) {
+		resp.Trace = traceSnapshot(r)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -250,7 +289,10 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	// order — what makes replay deterministic.
 	s.walMu.Lock()
 	id := s.ix.Size()
-	if err := s.appendToWAL(id, t); err != nil {
+	wsp := obs.FromContext(r.Context()).StartChild("wal.append")
+	err = s.appendToWAL(id, t)
+	wsp.End()
+	if err != nil {
 		s.walMu.Unlock()
 		s.log.Error("wal append failed, insert refused", "err", err)
 		w.Header().Set("Retry-After", "1")
@@ -305,7 +347,38 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// wantsProm decides the /metrics representation. JSON stays the default
+// for backward compatibility; ?format=prom forces Prometheus text, as does
+// an Accept header asking for text/plain without application/json (what a
+// Prometheus scraper sends).
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = s.metrics.WriteProm(w, PromGauges{
+			IndexSize:       s.ix.Size(),
+			IndexFilter:     s.ix.Filter().Name(),
+			InFlight:        s.sem.inflight(),
+			MaxInFlight:     cap(s.sem),
+			Inserts:         s.inserts.Load(),
+			Snapshots:       s.snapshots.Load(),
+			WALRecords:      s.walRecords.Load(),
+			WALReplayed:     s.walReplayed.Load(),
+			SnapCRCFailures: s.snapCRCFail.Load(),
+		})
+		return
+	}
 	snap := s.metrics.Snapshot()
 	snap.IndexSize = s.ix.Size()
 	snap.IndexFilter = s.ix.Filter().Name()

@@ -1,11 +1,12 @@
 package server
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"treesim/internal/obs"
 	"treesim/internal/search"
 )
 
@@ -14,13 +15,25 @@ import (
 // measure aggregated over every similarity query served — the accessed
 // fraction (share of the dataset verified with an exact edit distance,
 // from search.Stats). Everything is rendered as one JSON document at
-// GET /metrics.
+// GET /metrics, or as Prometheus text exposition with ?format=prom (see
+// prom.go).
 type Metrics struct {
 	start time.Time
 
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
 	query     queryStats
+
+	// Duration histograms in seconds, backed by internal/obs (internally
+	// atomic — observed outside mu). WALAppend/WALFsync are handed to the
+	// write-ahead log at open; QueryFilter/QueryRefine split each
+	// similarity query into the paper's two stages; SnapshotWrite times
+	// whole snapshot publications.
+	WALAppend     *obs.Histogram
+	WALFsync      *obs.Histogram
+	QueryFilter   *obs.Histogram
+	QueryRefine   *obs.Histogram
+	SnapshotWrite *obs.Histogram
 }
 
 // latencyBounds are the histogram bucket upper bounds.
@@ -54,12 +67,21 @@ type endpointStats struct {
 type queryStats struct {
 	count           uint64
 	total           search.Stats
+	accessedSum     float64 // sum of per-query accessed fractions (histogram _sum)
 	accessedBuckets []uint64
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+	return &Metrics{
+		start:         time.Now(),
+		endpoints:     make(map[string]*endpointStats),
+		WALAppend:     obs.NewHistogram(obs.DefDurationBuckets),
+		WALFsync:      obs.NewHistogram(obs.DefDurationBuckets),
+		QueryFilter:   obs.NewHistogram(obs.DefDurationBuckets),
+		QueryRefine:   obs.NewHistogram(obs.DefDurationBuckets),
+		SnapshotWrite: obs.NewHistogram(obs.DefDurationBuckets),
+	}
 }
 
 // Observe records one finished request.
@@ -88,6 +110,8 @@ func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
 // ObserveQuery folds one similarity query's stats into the aggregate.
 // Batch requests call it once per inner query.
 func (m *Metrics) ObserveQuery(s search.Stats) {
+	m.QueryFilter.ObserveDuration(s.FilterTime)
+	m.QueryRefine.ObserveDuration(s.RefineTime)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.query.accessedBuckets == nil {
@@ -96,6 +120,7 @@ func (m *Metrics) ObserveQuery(s search.Stats) {
 	m.query.count++
 	m.query.total.Add(s)
 	f := s.AccessedFraction()
+	m.query.accessedSum += f
 	i := sort.Search(len(accessedBounds), func(i int) bool { return f <= accessedBounds[i] })
 	m.query.accessedBuckets[i]++
 }
@@ -147,6 +172,34 @@ type Snapshot struct {
 	SnapshotCRCFailures uint64                      `json:"snapshot_crc_failures"`
 	Endpoints           map[string]EndpointSnapshot `json:"endpoints"`
 	Queries             QuerySnapshot               `json:"queries"`
+	// Duration histograms (seconds): WAL durability cost, per-stage query
+	// time, snapshot publication time.
+	WALAppendSeconds     HistogramJSON `json:"wal_append_seconds"`
+	WALFsyncSeconds      HistogramJSON `json:"wal_fsync_seconds"`
+	QueryFilterSeconds   HistogramJSON `json:"query_filter_seconds"`
+	QueryRefineSeconds   HistogramJSON `json:"query_refine_seconds"`
+	SnapshotWriteSeconds HistogramJSON `json:"snapshot_write_seconds"`
+}
+
+// HistogramJSON is the JSON rendering of an obs.Histogram: bucket labels
+// follow the same le_<seconds> convention as the endpoint latency buckets.
+type HistogramJSON struct {
+	Count      uint64            `json:"count"`
+	SumSeconds float64           `json:"sum_seconds"`
+	Buckets    map[string]uint64 `json:"buckets"`
+}
+
+func histogramJSON(h *obs.Histogram) HistogramJSON {
+	s := h.Snapshot()
+	out := HistogramJSON{Count: s.Count, SumSeconds: s.Sum, Buckets: make(map[string]uint64, len(s.Counts))}
+	for i, c := range s.Counts {
+		if i < len(s.Bounds) {
+			out.Buckets[bucketLabel(s.Bounds[i])] = c
+		} else {
+			out.Buckets["le_inf"] = c
+		}
+	}
+	return out
 }
 
 // Snapshot renders the counters; the caller fills the gauge fields.
@@ -191,19 +244,34 @@ func (m *Metrics) Snapshot() Snapshot {
 	for i, c := range q.accessedBuckets {
 		out.Queries.AccessedBuckets[accessedBucketLabel(i)] = c
 	}
+	out.WALAppendSeconds = histogramJSON(m.WALAppend)
+	out.WALFsyncSeconds = histogramJSON(m.WALFsync)
+	out.QueryFilterSeconds = histogramJSON(m.QueryFilter)
+	out.QueryRefineSeconds = histogramJSON(m.QueryRefine)
+	out.SnapshotWriteSeconds = histogramJSON(m.SnapshotWrite)
 	return out
+}
+
+// bucketLabel renders a histogram upper bound as a stable, parseable
+// label: "le_" + the shortest exact decimal ("le_0.0025", "le_1"). Go
+// duration strings ("le_2.5ms") are illegal as Prometheus label parts and
+// unstable across formatting changes; everything numeric, in base units
+// (seconds for time), parses back with strconv.ParseFloat — as does the
+// "inf" of the overflow bucket.
+func bucketLabel(bound float64) string {
+	return "le_" + strconv.FormatFloat(bound, 'g', -1, 64)
 }
 
 func latencyBucketLabel(i int) string {
 	if i == len(latencyBounds) {
 		return "le_inf"
 	}
-	return fmt.Sprintf("le_%s", latencyBounds[i])
+	return bucketLabel(latencyBounds[i].Seconds())
 }
 
 func accessedBucketLabel(i int) string {
 	if i == len(accessedBounds) {
 		return "le_inf"
 	}
-	return fmt.Sprintf("le_%g", accessedBounds[i])
+	return bucketLabel(accessedBounds[i])
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"treesim/internal/obs"
 )
 
 // statusWriter records the status code for logging and metrics.
@@ -42,6 +44,15 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 		w.Header().Set("X-Request-Id", rid)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 
+		// Every request gets a root span keyed by its request ID; handlers
+		// and the search engine hang stage children off it through the
+		// context. Snapshotting is deferred until someone asks (?trace=1
+		// or the slow-query log), so an unobserved trace costs only the
+		// root allocation.
+		span := obs.New(endpoint)
+		span.SetStr("request_id", rid)
+		r = r.WithContext(obs.NewContext(r.Context(), span))
+
 		defer func() {
 			if p := recover(); p != nil {
 				s.log.Error("handler panic", "request_id", rid, "endpoint", endpoint, "panic", p)
@@ -50,13 +61,24 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 				}
 				sw.status = http.StatusInternalServerError
 			}
-			s.metrics.Observe(endpoint, sw.status, time.Since(start))
+			span.End()
+			elapsed := time.Since(start)
+			s.metrics.Observe(endpoint, sw.status, elapsed)
+			if limited && s.cfg.SlowQuery != nil && elapsed >= *s.cfg.SlowQuery {
+				s.log.Warn("slow query",
+					"request_id", rid,
+					"endpoint", endpoint,
+					"status", sw.status,
+					"dur_us", elapsed.Microseconds(),
+					"threshold_us", s.cfg.SlowQuery.Microseconds(),
+					"trace", span.Snapshot())
+			}
 			s.log.Info("request",
 				"request_id", rid,
 				"method", r.Method,
 				"path", r.URL.Path,
 				"status", sw.status,
-				"dur_us", time.Since(start).Microseconds(),
+				"dur_us", elapsed.Microseconds(),
 				"remote", r.RemoteAddr)
 		}()
 

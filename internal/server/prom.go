@@ -1,0 +1,135 @@
+package server
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"treesim/internal/obs"
+)
+
+// Prometheus text exposition of the /metrics registry. The JSON document
+// (the default) and this rendering are two views of the same counters:
+// the JSON form stays the human/debug view, this one is what a Prometheus
+// server scrapes (Accept: text/plain or ?format=prom).
+
+// latencySecondsBounds is latencyBounds converted once to seconds, the
+// base unit both expositions use for bucket labels.
+var latencySecondsBounds = func() []float64 {
+	out := make([]float64, len(latencyBounds))
+	for i, d := range latencyBounds {
+		out[i] = d.Seconds()
+	}
+	return out
+}()
+
+// PromGauges carries the live values the server owns (the Metrics
+// registry only holds counters); the caller fills it per scrape.
+type PromGauges struct {
+	IndexSize       int
+	IndexFilter     string
+	InFlight        int
+	MaxInFlight     int
+	Inserts         uint64
+	Snapshots       uint64
+	WALRecords      uint64
+	WALReplayed     uint64
+	SnapCRCFailures uint64
+}
+
+// WriteProm renders the whole registry in Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headed families, per-endpoint
+// counters and latency histograms, the accessed-fraction histogram, and
+// the stage/WAL/snapshot duration histograms.
+func (m *Metrics) WriteProm(w io.Writer, g PromGauges) error {
+	pw := obs.NewPromWriter(w)
+
+	pw.Family("treesim_uptime_seconds", "gauge", "Seconds since the server started.").
+		Sample(nil, time.Since(m.start).Seconds())
+	pw.Family("treesim_index_size", "gauge", "Trees in the live index.").
+		Sample(nil, float64(g.IndexSize))
+	pw.Family("treesim_index_info", "gauge", "Constant 1, labeled with the active filter.").
+		Sample(obs.Labels{"filter": g.IndexFilter}, 1)
+	pw.Family("treesim_inflight_requests", "gauge", "Query requests currently admitted.").
+		Sample(nil, float64(g.InFlight))
+	pw.Family("treesim_max_inflight_requests", "gauge", "Admission limit for concurrent queries.").
+		Sample(nil, float64(g.MaxInFlight))
+	pw.Family("treesim_inserts_total", "counter", "Accepted tree inserts.").
+		Sample(nil, float64(g.Inserts))
+	pw.Family("treesim_snapshots_total", "counter", "Snapshots published.").
+		Sample(nil, float64(g.Snapshots))
+	pw.Family("treesim_wal_records_total", "counter", "WAL records appended by this process.").
+		Sample(nil, float64(g.WALRecords))
+	pw.Family("treesim_wal_replayed_records", "gauge", "WAL records replayed during startup recovery.").
+		Sample(nil, float64(g.WALReplayed))
+	pw.Family("treesim_snapshot_crc_failures_total", "counter", "Snapshots that failed checksum self-verification.").
+		Sample(nil, float64(g.SnapCRCFailures))
+
+	// Per-endpoint counters and latency histograms. Rendering happens
+	// under mu into the caller's buffer, mirroring Snapshot's consistency.
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	req := pw.Family("treesim_http_requests_total", "counter", "Requests finished, by endpoint.")
+	for _, name := range names {
+		req.Sample(obs.Labels{"endpoint": name}, float64(m.endpoints[name].requests))
+	}
+	errs := pw.Family("treesim_http_errors_total", "counter", "5xx responses (excluding 504), by endpoint.")
+	for _, name := range names {
+		errs.Sample(obs.Labels{"endpoint": name}, float64(m.endpoints[name].errors))
+	}
+	rej := pw.Family("treesim_http_rejected_total", "counter", "429 admission rejections, by endpoint.")
+	for _, name := range names {
+		rej.Sample(obs.Labels{"endpoint": name}, float64(m.endpoints[name].rejected))
+	}
+	tmo := pw.Family("treesim_http_timeouts_total", "counter", "504 query-deadline responses, by endpoint.")
+	for _, name := range names {
+		tmo.Sample(obs.Labels{"endpoint": name}, float64(m.endpoints[name].timeouts))
+	}
+	lat := pw.Family("treesim_http_request_duration_seconds", "histogram", "Request latency, by endpoint.")
+	for _, name := range names {
+		e := m.endpoints[name]
+		lat.Histogram(obs.Labels{"endpoint": name}, obs.HistogramSnapshot{
+			Bounds: latencySecondsBounds,
+			Counts: append([]uint64(nil), e.buckets...),
+			Count:  e.requests,
+			Sum:    e.sum.Seconds(),
+		})
+	}
+
+	q := m.query
+	accessed := make([]uint64, len(accessedBounds)+1)
+	copy(accessed, q.accessedBuckets)
+	m.mu.Unlock()
+
+	pw.Family("treesim_queries_total", "counter", "Similarity queries served (batch inner queries counted individually).").
+		Sample(nil, float64(q.count))
+	pw.Family("treesim_query_verified_total", "counter", "Exact edit-distance verifications across all queries.").
+		Sample(nil, float64(q.total.Verified))
+	pw.Family("treesim_query_results_total", "counter", "Result rows returned across all queries.").
+		Sample(nil, float64(q.total.Results))
+	pw.Family("treesim_query_accessed_fraction", "histogram",
+		"Per-query accessed fraction: share of the dataset verified with an exact distance (the paper's quality measure).").
+		Histogram(nil, obs.HistogramSnapshot{
+			Bounds: accessedBounds,
+			Counts: accessed,
+			Count:  q.count,
+			Sum:    q.accessedSum,
+		})
+
+	pw.Family("treesim_query_filter_seconds", "histogram", "Per-query filter-stage time (lower-bound computation).").
+		Histogram(nil, m.QueryFilter.Snapshot())
+	pw.Family("treesim_query_refine_seconds", "histogram", "Per-query refine-stage time (exact edit distances).").
+		Histogram(nil, m.QueryRefine.Snapshot())
+	pw.Family("treesim_wal_append_seconds", "histogram", "WAL record append time, write plus policy fsync.").
+		Histogram(nil, m.WALAppend.Snapshot())
+	pw.Family("treesim_wal_fsync_seconds", "histogram", "WAL fsync time per flush.").
+		Histogram(nil, m.WALFsync.Snapshot())
+	pw.Family("treesim_snapshot_write_seconds", "histogram", "Snapshot publication time (write, sync, verify, rename).").
+		Histogram(nil, m.SnapshotWrite.Snapshot())
+
+	return pw.Err()
+}

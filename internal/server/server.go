@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"treesim/internal/faultfs"
+	"treesim/internal/obs"
 	"treesim/internal/search"
 	"treesim/internal/wal"
 )
@@ -76,6 +77,11 @@ type Config struct {
 	// trees' text encodings (default true via zero-value trickery: set
 	// OmitTrees to leave them out).
 	OmitTrees bool
+	// SlowQuery, when non-nil, enables the slow-query log: any request to
+	// a query endpoint whose total time meets or exceeds the threshold
+	// logs its full span tree. A pointer so that *SlowQuery == 0 ("log
+	// every query") stays distinct from the nil default ("disabled").
+	SlowQuery *time.Duration
 	// Logger receives structured request logs. Default: slog text
 	// handler on stderr.
 	Logger *slog.Logger
@@ -261,25 +267,35 @@ func (s *Server) Snapshot() error {
 	}
 	// Inserts accepted after this read land in the next snapshot.
 	mark := s.inserts.Load()
+	// The span tree times each stage of the publication; on success it is
+	// logged with the "snapshot written" record and its total duration
+	// feeds the snapshot_write_seconds histogram.
+	span := obs.New("snapshot")
+	span.SetInt("trees", int64(s.ix.Size()))
 	dir := filepath.Dir(s.cfg.SnapshotPath)
 	tmp, err := s.fs.CreateTemp(dir, ".treesimd-snapshot-*")
 	if err != nil {
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
 	defer s.fs.Remove(tmp.Name())
+	wsp := span.StartChild("write")
 	if err := search.SaveIndex(tmp, s.ix); err != nil {
 		tmp.Close()
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
+	wsp.End()
 	// Fsync before rename: without it, the rename can publish a file
 	// whose bytes are still only in the page cache, and a power cut
 	// leaves an empty or partial "atomic" snapshot.
+	ssp := span.StartChild("sync")
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return fmt.Errorf("server: snapshot sync: %w", err)
 	}
+	ssp.End()
 	// Read back and verify the checksum before publishing: a write that
 	// went wrong (bad disk, torn page) must not replace a good snapshot.
+	vsp := span.StartChild("verify")
 	if _, err := tmp.Seek(0, io.SeekStart); err != nil {
 		tmp.Close()
 		return fmt.Errorf("server: snapshot verify: %w", err)
@@ -289,9 +305,11 @@ func (s *Server) Snapshot() error {
 		s.snapCRCFail.Add(1)
 		return fmt.Errorf("server: snapshot failed self-verification, not published: %w", err)
 	}
+	vsp.End()
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
+	rsp := span.StartChild("rename")
 	if err := s.fs.Rename(tmp.Name(), s.cfg.SnapshotPath); err != nil {
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
@@ -299,9 +317,13 @@ func (s *Server) Snapshot() error {
 	if err := s.fs.SyncDir(dir); err != nil {
 		return fmt.Errorf("server: snapshot dir sync: %w", err)
 	}
+	rsp.End()
+	span.End()
+	s.metrics.SnapshotWrite.ObserveDuration(span.Duration())
 	s.saved.Store(mark)
 	s.snapshots.Add(1)
-	s.log.Info("snapshot written", "path", s.cfg.SnapshotPath, "trees", s.ix.Size())
+	s.log.Info("snapshot written", "path", s.cfg.SnapshotPath, "trees", s.ix.Size(),
+		"trace", span.Snapshot())
 	if s.wal != nil && walOff > 0 {
 		if err := s.wal.TrimPrefix(walOff); err != nil {
 			// Not fatal: the untrimmed records replay idempotently; the

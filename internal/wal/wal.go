@@ -27,8 +27,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"treesim/internal/faultfs"
+	"treesim/internal/obs"
 )
 
 // MaxRecord caps one record's payload, mirroring the codec's tree cap: a
@@ -76,6 +78,13 @@ type Options struct {
 	// FS is the filesystem to write through; nil means the real one.
 	// Tests inject faults here (see internal/faultfs).
 	FS faultfs.FS
+	// AppendHist, when non-nil, records the wall time of each successful
+	// Append (write plus any policy fsync) in seconds — the latency an
+	// insert pays for durability before it can be acknowledged.
+	AppendHist *obs.Histogram
+	// FsyncHist, when non-nil, records the wall time of each fsync issued
+	// by the log (per-record under SyncAlways, plus explicit Sync calls).
+	FsyncHist *obs.Histogram
 }
 
 func (o Options) fs() faultfs.FS {
@@ -162,6 +171,7 @@ func (l *Log) Append(payload []byte) error {
 	if l.broken != nil {
 		return fmt.Errorf("wal: log damaged by earlier failed append: %w", l.broken)
 	}
+	start := time.Now()
 	buf := make([]byte, recordHeader+len(payload))
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
@@ -181,6 +191,7 @@ func (l *Log) Append(payload []byte) error {
 	}
 	l.off += int64(len(buf))
 	l.recs++
+	l.opts.AppendHist.ObserveDuration(time.Since(start))
 	return nil
 }
 
@@ -200,14 +211,23 @@ func (l *Log) maybeSync() error {
 	if l.opts.Sync == SyncNever {
 		return nil
 	}
-	return l.f.Sync()
+	return l.fsync()
+}
+
+// fsync times the flush into the fsync histogram; failures are observed
+// too — a slow failing disk is exactly what the histogram should show.
+func (l *Log) fsync() error {
+	start := time.Now()
+	err := l.f.Sync()
+	l.opts.FsyncHist.ObserveDuration(time.Since(start))
+	return err
 }
 
 // Sync forces the log to stable storage regardless of policy.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.f.Sync()
+	return l.fsync()
 }
 
 // Offset returns the end of the valid record prefix (the append

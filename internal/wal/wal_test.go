@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"treesim/internal/faultfs"
+	"treesim/internal/obs"
 )
 
 func walPath(t *testing.T) string {
@@ -412,5 +413,51 @@ func TestBinaryPayloads(t *testing.T) {
 	got, _ := collect(t, path)
 	if !bytes.Equal(got[0], payload) {
 		t.Fatal("binary payload mangled")
+	}
+}
+
+// TestAppendFsyncHistograms: every successful append lands in the append
+// histogram, and the fsync histogram follows the sync policy — one flush
+// per record under SyncAlways, none under SyncNever.
+func TestAppendFsyncHistograms(t *testing.T) {
+	appendH := obs.NewHistogram(obs.DefDurationBuckets)
+	fsyncH := obs.NewHistogram(obs.DefDurationBuckets)
+	l, err := Open(walPath(t), Options{AppendHist: appendH, FsyncHist: fsyncH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte("rec")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil { // explicit sync counts too
+		t.Fatal(err)
+	}
+	l.Close()
+
+	if got := appendH.Snapshot().Count; got != 3 {
+		t.Errorf("append histogram count %d, want 3", got)
+	}
+	// Header write at Open + 3 per-record syncs + 1 explicit + 1 at Close.
+	if got := fsyncH.Snapshot().Count; got != 6 {
+		t.Errorf("fsync histogram count %d, want 6", got)
+	}
+	if s := appendH.Snapshot(); s.Sum <= 0 {
+		t.Errorf("append histogram sum %v, want > 0", s.Sum)
+	}
+
+	// SyncNever: appends recorded, no fsyncs (and nil histograms are fine).
+	fsyncH2 := obs.NewHistogram(obs.DefDurationBuckets)
+	l2, err := Open(walPath(t), Options{Sync: SyncNever, FsyncHist: fsyncH2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append([]byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	if got := fsyncH2.Snapshot().Count; got != 0 {
+		t.Errorf("SyncNever issued %d fsyncs", got)
 	}
 }

@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race bench bench-server fuzz ci
+.PHONY: build vet test race bench bench-server bench-diff fuzz ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,15 @@ bench:
 # an in-process server; writes client percentiles + server stage means.
 bench-server:
 	$(GO) run ./cmd/benchserver -out BENCH_server.json
+
+# Compare two benchmark reports (defaults: the committed BENCH_server.json
+# against a fresh run). Exits 3 on a >20% p99 regression.
+#   make bench-diff OLD=BENCH_server.json NEW=BENCH_server.new.json
+OLD ?= BENCH_server.json
+NEW ?= BENCH_server.new.json
+bench-diff:
+	test -f $(NEW) || $(GO) run ./cmd/benchserver -out $(NEW)
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/tree

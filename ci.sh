@@ -21,7 +21,17 @@ go test -race ./...
 # Serving-benchmark smoke: a tiny fixed-seed run proves the end-to-end
 # harness works; real numbers come from `make bench-server`.
 echo "== benchserver smoke"
-go run ./cmd/benchserver -n 200 -queries 20 -out "$(mktemp /tmp/bench_server.XXXXXX.json)"
+SMOKE_BENCH="$(mktemp /tmp/bench_server.XXXXXX.json)"
+go run ./cmd/benchserver -n 200 -queries 20 -out "$SMOKE_BENCH"
+
+# Advisory bench diff: compare the committed full-size report against the
+# smoke run. The configurations differ (and CI machines are noisy), so a
+# flagged regression is a prompt to run `make bench-diff` properly, never
+# a gate — hence the `|| true`.
+if [ -f BENCH_server.json ]; then
+    echo "== benchdiff (advisory)"
+    go run ./cmd/benchdiff BENCH_server.json "$SMOKE_BENCH" || true
+fi
 
 # Fuzz smoke: a short budget per target catches parser and codec
 # regressions on the spot; long runs belong in a dedicated job.

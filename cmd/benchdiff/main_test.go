@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldReport = `{
+	"timestamp": "2026-01-01T00:00:00Z",
+	"go_version": "go1.0",
+	"endpoints": {"/v1/knn": {"p50_us": 100, "p99_us": 1000}},
+	"filters": [
+		{"spec": "bibranch", "accessed_fraction": 0.1, "total_p99_us": 500},
+		{"spec": "histo", "accessed_fraction": 0.5, "total_p99_us": 900}
+	]
+}`
+
+// TestDiffClean: a within-tolerance comparison exits 0 and reports the
+// deltas by stable keys (array elements keyed by spec, not index).
+func TestDiffClean(t *testing.T) {
+	oldPath := writeJSON(t, "old.json", oldReport)
+	newPath := writeJSON(t, "new.json", `{
+		"timestamp": "2026-02-01T00:00:00Z",
+		"go_version": "go2.0",
+		"endpoints": {"/v1/knn": {"p50_us": 90, "p99_us": 1100}},
+		"filters": [
+			{"spec": "histo", "accessed_fraction": 0.5, "total_p99_us": 900},
+			{"spec": "bibranch", "accessed_fraction": 0.08, "total_p99_us": 550}
+		]
+	}`)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"endpoints./v1/knn.p99_us", "1000", "1100", "+10.0%",
+		"filters.bibranch.accessed_fraction", "-20.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	// Reordered array elements still matched by spec: histo is unchanged,
+	// so it must not appear as a changed metric.
+	if strings.Contains(out, "filters.histo") {
+		t.Errorf("unchanged histo metrics reported as deltas:\n%s", out)
+	}
+	// Metadata never compared.
+	if strings.Contains(out, "timestamp") || strings.Contains(out, "go_version") {
+		t.Errorf("metadata leaked into the diff:\n%s", out)
+	}
+}
+
+// TestDiffP99Regression: a >20% p99 regression exits 3 and names the
+// offending metric.
+func TestDiffP99Regression(t *testing.T) {
+	oldPath := writeJSON(t, "old.json", oldReport)
+	newPath := writeJSON(t, "new.json", strings.ReplaceAll(oldReport, `"p99_us": 1000`, `"p99_us": 1300`))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &stdout, &stderr); code != 3 {
+		t.Fatalf("exit %d, want 3\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "endpoints./v1/knn.p99_us") {
+		t.Errorf("regression report lacks the metric:\n%s", stderr.String())
+	}
+	// A wider tolerance accepts the same delta.
+	if code := run([]string{"-threshold", "0.5", oldPath, newPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("threshold 0.5: exit %d, want 0", code)
+	}
+}
+
+// TestDiffBadInputs: wrong arity and unreadable files fail cleanly.
+func TestDiffBadInputs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"only-one.json"}, &stdout, &stderr); code != 2 {
+		t.Errorf("one arg: exit %d, want 2", code)
+	}
+	good := writeJSON(t, "good.json", oldReport)
+	if code := run([]string{good, filepath.Join(t.TempDir(), "missing.json")}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	bad := writeJSON(t, "bad.json", "not json")
+	if code := run([]string{good, bad}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad json: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"treesim/internal/datagen"
+	"treesim/internal/qlog"
+)
+
+// writeWorkload builds a tiny dataset + recorded workload on disk and
+// returns their paths.
+func writeWorkload(t *testing.T, n, queries int) (dataPath, qlogPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	spec := datagen.Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 12, SizeStd: 4, Labels: 5, Decay: 0.1}
+	ts := datagen.New(spec, 7).Dataset(n, 5)
+
+	var sb strings.Builder
+	for _, tr := range ts {
+		sb.WriteString(tr.String())
+		sb.WriteByte('\n')
+	}
+	dataPath = filepath.Join(dir, "data.trees")
+	if err := os.WriteFile(dataPath, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	qlogPath = filepath.Join(dir, "queries.jsonl")
+	w, err := qlog.Open(qlogPath, qlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < queries; i++ {
+		rec := qlog.Record{Op: "knn", Tree: ts[i%n].String(), K: 3}
+		if i%3 == 2 {
+			rec = qlog.Record{Op: "range", Tree: ts[i%n].String(), Tau: 3}
+		}
+		rec.Stats.Dataset = n
+		if err := w.Record(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dataPath, qlogPath
+}
+
+// TestAnalyzeEndToEnd: replay a recorded workload against the default
+// filter matrix; the report must rank the paper's BiBranch filter at a
+// lower accessed fraction than the histogram baseline, and the no-filter
+// floor at 1.0.
+func TestAnalyzeEndToEnd(t *testing.T) {
+	dataPath, qlogPath := writeWorkload(t, 40, 12)
+	out := filepath.Join(t.TempDir(), "BENCH_filters.json")
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-qlog", qlogPath, "-data", dataPath,
+		"-filters", "bibranch,bibranch-nopos,bibranch-q3,histo,none",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	if rep.Records != 12 || rep.Dataset != 40 {
+		t.Fatalf("report covers %d records over %d trees, want 12/40", rep.Records, rep.Dataset)
+	}
+	if len(rep.Filters) < 4 {
+		t.Fatalf("report has %d filters, want >= 4", len(rep.Filters))
+	}
+
+	byName := map[string]filterReport{}
+	for _, f := range rep.Filters {
+		if f.Queries != 12 {
+			t.Errorf("%s replayed %d queries, want 12", f.Filter, f.Queries)
+		}
+		if f.AccessedFraction <= 0 || f.AccessedFraction > 1 {
+			t.Errorf("%s accessed fraction %v outside (0,1]", f.Filter, f.AccessedFraction)
+		}
+		byName[f.Spec] = f
+	}
+	bib, histo, none := byName["bibranch"], byName["histo"], byName["none"]
+	if bib.Filter == "" || histo.Filter == "" || none.Filter == "" {
+		t.Fatalf("missing expected filters in %v", rep.Filters)
+	}
+	// The acceptance criterion: the paper's filter beats the histogram
+	// baseline on candidate-set quality over the same real workload.
+	if bib.AccessedFraction >= histo.AccessedFraction {
+		t.Errorf("BiBranch accessed %.4f not better than histogram %.4f",
+			bib.AccessedFraction, histo.AccessedFraction)
+	}
+	if none.AccessedFraction != 1 {
+		t.Errorf("no-filter accessed fraction %v, want 1", none.AccessedFraction)
+	}
+	// BiBranch carries tightness evidence within its proven bound.
+	if bib.TightnessSamples == 0 {
+		t.Error("BiBranch replay produced no tightness samples")
+	}
+	if bib.TightnessLimit != 5 {
+		t.Errorf("BiBranch tightness limit %d, want 5", bib.TightnessLimit)
+	}
+	if bib.TightnessMean > 5 {
+		t.Errorf("BiBranch mean tightness %.3f exceeds the proven bound", bib.TightnessMean)
+	}
+
+	// The table ranks filters and mentions each one by its spec — the
+	// spec, not the filter name, because bibranch-q3/-q4 share a name.
+	table := stdout.String()
+	for _, f := range rep.Filters {
+		if !strings.Contains(table, f.Spec) {
+			t.Errorf("table lacks filter spec %s:\n%s", f.Spec, table)
+		}
+	}
+}
+
+// TestAnalyzeBadInputs: missing flags and unknown filters fail cleanly.
+func TestAnalyzeBadInputs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no -qlog: exit %d, want 2", code)
+	}
+	dataPath, qlogPath := writeWorkload(t, 5, 2)
+	if code := run([]string{"-qlog", qlogPath, "-data", dataPath, "-filters", "nonsense", "-out", ""},
+		&stdout, &stderr); code != 2 {
+		t.Errorf("unknown filter: exit %d, want 2", code)
+	}
+	if code := run([]string{"-qlog", filepath.Join(t.TempDir(), "missing.jsonl"), "-data", dataPath, "-out", ""},
+		&stdout, &stderr); code != 1 {
+		t.Errorf("missing qlog: exit %d, want 1", code)
+	}
+}
+
+// TestAnalyzeLimit: -limit truncates the replayed workload.
+func TestAnalyzeLimit(t *testing.T) {
+	dataPath, qlogPath := writeWorkload(t, 20, 10)
+	out := filepath.Join(t.TempDir(), "r.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-qlog", qlogPath, "-data", dataPath, "-filters", "bibranch", "-limit", "4", "-out", out},
+		&stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	raw, _ := os.ReadFile(out)
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 4 || rep.Filters[0].Queries != 4 {
+		t.Fatalf("limit ignored: %d records, %d queries", rep.Records, rep.Filters[0].Queries)
+	}
+}

@@ -3,6 +3,7 @@
 //
 //	treesim knn   -data data.trees -query 'a(b,c)' -k 5
 //	treesim knn   -data data.trees -query-index 17 -k 10 -filter histo
+//	treesim knn   -data data.trees -query 'a(b,c)' -k 5 -explain
 //	treesim range -data data.trees -query 'a(b,c)' -tau 3
 //	treesim dist  'a(b(c,d),b(c,d),e)' 'a(b(c,d,b(e)),c,d,e)'
 //	treesim stats -data data.trees
@@ -15,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -196,6 +198,7 @@ func runKNN(args []string) error {
 	var df dataFlags
 	df.register(fs)
 	k := fs.Int("k", 5, "number of nearest neighbors")
+	explain := fs.Bool("explain", false, "print the query's filter-quality analysis (bound distribution, false positives, tightness)")
 	fs.Parse(args)
 
 	start := time.Now()
@@ -204,11 +207,21 @@ func runKNN(args []string) error {
 		return err
 	}
 	buildTime := time.Since(start)
-	res, stats := ix.KNN(q, *k)
+	var res []search.Result
+	var stats search.Stats
+	var ex *search.Explain
+	if *explain {
+		res, stats, ex, _ = ix.KNNExplain(context.Background(), q, *k)
+	} else {
+		res, stats = ix.KNN(q, *k)
+	}
 
 	fmt.Printf("index: %d trees, filter %s, ready in %v\n", ix.Size(), ix.Filter().Name(), buildTime.Round(time.Millisecond))
 	fmt.Printf("query: %s\n", q)
 	fmt.Printf("stats: %s\n", stats)
+	if ex != nil {
+		fmt.Print(ex.String())
+	}
 	for rank, r := range res {
 		fmt.Printf("%3d. dist=%d  id=%d  %s\n", rank+1, r.Dist, r.ID, ix.Tree(r.ID))
 	}
@@ -220,17 +233,28 @@ func runRange(args []string) error {
 	var df dataFlags
 	df.register(fs)
 	tau := fs.Int("tau", 2, "range radius (edit distance)")
+	explain := fs.Bool("explain", false, "print the query's filter-quality analysis (bound distribution, false positives, tightness)")
 	fs.Parse(args)
 
 	ix, q, err := df.buildIndex()
 	if err != nil {
 		return err
 	}
-	res, stats := ix.Range(q, *tau)
+	var res []search.Result
+	var stats search.Stats
+	var ex *search.Explain
+	if *explain {
+		res, stats, ex, _ = ix.RangeExplain(context.Background(), q, *tau)
+	} else {
+		res, stats = ix.Range(q, *tau)
+	}
 
 	fmt.Printf("index: %d trees, filter %s\n", ix.Size(), ix.Filter().Name())
 	fmt.Printf("query: %s (tau=%d)\n", q, *tau)
 	fmt.Printf("stats: %s\n", stats)
+	if ex != nil {
+		fmt.Print(ex.String())
+	}
 	for _, r := range res {
 		fmt.Printf("dist=%d  id=%d  %s\n", r.Dist, r.ID, ix.Tree(r.ID))
 	}

@@ -22,10 +22,14 @@
 // -wal-sync chooses the fsync policy ("always" per record, or "never").
 //
 // Observability: -slow-query logs the span tree of any query at or above
-// the threshold (0 logs every query), ?trace=1 on the query endpoints
-// returns the same breakdown inline, GET /metrics serves Prometheus text
-// with ?format=prom, and -pprof mounts net/http/pprof on a separate
-// loopback-only listener.
+// the threshold (0 logs every query) together with its EXPLAIN record,
+// ?trace=1 on the query endpoints returns the same breakdown inline,
+// ?explain=1 returns the per-query filter-quality analysis, GET /metrics
+// serves Prometheus text with ?format=prom, GET /version reports the
+// build, and -pprof mounts net/http/pprof on a separate loopback-only
+// listener. -qlog records served queries (sampled by -qlog-sample,
+// rotated beyond -qlog-max-bytes) to a JSONL workload log that
+// cmd/treesim-analyze replays offline against a matrix of filters.
 //
 // SIGINT/SIGTERM trigger a graceful drain: readiness flips to 503,
 // in-flight queries finish, a final snapshot is written, then the process
@@ -48,6 +52,7 @@ import (
 	"time"
 
 	"treesim/internal/dataset"
+	"treesim/internal/qlog"
 	"treesim/internal/search"
 	"treesim/internal/server"
 	"treesim/internal/tree"
@@ -77,6 +82,10 @@ type config struct {
 	omitTrees    bool
 	slowQuery    time.Duration
 	pprofAddr    string
+	qlogPath     string
+	qlogSample   float64
+	qlogMaxBytes int64
+	version      bool
 }
 
 // run is main with injectable args/stderr and an exit code, so the
@@ -102,8 +111,26 @@ func run(args []string, stderr io.Writer) int {
 	fs.BoolVar(&c.omitTrees, "omit-trees", false, "leave tree text out of query results")
 	fs.DurationVar(&c.slowQuery, "slow-query", -1, "log the span tree of queries at or above this duration (0 logs every query; negative disables)")
 	fs.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
+	fs.StringVar(&c.qlogPath, "qlog", "", "record served queries to this JSONL workload log (replay with treesim-analyze); empty disables")
+	fs.Float64Var(&c.qlogSample, "qlog-sample", 1, "fraction of queries recorded to -qlog, deterministic in stream position (0,1]")
+	fs.Int64Var(&c.qlogMaxBytes, "qlog-max-bytes", 0, "rotate the -qlog file beyond this size (0 = 64MiB, negative disables rotation)")
+	fs.BoolVar(&c.version, "version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if c.version {
+		bi := server.Build()
+		fmt.Fprintf(stderr, "treesimd %s", bi.GoVersion)
+		if bi.Revision != "" {
+			dirty := ""
+			if bi.Dirty {
+				dirty = " (dirty)"
+			}
+			fmt.Fprintf(stderr, " %s%s %s", bi.Revision, dirty, bi.Time)
+		}
+		fmt.Fprintln(stderr)
+		return 0
 	}
 
 	syncPolicy, err := wal.ParseSyncPolicy(c.walSync)
@@ -133,6 +160,20 @@ func run(args []string, stderr io.Writer) int {
 	if c.slowQuery >= 0 {
 		threshold := c.slowQuery
 		scfg.SlowQuery = &threshold
+	}
+	if c.qlogPath != "" {
+		qw, err := qlog.Open(c.qlogPath, qlog.Options{SampleRate: c.qlogSample, MaxBytes: c.qlogMaxBytes})
+		if err != nil {
+			fmt.Fprintf(stderr, "treesimd: -qlog: %v\n", err)
+			return 2
+		}
+		defer func() {
+			seen, kept, errs := qw.Counters()
+			log.Info("query log closed", "path", c.qlogPath, "seen", seen, "recorded", kept, "errors", errs)
+			qw.Close()
+		}()
+		scfg.QueryLog = qw
+		log.Info("query log enabled", "path", c.qlogPath, "sample", c.qlogSample)
 	}
 	srv := server.New(ix, scfg)
 

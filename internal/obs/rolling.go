@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RollingHistogram is a histogram over a sliding time window with bounded
+// memory: the window is divided into a fixed ring of slots, each holding
+// its own bucket counts, and observations older than the window fall out
+// as their slot is recycled. Memory is O(slots × buckets) forever, however
+// many observations arrive — what lets a long-lived server expose "filter
+// tightness over the last N minutes" without ever growing.
+//
+// Unlike Histogram (cumulative since process start, lock-free), a
+// RollingHistogram is mutex-guarded: rotation and observation must agree
+// on the current slot. It is intended for per-query quality samples
+// (a handful of observations per request), not per-operation hot paths.
+type RollingHistogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	slots  []rollingSlot
+	slotD  time.Duration // duration covered by one slot
+	cur    int           // index of the active slot
+	curT   time.Time     // start of the active slot
+	now    func() time.Time
+}
+
+type rollingSlot struct {
+	counts []uint64
+	sum    float64
+}
+
+// NewRollingHistogram returns a histogram whose Snapshot covers at most
+// `window` of history at `slots` granularity (expiry happens a slot at a
+// time). Bounds follow the same ascending le convention as NewHistogram.
+// It panics on unordered bounds, non-positive window or slots < 1.
+func NewRollingHistogram(bounds []float64, window time.Duration, slots int) *RollingHistogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: rolling histogram bounds not ascending")
+		}
+	}
+	if window <= 0 || slots < 1 {
+		panic("obs: rolling histogram needs a positive window and at least one slot")
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	h := &RollingHistogram{
+		bounds: bs,
+		slots:  make([]rollingSlot, slots),
+		slotD:  window / time.Duration(slots),
+		now:    time.Now,
+	}
+	for i := range h.slots {
+		h.slots[i].counts = make([]uint64, len(bs)+1)
+	}
+	h.curT = h.now()
+	return h
+}
+
+// advance recycles slots the clock has moved past. Called under mu.
+func (h *RollingHistogram) advance() {
+	now := h.now()
+	for now.Sub(h.curT) >= h.slotD {
+		h.cur = (h.cur + 1) % len(h.slots)
+		s := &h.slots[h.cur]
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+		s.sum = 0
+		h.curT = h.curT.Add(h.slotD)
+		// A long idle gap still terminates: after len(slots) steps every
+		// slot is zero, so jump the epoch directly to the current slot.
+		if now.Sub(h.curT) >= h.slotD*time.Duration(len(h.slots)) {
+			h.curT = now
+		}
+	}
+}
+
+// Observe records one value into the current slot. Safe on nil.
+func (h *RollingHistogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.advance()
+	s := &h.slots[h.cur]
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	s.counts[i]++
+	s.sum += v
+}
+
+// Snapshot merges the live slots into one HistogramSnapshot covering the
+// rolling window. Safe on nil (zero snapshot).
+func (h *RollingHistogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.advance()
+	out := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.bounds)+1),
+	}
+	for _, s := range h.slots {
+		for i, c := range s.counts {
+			out.Counts[i] += c
+			out.Count += c
+		}
+		out.Sum += s.sum
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a RollingHistogram deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newRollingForTest(bounds []float64, window time.Duration, slots int) (*RollingHistogram, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	h := NewRollingHistogram(bounds, window, slots)
+	h.now = clk.now
+	h.curT = clk.now()
+	return h, clk
+}
+
+func TestRollingHistogramObserveAndBucket(t *testing.T) {
+	h, _ := newRollingForTest([]float64{1, 2, 5}, time.Minute, 6)
+	for _, v := range []float64{0.5, 1, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1, 1} // le_1: {0.5,1}, le_2: {1.5}, le_5: {3}, +Inf: {10}
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Sum != 0.5+1+1.5+3+10 {
+		t.Errorf("Sum = %v", s.Sum)
+	}
+}
+
+func TestRollingHistogramExpiry(t *testing.T) {
+	h, clk := newRollingForTest([]float64{1}, time.Minute, 6) // 10s slots
+	h.Observe(0.5)
+	clk.advance(30 * time.Second)
+	h.Observe(0.5)
+	if got := h.Snapshot().Count; got != 2 {
+		t.Fatalf("mid-window Count = %d, want 2", got)
+	}
+	// 50s after the second observation: the first (80s old) is expired,
+	// the second still in window.
+	clk.advance(50 * time.Second)
+	if got := h.Snapshot().Count; got != 1 {
+		t.Fatalf("after expiry Count = %d, want 1", got)
+	}
+	// Far past the window: everything gone, including after a huge idle
+	// gap (the advance loop must not spin per-slot over the whole gap).
+	clk.advance(24 * time.Hour)
+	if got := h.Snapshot().Count; got != 0 {
+		t.Fatalf("after window Count = %d, want 0", got)
+	}
+	h.Observe(2)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Counts[1] != 1 {
+		t.Fatalf("post-gap observe: %+v", s)
+	}
+}
+
+func TestRollingHistogramNil(t *testing.T) {
+	var h *RollingHistogram
+	h.Observe(1) // must not panic
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil snapshot Count = %d", s.Count)
+	}
+}
+
+func TestRollingHistogramConcurrent(t *testing.T) {
+	h, _ := newRollingForTest([]float64{1, 2}, time.Minute, 4)
+	var wg sync.WaitGroup
+	const n, per = 8, 100
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				h.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != n*per {
+		t.Fatalf("Count = %d, want %d", got, n*per)
+	}
+}

@@ -1,0 +1,288 @@
+// Package qlog records a server's similarity-query workload as a sampled,
+// size-rotated JSONL log — one line per recorded query carrying the query
+// tree, the parameters and the filter-quality stats the engine measured.
+// A recorded workload is the input to cmd/treesim-analyze, which replays
+// it offline against a matrix of filters: the paper's filter-comparison
+// experiment (§6) reproduced on the traffic the server actually saw,
+// instead of a synthetic workload.
+//
+// Design constraints, in order:
+//
+//   - Never fail a query: recording errors are counted, not propagated.
+//   - Bounded disk: when the current file exceeds MaxBytes it is rotated
+//     atomically (rename to path+".1", replacing the previous rotation),
+//     so the log holds at most ~2×MaxBytes.
+//   - Deterministic sampling: record i of the stream is kept iff the
+//     accumulated rate crosses an integer at i — the same stream always
+//     selects the same records, so recorded workloads are reproducible
+//     and testable without a seed.
+//   - Concurrency-safe: one mutex serializes writers; the file is written
+//     in whole lines, so a reader tailing the live log sees only complete
+//     records plus at most one torn tail.
+package qlog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Record is one logged query.
+type Record struct {
+	// Time is the query's wall-clock time, RFC3339Nano.
+	Time string `json:"ts"`
+	// Op is "knn" or "range".
+	Op string `json:"op"`
+	// Tree is the query tree in canonical text encoding.
+	Tree string `json:"tree"`
+	// K is the k of a knn query (0 otherwise).
+	K int `json:"k,omitempty"`
+	// Tau is the radius of a range query (0 otherwise).
+	Tau int `json:"tau,omitempty"`
+	// Filter names the filter that served the query.
+	Filter string `json:"filter,omitempty"`
+	// Stats is what the query cost on the recording server.
+	Stats RecordStats `json:"stats"`
+}
+
+// RecordStats is the filter-quality view of one recorded query: the same
+// counters search.Stats measures, in wire-stable form.
+type RecordStats struct {
+	Dataset        int   `json:"dataset"`
+	Candidates     int   `json:"candidates"`
+	Verified       int   `json:"verified"`
+	Results        int   `json:"results"`
+	FalsePositives int   `json:"false_positives"`
+	FilterUS       int64 `json:"filter_us"`
+	RefineUS       int64 `json:"refine_us"`
+}
+
+// Validate rejects records that could not be replayed.
+func (r *Record) Validate() error {
+	switch r.Op {
+	case "knn":
+		if r.K <= 0 {
+			return fmt.Errorf("qlog: knn record with k=%d", r.K)
+		}
+	case "range":
+		if r.Tau < 0 {
+			return fmt.Errorf("qlog: range record with tau=%d", r.Tau)
+		}
+	default:
+		return fmt.Errorf("qlog: unknown op %q", r.Op)
+	}
+	if r.Tree == "" {
+		return errors.New("qlog: record without a query tree")
+	}
+	return nil
+}
+
+// Options tunes a Writer. The zero value records everything and rotates
+// at 64 MiB.
+type Options struct {
+	// SampleRate in (0,1] is the fraction of queries recorded; 0 means 1
+	// (record everything). Sampling is deterministic in the stream
+	// position, not random.
+	SampleRate float64
+	// MaxBytes rotates the file when its size would exceed it; 0 means
+	// 64 MiB, negative disables rotation.
+	MaxBytes int64
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+const defaultMaxBytes = 64 << 20
+
+// Writer appends sampled query records to a JSONL file. Safe for
+// concurrent use.
+type Writer struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	opts   Options
+	size   int64
+	acc    float64 // accumulated sample credit
+	seen   uint64
+	kept   uint64
+	errors uint64
+	closed bool
+}
+
+// Open creates (or appends to) the log at path.
+func Open(path string, opts Options) (*Writer, error) {
+	if opts.SampleRate < 0 || opts.SampleRate > 1 {
+		return nil, fmt.Errorf("qlog: sample rate %v outside (0,1]", opts.SampleRate)
+	}
+	if opts.SampleRate == 0 {
+		opts.SampleRate = 1
+	}
+	if opts.MaxBytes == 0 {
+		opts.MaxBytes = defaultMaxBytes
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("qlog: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("qlog: %w", err)
+	}
+	return &Writer{f: f, path: path, opts: opts, size: st.Size()}, nil
+}
+
+// Path returns the log's current file path.
+func (w *Writer) Path() string { return w.path }
+
+// Record offers one query to the log. It applies the sampling decision,
+// stamps the record's time when unset, and rotates the file when full.
+// A nil Writer records nothing (so call sites need no guard). The returned
+// error is informational — the server counts it but keeps serving.
+func (w *Writer) Record(r Record) error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("qlog: writer closed")
+	}
+	w.seen++
+	// Deterministic sampling: keep a record whenever the accumulated rate
+	// crosses 1. At rate 1 every record is kept; at rate 1/k, exactly
+	// every k-th.
+	w.acc += w.opts.SampleRate
+	if w.acc < 1 {
+		return nil
+	}
+	w.acc--
+
+	if r.Time == "" {
+		r.Time = w.opts.Now().UTC().Format(time.RFC3339Nano)
+	}
+	if err := r.Validate(); err != nil {
+		w.errors++
+		return err
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		w.errors++
+		return fmt.Errorf("qlog: %w", err)
+	}
+	line = append(line, '\n')
+
+	if w.opts.MaxBytes > 0 && w.size > 0 && w.size+int64(len(line)) > w.opts.MaxBytes {
+		if err := w.rotate(); err != nil {
+			w.errors++
+			return err
+		}
+	}
+	n, err := w.f.Write(line)
+	w.size += int64(n)
+	if err != nil {
+		w.errors++
+		return fmt.Errorf("qlog: %w", err)
+	}
+	w.kept++
+	return nil
+}
+
+// rotate moves the live file to path+".1" (replacing any previous
+// rotation — rename is atomic, so a reader sees the old or the new file,
+// never a partial one) and starts a fresh live file. Called under mu.
+func (w *Writer) rotate() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("qlog: rotate: %w", err)
+	}
+	if err := os.Rename(w.path, w.path+".1"); err != nil {
+		return fmt.Errorf("qlog: rotate: %w", err)
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("qlog: rotate: %w", err)
+	}
+	w.f = f
+	w.size = 0
+	return nil
+}
+
+// Counters reports the writer's lifetime totals: queries offered, records
+// written, and recording errors.
+func (w *Writer) Counters() (seen, kept, errs uint64) {
+	if w == nil {
+		return 0, 0, 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seen, w.kept, w.errors
+}
+
+// Close flushes and closes the log file.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
+}
+
+// Read parses a JSONL stream of records. Unparsable or invalid lines are
+// skipped and counted — the last line of a live log may be torn, and a
+// replayer should not abandon a million-record workload over one bad line.
+func Read(r io.Reader) (records []Record, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil || rec.Validate() != nil {
+			skipped++
+			continue
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return records, skipped, fmt.Errorf("qlog: %w", err)
+	}
+	return records, skipped, nil
+}
+
+// ReadFile loads a recorded workload from path, including the previous
+// rotation (path+".1", read first so records stay roughly in time order)
+// when it exists.
+func ReadFile(path string) (records []Record, skipped int, err error) {
+	for _, p := range []string{path + ".1", path} {
+		f, err := os.Open(p)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) && p != path {
+				continue
+			}
+			return records, skipped, fmt.Errorf("qlog: %w", err)
+		}
+		recs, sk, rerr := Read(f)
+		f.Close()
+		records = append(records, recs...)
+		skipped += sk
+		if rerr != nil {
+			return records, skipped, rerr
+		}
+	}
+	return records, skipped, nil
+}

@@ -1,0 +1,209 @@
+package qlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testRecord(i int) Record {
+	return Record{
+		Op:     "knn",
+		Tree:   fmt.Sprintf("a(b%d,c)", i),
+		K:      5,
+		Filter: "BiBranch",
+		Stats:  RecordStats{Dataset: 100, Candidates: 10, Verified: 8, Results: 5, FalsePositives: 3},
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	// The same stream at the same rate must select the same positions,
+	// run after run — no RNG involved.
+	accepted := func(rate float64, n int) []uint64 {
+		w, err := Open(filepath.Join(t.TempDir(), "q.jsonl"), Options{SampleRate: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		var out []uint64
+		for i := 0; i < n; i++ {
+			before, kept, _ := w.Counters()
+			_ = before
+			if err := w.Record(testRecord(i)); err != nil {
+				t.Fatal(err)
+			}
+			if _, k2, _ := w.Counters(); k2 > kept {
+				out = append(out, uint64(i))
+			}
+		}
+		return out
+	}
+
+	a := accepted(0.25, 40)
+	b := accepted(0.25, 40)
+	if len(a) != 10 {
+		t.Fatalf("rate 0.25 over 40 records kept %d, want 10 (%v)", len(a), a)
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("sampling not deterministic: %v vs %v", a, b)
+	}
+	if all := accepted(1, 17); len(all) != 17 {
+		t.Fatalf("rate 1 kept %d of 17", len(all))
+	}
+}
+
+func TestRecordValidateAndRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.jsonl")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		r := testRecord(i)
+		if i == 2 {
+			r.Op = "range"
+			r.K = 0
+			r.Tau = 3
+		}
+		if err := w.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Invalid records are refused and counted, not written.
+	if err := w.Record(Record{Op: "nonsense", Tree: "a"}); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn tail: append half a record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"ts":"2026-01-01T00:00:00Z","op":"knn","tree":"a(`)
+	f.Close()
+
+	recs, skipped, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("read %d records, want 5", len(recs))
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1 (the torn tail)", skipped)
+	}
+	if recs[2].Op != "range" || recs[2].Tau != 3 {
+		t.Fatalf("record 2 = %+v", recs[2])
+	}
+	if recs[0].Time == "" {
+		t.Fatal("record time not stamped")
+	}
+	_, kept, errs := w.Counters()
+	if kept != 5 || errs != 1 {
+		t.Fatalf("counters kept=%d errs=%d, want 5/1", kept, errs)
+	}
+}
+
+func TestRotationUnderConcurrentWrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.jsonl")
+	// Small MaxBytes forces many rotations while 8 goroutines hammer the
+	// writer; run under -race this is the concurrency proof.
+	w, err := Open(path, Options{MaxBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := w.Record(testRecord(g*1000 + i)); err != nil {
+					t.Errorf("record: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen, kept, errs := w.Counters()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != workers*per || kept != workers*per || errs != 0 {
+		t.Fatalf("counters seen=%d kept=%d errs=%d", seen, kept, errs)
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("expected a rotated file: %v", err)
+	}
+	// Every surviving line (live + one rotation) must be a complete,
+	// valid record: rotation never tears a line.
+	recs, skipped, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("%d corrupt lines after concurrent rotation", skipped)
+	}
+	if len(recs) == 0 || len(recs) > workers*per {
+		t.Fatalf("read %d records", len(recs))
+	}
+	// The live file respects the size bound.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > 2048+512 {
+		t.Fatalf("live file %d bytes exceeds rotation bound", st.Size())
+	}
+}
+
+func TestWriterNil(t *testing.T) {
+	var w *Writer
+	if err := w.Record(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s, k, e := w.Counters(); s+k+e != 0 {
+		t.Fatal("nil writer counted something")
+	}
+}
+
+func TestOpenAppendsAndRejectsBadRate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.jsonl")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Record(testRecord(0))
+	w.Close()
+	// Reopen: appends, does not truncate.
+	w2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Record(testRecord(1))
+	w2.Close()
+	data, _ := os.ReadFile(path)
+	if got := strings.Count(string(data), "\n"); got != 2 {
+		t.Fatalf("reopened log has %d lines, want 2", got)
+	}
+	if _, err := Open(path, Options{SampleRate: 1.5}); err == nil {
+		t.Fatal("rate 1.5 accepted")
+	}
+	if _, err := Open(path, Options{SampleRate: -0.1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}

@@ -1,0 +1,221 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Filter-quality introspection: EXPLAIN records. The paper's experiments
+// judge a filter by its candidate-set quality — accessed fraction, false
+// positives, lower-bound tightness (the ≤ Factor(q) = 4(q-1)+1 gap between
+// the binary branch distance and the real edit distance) — not by raw
+// latency. An Explain captures exactly those quantities for one live query
+// so they are observable per request (?explain=1, the slow-query log) and
+// replayable offline (cmd/treesim-analyze).
+
+// tightnessCap bounds how many tightness samples one query collects —
+// enough for the rolling histogram without measurably taxing the refine
+// loop (each sample is one L1 distance between sparse vectors, orders of
+// magnitude cheaper than the edit distance already paid for the pair).
+const tightnessCap = 16
+
+// statsTightnessCap bounds Stats.Tightness growth under Add, so
+// aggregating millions of queries keeps bounded memory.
+const statsTightnessCap = 4096
+
+// BDister is an optional Bounder capability: expose the raw binary branch
+// distance BDist(query, tree i). Filters that implement it give EXPLAIN its
+// tightness samples (BDist/EDist, empirically confirming Theorem 4.1's
+// factor bound); filters without a branch embedding simply produce none.
+type BDister interface {
+	BDist(i int) int
+}
+
+// FactorReporter is an optional Filter capability: the proven worst-case
+// BDist/EDist factor (4(q-1)+1 for q-level binary branches). EXPLAIN
+// reports it so a dashboard can plot observed tightness against the bound.
+type FactorReporter interface {
+	Factor() int
+}
+
+// TightnessSample is one verified pair's filter-quality datum: how the
+// lower bound and the branch distance compare to the exact edit distance
+// the refine stage paid for.
+type TightnessSample struct {
+	// ID is the dataset position of the verified tree.
+	ID int `json:"id"`
+	// Bound is the lower bound the filter produced for the pair.
+	Bound int `json:"bound"`
+	// BDist is the raw binary branch distance (-1 when the filter has no
+	// branch embedding).
+	BDist int `json:"bdist"`
+	// Exact is the exact tree edit distance (> 0; identical pairs carry no
+	// tightness information).
+	Exact int `json:"exact"`
+	// Ratio is BDist/Exact — the empirical tightness, provably ≤ the
+	// filter's Factor.
+	Ratio float64 `json:"ratio"`
+}
+
+// BoundDist summarizes the distribution of the lower bounds the filter
+// computed for one query.
+type BoundDist struct {
+	Computed int `json:"computed"` // bounds actually computed
+	Min      int `json:"min"`
+	P50      int `json:"p50"`
+	P99      int `json:"p99"`
+	Max      int `json:"max"`
+}
+
+// Explain is the per-query filter-quality analysis: what the filter let
+// through, what the refine stage disproved, and how tight the bounds were.
+// It is computed inside the engine (KNNExplain/RangeExplain) so the CLI,
+// the server and the offline analyzer all report identical numbers.
+type Explain struct {
+	// Op is "knn" or "range".
+	Op string `json:"op"`
+	// Filter is the index filter's name.
+	Filter string `json:"filter"`
+	// K is the k of a knn query (0 for range).
+	K int `json:"k,omitempty"`
+	// Tau is the radius of a range query (0 for knn).
+	Tau int `json:"tau,omitempty"`
+	// Dataset is |D|.
+	Dataset int `json:"dataset"`
+	// Candidates counts trees the filter could not prune: for a range
+	// query, bounds ≤ tau; for a k-NN query, bounds ≤ the final k-th
+	// distance (what any verification order must at least consider).
+	Candidates int `json:"candidates"`
+	// Verified counts exact edit-distance computations.
+	Verified int `json:"verified"`
+	// FalsePositives counts verified candidates whose exact distance
+	// failed the query predicate (range: > tau; knn: outside the final
+	// result set).
+	FalsePositives int `json:"false_positives"`
+	// Results is the answer set size.
+	Results int `json:"results"`
+	// AccessedFraction is Verified/Dataset — the paper's quality measure.
+	AccessedFraction float64 `json:"accessed_fraction"`
+	// Bounds is the distribution of the computed lower bounds.
+	Bounds BoundDist `json:"bounds"`
+	// Tightness holds up to tightnessCap verified-pair samples.
+	Tightness []TightnessSample `json:"tightness,omitempty"`
+	// TightnessLimit is the filter's proven worst-case ratio (0 when the
+	// filter reports none); every sample's Ratio is ≤ it.
+	TightnessLimit int `json:"tightness_limit,omitempty"`
+	// FilterUS and RefineUS are the stage timings in microseconds.
+	FilterUS int64 `json:"filter_us"`
+	RefineUS int64 `json:"refine_us"`
+}
+
+// explainCollector accumulates the raw material for an Explain while a
+// query runs; nil means "not asked", costing the query nothing beyond the
+// always-on Stats counters.
+type explainCollector struct {
+	bounds []int // every bound the filter computed
+}
+
+// addBound records one computed lower bound.
+func (c *explainCollector) addBound(b int) {
+	if c == nil {
+		return
+	}
+	c.bounds = append(c.bounds, b)
+}
+
+// boundDist sorts the collected bounds and summarizes their distribution.
+func (c *explainCollector) boundDist() BoundDist {
+	if c == nil || len(c.bounds) == 0 {
+		return BoundDist{}
+	}
+	bs := c.bounds
+	sort.Ints(bs)
+	n := len(bs)
+	return BoundDist{
+		Computed: n,
+		Min:      bs[0],
+		P50:      bs[(n-1)/2],
+		P99:      bs[(n-1)*99/100],
+		Max:      bs[n-1],
+	}
+	// Percentiles use the nearest-rank convention on the sorted bounds.
+}
+
+// sampleTightness records one verified pair into the always-on Stats
+// sample set (capped) and, when ex is non-nil, the full EXPLAIN sample.
+// Pairs at exact distance 0 carry no ratio and are skipped; filters
+// without a branch embedding produce no samples.
+func sampleTightness(b Bounder, st *Stats, ex *Explain, id, bound, exact int) {
+	if exact <= 0 {
+		return
+	}
+	bd, ok := b.(BDister)
+	if !ok {
+		return
+	}
+	full := ex != nil && len(ex.Tightness) < tightnessCap
+	brief := len(st.Tightness) < tightnessCap
+	if !full && !brief {
+		return
+	}
+	d := bd.BDist(id)
+	ratio := float64(d) / float64(exact)
+	if brief {
+		st.Tightness = append(st.Tightness, ratio)
+	}
+	if full {
+		ex.Tightness = append(ex.Tightness, TightnessSample{
+			ID: id, Bound: bound, BDist: d, Exact: exact, Ratio: ratio,
+		})
+	}
+}
+
+// finish fills the derived Explain fields from the final stats.
+func (e *Explain) finish(f Filter, st Stats) {
+	if e == nil {
+		return
+	}
+	e.Filter = f.Name()
+	e.Dataset = st.Dataset
+	e.Candidates = st.Candidates
+	e.Verified = st.Verified
+	e.FalsePositives = st.FalsePositives
+	e.Results = st.Results
+	e.AccessedFraction = st.AccessedFraction()
+	e.FilterUS = st.FilterTime.Microseconds()
+	e.RefineUS = st.RefineTime.Microseconds()
+	if fr, ok := f.(FactorReporter); ok {
+		e.TightnessLimit = fr.Factor()
+	}
+}
+
+// String renders the analysis for terminals (cmd/treesim -explain).
+func (e *Explain) String() string {
+	var b strings.Builder
+	param := ""
+	switch e.Op {
+	case "knn":
+		param = fmt.Sprintf(" k=%d", e.K)
+	case "range":
+		param = fmt.Sprintf(" tau=%d", e.Tau)
+	}
+	fmt.Fprintf(&b, "explain: %s%s filter=%s dataset=%d\n", e.Op, param, e.Filter, e.Dataset)
+	fmt.Fprintf(&b, "  candidates=%d verified=%d false_positives=%d results=%d accessed=%.4f\n",
+		e.Candidates, e.Verified, e.FalsePositives, e.Results, e.AccessedFraction)
+	fmt.Fprintf(&b, "  bounds: computed=%d min=%d p50=%d p99=%d max=%d\n",
+		e.Bounds.Computed, e.Bounds.Min, e.Bounds.P50, e.Bounds.P99, e.Bounds.Max)
+	fmt.Fprintf(&b, "  stages: filter=%dµs refine=%dµs\n", e.FilterUS, e.RefineUS)
+	if len(e.Tightness) > 0 {
+		limit := ""
+		if e.TightnessLimit > 0 {
+			limit = fmt.Sprintf(" (proven ≤ %d)", e.TightnessLimit)
+		}
+		fmt.Fprintf(&b, "  tightness BDist/EDist%s:", limit)
+		for _, s := range e.Tightness {
+			fmt.Fprintf(&b, " %.2f", s.Ratio)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -102,9 +102,25 @@ func (f *BiBranch) Query(q *tree.Tree) Bounder {
 	return &biBranchBounder{f: f, qp: f.space.Profile(q)}
 }
 
+// Factor implements FactorReporter: the proven worst-case BDist/EDist
+// ratio 4(q-1)+1 (Theorem 4.1; 5 for the paper's standard q=2).
+func (f *BiBranch) Factor() int {
+	q := f.Q
+	if q == 0 {
+		q = branch.MinQ
+	}
+	return branch.Factor(q)
+}
+
 type biBranchBounder struct {
 	f  *BiBranch
 	qp *branch.Profile
+}
+
+// BDist implements BDister: the raw binary branch distance to tree i, the
+// quantity the tightness metric relates to the exact edit distance.
+func (b *biBranchBounder) BDist(i int) int {
+	return branch.BDist(b.qp, b.f.profiles[i])
 }
 
 func (b *biBranchBounder) KNNBound(i int) int {

@@ -29,13 +29,23 @@ type Result struct {
 
 // Stats records what one query cost. The headline measure of the paper's
 // experiments is AccessedFraction — the share of the dataset whose real
-// edit distance had to be computed.
+// edit distance had to be computed. Candidates, FalsePositives and
+// Tightness are the filter-quality counters behind EXPLAIN and the
+// server's rolling metrics; they are cheap enough to compute on every
+// query.
 type Stats struct {
-	Dataset    int           // dataset size |D|
-	Verified   int           // trees whose exact edit distance was computed
-	Results    int           // result set size
-	FilterTime time.Duration // time spent computing lower bounds
-	RefineTime time.Duration // time spent computing exact distances
+	Dataset        int           // dataset size |D|
+	Candidates     int           // trees the filter could not prune (see Explain.Candidates)
+	Verified       int           // trees whose exact edit distance was computed
+	Results        int           // result set size
+	FalsePositives int           // verified candidates whose exact distance failed the predicate
+	FilterTime     time.Duration // time spent computing lower bounds
+	RefineTime     time.Duration // time spent computing exact distances
+	// Tightness holds sampled BDist/EDist ratios of verified pairs (capped
+	// per query), when the filter exposes a branch distance. Each ratio is
+	// provably ≤ the filter's Factor; the server feeds them into a rolling
+	// histogram.
+	Tightness []float64
 }
 
 // AccessedFraction returns Verified/Dataset in [0,1].
@@ -50,17 +60,35 @@ func (s Stats) AccessedFraction() float64 {
 func (s Stats) Total() time.Duration { return s.FilterTime + s.RefineTime }
 
 // Add accumulates another query's stats (for averaging over query sets).
+// Tightness samples are carried over up to a fixed cap, so aggregates over
+// arbitrarily many queries keep bounded memory.
 func (s *Stats) Add(o Stats) {
 	s.Dataset += o.Dataset
+	s.Candidates += o.Candidates
 	s.Verified += o.Verified
 	s.Results += o.Results
+	s.FalsePositives += o.FalsePositives
 	s.FilterTime += o.FilterTime
 	s.RefineTime += o.RefineTime
+	if room := statsTightnessCap - len(s.Tightness); room > 0 {
+		if len(o.Tightness) < room {
+			room = len(o.Tightness)
+		}
+		s.Tightness = append(s.Tightness, o.Tightness[:room]...)
+	}
+}
+
+// FalsePositiveRate returns FalsePositives/Verified in [0,1].
+func (s Stats) FalsePositiveRate() float64 {
+	if s.Verified == 0 {
+		return 0
+	}
+	return float64(s.FalsePositives) / float64(s.Verified)
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("verified %d/%d (%.2f%%), filter %v, refine %v",
-		s.Verified, s.Dataset, 100*s.AccessedFraction(), s.FilterTime, s.RefineTime)
+	return fmt.Sprintf("verified %d/%d (%.2f%%), %d candidates, %d false positives, filter %v, refine %v",
+		s.Verified, s.Dataset, 100*s.AccessedFraction(), s.Candidates, s.FalsePositives, s.FilterTime, s.RefineTime)
 }
 
 // Index is a similarity-searchable tree collection: the dataset plus the
@@ -175,6 +203,25 @@ func (ix *Index) KNN(q *tree.Tree, k int) ([]Result, Stats) {
 // pass) and returns ctx.Err() with nil results and the stats accumulated
 // so far. A nil error means the result is complete and exact.
 func (ix *Index) KNNContext(ctx context.Context, q *tree.Tree, k int) ([]Result, Stats, error) {
+	return ix.knnContext(ctx, q, k, nil)
+}
+
+// KNNExplain is KNNContext plus a per-query filter-quality analysis: the
+// candidate count, the lower-bound distribution, false positives and
+// tightness samples (see Explain). The results are identical to
+// KNNContext's; the analysis costs one extra O(n) pass over the already
+// computed bounds.
+func (ix *Index) KNNExplain(ctx context.Context, q *tree.Tree, k int) ([]Result, Stats, *Explain, error) {
+	ex := &Explain{Op: "knn", K: k}
+	res, stats, err := ix.knnContext(ctx, q, k, ex)
+	if err != nil {
+		return nil, stats, nil, err
+	}
+	ex.finish(ix.filter, stats)
+	return res, stats, ex, nil
+}
+
+func (ix *Index) knnContext(ctx context.Context, q *tree.Tree, k int, ex *Explain) ([]Result, Stats, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
@@ -218,6 +265,18 @@ func (ix *Index) KNNContext(ctx context.Context, q *tree.Tree, k int) ([]Result,
 		ar.ReportAttrs(fspan)
 	}
 	fspan.End()
+	if ex != nil {
+		// order is sorted by bound, so the distribution falls out of the
+		// nearest-rank positions directly.
+		n := len(order)
+		ex.Bounds = BoundDist{
+			Computed: n,
+			Min:      bounds[order[0]],
+			P50:      bounds[order[(n-1)/2]],
+			P99:      bounds[order[(n-1)*99/100]],
+			Max:      bounds[order[n-1]],
+		}
+	}
 
 	start = time.Now()
 	rspan := span.StartChild("refine")
@@ -235,6 +294,7 @@ func (ix *Index) KNNContext(ctx context.Context, q *tree.Tree, k int) ([]Result,
 		}
 		d := editdist.DistanceCost(q, ix.trees[id], ix.cost)
 		stats.Verified++
+		sampleTightness(b, &stats, ex, id, bounds[id], d)
 		switch {
 		case h.Len() < k:
 			heap.Push(h, Result{ID: id, Dist: d})
@@ -254,6 +314,15 @@ func (ix *Index) KNNContext(ctx context.Context, q *tree.Tree, k int) ([]Result,
 		return out[x].ID < out[y].ID
 	})
 	stats.Results = len(out)
+	if len(out) > 0 {
+		// A tree is a candidate when its bound does not exceed the final
+		// k-th distance: no verification order could prune it unverified.
+		worst := out[len(out)-1].Dist
+		stats.Candidates = sort.Search(len(order), func(i int) bool {
+			return bounds[order[i]] > worst
+		})
+	}
+	stats.FalsePositives = stats.Verified - len(out)
 	rspan.SetInt("verified", int64(stats.Verified))
 	rspan.SetInt("results", int64(len(out)))
 	rspan.End()
@@ -272,6 +341,22 @@ func (ix *Index) Range(q *tree.Tree, tau int) ([]Result, Stats) {
 // RangeContext is Range with cancellation, under the same contract as
 // KNNContext.
 func (ix *Index) RangeContext(ctx context.Context, q *tree.Tree, tau int) ([]Result, Stats, error) {
+	return ix.rangeContext(ctx, q, tau, nil)
+}
+
+// RangeExplain is RangeContext plus the per-query filter-quality analysis
+// of Explain, mirroring KNNExplain.
+func (ix *Index) RangeExplain(ctx context.Context, q *tree.Tree, tau int) ([]Result, Stats, *Explain, error) {
+	ex := &Explain{Op: "range", Tau: tau}
+	res, stats, err := ix.rangeContext(ctx, q, tau, ex)
+	if err != nil {
+		return nil, stats, nil, err
+	}
+	ex.finish(ix.filter, stats)
+	return res, stats, ex, nil
+}
+
+func (ix *Index) rangeContext(ctx context.Context, q *tree.Tree, tau int, ex *Explain) ([]Result, Stats, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
@@ -281,6 +366,10 @@ func (ix *Index) RangeContext(ctx context.Context, q *tree.Tree, tau int) ([]Res
 	}
 
 	span := obs.FromContext(ctx)
+	var col *explainCollector
+	if ex != nil {
+		col = &explainCollector{bounds: make([]int, 0, len(ix.trees))}
+	}
 
 	start := time.Now()
 	fspan := span.StartChild("filter")
@@ -296,10 +385,14 @@ func (ix *Index) RangeContext(ctx context.Context, q *tree.Tree, tau int) ([]Res
 		vspan.End()
 	}
 	candidates := make([]int, 0, len(ix.trees))
+	candBounds := make([]int, 0, len(ix.trees))
 	if pool != nil {
 		for _, i := range pool {
-			if b.RangeBound(i, tau) <= tau {
+			rb := b.RangeBound(i, tau)
+			col.addBound(rb)
+			if rb <= tau {
 				candidates = append(candidates, i)
+				candBounds = append(candBounds, rb)
 			}
 		}
 	} else {
@@ -310,22 +403,29 @@ func (ix *Index) RangeContext(ctx context.Context, q *tree.Tree, tau int) ([]Res
 				fspan.End()
 				return nil, stats, ctx.Err()
 			}
-			if b.RangeBound(i, tau) <= tau {
+			rb := b.RangeBound(i, tau)
+			col.addBound(rb)
+			if rb <= tau {
 				candidates = append(candidates, i)
+				candBounds = append(candBounds, rb)
 			}
 		}
 	}
 	stats.FilterTime = time.Since(start)
+	stats.Candidates = len(candidates)
 	fspan.SetInt("candidates", int64(len(candidates)))
 	if ar, ok := b.(AttrReporter); ok {
 		ar.ReportAttrs(fspan)
 	}
 	fspan.End()
+	if ex != nil {
+		ex.Bounds = col.boundDist()
+	}
 
 	start = time.Now()
 	rspan := span.StartChild("refine")
 	var out []Result
-	for _, id := range candidates {
+	for j, id := range candidates {
 		if ctx.Err() != nil {
 			stats.RefineTime = time.Since(start)
 			rspan.SetInt("verified", int64(stats.Verified))
@@ -335,6 +435,7 @@ func (ix *Index) RangeContext(ctx context.Context, q *tree.Tree, tau int) ([]Res
 		}
 		d := editdist.DistanceCost(q, ix.trees[id], ix.cost)
 		stats.Verified++
+		sampleTightness(b, &stats, ex, id, candBounds[j], d)
 		if d <= tau {
 			out = append(out, Result{ID: id, Dist: d})
 		}
@@ -348,6 +449,7 @@ func (ix *Index) RangeContext(ctx context.Context, q *tree.Tree, tau int) ([]Res
 		return out[x].ID < out[y].ID
 	})
 	stats.Results = len(out)
+	stats.FalsePositives = stats.Verified - len(out)
 	rspan.SetInt("verified", int64(stats.Verified))
 	rspan.SetInt("results", int64(len(out)))
 	rspan.End()

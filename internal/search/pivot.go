@@ -45,6 +45,15 @@ func NewPivotBiBranch() *PivotBiBranch {
 // Name implements Filter.
 func (f *PivotBiBranch) Name() string { return "BiBranch-pivot" }
 
+// Factor implements FactorReporter.
+func (f *PivotBiBranch) Factor() int {
+	q := f.Q
+	if q == 0 {
+		q = branch.MinQ
+	}
+	return branch.Factor(q)
+}
+
 // Index implements Filter.
 func (f *PivotBiBranch) Index(ts []*tree.Tree) {
 	f.inner = &BiBranch{Q: f.Q, Positional: f.Positional}
@@ -122,6 +131,12 @@ func (b *pivotBounder) ReportAttrs(sp *obs.Span) {
 	sp.SetInt("pivots", int64(len(b.qDist)))
 	sp.SetInt("pivot_pruned", int64(b.pivotPruned))
 	sp.SetInt("stage2_evals", int64(b.stage2Evals))
+}
+
+// BDist implements BDister: the raw branch distance to tree i (a stage-two
+// vector merge; used only for EXPLAIN tightness sampling).
+func (b *pivotBounder) BDist(i int) int {
+	return branch.BDist(b.qp, b.f.inner.profiles[i])
 }
 
 // pivotBound returns ceil(max_p |BDist(q,p) − BDist(t_i,p)| / Factor(q)).

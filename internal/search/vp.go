@@ -78,6 +78,18 @@ func (b *vpBounder) KNNBound(i int) int { return b.inner.KNNBound(i) }
 
 func (b *vpBounder) RangeBound(i, tau int) int { return b.inner.RangeBound(i, tau) }
 
+// BDist implements BDister (delegated to the wrapped BiBranch bounder).
+func (b *vpBounder) BDist(i int) int { return b.inner.BDist(i) }
+
+// Factor implements FactorReporter.
+func (f *VPBiBranch) Factor() int {
+	q := f.Q
+	if q == 0 {
+		q = branch.MinQ
+	}
+	return branch.Factor(q)
+}
+
 // ReportAttrs implements AttrReporter.
 func (b *vpBounder) ReportAttrs(sp *obs.Span) {
 	sp.SetInt("vptree_dist_evals", int64(b.distEvals))

@@ -73,11 +73,15 @@ type ResultJSON struct {
 }
 
 // StatsJSON mirrors search.Stats; AccessedFraction is the paper's quality
-// measure (share of the dataset that paid an exact distance computation).
+// measure (share of the dataset that paid an exact distance computation),
+// Candidates the filter's survivor count, FalsePositives the verified
+// candidates whose exact distance then failed the predicate.
 type StatsJSON struct {
 	Dataset          int     `json:"dataset"`
+	Candidates       int     `json:"candidates"`
 	Verified         int     `json:"verified"`
 	Results          int     `json:"results"`
+	FalsePositives   int     `json:"false_positives"`
 	AccessedFraction float64 `json:"accessed_fraction"`
 	FilterMicros     int64   `json:"filter_us"`
 	RefineMicros     int64   `json:"refine_us"`
@@ -85,11 +89,14 @@ type StatsJSON struct {
 
 // QueryResponse answers /v1/knn and /v1/range. Trace is present only when
 // the request asked for it (?trace=1): the request's span tree, stage
-// durations and counters included.
+// durations and counters included. Explain is present only with
+// ?explain=1: the query's filter-quality analysis (bound distribution,
+// false positives, tightness samples — see search.Explain).
 type QueryResponse struct {
 	Results []ResultJSON      `json:"results"`
 	Stats   StatsJSON         `json:"stats"`
 	Trace   *obs.SpanSnapshot `json:"trace,omitempty"`
+	Explain *search.Explain   `json:"explain,omitempty"`
 }
 
 // BatchResponse answers /v1/batch, one entry per input tree in order.
@@ -119,8 +126,10 @@ type ErrorResponse struct {
 func statsJSON(s search.Stats) StatsJSON {
 	return StatsJSON{
 		Dataset:          s.Dataset,
+		Candidates:       s.Candidates,
 		Verified:         s.Verified,
 		Results:          s.Results,
+		FalsePositives:   s.FalsePositives,
 		AccessedFraction: s.AccessedFraction(),
 		FilterMicros:     s.FilterTime.Microseconds(),
 		RefineMicros:     s.RefineTime.Microseconds(),

@@ -21,6 +21,10 @@ import (
 // wantTrace reports whether the request asked for an inline span tree.
 func wantTrace(r *http.Request) bool { return r.URL.Query().Get("trace") == "1" }
 
+// wantExplain reports whether the request asked for the per-query
+// filter-quality analysis (?explain=1).
+func wantExplain(r *http.Request) bool { return r.URL.Query().Get("explain") == "1" }
+
 // traceSnapshot renders the request's span tree for an inline response.
 // The root span is still running (the middleware ends it after the body is
 // written), so it reports elapsed-so-far, which always covers the ended
@@ -91,16 +95,32 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
 		return
 	}
-	res, stats, err := s.ix.KNNContext(r.Context(), q, req.K)
+	var (
+		res   []search.Result
+		stats search.Stats
+		ex    *search.Explain
+	)
+	// Explain analysis also runs when the slow-query log is on, so a query
+	// that crosses the threshold logs *why* the filter let it get slow.
+	if wantExplain(r) || s.cfg.SlowQuery != nil {
+		res, stats, ex, err = s.ix.KNNExplain(r.Context(), q, req.K)
+	} else {
+		res, stats, err = s.ix.KNNContext(r.Context(), q, req.K)
+	}
 	if err != nil {
 		code, msg := ctxStatus(err)
 		writeError(w, code, msg, requestID(w))
 		return
 	}
 	s.metrics.ObserveQuery(stats)
+	s.recordQuery("knn", req.Tree, req.K, 0, stats)
+	setExplain(r.Context(), ex)
 	resp := s.queryResponse(res, stats)
 	if wantTrace(r) {
 		resp.Trace = traceSnapshot(r)
+	}
+	if wantExplain(r) {
+		resp.Explain = ex
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -120,16 +140,30 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
 		return
 	}
-	res, stats, err := s.ix.RangeContext(r.Context(), q, req.Tau)
+	var (
+		res   []search.Result
+		stats search.Stats
+		ex    *search.Explain
+	)
+	if wantExplain(r) || s.cfg.SlowQuery != nil {
+		res, stats, ex, err = s.ix.RangeExplain(r.Context(), q, req.Tau)
+	} else {
+		res, stats, err = s.ix.RangeContext(r.Context(), q, req.Tau)
+	}
 	if err != nil {
 		code, msg := ctxStatus(err)
 		writeError(w, code, msg, requestID(w))
 		return
 	}
 	s.metrics.ObserveQuery(stats)
+	s.recordQuery("range", req.Tree, 0, req.Tau, stats)
+	setExplain(r.Context(), ex)
 	resp := s.queryResponse(res, stats)
 	if wantTrace(r) {
 		resp.Trace = traceSnapshot(r)
+	}
+	if wantExplain(r) {
+		resp.Explain = ex
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -253,8 +287,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, msg, requestID(w))
 		return
 	}
-	for _, st := range allStats {
+	for i, st := range allStats {
 		s.metrics.ObserveQuery(st)
+		s.recordQuery(req.Op, req.Trees[i], req.K, req.Tau, st)
 	}
 	resp := BatchResponse{Queries: out}
 	if wantTrace(r) {

@@ -34,6 +34,18 @@ type Metrics struct {
 	QueryFilter   *obs.Histogram
 	QueryRefine   *obs.Histogram
 	SnapshotWrite *obs.Histogram
+
+	// Filter-quality histograms, fed from every similarity query.
+	// FilterCandidates buckets the per-query candidate count the filter
+	// let through; FalsePositiveRatio the share of verified candidates the
+	// exact distance then rejected (only queries that verified something).
+	// Tightness is a rolling (bounded-memory, ~10 min window) histogram of
+	// BDist/EDist ratios over verified pairs — live evidence for the
+	// paper's ≤ 4(q−1)+1 bound, from recent traffic rather than since
+	// process start.
+	FilterCandidates   *obs.Histogram
+	FalsePositiveRatio *obs.Histogram
+	Tightness          *obs.RollingHistogram
 }
 
 // latencyBounds are the histogram bucket upper bounds.
@@ -55,6 +67,19 @@ var latencyBounds = []time.Duration{
 // accessedBounds bucket the per-query accessed fraction.
 var accessedBounds = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1}
 
+// candidateBounds bucket the per-query candidate count.
+var candidateBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250, 1000, 10000}
+
+// ratioBounds bucket fractions in [0,1] (false-positive ratio).
+var ratioBounds = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1}
+
+// tightnessBounds bucket BDist/EDist ratios; the paper bounds them by
+// Factor(q) = 4(q−1)+1, i.e. 5 at the default q=2.
+var tightnessBounds = []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
+
+// tightnessWindow is the rolling histogram's span (10 slots inside it).
+const tightnessWindow = 10 * time.Minute
+
 type endpointStats struct {
 	requests uint64
 	errors   uint64 // 5xx
@@ -74,13 +99,16 @@ type queryStats struct {
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		start:         time.Now(),
-		endpoints:     make(map[string]*endpointStats),
-		WALAppend:     obs.NewHistogram(obs.DefDurationBuckets),
-		WALFsync:      obs.NewHistogram(obs.DefDurationBuckets),
-		QueryFilter:   obs.NewHistogram(obs.DefDurationBuckets),
-		QueryRefine:   obs.NewHistogram(obs.DefDurationBuckets),
-		SnapshotWrite: obs.NewHistogram(obs.DefDurationBuckets),
+		start:              time.Now(),
+		endpoints:          make(map[string]*endpointStats),
+		WALAppend:          obs.NewHistogram(obs.DefDurationBuckets),
+		WALFsync:           obs.NewHistogram(obs.DefDurationBuckets),
+		QueryFilter:        obs.NewHistogram(obs.DefDurationBuckets),
+		QueryRefine:        obs.NewHistogram(obs.DefDurationBuckets),
+		SnapshotWrite:      obs.NewHistogram(obs.DefDurationBuckets),
+		FilterCandidates:   obs.NewHistogram(candidateBounds),
+		FalsePositiveRatio: obs.NewHistogram(ratioBounds),
+		Tightness:          obs.NewRollingHistogram(tightnessBounds, tightnessWindow, 10),
 	}
 }
 
@@ -112,6 +140,13 @@ func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
 func (m *Metrics) ObserveQuery(s search.Stats) {
 	m.QueryFilter.ObserveDuration(s.FilterTime)
 	m.QueryRefine.ObserveDuration(s.RefineTime)
+	m.FilterCandidates.Observe(float64(s.Candidates))
+	if s.Verified > 0 {
+		m.FalsePositiveRatio.Observe(s.FalsePositiveRate())
+	}
+	for _, t := range s.Tightness {
+		m.Tightness.Observe(t)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.query.accessedBuckets == nil {
@@ -148,7 +183,10 @@ type QuerySnapshot struct {
 	VerifiedTotal        int               `json:"verified_total"`
 	DatasetTotal         int               `json:"dataset_total"`
 	ResultsTotal         int               `json:"results_total"`
+	CandidatesTotal      int               `json:"candidates_total"`
+	FalsePositivesTotal  int               `json:"false_positives_total"`
 	MeanAccessedFraction float64           `json:"mean_accessed_fraction"`
+	FalsePositiveRate    float64           `json:"false_positive_rate"`
 	FilterMicrosTotal    int64             `json:"filter_us_total"`
 	RefineMicrosTotal    int64             `json:"refine_us_total"`
 	AccessedBuckets      map[string]uint64 `json:"accessed_fraction_buckets"`
@@ -179,6 +217,12 @@ type Snapshot struct {
 	QueryFilterSeconds   HistogramJSON `json:"query_filter_seconds"`
 	QueryRefineSeconds   HistogramJSON `json:"query_refine_seconds"`
 	SnapshotWriteSeconds HistogramJSON `json:"snapshot_write_seconds"`
+	// Filter-quality histograms: per-query candidate counts, per-query
+	// false-positive ratios, and the rolling-window tightness ratios
+	// (BDist/EDist over recently verified pairs).
+	FilterCandidates   HistogramJSON `json:"filter_candidates"`
+	FilterFPRatio      HistogramJSON `json:"filter_false_positive_ratio"`
+	FilterTightness10m HistogramJSON `json:"filter_tightness_ratio_10m"`
 }
 
 // HistogramJSON is the JSON rendering of an obs.Histogram: bucket labels
@@ -190,7 +234,10 @@ type HistogramJSON struct {
 }
 
 func histogramJSON(h *obs.Histogram) HistogramJSON {
-	s := h.Snapshot()
+	return histogramSnapshotJSON(h.Snapshot())
+}
+
+func histogramSnapshotJSON(s obs.HistogramSnapshot) HistogramJSON {
 	out := HistogramJSON{Count: s.Count, SumSeconds: s.Sum, Buckets: make(map[string]uint64, len(s.Counts))}
 	for i, c := range s.Counts {
 		if i < len(s.Bounds) {
@@ -232,15 +279,18 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	q := m.query
 	out.Queries = QuerySnapshot{
-		Count:             q.count,
-		VerifiedTotal:     q.total.Verified,
-		DatasetTotal:      q.total.Dataset,
-		ResultsTotal:      q.total.Results,
-		FilterMicrosTotal: q.total.FilterTime.Microseconds(),
-		RefineMicrosTotal: q.total.RefineTime.Microseconds(),
-		AccessedBuckets:   make(map[string]uint64, len(q.accessedBuckets)),
+		Count:               q.count,
+		VerifiedTotal:       q.total.Verified,
+		DatasetTotal:        q.total.Dataset,
+		ResultsTotal:        q.total.Results,
+		CandidatesTotal:     q.total.Candidates,
+		FalsePositivesTotal: q.total.FalsePositives,
+		FilterMicrosTotal:   q.total.FilterTime.Microseconds(),
+		RefineMicrosTotal:   q.total.RefineTime.Microseconds(),
+		AccessedBuckets:     make(map[string]uint64, len(q.accessedBuckets)),
 	}
 	out.Queries.MeanAccessedFraction = q.total.AccessedFraction()
+	out.Queries.FalsePositiveRate = q.total.FalsePositiveRate()
 	for i, c := range q.accessedBuckets {
 		out.Queries.AccessedBuckets[accessedBucketLabel(i)] = c
 	}
@@ -249,6 +299,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	out.QueryFilterSeconds = histogramJSON(m.QueryFilter)
 	out.QueryRefineSeconds = histogramJSON(m.QueryRefine)
 	out.SnapshotWriteSeconds = histogramJSON(m.SnapshotWrite)
+	out.FilterCandidates = histogramJSON(m.FilterCandidates)
+	out.FilterFPRatio = histogramJSON(m.FalsePositiveRatio)
+	out.FilterTightness10m = histogramSnapshotJSON(m.Tightness.Snapshot())
 	return out
 }
 

@@ -8,7 +8,24 @@ import (
 	"time"
 
 	"treesim/internal/obs"
+	"treesim/internal/search"
 )
+
+// explainHolder carries a query's EXPLAIN record from the handler back to
+// the middleware's deferred slow-query logging. The handler and the defer
+// run on the same goroutine, so a plain field suffices.
+type explainHolder struct{ ex *search.Explain }
+
+type explainKey struct{}
+
+// setExplain hands the handler's EXPLAIN record (possibly nil) to the
+// middleware for slow-query logging. A no-op when the middleware did not
+// install a holder (slow-query log disabled).
+func setExplain(ctx context.Context, ex *search.Explain) {
+	if h, ok := ctx.Value(explainKey{}).(*explainHolder); ok {
+		h.ex = ex
+	}
+}
 
 // statusWriter records the status code for logging and metrics.
 type statusWriter struct {
@@ -53,6 +70,15 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 		span.SetStr("request_id", rid)
 		r = r.WithContext(obs.NewContext(r.Context(), span))
 
+		// The slow-query log wants the query's EXPLAIN record alongside the
+		// span tree; the holder lets the handler pass it upward without the
+		// middleware knowing which endpoint ran.
+		var holder *explainHolder
+		if limited && s.cfg.SlowQuery != nil {
+			holder = &explainHolder{}
+			r = r.WithContext(context.WithValue(r.Context(), explainKey{}, holder))
+		}
+
 		defer func() {
 			if p := recover(); p != nil {
 				s.log.Error("handler panic", "request_id", rid, "endpoint", endpoint, "panic", p)
@@ -65,13 +91,18 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 			elapsed := time.Since(start)
 			s.metrics.Observe(endpoint, sw.status, elapsed)
 			if limited && s.cfg.SlowQuery != nil && elapsed >= *s.cfg.SlowQuery {
-				s.log.Warn("slow query",
+				args := []any{
 					"request_id", rid,
 					"endpoint", endpoint,
 					"status", sw.status,
 					"dur_us", elapsed.Microseconds(),
 					"threshold_us", s.cfg.SlowQuery.Microseconds(),
-					"trace", span.Snapshot())
+					"trace", span.Snapshot(),
+				}
+				if holder != nil && holder.ex != nil {
+					args = append(args, "explain", holder.ex)
+				}
+				s.log.Warn("slow query", args...)
 			}
 			s.log.Info("request",
 				"request_id", rid,

@@ -3,6 +3,7 @@ package server
 import (
 	"io"
 	"sort"
+	"strconv"
 	"time"
 
 	"treesim/internal/obs"
@@ -44,6 +45,13 @@ type PromGauges struct {
 func (m *Metrics) WriteProm(w io.Writer, g PromGauges) error {
 	pw := obs.NewPromWriter(w)
 
+	bi := Build()
+	pw.Family("treesim_build_info", "gauge", "Constant 1, labeled with the binary's build identity.").
+		Sample(obs.Labels{
+			"go_version": bi.GoVersion,
+			"revision":   bi.Revision,
+			"dirty":      strconv.FormatBool(bi.Dirty),
+		}, 1)
 	pw.Family("treesim_uptime_seconds", "gauge", "Seconds since the server started.").
 		Sample(nil, time.Since(m.start).Seconds())
 	pw.Family("treesim_index_size", "gauge", "Trees in the live index.").
@@ -111,6 +119,11 @@ func (m *Metrics) WriteProm(w io.Writer, g PromGauges) error {
 		Sample(nil, float64(q.total.Verified))
 	pw.Family("treesim_query_results_total", "counter", "Result rows returned across all queries.").
 		Sample(nil, float64(q.total.Results))
+	pw.Family("treesim_query_candidates_total", "counter", "Filter candidates across all queries.").
+		Sample(nil, float64(q.total.Candidates))
+	pw.Family("treesim_query_false_positives_total", "counter",
+		"Verified candidates whose exact distance failed the predicate, across all queries.").
+		Sample(nil, float64(q.total.FalsePositives))
 	pw.Family("treesim_query_accessed_fraction", "histogram",
 		"Per-query accessed fraction: share of the dataset verified with an exact distance (the paper's quality measure).").
 		Histogram(nil, obs.HistogramSnapshot{
@@ -119,6 +132,16 @@ func (m *Metrics) WriteProm(w io.Writer, g PromGauges) error {
 			Count:  q.count,
 			Sum:    q.accessedSum,
 		})
+
+	pw.Family("treesim_filter_candidates", "histogram",
+		"Per-query candidate count the filter let through to verification.").
+		Histogram(nil, m.FilterCandidates.Snapshot())
+	pw.Family("treesim_filter_false_positive_ratio", "histogram",
+		"Per-query share of verified candidates rejected by the exact distance (queries that verified at least one).").
+		Histogram(nil, m.FalsePositiveRatio.Snapshot())
+	pw.Family("treesim_filter_tightness_ratio", "histogram",
+		"BDist/EDist over verified pairs in the last ~10 minutes; the paper bounds it by 4(q-1)+1.").
+		Histogram(nil, m.Tightness.Snapshot())
 
 	pw.Family("treesim_query_filter_seconds", "histogram", "Per-query filter-stage time (lower-bound computation).").
 		Histogram(nil, m.QueryFilter.Snapshot())

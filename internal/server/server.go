@@ -39,6 +39,7 @@ import (
 
 	"treesim/internal/faultfs"
 	"treesim/internal/obs"
+	"treesim/internal/qlog"
 	"treesim/internal/search"
 	"treesim/internal/wal"
 )
@@ -79,9 +80,17 @@ type Config struct {
 	OmitTrees bool
 	// SlowQuery, when non-nil, enables the slow-query log: any request to
 	// a query endpoint whose total time meets or exceeds the threshold
-	// logs its full span tree. A pointer so that *SlowQuery == 0 ("log
-	// every query") stays distinct from the nil default ("disabled").
+	// logs its full span tree plus the query's EXPLAIN record (filter
+	// quality: candidates, false positives, bound distribution). A pointer
+	// so that *SlowQuery == 0 ("log every query") stays distinct from the
+	// nil default ("disabled").
 	SlowQuery *time.Duration
+	// QueryLog, when non-nil, records served knn/range queries (including
+	// batch inner queries) to a sampled, size-rotated JSONL workload log
+	// for offline replay by cmd/treesim-analyze. The server never fails a
+	// query over a recording error. The caller owns the writer's lifetime
+	// (close it after Shutdown).
+	QueryLog *qlog.Writer
 	// Logger receives structured request logs. Default: slog text
 	// handler on stderr.
 	Logger *slog.Logger
@@ -167,6 +176,7 @@ func New(ix *search.Index, cfg Config) *Server {
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", false, s.handleHealthz))
 	s.mux.Handle("GET /readyz", s.instrument("/readyz", false, s.handleReadyz))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", false, s.handleMetrics))
+	s.mux.Handle("GET /version", s.instrument("/version", false, s.handleVersion))
 	s.ready.Store(true)
 	return s
 }
@@ -239,6 +249,34 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // dirty reports whether inserts happened since the last snapshot.
 func (s *Server) dirty() bool { return s.inserts.Load() != s.saved.Load() }
+
+// recordQuery offers one served query to the workload log. Recording is
+// best-effort: a sampled-out query returns silently, and a write error is
+// logged but never fails the response.
+func (s *Server) recordQuery(op, treeText string, k, tau int, st search.Stats) {
+	if s.cfg.QueryLog == nil {
+		return
+	}
+	err := s.cfg.QueryLog.Record(qlog.Record{
+		Op:     op,
+		Tree:   treeText,
+		K:      k,
+		Tau:    tau,
+		Filter: s.ix.Filter().Name(),
+		Stats: qlog.RecordStats{
+			Dataset:        st.Dataset,
+			Candidates:     st.Candidates,
+			Verified:       st.Verified,
+			Results:        st.Results,
+			FalsePositives: st.FalsePositives,
+			FilterUS:       st.FilterTime.Microseconds(),
+			RefineUS:       st.RefineTime.Microseconds(),
+		},
+	})
+	if err != nil {
+		s.log.Warn("query log record failed", "err", err)
+	}
+}
 
 // Snapshot persists the index to Config.SnapshotPath atomically and
 // durably: temp file in the same directory, fsync, checksum

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"net/http"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: the Go toolchain that built it
+// and, when the binary was built inside a git checkout, the VCS revision
+// it was built from. Everything comes from runtime/debug.ReadBuildInfo —
+// no linker flags or build scripts required, so `go build` anywhere
+// produces a binary that can say what it is.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	// Module is the main module path ("treesim").
+	Module string `json:"module,omitempty"`
+	// Revision is the VCS commit the binary was built from; empty when the
+	// build had no VCS metadata (e.g. `go test` binaries, vendored builds).
+	Revision string `json:"revision,omitempty"`
+	// Time is the commit time, RFC3339.
+	Time string `json:"time,omitempty"`
+	// Dirty reports uncommitted changes in the build's working tree.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfo     BuildInfo
+)
+
+// Build returns the binary's build identity (computed once).
+func Build() BuildInfo {
+	buildInfoOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.GoVersion = bi.GoVersion
+		buildInfo.Module = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// VersionResponse answers GET /version.
+type VersionResponse struct {
+	BuildInfo
+	IndexSize   int    `json:"index_size"`
+	IndexFilter string `json:"index_filter"`
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, VersionResponse{
+		BuildInfo:   Build(),
+		IndexSize:   s.ix.Size(),
+		IndexFilter: s.ix.Filter().Name(),
+	})
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestVersionEndpoint: GET /version identifies the binary (Go toolchain at
+// minimum; VCS revision when the build had one) and the live index.
+func TestVersionEndpoint(t *testing.T) {
+	_, hs, _ := newTestServer(t, quietConfig(), 10, 70)
+	var v VersionResponse
+	if code := getJSON(t, hs.URL+"/version", &v); code != 200 {
+		t.Fatalf("version status %d", code)
+	}
+	if v.GoVersion == "" {
+		t.Error("version response lacks go_version")
+	}
+	if v.IndexSize != 10 {
+		t.Errorf("index_size %d, want 10", v.IndexSize)
+	}
+	if v.IndexFilter == "" {
+		t.Error("version response lacks index_filter")
+	}
+}
+
+// TestPromBuildAndFilterFamilies: the Prometheus exposition carries the
+// build-info gauge and the filter-quality histogram families, fed by a
+// served query.
+func TestPromBuildAndFilterFamilies(t *testing.T) {
+	_, hs, ts := newTestServer(t, quietConfig(), 40, 71)
+	if code := postJSON(t, hs.URL+"/v1/knn", KNNRequest{Tree: ts[5].String(), K: 3}, nil); code != 200 {
+		t.Fatalf("knn status %d", code)
+	}
+	resp, err := http.Get(hs.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, family := range []string{
+		"treesim_build_info",
+		"treesim_filter_candidates",
+		"treesim_filter_false_positive_ratio",
+		"treesim_filter_tightness_ratio",
+		"treesim_query_candidates_total",
+		"treesim_query_false_positives_total",
+	} {
+		if !strings.Contains(text, "# TYPE "+family+" ") {
+			t.Errorf("exposition lacks family %s", family)
+		}
+	}
+	if !strings.Contains(text, `go_version=`) {
+		t.Error("build info gauge lacks go_version label")
+	}
+	// The served query fed the candidates histogram.
+	if !strings.Contains(text, "treesim_filter_candidates_count 1") {
+		t.Error("filter candidates histogram not fed by the query")
+	}
+}

@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race bench bench-server bench-diff fuzz ci
+.PHONY: build vet test race hammer bench bench-server bench-diff fuzz ci
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Parallel-engine exactness and race-freedom certificate: the shard
+# invariance and hammer tests under the race detector, repeated.
+hammer:
+	$(GO) test -race -count=2 -run 'Shard' ./internal/search
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
@@ -39,4 +44,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzParseString$$' -fuzztime=$(FUZZTIME) ./internal/xmltree
 	$(GO) test -run='^$$' -fuzz='^FuzzLoadIndex$$' -fuzztime=$(FUZZTIME) ./internal/search
 
-ci: build vet test race fuzz
+ci: build vet test race hammer fuzz

@@ -20,6 +20,7 @@ package treesim
 // cmd/experiments -scale paper.
 
 import (
+	"context"
 	"testing"
 
 	"treesim/internal/branch"
@@ -216,10 +217,10 @@ func BenchmarkKNNQuery(b *testing.B) {
 		"Sequential": search.NewNone(),
 	}
 	for name, f := range filters {
-		ix := search.NewIndex(ts, f)
+		ix := search.NewIndex(ts, search.WithFilter(f))
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ix.KNN(q, 3)
+				ix.KNN(context.Background(), q, 3)
 			}
 		})
 	}
@@ -242,7 +243,7 @@ func BenchmarkAblationPositional(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var verified int
 			for i := 0; i < b.N; i++ {
-				_, st := ix.KNN(q, 3)
+				_, st, _ := ix.KNN(context.Background(), q, 3)
 				verified = st.Verified
 			}
 			b.ReportMetric(100*float64(verified)/float64(len(ts)), "accessed-%")
@@ -261,7 +262,7 @@ func BenchmarkAblationQLevel(b *testing.B) {
 		b.Run(intName(ql), func(b *testing.B) {
 			var verified int
 			for i := 0; i < b.N; i++ {
-				_, st := ix.KNN(q, 3)
+				_, st, _ := ix.KNN(context.Background(), q, 3)
 				verified = st.Verified
 			}
 			b.ReportMetric(100*float64(verified)/float64(len(ts)), "accessed-%")
@@ -316,11 +317,11 @@ func BenchmarkAblationFilterVariants(b *testing.B) {
 		"VPTree":   search.NewVPBiBranch(),
 	}
 	for name, f := range variants {
-		ix := search.NewIndex(ts, f)
+		ix := search.NewIndex(ts, search.WithFilter(f))
 		b.Run(name, func(b *testing.B) {
 			var verified int
 			for i := 0; i < b.N; i++ {
-				_, st := ix.Range(q, 3)
+				_, st, _ := ix.Range(context.Background(), q, 3)
 				verified = st.Verified
 			}
 			b.ReportMetric(float64(verified), "verified")

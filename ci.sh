@@ -18,6 +18,13 @@ go test ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Shard hammer: the parallel engine's exactness and race-freedom
+# certificate — forced over-sharding, shared worker pool, concurrent
+# queries — run under the race detector on its own so a failure names
+# the engine, not a random package.
+echo "== shard hammer (-race)"
+go test -race -count=2 -run 'Shard' ./internal/search
+
 # Serving-benchmark smoke: a tiny fixed-seed run proves the end-to-end
 # harness works; real numbers come from `make bench-server`.
 echo "== benchserver smoke"

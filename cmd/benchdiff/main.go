@@ -114,6 +114,7 @@ func formatNum(v float64) string {
 // skipKeys are metadata leaves, not measured metrics.
 var skipKeys = map[string]bool{
 	"timestamp": true, "go_version": true, "seed": true, "qlog": true,
+	"gomaxprocs": true,
 }
 
 func loadFlat(path string) (map[string]float64, error) {

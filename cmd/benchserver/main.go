@@ -64,8 +64,10 @@ type report struct {
 	Tau                  int                       `json:"tau"`
 	Seed                 int64                     `json:"seed"`
 	Concurrency          int                       `json:"concurrency"`
+	GoMaxProcs           int                       `json:"gomaxprocs"`
 	Filter               string                    `json:"filter"`
 	Endpoints            map[string]endpointReport `json:"endpoints"`
+	Shards               map[string]endpointReport `json:"shards"`
 	MeanAccessedFraction float64                   `json:"mean_accessed_fraction"`
 	StageMeansUS         map[string]float64        `json:"stage_means_us"`
 }
@@ -161,6 +163,37 @@ func bench(c config) (*report, error) {
 			return nil, fmt.Errorf("%s: %w", w.endpoint, err)
 		}
 		rep.Endpoints[w.endpoint] = summarize(lat, elapsed)
+	}
+
+	// Shards dimension: single-query k-NN latency (concurrency 1) with the
+	// per-query stages forced sequential (s1) versus fanned out over
+	// GOMAXPROCS shards (smax) — the parallel engine's speedup when cores
+	// are otherwise idle. On a single-core host the two coincide.
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.Shards = make(map[string]endpointReport)
+	single := c
+	single.concurrency = 1
+	for _, sc := range []struct {
+		name   string
+		shards int
+	}{{"s1", 1}, {"smax", 0}} {
+		six := search.NewIndex(ts, search.NewBiBranch(), search.WithShards(sc.shards))
+		ssrv := server.New(six, server.Config{
+			MaxInFlight: 4,
+			Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		sln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go ssrv.Serve(sln) //nolint:errcheck // torn down with the process
+		lat, elapsed, err := drive(client, "http://"+sln.Addr().String()+"/v1/knn", single, ts, order,
+			func(q string) any { return map[string]any{"tree": q, "k": c.k} })
+		sln.Close()
+		if err != nil {
+			return nil, fmt.Errorf("shards %s: %w", sc.name, err)
+		}
+		rep.Shards[sc.name+"_knn"] = summarize(lat, elapsed)
 	}
 
 	// Server-side aggregates: mean accessed fraction and per-stage means

@@ -241,7 +241,7 @@ func makeFilter(spec string) (search.Filter, error) {
 // quality counters.
 func replay(spec string, f search.Filter, ts []*tree.Tree, recs []qlog.Record) (filterReport, error) {
 	buildStart := time.Now()
-	ix := search.NewIndex(ts, f)
+	ix := search.NewIndex(ts, search.WithFilter(f))
 	fr := filterReport{
 		Filter:       ix.Filter().Name(),
 		Spec:         spec,
@@ -268,9 +268,9 @@ func replay(spec string, f search.Filter, ts []*tree.Tree, recs []qlog.Record) (
 		var stats search.Stats
 		switch r.Op {
 		case "knn":
-			_, stats, err = ix.KNNContext(ctx, q, r.K)
+			_, stats, err = ix.KNN(ctx, q, r.K)
 		case "range":
-			_, stats, err = ix.RangeContext(ctx, q, r.Tau)
+			_, stats, err = ix.Range(ctx, q, r.Tau)
 		default:
 			fr.Errors++
 			continue

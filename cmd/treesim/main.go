@@ -120,7 +120,7 @@ func (d *dataFlags) buildIndex() (*search.Index, *tree.Tree, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return search.NewIndex(ts, f), q, nil
+	return search.NewIndex(ts, search.WithFilter(f)), q, nil
 }
 
 // resolveQuery parses -query, or validates -query-index against a dataset
@@ -207,13 +207,14 @@ func runKNN(args []string) error {
 		return err
 	}
 	buildTime := time.Since(start)
-	var res []search.Result
-	var stats search.Stats
 	var ex *search.Explain
+	var opts []search.QueryOption
 	if *explain {
-		res, stats, ex, _ = ix.KNNExplain(context.Background(), q, *k)
-	} else {
-		res, stats = ix.KNN(q, *k)
+		opts = append(opts, search.WithExplain(&ex))
+	}
+	res, stats, err := ix.KNN(context.Background(), q, *k, opts...)
+	if err != nil {
+		return err
 	}
 
 	fmt.Printf("index: %d trees, filter %s, ready in %v\n", ix.Size(), ix.Filter().Name(), buildTime.Round(time.Millisecond))
@@ -240,13 +241,14 @@ func runRange(args []string) error {
 	if err != nil {
 		return err
 	}
-	var res []search.Result
-	var stats search.Stats
 	var ex *search.Explain
+	var opts []search.QueryOption
 	if *explain {
-		res, stats, ex, _ = ix.RangeExplain(context.Background(), q, *tau)
-	} else {
-		res, stats = ix.Range(q, *tau)
+		opts = append(opts, search.WithExplain(&ex))
+	}
+	res, stats, err := ix.Range(context.Background(), q, *tau, opts...)
+	if err != nil {
+		return err
 	}
 
 	fmt.Printf("index: %d trees, filter %s\n", ix.Size(), ix.Filter().Name())

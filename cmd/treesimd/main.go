@@ -85,6 +85,8 @@ type config struct {
 	qlogPath     string
 	qlogSample   float64
 	qlogMaxBytes int64
+	shards       int
+	refineWork   int
 	version      bool
 }
 
@@ -114,6 +116,8 @@ func run(args []string, stderr io.Writer) int {
 	fs.StringVar(&c.qlogPath, "qlog", "", "record served queries to this JSONL workload log (replay with treesim-analyze); empty disables")
 	fs.Float64Var(&c.qlogSample, "qlog-sample", 1, "fraction of queries recorded to -qlog, deterministic in stream position (0,1]")
 	fs.Int64Var(&c.qlogMaxBytes, "qlog-max-bytes", 0, "rotate the -qlog file beyond this size (0 = 64MiB, negative disables rotation)")
+	fs.IntVar(&c.shards, "shards", 0, "dataset shards per query's filter stage (0 = GOMAXPROCS, 1 = sequential)")
+	fs.IntVar(&c.refineWork, "refine-workers", 0, "index-wide worker pool size shared by all queries (0 = GOMAXPROCS)")
 	fs.BoolVar(&c.version, "version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -268,12 +272,14 @@ func servePprof(ln net.Listener) {
 }
 
 // loadIndex resolves the index source: warm snapshot, saved index file, or
-// a dataset to build from.
+// a dataset to build from. The parallelism options apply uniformly to all
+// three paths.
 func loadIndex(c config) (*search.Index, string, error) {
+	par := []search.IndexOption{search.WithShards(c.shards), search.WithRefineWorkers(c.refineWork)}
 	if c.snapshot != "" {
 		if f, err := os.Open(c.snapshot); err == nil {
 			defer f.Close()
-			ix, err := search.LoadIndex(f)
+			ix, err := search.LoadIndex(f, par...)
 			if err != nil {
 				return nil, "", fmt.Errorf("loading snapshot %s: %w", c.snapshot, err)
 			}
@@ -288,7 +294,7 @@ func loadIndex(c config) (*search.Index, string, error) {
 			return nil, "", fmt.Errorf("opening index: %w", err)
 		}
 		defer f.Close()
-		ix, err := search.LoadIndex(f)
+		ix, err := search.LoadIndex(f, par...)
 		if err != nil {
 			return nil, "", fmt.Errorf("loading index %s: %w", c.indexFile, err)
 		}
@@ -325,5 +331,7 @@ func buildIndex(c config, ts []*tree.Tree, origin string) (*search.Index, string
 	default:
 		return nil, "", fmt.Errorf("unknown filter %q (want bibranch or bibranch-nopos)", c.filter)
 	}
-	return search.NewIndex(ts, &search.BiBranch{Q: c.q, Positional: positional}), origin, nil
+	ix := search.NewIndex(ts, &search.BiBranch{Q: c.q, Positional: positional},
+		search.WithShards(c.shards), search.WithRefineWorkers(c.refineWork))
+	return ix, origin, nil
 }

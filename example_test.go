@@ -1,6 +1,7 @@
 package treesim_test
 
 import (
+	"context"
 	"fmt"
 
 	"treesim"
@@ -31,7 +32,7 @@ func ExampleIndex_kNN() {
 	data := treesim.GenerateDataset(spec, 200, 20, 42)
 
 	ix := treesim.NewIndex(data, treesim.NewBiBranchFilter())
-	results, stats := ix.KNN(data[17], 3)
+	results, stats, _ := ix.KNN(context.Background(), data[17], 3)
 
 	fmt.Println("results:", len(results), "nearest dist:", results[0].Dist)
 	fmt.Println("verified fewer than half:", stats.Verified < stats.Dataset/2)
@@ -46,7 +47,7 @@ func ExampleIndex_range() {
 	data := treesim.GenerateDataset(spec, 200, 20, 42)
 
 	ix := treesim.NewIndex(data, treesim.NewBiBranchFilter())
-	results, _ := ix.Range(data[17], 1)
+	results, _, _ := ix.Range(context.Background(), data[17], 1)
 
 	for _, r := range results {
 		fmt.Println(r.ID, r.Dist)

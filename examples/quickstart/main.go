@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"treesim/internal/branch"
@@ -48,7 +49,7 @@ func main() {
 	ix := search.NewIndex(data, search.NewBiBranch())
 
 	query := data[137]
-	results, stats := ix.KNN(query, 3)
+	results, stats, _ := ix.KNN(context.Background(), query, 3)
 	fmt.Printf("\n3-NN of tree #137 over %d trees:\n", ix.Size())
 	for i, r := range results {
 		fmt.Printf("  %d. id=%-4d dist=%d\n", i+1, r.ID, r.Dist)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -49,7 +50,7 @@ func main() {
 	query := rna.Mutate(rng, lib[5*25], 2)
 	fmt.Printf("query: %s\n  %s\n  %s\n\n", query.Name, query.Sequence, query.Structure)
 
-	results, stats := ix.KNN(query.MustTree(), 5)
+	results, stats, _ := ix.KNN(context.Background(), query.MustTree(), 5)
 	fmt.Println("5 structurally nearest molecules:")
 	correct := 0
 	for i, r := range results {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"treesim/internal/search"
@@ -60,7 +61,7 @@ func main() {
 	const tau = 4 // tolerate up to 4 edit operations
 	for _, q := range queries {
 		qt := xmltree.MustParseString(q.xml, opts)
-		results, stats := ix.Range(qt, tau)
+		results, stats, _ := ix.Range(context.Background(), qt, tau)
 		fmt.Printf("query (%s):\n", q.desc)
 		if len(results) == 0 {
 			fmt.Println("  no record within distance", tau)

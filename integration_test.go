@@ -2,6 +2,7 @@ package treesim
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -46,8 +47,8 @@ func TestEndToEndPipeline(t *testing.T) {
 	// original data.
 	seq := NewIndex(data, NewNoFilter())
 	query := data[31]
-	wantK, _ := seq.KNN(query, 5)
-	gotK, stats := ix.KNN(query, 5)
+	wantK, _, _ := seq.KNN(context.Background(), query, 5)
+	gotK, stats, _ := ix.KNN(context.Background(), query, 5)
 	for i := range wantK {
 		if wantK[i].Dist != gotK[i].Dist {
 			t.Fatalf("k-NN distances diverge at %d: %v vs %v", i, gotK, wantK)
@@ -58,8 +59,8 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 
 	tau := wantK[len(wantK)-1].Dist
-	wantR, _ := seq.Range(query, tau)
-	gotR, _ := ix.Range(query, tau)
+	wantR, _, _ := seq.Range(context.Background(), query, tau)
+	gotR, _, _ := ix.Range(context.Background(), query, tau)
 	if len(wantR) != len(gotR) {
 		t.Fatalf("range results diverge: %d vs %d", len(gotR), len(wantR))
 	}

@@ -7,6 +7,7 @@
 package classify
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,7 +35,7 @@ func New(ts []*tree.Tree, classes []string, k int, filter search.Filter) (*Class
 		return nil, fmt.Errorf("classify: k must be positive, got %d", k)
 	}
 	return &Classifier{
-		ix:      search.NewIndex(ts, filter),
+		ix:      search.NewIndex(ts, search.WithFilter(filter)),
 		classes: classes,
 		k:       k,
 	}, nil
@@ -52,7 +53,7 @@ type Prediction struct {
 // Ties are broken by the smaller summed distance, then lexicographically,
 // so prediction is deterministic.
 func (c *Classifier) Predict(t *tree.Tree) Prediction {
-	nn, stats := c.ix.KNN(t, c.k)
+	nn, stats, _ := c.ix.KNN(context.Background(), t, c.k)
 	votes := make(map[string]int)
 	distSum := make(map[string]int)
 	for _, r := range nn {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -41,17 +42,17 @@ func AblationPositional(cfg Config) *Table {
 	}
 	t.Rows = append(t.Rows,
 		ablationRow(cfg, fmt.Sprintf("knn k=%d", k), qs, func(q *tree.Tree) search.Stats {
-			_, st := pos.KNN(q, k)
+			_, st, _ := pos.KNN(context.Background(), q, k)
 			return st
 		}, func(q *tree.Tree) search.Stats {
-			_, st := plain.KNN(q, k)
+			_, st, _ := plain.KNN(context.Background(), q, k)
 			return st
 		}),
 		ablationRow(cfg, fmt.Sprintf("range tau=%d", tau), qs, func(q *tree.Tree) search.Stats {
-			_, st := pos.Range(q, tau)
+			_, st, _ := pos.Range(context.Background(), q, tau)
 			return st
 		}, func(q *tree.Tree) search.Stats {
-			_, st := plain.Range(q, tau)
+			_, st, _ := plain.Range(context.Background(), q, tau)
 			return st
 		}),
 	)
@@ -82,10 +83,10 @@ func AblationQ(cfg Config) *Table {
 		ix := search.NewIndex(ts, &search.BiBranch{Q: q, Positional: true})
 		t.Rows = append(t.Rows,
 			ablationRow(cfg, fmt.Sprintf("%d", q), qs, func(qt *tree.Tree) search.Stats {
-				_, st := ix.Range(qt, tau)
+				_, st, _ := ix.Range(context.Background(), qt, tau)
 				return st
 			}, func(qt *tree.Tree) search.Stats {
-				_, st := ref.Range(qt, tau)
+				_, st, _ := ref.Range(context.Background(), qt, tau)
 				return st
 			}))
 	}
@@ -126,13 +127,13 @@ func AblationFilters(cfg Config) *Table {
 		XLabel:  "variant",
 	}
 	for _, v := range variants {
-		ix := search.NewIndex(ts, v.f)
+		ix := search.NewIndex(ts, search.WithFilter(v.f))
 		t.Rows = append(t.Rows,
 			ablationRow(cfg, v.name, qs, func(q *tree.Tree) search.Stats {
-				_, st := ix.Range(q, tau)
+				_, st, _ := ix.Range(context.Background(), q, tau)
 				return st
 			}, func(q *tree.Tree) search.Stats {
-				_, st := ref.Range(q, tau)
+				_, st, _ := ref.Range(context.Background(), q, tau)
 				return st
 			}))
 	}

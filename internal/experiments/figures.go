@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -43,19 +44,19 @@ func (c Config) rangeRowTau(x string, ts []*tree.Tree, tau int, rng *rand.Rand) 
 
 	var bibAgg, hisAgg, seqAgg search.Stats
 	for _, st := range c.forEachQuery(qs, func(q *tree.Tree) search.Stats {
-		_, st := bib.Range(q, tau)
+		_, st, _ := bib.Range(context.Background(), q, tau)
 		return st
 	}) {
 		bibAgg.Add(st)
 	}
 	for _, st := range c.forEachQuery(qs, func(q *tree.Tree) search.Stats {
-		_, st := his.Range(q, tau)
+		_, st, _ := his.Range(context.Background(), q, tau)
 		return st
 	}) {
 		hisAgg.Add(st)
 	}
 	for _, st := range c.forEachQuery(qs, func(q *tree.Tree) search.Stats {
-		_, st := seq.Range(q, tau)
+		_, st, _ := seq.Range(context.Background(), q, tau)
 		return st
 	}) {
 		seqAgg.Add(st)
@@ -82,19 +83,19 @@ func (c Config) knnRow(x string, ts []*tree.Tree, k int, rng *rand.Rand) Row {
 
 	var bibAgg, hisAgg, seqAgg search.Stats
 	for _, st := range c.forEachQuery(qs, func(q *tree.Tree) search.Stats {
-		_, st := bib.KNN(q, k)
+		_, st, _ := bib.KNN(context.Background(), q, k)
 		return st
 	}) {
 		bibAgg.Add(st)
 	}
 	for _, st := range c.forEachQuery(qs, func(q *tree.Tree) search.Stats {
-		_, st := his.KNN(q, k)
+		_, st, _ := his.KNN(context.Background(), q, k)
 		return st
 	}) {
 		hisAgg.Add(st)
 	}
 	for _, st := range c.forEachQuery(qs, func(q *tree.Tree) search.Stats {
-		_, st := seq.KNN(q, k)
+		_, st, _ := seq.KNN(context.Background(), q, k)
 		return st
 	}) {
 		seqAgg.Add(st)

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -19,7 +20,7 @@ func (ix *Index) BatchKNN(qs []*tree.Tree, k, workers int) ([][]Result, []Stats)
 	res := make([][]Result, len(qs))
 	stats := make([]Stats, len(qs))
 	forEach(len(qs), workers, func(i int) {
-		res[i], stats[i] = ix.KNN(qs[i], k)
+		res[i], stats[i], _ = ix.KNN(context.Background(), qs[i], k)
 	})
 	return res, stats
 }
@@ -30,7 +31,7 @@ func (ix *Index) BatchRange(qs []*tree.Tree, tau, workers int) ([][]Result, []St
 	res := make([][]Result, len(qs))
 	stats := make([]Stats, len(qs))
 	forEach(len(qs), workers, func(i int) {
-		res[i], stats[i] = ix.Range(qs[i], tau)
+		res[i], stats[i], _ = ix.Range(context.Background(), qs[i], tau)
 	})
 	return res, stats
 }

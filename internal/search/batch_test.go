@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestBatchKNNMatchesSequentialCalls(t *testing.T) {
 		t.Fatalf("batch sizes: %d results, %d stats", len(batch), len(stats))
 	}
 	for i, q := range qs {
-		want, _ := ix.KNN(q, 4)
+		want, _, _ := ix.KNN(context.Background(), q, 4)
 		if !reflect.DeepEqual(batch[i], want) {
 			t.Fatalf("query %d: batch %v, sequential %v", i, batch[i], want)
 		}
@@ -34,7 +35,7 @@ func TestBatchRangeMatchesSequentialCalls(t *testing.T) {
 
 	batch, _ := ix.BatchRange(qs, 3, 0)
 	for i, q := range qs {
-		want, _ := ix.Range(q, 3)
+		want, _, _ := ix.Range(context.Background(), q, 3)
 		if !reflect.DeepEqual(batch[i], want) {
 			t.Fatalf("query %d: batch %v, sequential %v", i, batch[i], want)
 		}
@@ -49,7 +50,7 @@ func TestBatchDegenerate(t *testing.T) {
 	}
 	// One query, more workers than queries.
 	res, _ := ix.BatchKNN([]*tree.Tree{ts[0]}, 2, 16)
-	want, _ := ix.KNN(ts[0], 2)
+	want, _, _ := ix.KNN(context.Background(), ts[0], 2)
 	if !reflect.DeepEqual(res[0], want) {
 		t.Error("single-query batch differs")
 	}
@@ -69,8 +70,8 @@ func TestParallelProfilesMatchSerial(t *testing.T) {
 	ixP := NewIndex(ts, NewBiBranch()) // parallel build inside Index
 	ixS := NewIndex(ts, &BiBranch{Q: 2, Positional: true})
 	for _, q := range []*tree.Tree{ts[7], ts[77]} {
-		a, _ := ixP.KNN(q, 5)
-		b, _ := ixS.KNN(q, 5)
+		a, _, _ := ixP.KNN(context.Background(), q, 5)
+		b, _, _ := ixS.KNN(context.Background(), q, 5)
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("parallel vs serial build differ: %v vs %v", a, b)
 		}

@@ -154,25 +154,51 @@ func encodePayload(w io.Writer, f *BiBranch, profiles []*branch.Profile, trees [
 }
 
 // LoadIndex deserializes an index saved by SaveIndex (TSIX2) or by a
-// previous release (TSIX1). The loaded index uses unit edit costs; wrap
-// with NewIndexCost manually if needed.
+// previous release (TSIX1). Options configure the loaded index the same
+// way they configure NewIndex: cost model, shard count, worker pool. A
+// filter option replaces the snapshot's BiBranch filter and re-indexes
+// the loaded dataset under it. With no options the index uses unit edit
+// costs and the default execution shape.
 //
 // For TSIX2, errors satisfy errors.Is against ErrSnapshotTruncated (file
 // ends early) or ErrSnapshotCorrupt (checksum mismatch / structural
 // damage) so callers can report the failure mode precisely.
-func LoadIndex(r io.Reader) (*Index, error) {
+func LoadIndex(r io.Reader, opts ...IndexOption) (*Index, error) {
 	var magic [6]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("search: reading magic: %w", err)
 	}
+	var (
+		f   *BiBranch
+		ts  []*tree.Tree
+		err error
+	)
 	switch magic {
 	case indexMagicV1:
 		// Legacy format: no checksum, structural validation only.
-		return decodePayload(bufio.NewReader(r))
+		f, ts, err = decodePayload(bufio.NewReader(r))
 	case indexMagicV2:
-		return loadV2(r)
+		f, ts, err = loadV2(r)
+	default:
+		return nil, fmt.Errorf("search: bad index magic %q (want TSIX1 or TSIX2)", magic)
 	}
-	return nil, fmt.Errorf("search: bad index magic %q (want TSIX1 or TSIX2)", magic)
+	if err != nil {
+		return nil, err
+	}
+	cfg := applyIndexOpts(opts)
+	ix := &Index{
+		trees:  ts,
+		cost:   cfg.cost,
+		shards: cfg.shards,
+		pool:   newWorkPool(cfg.refineWorkers),
+	}
+	if cfg.filter != nil {
+		cfg.filter.Index(ts)
+		ix.filter = cfg.filter
+	} else {
+		ix.filter = f
+	}
+	return ix, nil
 }
 
 // countingHashReader hashes and counts everything read through it.
@@ -189,14 +215,14 @@ func (c *countingHashReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-func loadV2(r io.Reader) (*Index, error) {
+func loadV2(r io.Reader) (*BiBranch, []*tree.Tree, error) {
 	var lenBuf [8]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, fmt.Errorf("search: %w: reading payload length: %v", ErrSnapshotTruncated, err)
+		return nil, nil, fmt.Errorf("search: %w: reading payload length: %v", ErrSnapshotTruncated, err)
 	}
 	plen := binary.LittleEndian.Uint64(lenBuf[:])
 	if plen > maxPayload {
-		return nil, fmt.Errorf("search: %w: implausible payload length %d", ErrSnapshotCorrupt, plen)
+		return nil, nil, fmt.Errorf("search: %w: implausible payload length %d", ErrSnapshotCorrupt, plen)
 	}
 
 	// Hash exactly the payload while decoding it. The hash taps the
@@ -205,7 +231,7 @@ func loadV2(r io.Reader) (*Index, error) {
 	// swallow trailer bytes or hash past the payload.
 	cr := &countingHashReader{r: io.LimitReader(r, int64(plen)), h: crc32.New(castagnoli)}
 	br := bufio.NewReader(cr)
-	ix, derr := decodePayload(br)
+	f, ts, derr := decodePayload(br)
 
 	// Drain whatever the decoder did not consume — on success this
 	// should be nothing; on error it completes the checksum so the
@@ -215,30 +241,30 @@ func loadV2(r io.Reader) (*Index, error) {
 		drained = rest
 	}
 	if cr.n < int64(plen) {
-		return nil, fmt.Errorf("search: %w: payload has %d of %d declared bytes",
+		return nil, nil, fmt.Errorf("search: %w: payload has %d of %d declared bytes",
 			ErrSnapshotTruncated, cr.n, plen)
 	}
 
 	var trailer [4]byte
 	if _, err := io.ReadFull(r, trailer[:]); err != nil {
-		return nil, fmt.Errorf("search: %w: missing checksum trailer", ErrSnapshotTruncated)
+		return nil, nil, fmt.Errorf("search: %w: missing checksum trailer", ErrSnapshotTruncated)
 	}
 	want := binary.LittleEndian.Uint32(trailer[:])
 	if got := cr.h.Sum32(); got != want {
-		return nil, fmt.Errorf("search: %w: payload checksum %08x, trailer says %08x",
+		return nil, nil, fmt.Errorf("search: %w: payload checksum %08x, trailer says %08x",
 			ErrSnapshotCorrupt, got, want)
 	}
 	// Checksum matched: the bytes are exactly what the writer produced,
 	// so any remaining failure is structural corruption (or a writer
 	// bug), not I/O damage.
 	if derr != nil {
-		return nil, fmt.Errorf("search: %w: %v", ErrSnapshotCorrupt, derr)
+		return nil, nil, fmt.Errorf("search: %w: %v", ErrSnapshotCorrupt, derr)
 	}
 	if drained > 0 {
-		return nil, fmt.Errorf("search: %w: %d payload bytes beyond the index structure",
+		return nil, nil, fmt.Errorf("search: %w: %d payload bytes beyond the index structure",
 			ErrSnapshotCorrupt, drained)
 	}
-	return ix, nil
+	return f, ts, nil
 }
 
 // VerifySnapshot checks a TSIX2 snapshot's integrity — length and
@@ -287,45 +313,63 @@ func VerifySnapshot(r io.Reader) error {
 // decodePayload reads the version-independent payload. br must be the
 // single buffering layer over the source: branch.Read adopts a
 // *bufio.Reader as-is, so no read-ahead escapes the payload.
-func decodePayload(br *bufio.Reader) (*Index, error) {
+//
+// The tree blobs are read sequentially (the stream dictates it) but
+// parsed in parallel: parsing dominates decode time on large snapshots
+// and each blob parses independently. The first error in dataset order
+// wins, keeping failure messages identical to the sequential decoder's.
+func decodePayload(br *bufio.Reader) (*BiBranch, []*tree.Tree, error) {
 	positional, err := br.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	space, profiles, err := branch.Read(br)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	var n uint32
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if int(n) != len(profiles) {
-		return nil, fmt.Errorf("search: %d trees but %d profiles", n, len(profiles))
+		return nil, nil, fmt.Errorf("search: %d trees but %d profiles", n, len(profiles))
 	}
-	trees := make([]*tree.Tree, n)
-	for i := range trees {
+	blobs := make([][]byte, n)
+	for i := range blobs {
 		var l uint32
 		if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if l > 1<<26 {
-			return nil, fmt.Errorf("search: tree %d implausibly large (%d bytes)", i, l)
+			return nil, nil, fmt.Errorf("search: tree %d implausibly large (%d bytes)", i, l)
 		}
 		buf := make([]byte, l)
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		t, err := tree.Parse(string(buf))
+		blobs[i] = buf
+	}
+
+	trees := make([]*tree.Tree, n)
+	errs := make([]error, n)
+	forEach(int(n), 0, func(i int) {
+		t, err := tree.Parse(string(blobs[i]))
 		if err != nil {
-			return nil, fmt.Errorf("search: tree %d: %w", i, err)
+			errs[i] = fmt.Errorf("search: tree %d: %w", i, err)
+			return
 		}
 		if t.Size() != profiles[i].Size {
-			return nil, fmt.Errorf("search: tree %d has %d nodes but profile says %d",
+			errs[i] = fmt.Errorf("search: tree %d has %d nodes but profile says %d",
 				i, t.Size(), profiles[i].Size)
+			return
 		}
 		trees[i] = t
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 
 	f := &BiBranch{
@@ -334,5 +378,5 @@ func decodePayload(br *bufio.Reader) (*Index, error) {
 		space:      space,
 		profiles:   profiles,
 	}
-	return &Index{trees: trees, filter: f, cost: defaultCost()}, nil
+	return f, trees, nil
 }

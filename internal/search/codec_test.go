@@ -2,6 +2,7 @@ package search
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -32,13 +33,13 @@ func TestSaveLoadIndexRoundTrip(t *testing.T) {
 
 	// Queries return identical results through the loaded index.
 	for _, q := range []*tree.Tree{ts[0], ts[33], testDataset(1, 5)[0]} {
-		wantK, _ := ix.KNN(q, 5)
-		gotK, _ := loaded.KNN(q, 5)
+		wantK, _, _ := ix.KNN(context.Background(), q, 5)
+		gotK, _, _ := loaded.KNN(context.Background(), q, 5)
 		if !reflect.DeepEqual(wantK, gotK) {
 			t.Fatalf("KNN differs after reload: %v vs %v", gotK, wantK)
 		}
-		wantR, _ := ix.Range(q, 3)
-		gotR, _ := loaded.Range(q, 3)
+		wantR, _, _ := ix.Range(context.Background(), q, 3)
+		gotR, _, _ := loaded.Range(context.Background(), q, 3)
 		if !reflect.DeepEqual(wantR, gotR) {
 			t.Fatalf("Range differs after reload: %v vs %v", gotR, wantR)
 		}
@@ -51,7 +52,7 @@ func TestSaveLoadPreservesConfig(t *testing.T) {
 		{Q: 2, Positional: true},
 		{Q: 3, Positional: false},
 	} {
-		ix := NewIndex(ts, f)
+		ix := NewIndex(ts, WithFilter(f))
 		var buf bytes.Buffer
 		if err := SaveIndex(&buf, ix); err != nil {
 			t.Fatal(err)
@@ -96,8 +97,8 @@ func TestLoadTSIX1BackCompat(t *testing.T) {
 		t.Fatalf("loaded %d trees, want %d", loaded.Size(), ix.Size())
 	}
 	for _, q := range []*tree.Tree{ts[0], ts[17]} {
-		wantK, _ := ix.KNN(q, 5)
-		gotK, _ := loaded.KNN(q, 5)
+		wantK, _, _ := ix.KNN(context.Background(), q, 5)
+		gotK, _, _ := loaded.KNN(context.Background(), q, 5)
 		if !reflect.DeepEqual(wantK, gotK) {
 			t.Fatalf("KNN differs through TSIX1 reload: %v vs %v", gotK, wantK)
 		}

@@ -39,7 +39,7 @@ func TestConcurrentInsertQuery(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 15; i++ {
-				res, stats := ix.KNN(queries[w%len(queries)], 3)
+				res, stats, _ := ix.KNN(context.Background(), queries[w%len(queries)], 3)
 				if len(res) != 3 || stats.Dataset < len(base) {
 					t.Errorf("KNN under load: %d results, dataset %d", len(res), stats.Dataset)
 					return
@@ -53,7 +53,7 @@ func TestConcurrentInsertQuery(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 15; i++ {
-				_, stats := ix.Range(queries[(w+3)%len(queries)], 2)
+				_, stats, _ := ix.Range(context.Background(), queries[(w+3)%len(queries)], 2)
 				if stats.Dataset < len(base) {
 					t.Errorf("Range under load: dataset %d", stats.Dataset)
 					return
@@ -95,8 +95,8 @@ func TestConcurrentInsertQuery(t *testing.T) {
 	all := append(append([]*tree.Tree(nil), base...), extra...)
 	clean := NewIndex(all, NewBiBranch())
 	for _, q := range queries {
-		a, _ := ix.KNN(q, 5)
-		b, _ := clean.KNN(q, 5)
+		a, _, _ := ix.KNN(context.Background(), q, 5)
+		b, _, _ := clean.KNN(context.Background(), q, 5)
 		if !sameDistances(a, b) {
 			t.Fatalf("hammered index KNN %v, clean rebuild %v", dists(a), dists(b))
 		}
@@ -128,7 +128,7 @@ func TestQueryContextComplete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := ix.KNN(q, 4)
+	b, _, _ := ix.KNN(context.Background(), q, 4)
 	if !sameDistances(a, b) {
 		t.Fatalf("KNNContext %v != KNN %v", dists(a), dists(b))
 	}

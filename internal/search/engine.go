@@ -1,0 +1,504 @@
+package search
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treesim/internal/editdist"
+	"treesim/internal/obs"
+	"treesim/internal/tree"
+)
+
+// The sharded parallel execution engine. A query's filter stage partitions
+// the dataset into S contiguous shards (S = WithShards, default GOMAXPROCS,
+// clamped to the dataset size) whose lower bounds are computed concurrently
+// on the index's shared worker pool; the refine stage fans exact-distance
+// verifications over the same pool, with a k-NN query propagating its
+// current k-th-best distance across workers through an atomic so late
+// verifications prune harder.
+//
+// Results are shard-count invariant by construction:
+//
+//   - every tree's bound is computed exactly once, into its own slot;
+//   - k-NN candidates are globally merged in ascending (bound, id) order,
+//     and the top-k heap breaks distance ties by id, so the answer is the
+//     unique k-minimal (dist, id) set no matter which worker verified what;
+//   - a verification is skipped only when its bound exceeds the atomic
+//     threshold, which never rises and ends at the final k-th distance —
+//     by the lower-bound property such a tree cannot be in the answer.
+//
+// Stats.Verified (and therefore FalsePositives and Tightness) for k-NN can
+// vary with worker timing — opportunistic pruning means a fast machine may
+// verify a few candidates a slow one skips — but results, Candidates and
+// Results are deterministic. Range queries verify every candidate, so all
+// their counters are deterministic too.
+
+// shardCount resolves the shard count for a domain of n items.
+func (ix *Index) shardCount(n int) int {
+	s := ix.shards
+	if s <= 0 {
+		s = ix.pool.size
+	}
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// shardRange returns the half-open range of shard s out of S over n items.
+func shardRange(n, S, s int) (lo, hi int) {
+	return s * n / S, (s + 1) * n / S
+}
+
+// sortByBound orders ids by ascending (bound, id).
+func sortByBound(ids []int, bounds []int) {
+	sort.Slice(ids, func(x, y int) bool {
+		bx, by := bounds[ids[x]], bounds[ids[y]]
+		if bx != by {
+			return bx < by
+		}
+		return ids[x] < ids[y]
+	})
+}
+
+// mergeRuns merges per-shard (bound, id)-sorted runs into one globally
+// sorted order. Shard counts are small (≈ GOMAXPROCS), so a linear scan
+// over the run heads beats heap bookkeeping.
+func mergeRuns(runs [][]int, bounds []int) []int {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]int, 0, total)
+	heads := make([]int, len(runs))
+	for len(out) < total {
+		bestS := -1
+		bestID := 0
+		for s, r := range runs {
+			if heads[s] >= len(r) {
+				continue
+			}
+			id := r[heads[s]]
+			if bestS < 0 || bounds[id] < bounds[bestID] ||
+				(bounds[id] == bounds[bestID] && id < bestID) {
+				bestS, bestID = s, id
+			}
+		}
+		out = append(out, bestID)
+		heads[bestS]++
+	}
+	return out
+}
+
+// knn runs one k-NN query (Algorithm 2, sharded).
+func (ix *Index) knn(ctx context.Context, q *tree.Tree, k int, qc *queryConfig, ex *Explain) ([]Result, Stats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	stats := Stats{Dataset: len(ix.trees)}
+	if k <= 0 || len(ix.trees) == 0 {
+		return nil, stats, nil
+	}
+	if k > len(ix.trees) {
+		k = len(ix.trees)
+	}
+
+	// Stage spans hang off the caller's trace (nil span methods are
+	// no-ops, so untraced queries pay one nil check per stage).
+	span := qc.trace(ctx)
+
+	start := time.Now()
+	fspan := span.StartChild("filter")
+	prim, order, bounds, err := ix.filterKNN(ctx, q, fspan)
+	stats.FilterTime = time.Since(start)
+	if err != nil {
+		fspan.SetBool("canceled", true)
+		fspan.End()
+		return nil, stats, err
+	}
+	fspan.SetInt("candidates", int64(len(order)))
+	fspan.End()
+	if ex != nil {
+		// order is sorted by bound, so the distribution falls out of the
+		// nearest-rank positions directly.
+		n := len(order)
+		ex.Bounds = BoundDist{
+			Computed: n,
+			Min:      bounds[order[0]],
+			P50:      bounds[order[(n-1)/2]],
+			P99:      bounds[order[(n-1)*99/100]],
+			Max:      bounds[order[n-1]],
+		}
+	}
+
+	start = time.Now()
+	rspan := span.StartChild("refine")
+	out, err := ix.refineKNN(ctx, q, k, order, bounds, prim, &stats, ex)
+	stats.RefineTime = time.Since(start)
+	if err != nil {
+		rspan.SetInt("verified", int64(stats.Verified))
+		rspan.SetBool("canceled", true)
+		rspan.End()
+		return nil, stats, err
+	}
+	stats.Results = len(out)
+	if len(out) > 0 {
+		// A tree is a candidate when its bound does not exceed the final
+		// k-th distance: no verification order could prune it unverified.
+		worst := out[len(out)-1].Dist
+		stats.Candidates = sort.Search(len(order), func(i int) bool {
+			return bounds[order[i]] > worst
+		})
+	}
+	stats.FalsePositives = stats.Verified - len(out)
+	rspan.SetInt("verified", int64(stats.Verified))
+	rspan.SetInt("results", int64(len(out)))
+	rspan.End()
+	return out, stats, nil
+}
+
+// filterKNN computes every tree's optimistic lower bound — sharded when
+// the index is configured for it — and returns the ids sorted by
+// ascending (bound, id), plus the caller-goroutine bounder (reused for
+// tightness sampling in the refine stage).
+func (ix *Index) filterKNN(ctx context.Context, q *tree.Tree, fspan *obs.Span) (Bounder, []int, []int, error) {
+	n := len(ix.trees)
+	S := ix.shardCount(n)
+	bounds := make([]int, n)
+	prim := ix.filter.Query(q)
+
+	if S == 1 {
+		order := make([]int, n)
+		for i := 0; i < n; i++ {
+			if i%ctxCheckEvery == 0 && ctx.Err() != nil {
+				return prim, nil, nil, ctx.Err()
+			}
+			order[i] = i
+			bounds[i] = prim.KNNBound(i)
+		}
+		sortByBound(order, bounds)
+		if ar, ok := prim.(AttrReporter); ok {
+			ar.ReportAttrs(fspan)
+		}
+		return prim, order, bounds, nil
+	}
+
+	// Sharded: each shard computes bounds for a contiguous id block into
+	// disjoint slots of the shared bounds slice and sorts its own run;
+	// runs are then merged. Bounders may keep per-query counters, so every
+	// shard profiles the query into a bounder of its own (O(|q|), dwarfed
+	// by the per-shard O(n/S) bound pass it pays for).
+	runs := make([][]int, S)
+	var canceled atomic.Bool
+	ix.pool.run(S, func(s int) {
+		if canceled.Load() {
+			return
+		}
+		b := prim
+		if s > 0 {
+			b = ix.filter.Query(q)
+		}
+		sspan := fspan.StartChild(fmt.Sprintf("shard[%d]", s))
+		lo, hi := shardRange(n, S, s)
+		run := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			if (i-lo)%ctxCheckEvery == 0 && (canceled.Load() || ctx.Err() != nil) {
+				canceled.Store(true)
+				sspan.SetBool("canceled", true)
+				sspan.End()
+				return
+			}
+			bounds[i] = b.KNNBound(i)
+			run = append(run, i)
+		}
+		sortByBound(run, bounds)
+		runs[s] = run
+		sspan.SetInt("bounds", int64(hi-lo))
+		if ar, ok := b.(AttrReporter); ok {
+			ar.ReportAttrs(sspan)
+		}
+		sspan.End()
+	})
+	if canceled.Load() || ctx.Err() != nil {
+		return prim, nil, nil, ctx.Err()
+	}
+	return prim, mergeRuns(runs, bounds), bounds, nil
+}
+
+// refineKNN verifies candidates in ascending-bound order on the worker
+// pool, maintaining the k-minimal (dist, id) heap under a mutex and the
+// current k-th distance in an atomic that only ever decreases. A worker
+// that meets a bound above the threshold stops the scan: the cursor hands
+// tasks out in ascending order, so everything not yet started bounds at
+// least as high and cannot enter the answer.
+func (ix *Index) refineKNN(ctx context.Context, q *tree.Tree, k int, order, bounds []int, prim Bounder, stats *Stats, ex *Explain) ([]Result, error) {
+	var (
+		mu       sync.Mutex
+		h        = &maxHeap{}
+		stop     atomic.Bool
+		canceled atomic.Bool
+		verified atomic.Int64
+		thresh   atomic.Int64
+	)
+	thresh.Store(math.MaxInt64) // nothing prunes until the heap holds k
+
+	ix.pool.run(len(order), func(j int) {
+		if stop.Load() || canceled.Load() {
+			return
+		}
+		id := order[j]
+		if int64(bounds[id]) > thresh.Load() {
+			stop.Store(true)
+			return
+		}
+		// A verification can cost milliseconds, so check the context on
+		// every task, not every ctxCheckEvery-th.
+		if ctx.Err() != nil {
+			canceled.Store(true)
+			return
+		}
+		d := editdist.DistanceCost(q, ix.trees[id], ix.cost)
+		verified.Add(1)
+		mu.Lock()
+		sampleTightness(prim, stats, ex, id, bounds[id], d)
+		switch {
+		case h.Len() < k:
+			heap.Push(h, Result{ID: id, Dist: d})
+			if h.Len() == k {
+				thresh.Store(int64(h.top().Dist))
+			}
+		case d < h.top().Dist || (d == h.top().Dist && id < h.top().ID):
+			h.items[0] = Result{ID: id, Dist: d}
+			heap.Fix(h, 0)
+			thresh.Store(int64(h.top().Dist))
+		}
+		mu.Unlock()
+	})
+	stats.Verified = int(verified.Load())
+	if canceled.Load() {
+		return nil, ctx.Err()
+	}
+
+	out := make([]Result, h.Len())
+	copy(out, h.items)
+	sortResults(out)
+	return out, nil
+}
+
+// rangeq runs one range query (filter-and-refine, sharded).
+func (ix *Index) rangeq(ctx context.Context, q *tree.Tree, tau int, qc *queryConfig, ex *Explain) ([]Result, Stats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	stats := Stats{Dataset: len(ix.trees)}
+	if tau < 0 {
+		return nil, stats, nil
+	}
+
+	span := qc.trace(ctx)
+
+	start := time.Now()
+	fspan := span.StartChild("filter")
+	prim, candidates, candBounds, col, err := ix.filterRange(ctx, q, tau, fspan, ex != nil)
+	stats.FilterTime = time.Since(start)
+	if err != nil {
+		fspan.SetBool("canceled", true)
+		fspan.End()
+		return nil, stats, err
+	}
+	stats.Candidates = len(candidates)
+	fspan.SetInt("candidates", int64(len(candidates)))
+	fspan.End()
+	if ex != nil {
+		ex.Bounds = col.boundDist()
+	}
+
+	start = time.Now()
+	rspan := span.StartChild("refine")
+	out, err := ix.refineRange(ctx, q, tau, candidates, candBounds, prim, &stats, ex)
+	stats.RefineTime = time.Since(start)
+	if err != nil {
+		rspan.SetInt("verified", int64(stats.Verified))
+		rspan.SetBool("canceled", true)
+		rspan.End()
+		return nil, stats, err
+	}
+	stats.Results = len(out)
+	stats.FalsePositives = stats.Verified - len(out)
+	rspan.SetInt("verified", int64(stats.Verified))
+	rspan.SetInt("results", int64(len(out)))
+	rspan.End()
+	return out, stats, nil
+}
+
+// filterRange computes range bounds over the candidate domain — the whole
+// dataset, or the sound superset a CandidateLister enumerates — sharded
+// when configured, returning the surviving candidates with their bounds
+// (in deterministic domain order) and, when asked, the collected bound
+// distribution.
+func (ix *Index) filterRange(ctx context.Context, q *tree.Tree, tau int, fspan *obs.Span, wantBounds bool) (Bounder, []int, []int, *explainCollector, error) {
+	prim := ix.filter.Query(q)
+
+	// The filter may enumerate a sound candidate superset directly (e.g.
+	// through a VP-tree in BDist space) without touching every indexed
+	// tree. The walk runs once, before sharding; the bound pass over the
+	// pool is what shards.
+	domain := len(ix.trees)
+	var pool []int
+	hasPool := false
+	if cl, ok := prim.(CandidateLister); ok {
+		vspan := fspan.StartChild("vptree")
+		pool = cl.RangeCandidates(tau)
+		vspan.SetInt("candidates", int64(len(pool)))
+		vspan.End()
+		hasPool = true
+		domain = len(pool)
+	}
+	idAt := func(j int) int { return j }
+	if hasPool {
+		idAt = func(j int) int { return pool[j] }
+	}
+
+	S := ix.shardCount(domain)
+	var col *explainCollector
+	if wantBounds {
+		col = &explainCollector{bounds: make([]int, 0, domain)}
+	}
+
+	if S <= 1 {
+		var candidates, candBounds []int
+		for j := 0; j < domain; j++ {
+			if j%ctxCheckEvery == 0 && ctx.Err() != nil {
+				return prim, nil, nil, nil, ctx.Err()
+			}
+			id := idAt(j)
+			rb := prim.RangeBound(id, tau)
+			col.addBound(rb)
+			if rb <= tau {
+				candidates = append(candidates, id)
+				candBounds = append(candBounds, rb)
+			}
+		}
+		if ar, ok := prim.(AttrReporter); ok {
+			ar.ReportAttrs(fspan)
+		}
+		return prim, candidates, candBounds, col, nil
+	}
+
+	type shardOut struct {
+		cands, bnds []int
+		col         *explainCollector
+	}
+	outs := make([]shardOut, S)
+	var canceled atomic.Bool
+	ix.pool.run(S, func(s int) {
+		if canceled.Load() {
+			return
+		}
+		b := prim
+		if s > 0 {
+			b = ix.filter.Query(q)
+		}
+		sspan := fspan.StartChild(fmt.Sprintf("shard[%d]", s))
+		lo, hi := shardRange(domain, S, s)
+		var o shardOut
+		if wantBounds {
+			o.col = &explainCollector{bounds: make([]int, 0, hi-lo)}
+		}
+		for j := lo; j < hi; j++ {
+			if (j-lo)%ctxCheckEvery == 0 && (canceled.Load() || ctx.Err() != nil) {
+				canceled.Store(true)
+				sspan.SetBool("canceled", true)
+				sspan.End()
+				return
+			}
+			id := idAt(j)
+			rb := b.RangeBound(id, tau)
+			o.col.addBound(rb)
+			if rb <= tau {
+				o.cands = append(o.cands, id)
+				o.bnds = append(o.bnds, rb)
+			}
+		}
+		outs[s] = o
+		sspan.SetInt("bounds", int64(hi-lo))
+		if ar, ok := b.(AttrReporter); ok {
+			ar.ReportAttrs(sspan)
+		}
+		sspan.End()
+	})
+	if canceled.Load() || ctx.Err() != nil {
+		return prim, nil, nil, nil, ctx.Err()
+	}
+
+	// Concatenating in shard order reproduces the sequential domain
+	// order, so the candidate list is byte-identical for every S.
+	var candidates, candBounds []int
+	for _, o := range outs {
+		candidates = append(candidates, o.cands...)
+		candBounds = append(candBounds, o.bnds...)
+		if col != nil && o.col != nil {
+			col.bounds = append(col.bounds, o.col.bounds...)
+		}
+	}
+	return prim, candidates, candBounds, col, nil
+}
+
+// refineRange verifies every candidate on the worker pool. There is no
+// early termination (the radius is fixed), so Verified is deterministic;
+// the final sort makes the result order independent of worker timing.
+func (ix *Index) refineRange(ctx context.Context, q *tree.Tree, tau int, candidates, candBounds []int, prim Bounder, stats *Stats, ex *Explain) ([]Result, error) {
+	var (
+		mu       sync.Mutex
+		out      []Result
+		canceled atomic.Bool
+		verified atomic.Int64
+	)
+	ix.pool.run(len(candidates), func(j int) {
+		if canceled.Load() {
+			return
+		}
+		if ctx.Err() != nil {
+			canceled.Store(true)
+			return
+		}
+		id := candidates[j]
+		d := editdist.DistanceCost(q, ix.trees[id], ix.cost)
+		verified.Add(1)
+		mu.Lock()
+		sampleTightness(prim, stats, ex, id, candBounds[j], d)
+		if d <= tau {
+			out = append(out, Result{ID: id, Dist: d})
+		}
+		mu.Unlock()
+	})
+	stats.Verified = int(verified.Load())
+	if canceled.Load() {
+		return nil, ctx.Err()
+	}
+	sortResults(out)
+	return out, nil
+}
+
+// sortResults orders results by ascending (dist, id) — the canonical
+// answer order every query method documents.
+func sortResults(out []Result) {
+	sort.Slice(out, func(x, y int) bool {
+		if out[x].Dist != out[y].Dist {
+			return out[x].Dist < out[y].Dist
+		}
+		return out[x].ID < out[y].ID
+	})
+}

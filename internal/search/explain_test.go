@@ -17,7 +17,7 @@ func TestExplainKNNConsistency(t *testing.T) {
 	ix := NewIndex(ts, NewBiBranch())
 	q := testDataset(1, 81)[0]
 
-	plain, _ := ix.KNN(q, 5)
+	plain, _, _ := ix.KNN(context.Background(), q, 5)
 	res, stats, ex, err := ix.KNNExplain(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -60,7 +60,7 @@ func TestExplainRangeConsistency(t *testing.T) {
 	ix := NewIndex(ts, NewBiBranch())
 	q := ts[10]
 
-	plain, _ := ix.Range(q, 4)
+	plain, _, _ := ix.Range(context.Background(), q, 4)
 	res, stats, ex, err := ix.RangeExplain(context.Background(), q, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -126,7 +126,7 @@ func TestTightnessWithinFactor(t *testing.T) {
 func TestExplainFilterlessPaths(t *testing.T) {
 	ts := testDataset(20, 84)
 	for _, f := range []Filter{NewHisto(), NewNone()} {
-		ix := NewIndex(ts, f)
+		ix := NewIndex(ts, WithFilter(f))
 		_, _, ex, err := ix.KNNExplain(context.Background(), ts[0], 3)
 		if err != nil {
 			t.Fatal(err)
@@ -179,7 +179,7 @@ func TestExplainString(t *testing.T) {
 func TestStatsQualityCounters(t *testing.T) {
 	ts := testDataset(40, 86)
 	ix := NewIndex(ts, NewBiBranch())
-	_, stats := ix.KNN(ts[7], 5)
+	_, stats, _ := ix.KNN(context.Background(), ts[7], 5)
 	if stats.Candidates <= 0 || stats.Candidates > 40 {
 		t.Errorf("candidates %d outside (0,40]", stats.Candidates)
 	}

@@ -187,7 +187,12 @@ func (f *Histo) Index(ts []*tree.Tree) {
 		}
 		f.cfg = histogram.EqualSpace(3 * avg)
 	}
-	f.profiles = histogram.ProfileAllConfig(ts, f.cfg)
+	// Per-tree profiling is independent once the folding configuration is
+	// fixed, so the build fans out like the query stages do.
+	f.profiles = make([]*histogram.Profile, len(ts))
+	forEach(len(ts), 0, func(i int) {
+		f.profiles[i] = histogram.NewProfileConfig(ts[i], f.cfg)
+	})
 }
 
 // Append implements Appender. The folding configuration chosen at Index

@@ -1,10 +1,8 @@
 package search
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -16,7 +14,9 @@ import (
 // AttrReporter is an optional Bounder capability: annotate the query's
 // filter span with per-stage counters accumulated during the bound pass
 // (pivot-screen prunes, VP-tree distance evaluations). The engine calls it
-// once, after the filter stage, on the span that timed it.
+// once per bounder, after its bound pass, on the span that timed it — the
+// filter span itself when the query ran unsharded, each shard's child span
+// otherwise.
 type AttrReporter interface {
 	ReportAttrs(sp *obs.Span)
 }
@@ -33,6 +33,12 @@ type Result struct {
 // Tightness are the filter-quality counters behind EXPLAIN and the
 // server's rolling metrics; they are cheap enough to compute on every
 // query.
+//
+// Results, Candidates and Dataset are deterministic for fixed inputs
+// regardless of sharding and worker count. Verified (and the counters
+// derived from it) is deterministic for range queries; for k-NN under
+// parallel refinement it can vary slightly with worker timing, because
+// the shared k-th-distance threshold prunes opportunistically.
 type Stats struct {
 	Dataset        int           // dataset size |D|
 	Candidates     int           // trees the filter could not prune (see Explain.Candidates)
@@ -92,18 +98,22 @@ func (s Stats) String() string {
 }
 
 // Index is a similarity-searchable tree collection: the dataset plus the
-// preprocessed state of one filter.
+// preprocessed state of one filter, and the execution configuration a
+// query runs under (shard count, worker pool).
 //
 // An Index is safe for concurrent use: queries run under a shared read
 // lock and Insert takes the write lock, so readers never observe a
 // half-appended dataset. Long-running queries therefore delay inserts (and
 // vice versa); servers that need bounded insert latency should bound query
-// time with KNNContext/RangeContext.
+// time through the query context.
 type Index struct {
 	mu     sync.RWMutex
 	trees  []*tree.Tree
 	filter Filter
 	cost   editdist.CostModel
+
+	shards int       // WithShards; 0 = pool size
+	pool   *workPool // shared worker budget for shard + refine helpers
 }
 
 // ctxCheckEvery is how many cheap filter-bound computations happen between
@@ -114,22 +124,37 @@ const ctxCheckEvery = 1024
 // defaultCost is the cost model of indexes built without an explicit one.
 func defaultCost() editdist.CostModel { return editdist.UnitCost{} }
 
-// NewIndex builds an index over the dataset with the given filter,
-// preprocessing the whole dataset once. The filter may be nil, which means
-// None (sequential scan). Unit edit costs are used; see NewIndexCost.
-func NewIndex(ts []*tree.Tree, f Filter) *Index {
-	return NewIndexCost(ts, f, editdist.UnitCost{})
+// NewIndex builds an index over the dataset, preprocessing the whole
+// dataset once under the selected filter. Options pick the filter, the
+// cost model and the parallel execution shape:
+//
+//	ix := search.NewIndex(ts, search.NewBiBranch())          // filter as option
+//	ix := search.NewIndex(ts, search.WithFilter(f),          // interface-typed filter
+//	    search.WithShards(4), search.WithRefineWorkers(8))
+//
+// With no filter option (or a nil one) the index degenerates to the
+// sequential scan; with no cost option it uses unit edit costs.
+func NewIndex(ts []*tree.Tree, opts ...IndexOption) *Index {
+	cfg := applyIndexOpts(opts)
+	if cfg.filter == nil {
+		cfg.filter = NewNone()
+	}
+	ix := &Index{
+		trees:  ts,
+		filter: cfg.filter,
+		cost:   cfg.cost,
+		shards: cfg.shards,
+		pool:   newWorkPool(cfg.refineWorkers),
+	}
+	ix.filter.Index(ts)
+	return ix
 }
 
 // NewIndexCost is NewIndex with an explicit cost model for the refine step.
-// The filters' lower bounds are proved for unit costs; a custom model is
-// sound for filtering as long as every operation costs at least 1.
+//
+// Deprecated: use NewIndex(ts, WithFilter(f), WithCostModel(c)).
 func NewIndexCost(ts []*tree.Tree, f Filter, c editdist.CostModel) *Index {
-	if f == nil {
-		f = NewNone()
-	}
-	f.Index(ts)
-	return &Index{trees: ts, filter: f, cost: c}
+	return NewIndex(ts, WithFilter(f), WithCostModel(c))
 }
 
 // Size returns the number of indexed trees.
@@ -188,282 +213,112 @@ func (ix *Index) Tree(i int) *tree.Tree {
 // Filter returns the index's filter.
 func (ix *Index) Filter() Filter { return ix.filter }
 
+// Shards returns the configured shard count (0 means GOMAXPROCS).
+func (ix *Index) Shards() int { return ix.shards }
+
+// RefineWorkers returns the size of the index's worker pool.
+func (ix *Index) RefineWorkers() int { return ix.pool.size }
+
 // KNN returns the k nearest neighbors of q by tree edit distance,
 // implementing Algorithm 2: lower bounds are computed for the whole
-// dataset, candidates are verified in ascending bound order, and the scan
-// stops as soon as the next bound exceeds the current k-th distance. The
-// result is sorted by ascending distance (ties by ascending ID).
-func (ix *Index) KNN(q *tree.Tree, k int) ([]Result, Stats) {
-	res, stats, _ := ix.KNNContext(context.Background(), q, k)
-	return res, stats
-}
-
-// KNNContext is KNN with cancellation: the scan checks ctx before every
-// exact-distance verification (and periodically during the cheap filter
-// pass) and returns ctx.Err() with nil results and the stats accumulated
-// so far. A nil error means the result is complete and exact.
-func (ix *Index) KNNContext(ctx context.Context, q *tree.Tree, k int) ([]Result, Stats, error) {
-	return ix.knnContext(ctx, q, k, nil)
-}
-
-// KNNExplain is KNNContext plus a per-query filter-quality analysis: the
-// candidate count, the lower-bound distribution, false positives and
-// tightness samples (see Explain). The results are identical to
-// KNNContext's; the analysis costs one extra O(n) pass over the already
-// computed bounds.
-func (ix *Index) KNNExplain(ctx context.Context, q *tree.Tree, k int) ([]Result, Stats, *Explain, error) {
-	ex := &Explain{Op: "knn", K: k}
-	res, stats, err := ix.knnContext(ctx, q, k, ex)
+// dataset (sharded across the worker pool), candidates are verified in
+// ascending bound order, and the scan stops as soon as the next bound
+// exceeds the current k-th distance. The result is sorted by ascending
+// distance (ties by ascending ID) and is identical for every shard and
+// worker configuration.
+//
+// The scan checks ctx before every exact-distance verification (and
+// periodically during the cheap filter pass) and returns ctx.Err() with
+// nil results and the stats accumulated so far. A nil error means the
+// result is complete and exact.
+func (ix *Index) KNN(ctx context.Context, q *tree.Tree, k int, opts ...QueryOption) ([]Result, Stats, error) {
+	qc := applyQueryOpts(opts)
+	var ex *Explain
+	if qc.explain != nil {
+		*qc.explain = nil
+		ex = &Explain{Op: "knn", K: k}
+	}
+	res, stats, err := ix.knn(ctx, q, k, &qc, ex)
 	if err != nil {
-		return nil, stats, nil, err
+		return nil, stats, err
 	}
-	ex.finish(ix.filter, stats)
-	return res, stats, ex, nil
-}
-
-func (ix *Index) knnContext(ctx context.Context, q *tree.Tree, k int, ex *Explain) ([]Result, Stats, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-
-	stats := Stats{Dataset: len(ix.trees)}
-	if k <= 0 || len(ix.trees) == 0 {
-		return nil, stats, nil
+	if qc.explain != nil {
+		ex.finish(ix.filter, stats)
+		*qc.explain = ex
 	}
-	if k > len(ix.trees) {
-		k = len(ix.trees)
-	}
-
-	// Stage spans hang off the caller's trace (nil span methods are
-	// no-ops, so untraced queries pay one nil check per stage).
-	span := obs.FromContext(ctx)
-
-	start := time.Now()
-	fspan := span.StartChild("filter")
-	b := ix.filter.Query(q)
-	order := make([]int, len(ix.trees))
-	bounds := make([]int, len(ix.trees))
-	for i := range ix.trees {
-		if i%ctxCheckEvery == 0 && ctx.Err() != nil {
-			stats.FilterTime = time.Since(start)
-			fspan.SetBool("canceled", true)
-			fspan.End()
-			return nil, stats, ctx.Err()
-		}
-		order[i] = i
-		bounds[i] = b.KNNBound(i)
-	}
-	sort.Slice(order, func(x, y int) bool {
-		bx, by := bounds[order[x]], bounds[order[y]]
-		if bx != by {
-			return bx < by
-		}
-		return order[x] < order[y]
-	})
-	stats.FilterTime = time.Since(start)
-	fspan.SetInt("candidates", int64(len(order)))
-	if ar, ok := b.(AttrReporter); ok {
-		ar.ReportAttrs(fspan)
-	}
-	fspan.End()
-	if ex != nil {
-		// order is sorted by bound, so the distribution falls out of the
-		// nearest-rank positions directly.
-		n := len(order)
-		ex.Bounds = BoundDist{
-			Computed: n,
-			Min:      bounds[order[0]],
-			P50:      bounds[order[(n-1)/2]],
-			P99:      bounds[order[(n-1)*99/100]],
-			Max:      bounds[order[n-1]],
-		}
-	}
-
-	start = time.Now()
-	rspan := span.StartChild("refine")
-	h := &maxHeap{}
-	for _, id := range order {
-		if h.Len() == k && bounds[id] > h.top().Dist {
-			break
-		}
-		if ctx.Err() != nil {
-			stats.RefineTime = time.Since(start)
-			rspan.SetInt("verified", int64(stats.Verified))
-			rspan.SetBool("canceled", true)
-			rspan.End()
-			return nil, stats, ctx.Err()
-		}
-		d := editdist.DistanceCost(q, ix.trees[id], ix.cost)
-		stats.Verified++
-		sampleTightness(b, &stats, ex, id, bounds[id], d)
-		switch {
-		case h.Len() < k:
-			heap.Push(h, Result{ID: id, Dist: d})
-		case d < h.top().Dist:
-			h.items[0] = Result{ID: id, Dist: d}
-			heap.Fix(h, 0)
-		}
-	}
-	stats.RefineTime = time.Since(start)
-
-	out := make([]Result, h.Len())
-	copy(out, h.items)
-	sort.Slice(out, func(x, y int) bool {
-		if out[x].Dist != out[y].Dist {
-			return out[x].Dist < out[y].Dist
-		}
-		return out[x].ID < out[y].ID
-	})
-	stats.Results = len(out)
-	if len(out) > 0 {
-		// A tree is a candidate when its bound does not exceed the final
-		// k-th distance: no verification order could prune it unverified.
-		worst := out[len(out)-1].Dist
-		stats.Candidates = sort.Search(len(order), func(i int) bool {
-			return bounds[order[i]] > worst
-		})
-	}
-	stats.FalsePositives = stats.Verified - len(out)
-	rspan.SetInt("verified", int64(stats.Verified))
-	rspan.SetInt("results", int64(len(out)))
-	rspan.End()
-	return out, stats, nil
+	return res, stats, err
 }
 
 // Range returns every tree within edit distance tau of q (inclusive),
 // sorted by ascending distance then ID. A candidate is verified only when
 // its range lower bound does not exceed tau; the lower-bound property makes
-// the result exact.
-func (ix *Index) Range(q *tree.Tree, tau int) ([]Result, Stats) {
-	res, stats, _ := ix.RangeContext(context.Background(), q, tau)
-	return res, stats
-}
-
-// RangeContext is Range with cancellation, under the same contract as
-// KNNContext.
-func (ix *Index) RangeContext(ctx context.Context, q *tree.Tree, tau int) ([]Result, Stats, error) {
-	return ix.rangeContext(ctx, q, tau, nil)
-}
-
-// RangeExplain is RangeContext plus the per-query filter-quality analysis
-// of Explain, mirroring KNNExplain.
-func (ix *Index) RangeExplain(ctx context.Context, q *tree.Tree, tau int) ([]Result, Stats, *Explain, error) {
-	ex := &Explain{Op: "range", Tau: tau}
-	res, stats, err := ix.rangeContext(ctx, q, tau, ex)
+// the result exact. Cancellation follows the same contract as KNN.
+func (ix *Index) Range(ctx context.Context, q *tree.Tree, tau int, opts ...QueryOption) ([]Result, Stats, error) {
+	qc := applyQueryOpts(opts)
+	var ex *Explain
+	if qc.explain != nil {
+		*qc.explain = nil
+		ex = &Explain{Op: "range", Tau: tau}
+	}
+	res, stats, err := ix.rangeq(ctx, q, tau, &qc, ex)
 	if err != nil {
-		return nil, stats, nil, err
+		return nil, stats, err
 	}
-	ex.finish(ix.filter, stats)
-	return res, stats, ex, nil
+	if qc.explain != nil {
+		ex.finish(ix.filter, stats)
+		*qc.explain = ex
+	}
+	return res, stats, err
 }
 
-func (ix *Index) rangeContext(ctx context.Context, q *tree.Tree, tau int, ex *Explain) ([]Result, Stats, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-
-	stats := Stats{Dataset: len(ix.trees)}
-	if tau < 0 {
-		return nil, stats, nil
-	}
-
-	span := obs.FromContext(ctx)
-	var col *explainCollector
-	if ex != nil {
-		col = &explainCollector{bounds: make([]int, 0, len(ix.trees))}
-	}
-
-	start := time.Now()
-	fspan := span.StartChild("filter")
-	b := ix.filter.Query(q)
-	var pool []int
-	if cl, ok := b.(CandidateLister); ok {
-		// The filter can enumerate a sound candidate superset directly
-		// (e.g. through a VP-tree in BDist space) without touching every
-		// indexed tree.
-		vspan := fspan.StartChild("vptree")
-		pool = cl.RangeCandidates(tau)
-		vspan.SetInt("candidates", int64(len(pool)))
-		vspan.End()
-	}
-	candidates := make([]int, 0, len(ix.trees))
-	candBounds := make([]int, 0, len(ix.trees))
-	if pool != nil {
-		for _, i := range pool {
-			rb := b.RangeBound(i, tau)
-			col.addBound(rb)
-			if rb <= tau {
-				candidates = append(candidates, i)
-				candBounds = append(candBounds, rb)
-			}
-		}
-	} else {
-		for i := range ix.trees {
-			if i%ctxCheckEvery == 0 && ctx.Err() != nil {
-				stats.FilterTime = time.Since(start)
-				fspan.SetBool("canceled", true)
-				fspan.End()
-				return nil, stats, ctx.Err()
-			}
-			rb := b.RangeBound(i, tau)
-			col.addBound(rb)
-			if rb <= tau {
-				candidates = append(candidates, i)
-				candBounds = append(candBounds, rb)
-			}
-		}
-	}
-	stats.FilterTime = time.Since(start)
-	stats.Candidates = len(candidates)
-	fspan.SetInt("candidates", int64(len(candidates)))
-	if ar, ok := b.(AttrReporter); ok {
-		ar.ReportAttrs(fspan)
-	}
-	fspan.End()
-	if ex != nil {
-		ex.Bounds = col.boundDist()
-	}
-
-	start = time.Now()
-	rspan := span.StartChild("refine")
-	var out []Result
-	for j, id := range candidates {
-		if ctx.Err() != nil {
-			stats.RefineTime = time.Since(start)
-			rspan.SetInt("verified", int64(stats.Verified))
-			rspan.SetBool("canceled", true)
-			rspan.End()
-			return nil, stats, ctx.Err()
-		}
-		d := editdist.DistanceCost(q, ix.trees[id], ix.cost)
-		stats.Verified++
-		sampleTightness(b, &stats, ex, id, candBounds[j], d)
-		if d <= tau {
-			out = append(out, Result{ID: id, Dist: d})
-		}
-	}
-	stats.RefineTime = time.Since(start)
-
-	sort.Slice(out, func(x, y int) bool {
-		if out[x].Dist != out[y].Dist {
-			return out[x].Dist < out[y].Dist
-		}
-		return out[x].ID < out[y].ID
-	})
-	stats.Results = len(out)
-	stats.FalsePositives = stats.Verified - len(out)
-	rspan.SetInt("verified", int64(stats.Verified))
-	rspan.SetInt("results", int64(len(out)))
-	rspan.End()
-	return out, stats, nil
+// KNNContext is the old name of KNN.
+//
+// Deprecated: use KNN.
+func (ix *Index) KNNContext(ctx context.Context, q *tree.Tree, k int) ([]Result, Stats, error) {
+	return ix.KNN(ctx, q, k)
 }
 
-// maxHeap is a max-heap of Results keyed by distance, holding the current
-// k best candidates; the root is the worst of them (the pruning key).
+// KNNExplain is KNN plus the per-query filter-quality analysis.
+//
+// Deprecated: use KNN with WithExplain.
+func (ix *Index) KNNExplain(ctx context.Context, q *tree.Tree, k int) ([]Result, Stats, *Explain, error) {
+	var ex *Explain
+	res, stats, err := ix.KNN(ctx, q, k, WithExplain(&ex))
+	return res, stats, ex, err
+}
+
+// RangeContext is the old name of Range.
+//
+// Deprecated: use Range.
+func (ix *Index) RangeContext(ctx context.Context, q *tree.Tree, tau int) ([]Result, Stats, error) {
+	return ix.Range(ctx, q, tau)
+}
+
+// RangeExplain is Range plus the per-query filter-quality analysis.
+//
+// Deprecated: use Range with WithExplain.
+func (ix *Index) RangeExplain(ctx context.Context, q *tree.Tree, tau int) ([]Result, Stats, *Explain, error) {
+	var ex *Explain
+	res, stats, err := ix.Range(ctx, q, tau, WithExplain(&ex))
+	return res, stats, ex, err
+}
+
+// maxHeap is a max-heap of Results keyed by (distance, id), holding the
+// current k best candidates; the root is the worst of them (the pruning
+// key). Breaking distance ties by id makes the heap's final content the
+// unique k-minimal (dist, id) set, independent of insertion order — what
+// makes k-NN results shard-count invariant.
 type maxHeap struct {
 	items []Result
 }
 
-func (h *maxHeap) Len() int           { return len(h.items) }
-func (h *maxHeap) Less(i, j int) bool { return h.items[i].Dist > h.items[j].Dist }
+func (h *maxHeap) Len() int { return len(h.items) }
+func (h *maxHeap) Less(i, j int) bool {
+	if h.items[i].Dist != h.items[j].Dist {
+		return h.items[i].Dist > h.items[j].Dist
+	}
+	return h.items[i].ID > h.items[j].ID
+}
 func (h *maxHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
 func (h *maxHeap) Push(x interface{}) { h.items = append(h.items, x.(Result)) }
 func (h *maxHeap) Pop() interface{} {

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestInsertMatchesRebuild(t *testing.T) {
 		func() Filter { return NewSeq() },
 		func() Filter { return NewNone() },
 	} {
-		incr := NewIndex(all[:30], mk())
+		incr := NewIndex(all[:30], WithFilter(mk()))
 		for _, tr := range all[30:] {
 			id, err := incr.Insert(tr)
 			if err != nil {
@@ -27,15 +28,15 @@ func TestInsertMatchesRebuild(t *testing.T) {
 				t.Fatal("Insert returned wrong id")
 			}
 		}
-		full := NewIndex(all, mk())
+		full := NewIndex(all, WithFilter(mk()))
 		for _, q := range []*tree.Tree{all[0], all[45], testDataset(1, 52)[0]} {
-			a, _ := incr.KNN(q, 4)
-			b, _ := full.KNN(q, 4)
+			a, _, _ := incr.KNN(context.Background(), q, 4)
+			b, _, _ := full.KNN(context.Background(), q, 4)
 			if !sameDistances(a, b) {
 				t.Fatalf("%s: incremental KNN %v, rebuilt %v", incr.Filter().Name(), dists(a), dists(b))
 			}
-			ar, _ := incr.Range(q, 3)
-			br, _ := full.Range(q, 3)
+			ar, _, _ := incr.Range(context.Background(), q, 3)
+			br, _, _ := full.Range(context.Background(), q, 3)
 			if !reflect.DeepEqual(ar, br) {
 				t.Fatalf("%s: incremental Range differs", incr.Filter().Name())
 			}
@@ -49,7 +50,7 @@ func TestInsertRejectedByGlobalFilters(t *testing.T) {
 	ts := testDataset(20, 53)
 	extra := testDataset(1, 54)[0]
 	for _, f := range []Filter{NewPivotBiBranch(), NewVPBiBranch()} {
-		ix := NewIndex(ts, f)
+		ix := NewIndex(ts, WithFilter(f))
 		if _, err := ix.Insert(extra); err == nil {
 			t.Errorf("%s accepted an incremental insert", f.Name())
 		}
@@ -68,7 +69,7 @@ func TestInsertFindable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _ := ix.KNN(novel, 1)
+	res, _, _ := ix.KNN(context.Background(), novel, 1)
 	if len(res) != 1 || res[0].ID != id || res[0].Dist != 0 {
 		t.Fatalf("inserted tree not found: %v", res)
 	}

@@ -78,10 +78,12 @@ func (f *PivotBiBranch) Index(ts []*tree.Tree) {
 	minDist := make([]int, len(ts)) // distance to nearest chosen pivot
 	pivot := 0
 	for p := 0; p < nPivots; p++ {
+		// Pivot selection is sequential (each pivot depends on the last),
+		// but a pivot's distance row parallelizes across the dataset.
 		row := make([]int, len(ts))
-		for i := range ts {
+		forEach(len(ts), 0, func(i int) {
 			row[i] = branch.BDist(profiles[pivot], profiles[i])
-		}
+		})
 		f.pivots = append(f.pivots, pivot)
 		f.pivotDists = append(f.pivotDists, row)
 		next, far := 0, -1

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -16,15 +17,15 @@ func TestPivotCompleteness(t *testing.T) {
 		{Q: 2, Pivots: 16, Positional: false},
 		{Q: 3, Pivots: 4, Positional: true},
 	} {
-		ix := NewIndex(ts, f)
+		ix := NewIndex(ts, WithFilter(f))
 		for _, q := range []*tree.Tree{ts[0], ts[40], testDataset(1, 99)[0]} {
-			want, _ := seq.KNN(q, 5)
-			got, _ := ix.KNN(q, 5)
+			want, _, _ := seq.KNN(context.Background(), q, 5)
+			got, _, _ := ix.KNN(context.Background(), q, 5)
 			if !sameDistances(got, want) {
 				t.Fatalf("pivot KNN differs: %v vs %v", dists(got), dists(want))
 			}
-			wantR, _ := seq.Range(q, 4)
-			gotR, _ := ix.Range(q, 4)
+			wantR, _, _ := seq.Range(context.Background(), q, 4)
+			gotR, _, _ := ix.Range(context.Background(), q, 4)
 			if !reflect.DeepEqual(gotR, wantR) {
 				t.Fatalf("pivot Range differs: %v vs %v", gotR, wantR)
 			}
@@ -38,10 +39,10 @@ func TestPivotCompleteness(t *testing.T) {
 func TestPivotBoundSound(t *testing.T) {
 	ts := testDataset(50, 72)
 	f := NewPivotBiBranch()
-	ix := NewIndex(ts, f)
+	ix := NewIndex(ts, WithFilter(f))
 	q := testDataset(1, 73)[0]
 	b := f.Query(q).(*pivotBounder)
-	exact, _ := NewIndex(ts, NewNone()).KNN(q, ix.Size())
+	exact, _, _ := NewIndex(ts, NewNone()).KNN(context.Background(), q, ix.Size())
 	distByID := make(map[int]int, len(exact))
 	for _, r := range exact {
 		distByID[r.ID] = r.Dist
@@ -83,8 +84,8 @@ func TestPivotSelectionSpread(t *testing.T) {
 func TestPivotMoreThanDataset(t *testing.T) {
 	ts := testDataset(3, 75)
 	f := &PivotBiBranch{Pivots: 50}
-	ix := NewIndex(ts, f)
-	res, _ := ix.KNN(ts[0], 2)
+	ix := NewIndex(ts, WithFilter(f))
+	res, _, _ := ix.KNN(context.Background(), ts[0], 2)
 	if len(res) != 2 || res[0].Dist != 0 {
 		t.Fatalf("tiny dataset with excess pivots broken: %v", res)
 	}
@@ -92,8 +93,8 @@ func TestPivotMoreThanDataset(t *testing.T) {
 
 func TestPivotEmptyDataset(t *testing.T) {
 	f := NewPivotBiBranch()
-	ix := NewIndex(nil, f)
-	if res, _ := ix.KNN(tree.MustParse("a"), 1); res != nil {
+	ix := NewIndex(nil, WithFilter(f))
+	if res, _, _ := ix.KNN(context.Background(), tree.MustParse("a"), 1); res != nil {
 		t.Error("empty index returned results")
 	}
 }

@@ -2,6 +2,7 @@ package search
 
 import (
 	"container/heap"
+	"context"
 	"reflect"
 	"testing"
 
@@ -34,13 +35,13 @@ func TestKNNCompleteness(t *testing.T) {
 	base := NewIndex(ts, NewNone())
 	for _, k := range []int{1, 3, 7} {
 		for _, q := range queries {
-			want, wantStats := base.KNN(q, k)
+			want, wantStats, _ := base.KNN(context.Background(), q, k)
 			if wantStats.Verified != len(ts) {
 				t.Fatalf("sequential scan verified %d, want all %d", wantStats.Verified, len(ts))
 			}
 			for _, f := range allFilters() {
-				ix := NewIndex(ts, f)
-				got, stats := ix.KNN(q, k)
+				ix := NewIndex(ts, WithFilter(f))
+				got, stats, _ := ix.KNN(context.Background(), q, k)
 				if !sameDistances(got, want) {
 					t.Fatalf("filter %s k=%d: distances %v, want %v",
 						f.Name(), k, dists(got), dists(want))
@@ -61,9 +62,9 @@ func TestRangeCompleteness(t *testing.T) {
 	base := NewIndex(ts, NewNone())
 	for _, tau := range []int{0, 1, 3, 6, 12} {
 		for _, q := range queries {
-			want, _ := base.Range(q, tau)
+			want, _, _ := base.Range(context.Background(), q, tau)
 			for _, f := range allFilters() {
-				got, stats := NewIndex(ts, f).Range(q, tau)
+				got, stats, _ := NewIndex(ts, WithFilter(f)).Range(context.Background(), q, tau)
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("filter %s tau=%d: results %v, want %v",
 						f.Name(), tau, got, want)
@@ -82,13 +83,13 @@ func TestRangeCompleteness(t *testing.T) {
 func TestBiBranchPrunes(t *testing.T) {
 	ts := testDataset(100, 5)
 	q := ts[10]
-	_, seq := NewIndex(ts, NewNone()).KNN(q, 3)
-	_, bib := NewIndex(ts, NewBiBranch()).KNN(q, 3)
+	_, seq, _ := NewIndex(ts, NewNone()).KNN(context.Background(), q, 3)
+	_, bib, _ := NewIndex(ts, NewBiBranch()).KNN(context.Background(), q, 3)
 	if bib.Verified >= seq.Verified {
 		t.Errorf("BiBranch verified %d, sequential %d — no pruning", bib.Verified, seq.Verified)
 	}
-	_, seqR := NewIndex(ts, NewNone()).Range(q, 2)
-	_, bibR := NewIndex(ts, NewBiBranch()).Range(q, 2)
+	_, seqR, _ := NewIndex(ts, NewNone()).Range(context.Background(), q, 2)
+	_, bibR, _ := NewIndex(ts, NewBiBranch()).Range(context.Background(), q, 2)
 	if bibR.Verified >= seqR.Verified {
 		t.Errorf("range: BiBranch verified %d, sequential %d", bibR.Verified, seqR.Verified)
 	}
@@ -97,7 +98,7 @@ func TestBiBranchPrunes(t *testing.T) {
 func TestKNNSelfQuery(t *testing.T) {
 	ts := testDataset(30, 6)
 	ix := NewIndex(ts, NewBiBranch())
-	res, _ := ix.KNN(ts[7], 1)
+	res, _, _ := ix.KNN(context.Background(), ts[7], 1)
 	if len(res) != 1 || res[0].Dist != 0 {
 		t.Fatalf("1-NN of a dataset member should be itself at distance 0, got %v", res)
 	}
@@ -107,14 +108,14 @@ func TestKNNEdgeCases(t *testing.T) {
 	ts := testDataset(10, 7)
 	ix := NewIndex(ts, NewBiBranch())
 	q := ts[0]
-	if res, _ := ix.KNN(q, 0); res != nil {
+	if res, _, _ := ix.KNN(context.Background(), q, 0); res != nil {
 		t.Error("k=0 should return nothing")
 	}
-	if res, _ := ix.KNN(q, 100); len(res) != len(ts) {
+	if res, _, _ := ix.KNN(context.Background(), q, 100); len(res) != len(ts) {
 		t.Errorf("k>|D| should return all %d, got %d", len(ts), len(res))
 	}
 	empty := NewIndex(nil, NewBiBranch())
-	if res, _ := empty.KNN(q, 3); res != nil {
+	if res, _, _ := empty.KNN(context.Background(), q, 3); res != nil {
 		t.Error("empty index should return nothing")
 	}
 }
@@ -122,10 +123,10 @@ func TestKNNEdgeCases(t *testing.T) {
 func TestRangeEdgeCases(t *testing.T) {
 	ts := testDataset(10, 8)
 	ix := NewIndex(ts, NewBiBranch())
-	if res, _ := ix.Range(ts[0], -1); res != nil {
+	if res, _, _ := ix.Range(context.Background(), ts[0], -1); res != nil {
 		t.Error("negative range should return nothing")
 	}
-	res, _ := ix.Range(ts[0], 0)
+	res, _, _ := ix.Range(context.Background(), ts[0], 0)
 	found := false
 	for _, r := range res {
 		if r.ID == 0 {
@@ -143,13 +144,13 @@ func TestRangeEdgeCases(t *testing.T) {
 func TestResultsSorted(t *testing.T) {
 	ts := testDataset(50, 9)
 	ix := NewIndex(ts, NewBiBranch())
-	res, _ := ix.KNN(ts[3], 10)
+	res, _, _ := ix.KNN(context.Background(), ts[3], 10)
 	for i := 1; i < len(res); i++ {
 		if res[i].Dist < res[i-1].Dist {
 			t.Fatal("k-NN results not sorted by distance")
 		}
 	}
-	resR, _ := ix.Range(ts[3], 8)
+	resR, _, _ := ix.Range(context.Background(), ts[3], 8)
 	for i := 1; i < len(resR); i++ {
 		if resR[i].Dist < resR[i-1].Dist {
 			t.Fatal("range results not sorted by distance")
@@ -160,7 +161,7 @@ func TestResultsSorted(t *testing.T) {
 func TestStats(t *testing.T) {
 	ts := testDataset(40, 10)
 	ix := NewIndex(ts, NewBiBranch())
-	_, st := ix.KNN(ts[0], 3)
+	_, st, _ := ix.KNN(context.Background(), ts[0], 3)
 	if st.Dataset != 40 {
 		t.Errorf("Dataset = %d", st.Dataset)
 	}
@@ -192,8 +193,8 @@ func TestCustomCostModel(t *testing.T) {
 	seq := NewIndexCost(ts, NewNone(), c)
 	bib := NewIndexCost(ts, NewBiBranch(), c)
 	q := ts[5]
-	want, _ := seq.Range(q, 6)
-	got, _ := bib.Range(q, 6)
+	want, _, _ := seq.Range(context.Background(), q, 6)
+	got, _, _ := bib.Range(context.Background(), q, 6)
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("custom-cost range results differ: %v vs %v", got, want)
 	}
@@ -278,8 +279,8 @@ func TestBiBranchDefaultQ(t *testing.T) {
 // a complete filter.
 func TestHistoUnboundedCompleteness(t *testing.T) {
 	ts := testDataset(40, 31)
-	want, _ := NewIndex(ts, NewNone()).Range(ts[3], 4)
-	got, _ := NewIndex(ts, &Histo{Unbounded: true}).Range(ts[3], 4)
+	want, _, _ := NewIndex(ts, NewNone()).Range(context.Background(), ts[3], 4)
+	got, _, _ := NewIndex(ts, &Histo{Unbounded: true}).Range(context.Background(), ts[3], 4)
 	if !reflect.DeepEqual(got, want) {
 		t.Error("unbounded Histo lost results")
 	}
@@ -307,7 +308,7 @@ func TestKNNDistancesExact(t *testing.T) {
 	ts := testDataset(25, 13)
 	ix := NewIndex(ts, NewBiBranch())
 	q := testDataset(1, 14)[0]
-	res, _ := ix.KNN(q, 5)
+	res, _, _ := ix.KNN(context.Background(), q, 5)
 	for _, r := range res {
 		if want := editdist.Distance(q, ts[r.ID]); r.Dist != want {
 			t.Errorf("result %d: distance %d, want %d", r.ID, r.Dist, want)

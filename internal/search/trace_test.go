@@ -30,7 +30,9 @@ func childByName(sn obs.SpanSnapshot, name string) (obs.SpanSnapshot, bool) {
 // candidate/verified counts matching the returned Stats.
 func TestKNNContextSpans(t *testing.T) {
 	ts := traceDataset(t, 60)
-	ix := NewIndex(ts, NewBiBranch())
+	// WithShards(1) pins the sequential span shape: sharded queries hang
+	// bounder attrs off shard[i] children instead of the filter span.
+	ix := NewIndex(ts, NewBiBranch(), WithShards(1))
 
 	root := obs.New("query")
 	ctx := obs.NewContext(context.Background(), root)
@@ -86,7 +88,7 @@ func TestRangeContextSpansUntraced(t *testing.T) {
 // the filter span, and they account for every candidate it bounded.
 func TestPivotStageAttrs(t *testing.T) {
 	ts := traceDataset(t, 80)
-	ix := NewIndex(ts, NewPivotBiBranch())
+	ix := NewIndex(ts, NewPivotBiBranch(), WithShards(1))
 
 	root := obs.New("query")
 	_, _, err := ix.RangeContext(obs.NewContext(context.Background(), root), ts[7], 2)
@@ -113,7 +115,7 @@ func TestPivotStageAttrs(t *testing.T) {
 // the filter span with its candidate count and distance-evaluation attr.
 func TestVPTreeSpan(t *testing.T) {
 	ts := traceDataset(t, 100)
-	ix := NewIndex(ts, NewVPBiBranch())
+	ix := NewIndex(ts, NewVPBiBranch(), WithShards(1))
 
 	root := obs.New("query")
 	res, stats, err := ix.RangeContext(obs.NewContext(context.Background(), root), ts[5], 1)

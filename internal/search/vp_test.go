@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -15,17 +16,17 @@ func TestVPCompleteness(t *testing.T) {
 		{Q: 2, Positional: false, Seed: 7},
 		{Q: 3, Positional: true},
 	} {
-		ix := NewIndex(ts, f)
+		ix := NewIndex(ts, WithFilter(f))
 		for _, q := range []*tree.Tree{ts[3], ts[45], testDataset(1, 92)[0]} {
 			for _, tau := range []int{0, 2, 5} {
-				want, _ := seq.Range(q, tau)
-				got, _ := ix.Range(q, tau)
+				want, _, _ := seq.Range(context.Background(), q, tau)
+				got, _, _ := ix.Range(context.Background(), q, tau)
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("%s tau=%d: %v, want %v", f.Name(), tau, got, want)
 				}
 			}
-			wantK, _ := seq.KNN(q, 4)
-			gotK, _ := ix.KNN(q, 4)
+			wantK, _, _ := seq.KNN(context.Background(), q, 4)
+			gotK, _, _ := ix.KNN(context.Background(), q, 4)
 			if !sameDistances(gotK, wantK) {
 				t.Fatalf("VP KNN differs: %v vs %v", dists(gotK), dists(wantK))
 			}
@@ -38,7 +39,7 @@ func TestVPCompleteness(t *testing.T) {
 func TestVPCandidatesSuperset(t *testing.T) {
 	ts := testDataset(80, 93)
 	f := NewVPBiBranch()
-	ix := NewIndex(ts, f)
+	ix := NewIndex(ts, WithFilter(f))
 	q := ts[11]
 	b := f.Query(q).(*vpBounder)
 	for _, tau := range []int{1, 3} {
@@ -50,7 +51,7 @@ func TestVPCandidatesSuperset(t *testing.T) {
 		for _, c := range cands {
 			inCands[c] = true
 		}
-		want, _ := ix.Range(q, tau)
+		want, _, _ := ix.Range(context.Background(), q, tau)
 		for _, r := range want {
 			if !inCands[r.ID] {
 				t.Fatalf("tau=%d: true result %d missing from candidates", tau, r.ID)
@@ -64,7 +65,7 @@ func TestVPCandidatesSuperset(t *testing.T) {
 func TestVPSelective(t *testing.T) {
 	ts := testDataset(300, 94)
 	f := NewVPBiBranch()
-	NewIndex(ts, f)
+	NewIndex(ts, WithFilter(f))
 	b := f.Query(ts[50]).(*vpBounder)
 	cands := b.RangeCandidates(1)
 	if len(cands) > len(ts)/2 {
@@ -74,7 +75,7 @@ func TestVPSelective(t *testing.T) {
 
 func TestVPEmptyDataset(t *testing.T) {
 	ix := NewIndex(nil, NewVPBiBranch())
-	if res, _ := ix.Range(tree.MustParse("a"), 3); res != nil {
+	if res, _, _ := ix.Range(context.Background(), tree.MustParse("a"), 3); res != nil {
 		t.Error("empty index returned results")
 	}
 }

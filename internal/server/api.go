@@ -117,10 +117,36 @@ type ReadyResponse struct {
 	WALRecords      uint64 `json:"wal_records,omitempty"`
 }
 
-// ErrorResponse is the body of every non-2xx JSON answer.
-type ErrorResponse struct {
-	Error     string `json:"error"`
+// Stable machine-readable error codes carried by ErrorDetail.Code. Clients
+// should branch on these, not on message text or HTTP status alone: the
+// code distinguishes causes that share a status (e.g. a malformed JSON
+// body and a malformed tree are both 400).
+const (
+	ErrCodeInvalidRequest   = "invalid_request"   // body is not valid JSON for the endpoint
+	ErrCodeInvalidTree      = "invalid_tree"      // a tree field failed to parse or was empty
+	ErrCodeInvalidArgument  = "invalid_argument"  // a scalar parameter is out of range (k, tau, op, id, batch size)
+	ErrCodeNotFound         = "not_found"         // the referenced resource does not exist
+	ErrCodeDeadlineExceeded = "deadline_exceeded" // the request deadline expired mid-query
+	ErrCodeCanceled         = "canceled"          // the client went away mid-query
+	ErrCodeOverloaded       = "overloaded"        // admission control refused the request; retry later
+	ErrCodeNotAppendable    = "not_appendable"    // the index filter cannot accept incremental inserts
+	ErrCodeNotDurable       = "not_durable"       // the WAL append failed, so the insert was refused; retry
+	ErrCodeInternal         = "internal"          // handler panic or other server-side fault
+)
+
+// ErrorDetail is the payload of every non-2xx JSON answer: a stable code
+// for programs, a human-readable message, and the request id for log
+// correlation.
+type ErrorDetail struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
 	RequestID string `json:"request_id,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON answer, the uniform
+// envelope {"error": {"code": ..., "message": ..., "request_id": ...}}.
+type ErrorResponse struct {
+	Error ErrorDetail `json:"error"`
 }
 
 func statsJSON(s search.Stats) StatsJSON {

@@ -42,12 +42,13 @@ func traceSnapshot(r *http.Request) *obs.SpanSnapshot {
 // request"; no standard code exists.
 const statusClientClosed = 499
 
-// ctxStatus maps a context error from a query to a response status.
-func ctxStatus(err error) (int, string) {
+// ctxStatus maps a context error from a query to a response status, error
+// code, and message.
+func ctxStatus(err error) (int, string, string) {
 	if errors.Is(err, context.DeadlineExceeded) {
-		return http.StatusGatewayTimeout, "query deadline exceeded"
+		return http.StatusGatewayTimeout, ErrCodeDeadlineExceeded, "query deadline exceeded"
 	}
-	return statusClientClosed, "client canceled request"
+	return statusClientClosed, ErrCodeCanceled, "client canceled request"
 }
 
 // parseTree parses a request tree, rejecting empties.
@@ -83,16 +84,16 @@ func (s *Server) queryResponse(res []search.Result, stats search.Stats) QueryRes
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	var req KNNRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, err.Error(), requestID(w))
 		return
 	}
 	if req.K <= 0 {
-		writeError(w, http.StatusBadRequest, "k must be positive", requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidArgument, "k must be positive", requestID(w))
 		return
 	}
 	q, err := parseTree("tree", req.Tree)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidTree, err.Error(), requestID(w))
 		return
 	}
 	var (
@@ -108,8 +109,8 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		res, stats, err = s.ix.KNNContext(r.Context(), q, req.K)
 	}
 	if err != nil {
-		code, msg := ctxStatus(err)
-		writeError(w, code, msg, requestID(w))
+		status, code, msg := ctxStatus(err)
+		writeError(w, status, code, msg, requestID(w))
 		return
 	}
 	s.metrics.ObserveQuery(stats)
@@ -128,16 +129,16 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	var req RangeRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, err.Error(), requestID(w))
 		return
 	}
 	if req.Tau < 0 {
-		writeError(w, http.StatusBadRequest, "tau must be non-negative", requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidArgument, "tau must be non-negative", requestID(w))
 		return
 	}
 	q, err := parseTree("tree", req.Tree)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidTree, err.Error(), requestID(w))
 		return
 	}
 	var (
@@ -151,8 +152,8 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		res, stats, err = s.ix.RangeContext(r.Context(), q, req.Tau)
 	}
 	if err != nil {
-		code, msg := ctxStatus(err)
-		writeError(w, code, msg, requestID(w))
+		status, code, msg := ctxStatus(err)
+		writeError(w, status, code, msg, requestID(w))
 		return
 	}
 	s.metrics.ObserveQuery(stats)
@@ -171,17 +172,17 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 	var req DistRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, err.Error(), requestID(w))
 		return
 	}
 	t1, err := parseTree("t1", req.T1)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidTree, err.Error(), requestID(w))
 		return
 	}
 	t2, err := parseTree("t2", req.T2)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidTree, err.Error(), requestID(w))
 		return
 	}
 	space := branch.NewSpace(branch.MinQ)
@@ -195,35 +196,35 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, err.Error(), requestID(w))
 		return
 	}
 	if req.Op != "knn" && req.Op != "range" {
-		writeError(w, http.StatusBadRequest, `op must be "knn" or "range"`, requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidArgument, `op must be "knn" or "range"`, requestID(w))
 		return
 	}
 	if len(req.Trees) == 0 {
-		writeError(w, http.StatusBadRequest, "trees must be non-empty", requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidArgument, "trees must be non-empty", requestID(w))
 		return
 	}
 	if len(req.Trees) > s.cfg.MaxBatch {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidArgument,
 			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Trees), s.cfg.MaxBatch), requestID(w))
 		return
 	}
 	if req.Op == "knn" && req.K <= 0 {
-		writeError(w, http.StatusBadRequest, "k must be positive", requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidArgument, "k must be positive", requestID(w))
 		return
 	}
 	if req.Op == "range" && req.Tau < 0 {
-		writeError(w, http.StatusBadRequest, "tau must be non-negative", requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidArgument, "tau must be non-negative", requestID(w))
 		return
 	}
 	qs := make([]*tree.Tree, len(req.Trees))
 	for i, ts := range req.Trees {
 		q, err := parseTree(fmt.Sprintf("trees[%d]", i), ts)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+			writeError(w, http.StatusBadRequest, ErrCodeInvalidTree, err.Error(), requestID(w))
 			return
 		}
 		qs[i] = q
@@ -283,8 +284,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	if err, _ := qerr.Load().(error); err != nil {
-		code, msg := ctxStatus(err)
-		writeError(w, code, msg, requestID(w))
+		status, code, msg := ctxStatus(err)
+		writeError(w, status, code, msg, requestID(w))
 		return
 	}
 	for i, st := range allStats {
@@ -301,12 +302,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	var req InsertRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, err.Error(), requestID(w))
 		return
 	}
 	t, err := parseTree("tree", req.Tree)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error(), requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidTree, err.Error(), requestID(w))
 		return
 	}
 	if !s.ix.Appendable() {
@@ -314,7 +315,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		// VP-trees) that appending would corrupt; this deployment needs a
 		// rebuild, not a retry. Checked before the WAL append so the log
 		// never records an insert that was refused.
-		writeError(w, http.StatusUnprocessableEntity,
+		writeError(w, http.StatusUnprocessableEntity, ErrCodeNotAppendable,
 			fmt.Sprintf("filter %s does not support incremental inserts", s.ix.Filter().Name()), requestID(w))
 		return
 	}
@@ -331,14 +332,14 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		s.walMu.Unlock()
 		s.log.Error("wal append failed, insert refused", "err", err)
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable,
+		writeError(w, http.StatusServiceUnavailable, ErrCodeNotDurable,
 			"insert not durable (write-ahead log append failed); retry", requestID(w))
 		return
 	}
 	id, err = s.ix.Insert(t)
 	s.walMu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error(), requestID(w))
+		writeError(w, http.StatusUnprocessableEntity, ErrCodeNotAppendable, err.Error(), requestID(w))
 		return
 	}
 	s.inserts.Add(1)
@@ -348,12 +349,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetTree(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "tree id must be an integer", requestID(w))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidArgument, "tree id must be an integer", requestID(w))
 		return
 	}
 	t, ok := s.ix.TreeAt(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no tree %d (index holds %d)", id, s.ix.Size()), requestID(w))
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, fmt.Sprintf("no tree %d (index holds %d)", id, s.ix.Size()), requestID(w))
 		return
 	}
 	writeJSON(w, http.StatusOK, TreeResponse{ID: id, Tree: t.String(), Size: t.Size()})

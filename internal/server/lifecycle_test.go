@@ -93,8 +93,8 @@ func TestServeShutdownFinalSnapshot(t *testing.T) {
 		t.Fatalf("snapshot holds %d trees, want %d", loaded.Size(), len(ts)+1)
 	}
 	for qi, q := range []int{0, 15, 30} {
-		a, _ := ix.KNN(ix.Tree(q), 4)
-		b, _ := loaded.KNN(loaded.Tree(q), 4)
+		a, _, _ := ix.KNN(context.Background(), ix.Tree(q), 4)
+		b, _, _ := loaded.KNN(context.Background(), loaded.Tree(q), 4)
 		if len(a) != len(b) {
 			t.Fatalf("query %d: reloaded index answers differently", qi)
 		}

@@ -83,7 +83,7 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 			if p := recover(); p != nil {
 				s.log.Error("handler panic", "request_id", rid, "endpoint", endpoint, "panic", p)
 				if !sw.wrote {
-					writeError(sw, http.StatusInternalServerError, "internal error", rid)
+					writeError(sw, http.StatusInternalServerError, ErrCodeInternal, "internal error", rid)
 				}
 				sw.status = http.StatusInternalServerError
 			}
@@ -119,7 +119,7 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 		if limited {
 			if !s.sem.tryAcquire() {
 				sw.Header().Set("Retry-After", "1")
-				writeError(sw, http.StatusTooManyRequests,
+				writeError(sw, http.StatusTooManyRequests, ErrCodeOverloaded,
 					fmt.Sprintf("server saturated (%d queries in flight); retry", cap(s.sem)), rid)
 				return
 			}
@@ -143,9 +143,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError writes the standard error body.
-func writeError(w http.ResponseWriter, status int, msg, rid string) {
-	writeJSON(w, status, ErrorResponse{Error: msg, RequestID: rid})
+// writeError writes the uniform error envelope: a stable machine-readable
+// code, the human-readable message, and the request id.
+func writeError(w http.ResponseWriter, status int, code, msg, rid string) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorDetail{Code: code, Message: msg, RequestID: rid}})
 }
 
 // requestID returns the ID the middleware assigned to this response.

@@ -108,11 +108,11 @@ func TestPanicRecovery(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatalf("error body: %v", err)
 	}
-	if e.Error == "" || e.RequestID == "" {
+	if e.Error.Code != ErrCodeInternal || e.Error.Message == "" || e.Error.RequestID == "" {
 		t.Errorf("error body incomplete: %+v", e)
 	}
-	if e.RequestID != resp.Header.Get("X-Request-Id") {
-		t.Errorf("body request ID %q != header %q", e.RequestID, resp.Header.Get("X-Request-Id"))
+	if e.Error.RequestID != resp.Header.Get("X-Request-Id") {
+		t.Errorf("body request ID %q != header %q", e.Error.RequestID, resp.Header.Get("X-Request-Id"))
 	}
 	if !strings.Contains(buf.String(), "kaboom") {
 		t.Error("panic value missing from the log")

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -82,7 +83,7 @@ func TestKNNRangeEquivalence(t *testing.T) {
 	queries := []*tree.Tree{ts[0], ts[33], testDataset(1, 2)[0]}
 	for _, q := range queries {
 		for _, k := range []int{1, 5} {
-			want, _ := s.Index().KNN(q, k)
+			want, _, _ := s.Index().KNN(context.Background(), q, k)
 			var got QueryResponse
 			if code := postJSON(t, hs.URL+"/v1/knn", KNNRequest{Tree: q.String(), K: k}, &got); code != 200 {
 				t.Fatalf("knn status %d", code)
@@ -103,7 +104,7 @@ func TestKNNRangeEquivalence(t *testing.T) {
 			}
 		}
 		for _, tau := range []int{0, 3} {
-			want, _ := s.Index().Range(q, tau)
+			want, _, _ := s.Index().Range(context.Background(), q, tau)
 			var got QueryResponse
 			if code := postJSON(t, hs.URL+"/v1/range", RangeRequest{Tree: q.String(), Tau: tau}, &got); code != 200 {
 				t.Fatalf("range status %d", code)
@@ -133,7 +134,7 @@ func TestBatchEquivalence(t *testing.T) {
 	}
 	for i, ql := range trees {
 		q := tree.MustParse(ql)
-		want, _ := s.Index().KNN(q, 3)
+		want, _, _ := s.Index().KNN(context.Background(), q, 3)
 		got := batch.Queries[i].Results
 		if len(got) != len(want) {
 			t.Fatalf("batch query %d: %d results, want %d", i, len(got), len(want))
@@ -150,7 +151,7 @@ func TestBatchEquivalence(t *testing.T) {
 		t.Fatalf("range batch status %d", code)
 	}
 	for i, ql := range trees {
-		want, _ := s.Index().Range(tree.MustParse(ql), 2)
+		want, _, _ := s.Index().Range(context.Background(), tree.MustParse(ql), 2)
 		if len(rbatch.Queries[i].Results) != len(want) {
 			t.Fatalf("range batch query %d: %d results, want %d", i, len(rbatch.Queries[i].Results), len(want))
 		}
@@ -233,17 +234,18 @@ func TestBadRequests(t *testing.T) {
 		path string
 		body string
 		want int
+		code string
 	}{
-		{"/v1/knn", `{bad json`, 400},
-		{"/v1/knn", `{"tree":"a(b","k":3}`, 400},
-		{"/v1/knn", `{"tree":"a(b)","k":0}`, 400},
-		{"/v1/knn", `{"tree":"","k":3}`, 400},
-		{"/v1/range", `{"tree":"a(b)","tau":-1}`, 400},
-		{"/v1/dist", `{"t1":"a","t2":"b("}`, 400},
-		{"/v1/batch", `{"op":"nope","trees":["a"],"k":1}`, 400},
-		{"/v1/batch", `{"op":"knn","trees":[],"k":1}`, 400},
-		{"/v1/batch", `{"op":"knn","trees":["a","b("],"k":1}`, 400},
-		{"/v1/trees", `{"tree":"x(y"}`, 400},
+		{"/v1/knn", `{bad json`, 400, ErrCodeInvalidRequest},
+		{"/v1/knn", `{"tree":"a(b","k":3}`, 400, ErrCodeInvalidTree},
+		{"/v1/knn", `{"tree":"a(b)","k":0}`, 400, ErrCodeInvalidArgument},
+		{"/v1/knn", `{"tree":"","k":3}`, 400, ErrCodeInvalidTree},
+		{"/v1/range", `{"tree":"a(b)","tau":-1}`, 400, ErrCodeInvalidArgument},
+		{"/v1/dist", `{"t1":"a","t2":"b("}`, 400, ErrCodeInvalidTree},
+		{"/v1/batch", `{"op":"nope","trees":["a"],"k":1}`, 400, ErrCodeInvalidArgument},
+		{"/v1/batch", `{"op":"knn","trees":[],"k":1}`, 400, ErrCodeInvalidArgument},
+		{"/v1/batch", `{"op":"knn","trees":["a","b("],"k":1}`, 400, ErrCodeInvalidTree},
+		{"/v1/trees", `{"tree":"x(y"}`, 400, ErrCodeInvalidTree},
 	}
 	for _, c := range cases {
 		resp, err := http.Post(hs.URL+c.path, "application/json", bytes.NewReader([]byte(c.body)))
@@ -256,8 +258,11 @@ func TestBadRequests(t *testing.T) {
 		if resp.StatusCode != c.want {
 			t.Errorf("%s %q: status %d, want %d", c.path, c.body, resp.StatusCode, c.want)
 		}
-		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error.Message == "" {
 			t.Errorf("%s %q: error body %q not a JSON error", c.path, c.body, raw)
+		}
+		if e.Error.Code != c.code {
+			t.Errorf("%s %q: error code %q, want %q", c.path, c.body, e.Error.Code, c.code)
 		}
 	}
 	// Oversized batch.
@@ -397,8 +402,8 @@ func TestConcurrentTraffic(t *testing.T) {
 	}
 	clean := search.NewIndex(all, search.NewBiBranch())
 	for _, q := range queries {
-		a, _ := s.Index().KNN(q, 5)
-		b, _ := clean.KNN(q, 5)
+		a, _, _ := s.Index().KNN(context.Background(), q, 5)
+		b, _, _ := clean.KNN(context.Background(), q, 5)
 		for i := range a {
 			if a[i].Dist != b[i].Dist {
 				t.Fatalf("hammered server index differs from clean rebuild: %v vs %v", a, b)

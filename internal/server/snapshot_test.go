@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -116,8 +117,8 @@ func verifySnapshot(t *testing.T, path string, queries []*tree.Tree) *search.Ind
 	}
 	clean := search.NewIndex(trees, search.NewBiBranch())
 	for _, q := range queries {
-		a, _ := loaded.KNN(q, 3)
-		b, _ := clean.KNN(q, 3)
+		a, _, _ := loaded.KNN(context.Background(), q, 3)
+		b, _, _ := clean.KNN(context.Background(), q, 3)
 		if len(a) != len(b) {
 			t.Fatalf("snapshot index: %d results, clean rebuild %d", len(a), len(b))
 		}

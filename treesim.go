@@ -27,7 +27,7 @@
 //	bd := treesim.BDist(p1, p2)                       // 9 → EDist ≥ 2
 //
 //	ix := treesim.NewIndex(dataset, treesim.NewBiBranchFilter())
-//	top5, stats := ix.KNN(query, 5)
+//	top5, stats, err := ix.KNN(ctx, query, 5)
 //
 // See the examples directory for XML search, RNA structure retrieval,
 // clustering and similarity joins, and cmd/experiments for the paper's
@@ -35,6 +35,7 @@
 package treesim
 
 import (
+	"fmt"
 	"io"
 
 	"treesim/internal/branch"
@@ -141,47 +142,110 @@ type Result = search.Result
 // Stats reports what a query cost (verified count, filter/refine time).
 type Stats = search.Stats
 
-// NewIndex preprocesses a dataset under the given filter (nil = none, i.e.
-// sequential scan) with unit edit costs.
-func NewIndex(ts []*Tree, f Filter) *Index { return search.NewIndex(ts, f) }
+// Explain is the per-query filter-quality analysis (see WithExplain).
+type Explain = search.Explain
 
-// NewIndexCost is NewIndex with a custom refine cost model; filtering
-// remains exact as long as every operation costs at least 1.
+// IndexOption configures NewIndex and LoadIndex; see WithFilter,
+// WithCostModel, WithShards and WithRefineWorkers. Concrete filter values
+// returned by the New*Filter constructors are themselves IndexOptions.
+type IndexOption = search.IndexOption
+
+// QueryOption configures one KNN or Range call; see WithExplain.
+type QueryOption = search.QueryOption
+
+// NewIndex preprocesses a dataset once and returns a queryable index:
+//
+//	ix := treesim.NewIndex(ts, treesim.NewBiBranchFilter())
+//	res, stats, err := ix.KNN(ctx, q, 5)
+//
+// With no filter option the index degenerates to the sequential scan;
+// with no cost option it uses unit edit costs. WithShards and
+// WithRefineWorkers shape intra-query parallelism — they never change
+// results.
+func NewIndex(ts []*Tree, opts ...IndexOption) *Index { return search.NewIndex(ts, opts...) }
+
+// NewIndexCost is NewIndex with a custom refine cost model.
+//
+// Deprecated: use NewIndex(ts, WithFilter(f), WithCostModel(c)).
 func NewIndexCost(ts []*Tree, f Filter, c CostModel) *Index {
 	return search.NewIndexCost(ts, f, c)
 }
 
+// WithFilter selects the index's filter (nil means sequential scan).
+func WithFilter(f Filter) IndexOption { return search.WithFilter(f) }
+
+// WithCostModel sets the refine stage's edit cost model; filtering
+// remains exact as long as every operation costs at least 1.
+func WithCostModel(m CostModel) IndexOption { return search.WithCostModel(m) }
+
+// WithShards sets how many dataset shards a query's filter stage fans out
+// over (0 = GOMAXPROCS, 1 = sequential). Results are shard-invariant.
+func WithShards(s int) IndexOption { return search.WithShards(s) }
+
+// WithRefineWorkers bounds the index-wide pool of helper goroutines that
+// queries parallelize over (0 = GOMAXPROCS).
+func WithRefineWorkers(n int) IndexOption { return search.WithRefineWorkers(n) }
+
+// WithExplain asks a query to produce its filter-quality analysis into
+// *dst (set only on success).
+func WithExplain(dst **Explain) QueryOption { return search.WithExplain(dst) }
+
+// BiBranchFilter is the paper's filter: q-level binary branch vectors
+// with, optionally, the positional lower bound.
+type BiBranchFilter = search.BiBranch
+
+// HistoFilter is the histogram filtration baseline of Kailing et al.
+type HistoFilter = search.Histo
+
+// SeqFilter is the sequence lower bound baseline of Guha et al.
+type SeqFilter = search.Seq
+
+// NoFilter disables filtering (sequential scan).
+type NoFilter = search.None
+
+// PivotFilter is the pivot-cascade variant of the BiBranch filter.
+type PivotFilter = search.PivotBiBranch
+
+// VPTreeFilter is the BiBranch filter with a vantage-point tree.
+type VPTreeFilter = search.VPBiBranch
+
 // NewBiBranchFilter returns the paper's filter: two-level binary branches
 // with the positional optimistic bound.
-func NewBiBranchFilter() Filter { return search.NewBiBranch() }
+func NewBiBranchFilter() *BiBranchFilter { return search.NewBiBranch() }
 
-// NewBiBranchFilterQ returns a binary branch filter at level q, optionally
-// without the positional bound (plain ceil(BDist/factor) filtering).
-func NewBiBranchFilterQ(q int, positional bool) Filter {
+// NewBiBranchFilterQ returns a binary branch filter at level q ≥ 2,
+// optionally without the positional bound (plain ceil(BDist/factor)
+// filtering). It panics when q < 2: no binary branch structure of fewer
+// than two levels exists (Definition 2), and deferring the check used to
+// surface as a confusing failure deep inside index construction.
+func NewBiBranchFilterQ(q int, positional bool) *BiBranchFilter {
+	if q < 2 {
+		panic(fmt.Sprintf("treesim: binary branch level q must be >= 2 (got %d)", q))
+	}
 	return &search.BiBranch{Q: q, Positional: positional}
 }
 
 // NewHistoFilter returns the histogram filtration baseline of Kailing et
 // al. with the paper's equal-space sizing.
-func NewHistoFilter() Filter { return search.NewHisto() }
+func NewHistoFilter() *HistoFilter { return search.NewHisto() }
 
 // NewSeqFilter returns the preorder/postorder sequence lower bound filter
 // of Guha et al. (quadratic per pair; included as a baseline).
-func NewSeqFilter() Filter { return search.NewSeq() }
+func NewSeqFilter() *SeqFilter { return search.NewSeq() }
 
 // NewNoFilter disables filtering (sequential scan).
-func NewNoFilter() Filter { return search.NewNone() }
+func NewNoFilter() *NoFilter { return search.NewNone() }
 
 // NewPivotFilter returns the pivot-cascade variant of the BiBranch filter:
 // precomputed distances to a few pivot trees give an O(#pivots) stage-one
 // bound per candidate (via BDist's triangle inequality) before the full
 // positional bound runs.
-func NewPivotFilter() Filter { return search.NewPivotBiBranch() }
+func NewPivotFilter() *PivotFilter { return search.NewPivotBiBranch() }
 
 // NewVPTreeFilter returns the BiBranch filter with a vantage-point tree
 // over the BDist pseudometric: range queries enumerate a sound candidate
 // ball without touching every indexed vector.
-func NewVPTreeFilter() Filter { return search.NewVPBiBranch() }
+func NewVPTreeFilter() *VPTreeFilter { return search.NewVPBiBranch() }
 
 // Similarity joins.
 
@@ -254,8 +318,11 @@ func LoadDataset(r io.Reader) ([]*Tree, error) { return dataset.Load(r) }
 // branch vectors) so it can be reloaded without re-profiling.
 func SaveIndex(w io.Writer, ix *Index) error { return search.SaveIndex(w, ix) }
 
-// LoadIndex reloads an index saved with SaveIndex.
-func LoadIndex(r io.Reader) (*Index, error) { return search.LoadIndex(r) }
+// LoadIndex reloads an index saved with SaveIndex. Options configure the
+// loaded index like NewIndex's do.
+func LoadIndex(r io.Reader, opts ...IndexOption) (*Index, error) {
+	return search.LoadIndex(r, opts...)
+}
 
 // Edit scripts.
 

@@ -1,6 +1,7 @@
 package treesim
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -44,15 +45,15 @@ func TestFacadeSearch(t *testing.T) {
 		NewBiBranchFilter(), NewBiBranchFilterQ(3, false),
 		NewHistoFilter(), NewSeqFilter(), NewNoFilter(), nil,
 	} {
-		ix := NewIndex(data, f)
-		res, stats := ix.KNN(data[5], 3)
+		ix := NewIndex(data, WithFilter(f))
+		res, stats, _ := ix.KNN(context.Background(), data[5], 3)
 		if len(res) != 3 || res[0].Dist != 0 {
 			t.Fatalf("KNN broken under %T: %v", f, res)
 		}
 		if stats.Dataset != 100 {
 			t.Fatalf("stats broken: %+v", stats)
 		}
-		rres, _ := ix.Range(data[5], 2)
+		rres, _, _ := ix.Range(context.Background(), data[5], 2)
 		if len(rres) == 0 || rres[0].Dist != 0 {
 			t.Fatalf("Range broken under %T: %v", f, rres)
 		}
@@ -77,7 +78,7 @@ func TestFacadeIndexCost(t *testing.T) {
 	spec, _ := ParseGeneratorSpec("N{3,0.5}N{12,2}L5D0.1")
 	data := GenerateDataset(spec, 25, 5, 12)
 	ix := NewIndexCost(data, NewBiBranchFilter(), UnitCost{})
-	res, _ := ix.KNN(data[3], 2)
+	res, _, _ := ix.KNN(context.Background(), data[3], 2)
 	if len(res) != 2 || res[0].Dist != 0 {
 		t.Fatalf("NewIndexCost KNN: %v", res)
 	}
@@ -122,9 +123,9 @@ func TestFacadeAdvancedFilters(t *testing.T) {
 	data := GenerateDataset(spec, 80, 8, 9)
 	base := NewIndex(data, NewNoFilter())
 	for _, f := range []Filter{NewPivotFilter(), NewVPTreeFilter()} {
-		ix := NewIndex(data, f)
-		wantR, _ := base.Range(data[7], 3)
-		gotR, _ := ix.Range(data[7], 3)
+		ix := NewIndex(data, WithFilter(f))
+		wantR, _, _ := base.Range(context.Background(), data[7], 3)
+		gotR, _, _ := ix.Range(context.Background(), data[7], 3)
 		if len(gotR) != len(wantR) {
 			t.Fatalf("%T: range results differ", f)
 		}
@@ -179,7 +180,7 @@ func TestFacadeIndexPersistenceAndInsert(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _ := loaded.KNN(novel, 1)
+	res, _, _ := loaded.KNN(context.Background(), novel, 1)
 	if len(res) != 1 || res[0].ID != id || res[0].Dist != 0 {
 		t.Fatalf("inserted tree not retrievable: %v", res)
 	}
@@ -192,5 +193,53 @@ func TestFacadeTreeConstruction(t *testing.T) {
 	}
 	if _, err := ParseTree("a("); err == nil {
 		t.Error("ParseTree accepted malformed input")
+	}
+}
+
+// TestBiBranchFilterQValidation: levels below the proven minimum q=2 are a
+// construction-time panic, not a silently-wrong filter (the scaling factor
+// 4(q-1)+1 degenerates for q < 2 and the bound would be unsound).
+func TestBiBranchFilterQValidation(t *testing.T) {
+	for _, q := range []int{1, 0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBiBranchFilterQ(%d, true) did not panic", q)
+				}
+			}()
+			NewBiBranchFilterQ(q, true)
+		}()
+	}
+	if f := NewBiBranchFilterQ(2, true); f == nil {
+		t.Fatal("NewBiBranchFilterQ(2) rejected a valid level")
+	}
+}
+
+// TestFacadeOptions: the functional-options surface reaches the engine —
+// shard and worker settings apply, WithExplain fills its destination, and
+// results match the default configuration.
+func TestFacadeOptions(t *testing.T) {
+	spec, _ := ParseGeneratorSpec("N{3,0.5}N{14,2}L5D0.1")
+	data := GenerateDataset(spec, 40, 5, 17)
+	plain := NewIndex(data, NewBiBranchFilter())
+	sharded := NewIndex(data, NewBiBranchFilter(), WithShards(5), WithRefineWorkers(4))
+
+	ctx := context.Background()
+	want, _, err := plain.KNN(ctx, data[8], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex *Explain
+	got, _, err := sharded.KNN(ctx, data[8], 4, WithExplain(&ex))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex == nil || ex.Op != "knn" {
+		t.Fatalf("explain not produced: %+v", ex)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("sharded KNN diverged: %v vs %v", got, want)
+		}
 	}
 }

@@ -17,10 +17,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Parallel-engine exactness and race-freedom certificate: the shard
-# invariance and hammer tests under the race detector, repeated.
+# Parallel-engine and storage-engine certificate: the shard invariance
+# tests and the compaction hammer (concurrent inserts, deletes, queries,
+# compactions and snapshots) under the race detector, repeated.
 hammer:
-	$(GO) test -race -count=2 -run 'Shard' ./internal/search
+	$(GO) test -race -count=2 -run 'Shard|Hammer' ./internal/search
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
@@ -43,5 +44,6 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/tree
 	$(GO) test -run='^$$' -fuzz='^FuzzParseString$$' -fuzztime=$(FUZZTIME) ./internal/xmltree
 	$(GO) test -run='^$$' -fuzz='^FuzzLoadIndex$$' -fuzztime=$(FUZZTIME) ./internal/search
+	$(GO) test -run='^$$' -fuzz='^FuzzManifest$$' -fuzztime=$(FUZZTIME) ./internal/segstore
 
 ci: build vet test race hammer fuzz

@@ -18,12 +18,14 @@ go test ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-# Shard hammer: the parallel engine's exactness and race-freedom
-# certificate — forced over-sharding, shared worker pool, concurrent
-# queries — run under the race detector on its own so a failure names
-# the engine, not a random package.
-echo "== shard hammer (-race)"
-go test -race -count=2 -run 'Shard' ./internal/search
+# Shard + compaction hammer: the parallel engine's exactness certificate
+# (forced over-sharding, shared worker pool, concurrent queries) and the
+# storage engine's epoch-snapshot certificate (concurrent inserts,
+# deletes, queries, compactions, snapshot writes) — run under the race
+# detector on their own so a failure names the engine, not a random
+# package.
+echo "== shard + compaction hammer (-race)"
+go test -race -count=2 -run 'Shard|Hammer' ./internal/search
 
 # Serving-benchmark smoke: a tiny fixed-seed run proves the end-to-end
 # harness works; real numbers come from `make bench-server`.
@@ -47,5 +49,6 @@ echo "== go test -fuzz (fuzztime $FUZZTIME per target)"
 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime="$FUZZTIME" ./internal/tree
 go test -run='^$' -fuzz='^FuzzParseString$' -fuzztime="$FUZZTIME" ./internal/xmltree
 go test -run='^$' -fuzz='^FuzzLoadIndex$' -fuzztime="$FUZZTIME" ./internal/search
+go test -run='^$' -fuzz='^FuzzManifest$' -fuzztime="$FUZZTIME" ./internal/segstore
 
 echo "ci: all green"

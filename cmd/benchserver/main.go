@@ -68,6 +68,7 @@ type report struct {
 	Filter               string                    `json:"filter"`
 	Endpoints            map[string]endpointReport `json:"endpoints"`
 	Shards               map[string]endpointReport `json:"shards"`
+	Mixed                map[string]endpointReport `json:"mixed"`
 	MeanAccessedFraction float64                   `json:"mean_accessed_fraction"`
 	StageMeansUS         map[string]float64        `json:"stage_means_us"`
 }
@@ -196,6 +197,36 @@ func bench(c config) (*report, error) {
 		rep.Shards[sc.name+"_knn"] = summarize(lat, elapsed)
 	}
 
+	// Mixed read/write dimension: sustained insert traffic interleaved
+	// with k-NN reads against the segmented store, a fresh index per mix
+	// so write volume is identical across runs. rw90_10 writes every 10th
+	// request, rw50_50 every other one; the interleave is positional, so
+	// the same seed always issues the same request sequence.
+	rep.Mixed = make(map[string]endpointReport)
+	inserts := datagen.New(spec, c.seed+1).Dataset(c.queries, 5)
+	for _, mix := range []struct {
+		name   string
+		everyN int
+	}{{"rw90_10", 10}, {"rw50_50", 2}} {
+		mixIx := search.NewIndex(ts, search.NewBiBranch())
+		msrv := server.New(mixIx, server.Config{
+			MaxInFlight: c.concurrency * 2,
+			Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		mln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go msrv.Serve(mln) //nolint:errcheck // torn down with the process
+		knn, ins, elapsed, err := driveMixed(client, "http://"+mln.Addr().String(), c, ts, order, inserts, mix.everyN)
+		mln.Close()
+		if err != nil {
+			return nil, fmt.Errorf("mixed %s: %w", mix.name, err)
+		}
+		rep.Mixed[mix.name+"_knn"] = summarize(knn, elapsed)
+		rep.Mixed[mix.name+"_insert"] = summarize(ins, elapsed)
+	}
+
 	// Server-side aggregates: mean accessed fraction and per-stage means
 	// from the obs histograms behind /metrics.
 	var snap server.Snapshot
@@ -271,6 +302,73 @@ func drive(client *http.Client, url string, c config, ts []*tree.Tree, order []i
 		return nil, 0, err
 	}
 	return lat, time.Since(start), nil
+}
+
+// driveMixed fires c.queries requests where every everyN-th (by stream
+// position, so the mix is deterministic) is a POST /v1/trees insert and
+// the rest are k-NN reads, and returns the two latency populations
+// separately plus the shared wall-clock.
+func driveMixed(client *http.Client, base string, c config, ts []*tree.Tree, order []int, inserts []*tree.Tree, everyN int) (knn, ins []time.Duration, elapsed time.Duration, err error) {
+	lat := make([]time.Duration, c.queries)
+	isWrite := make([]bool, c.queries)
+	var next atomic.Int64
+	next.Store(-1)
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < c.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= c.queries {
+					return
+				}
+				var url string
+				var body any
+				if i%everyN == 0 {
+					isWrite[i] = true
+					url = base + "/v1/trees"
+					body = map[string]any{"tree": inserts[(i/everyN)%len(inserts)].String()}
+				} else {
+					url = base + "/v1/knn"
+					body = map[string]any{"tree": ts[order[i%len(order)]].String(), "k": c.k}
+				}
+				payload, err := json.Marshal(body)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("%s: status %d", url, resp.StatusCode))
+					return
+				}
+				lat[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, nil, 0, err
+	}
+	elapsed = time.Since(start)
+	for i, d := range lat {
+		if isWrite[i] {
+			ins = append(ins, d)
+		} else {
+			knn = append(knn, d)
+		}
+	}
+	return knn, ins, elapsed, nil
 }
 
 func summarize(lat []time.Duration, elapsed time.Duration) endpointReport {

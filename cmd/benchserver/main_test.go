@@ -36,6 +36,18 @@ func TestBenchServerSmoke(t *testing.T) {
 			t.Errorf("%s percentiles out of order: p50=%d p99=%d", ep, e.P50US, e.P99US)
 		}
 	}
+	for _, key := range []string{"rw90_10_knn", "rw90_10_insert", "rw50_50_knn", "rw50_50_insert"} {
+		e, ok := rep.Mixed[key]
+		if !ok {
+			t.Fatalf("no mixed dimension %s in report", key)
+		}
+		if e.Requests == 0 {
+			t.Errorf("mixed %s recorded no requests", key)
+		}
+	}
+	if rw := rep.Mixed["rw50_50_insert"]; rw.Requests != 8 {
+		t.Errorf("rw50_50 inserts %d, want 8 of 15", rw.Requests)
+	}
 	if rep.MeanAccessedFraction <= 0 || rep.MeanAccessedFraction > 1 {
 		t.Errorf("mean accessed fraction %v out of (0,1]", rep.MeanAccessedFraction)
 	}

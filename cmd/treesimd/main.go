@@ -87,6 +87,8 @@ type config struct {
 	qlogMaxBytes int64
 	shards       int
 	refineWork   int
+	memtable     int
+	compactAt    int
 	version      bool
 }
 
@@ -118,6 +120,8 @@ func run(args []string, stderr io.Writer) int {
 	fs.Int64Var(&c.qlogMaxBytes, "qlog-max-bytes", 0, "rotate the -qlog file beyond this size (0 = 64MiB, negative disables rotation)")
 	fs.IntVar(&c.shards, "shards", 0, "dataset shards per query's filter stage (0 = GOMAXPROCS, 1 = sequential)")
 	fs.IntVar(&c.refineWork, "refine-workers", 0, "index-wide worker pool size shared by all queries (0 = GOMAXPROCS)")
+	fs.IntVar(&c.memtable, "memtable-size", 0, "inserts absorbed by the mutable memtable segment before it seals (0 = default)")
+	fs.IntVar(&c.compactAt, "compact-threshold", 0, "sealed segments that trigger a background compaction (0 = default, negative = manual only)")
 	fs.BoolVar(&c.version, "version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -275,7 +279,10 @@ func servePprof(ln net.Listener) {
 // a dataset to build from. The parallelism options apply uniformly to all
 // three paths.
 func loadIndex(c config) (*search.Index, string, error) {
-	par := []search.IndexOption{search.WithShards(c.shards), search.WithRefineWorkers(c.refineWork)}
+	par := []search.IndexOption{
+		search.WithShards(c.shards), search.WithRefineWorkers(c.refineWork),
+		search.WithMemtableSize(c.memtable), search.WithCompactionThreshold(c.compactAt),
+	}
 	if c.snapshot != "" {
 		if f, err := os.Open(c.snapshot); err == nil {
 			defer f.Close()
@@ -332,6 +339,7 @@ func buildIndex(c config, ts []*tree.Tree, origin string) (*search.Index, string
 		return nil, "", fmt.Errorf("unknown filter %q (want bibranch or bibranch-nopos)", c.filter)
 	}
 	ix := search.NewIndex(ts, &search.BiBranch{Q: c.q, Positional: positional},
-		search.WithShards(c.shards), search.WithRefineWorkers(c.refineWork))
+		search.WithShards(c.shards), search.WithRefineWorkers(c.refineWork),
+		search.WithMemtableSize(c.memtable), search.WithCompactionThreshold(c.compactAt))
 	return ix, origin, nil
 }

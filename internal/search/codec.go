@@ -11,46 +11,53 @@ import (
 	"io"
 
 	"treesim/internal/branch"
+	"treesim/internal/segstore"
 	"treesim/internal/tree"
 )
 
 // Persistence of a BiBranch-filtered index: the dataset trees (canonical
-// text encoding) plus the pre-built branch space and profiles, so loading
+// text encoding) plus the pre-built branch spaces and profiles, so loading
 // skips both tree parsing of external formats and re-profiling.
 //
-// Two on-disk versions exist:
+// Three on-disk versions exist:
 //
-//	TSIX1 (legacy): magic "TSIX1\x00", then the payload.
-//	TSIX2:          magic "TSIX2\x00", u64 payload length, payload,
+//	TSIX1 (legacy): magic "TSIX1\x00", then one payload.
+//	TSIX2 (legacy): magic "TSIX2\x00", u64 payload length, payload,
 //	                u32 CRC32C over the payload.
+//	TSIX3:          magic "TSIX3\x00", a checksummed segment manifest
+//	                (internal/segstore framing: u32 length, body,
+//	                u32 CRC32C), then one blob per manifest segment —
+//	                the payload bytes followed by a u32 CRC32C trailer.
 //
-// The payload is identical in both: u8 positional flag, branch.Write
-// blob, u32 tree count, then each tree as (u32 len, canonical text
-// bytes). All integers are little-endian.
+// The payload format is identical in all versions: u8 positional flag,
+// branch.Write blob, u32 tree count, then each tree as (u32 len,
+// canonical text bytes). All integers are little-endian. A TSIX1/2 file
+// is a single payload; a TSIX3 file carries one payload per storage
+// segment, preserving the segment layout, the dataset-id assignment and
+// the unresolved tombstones across restarts.
 //
-// SaveIndex writes TSIX2; LoadIndex reads both. The TSIX2 checksum makes
-// corruption a first-class, precisely reported condition instead of a
-// lucky structural-validation catch: LoadIndex distinguishes a truncated
-// snapshot (ErrSnapshotTruncated — the file ends before the declared
-// payload or trailer) from a corrupt one (ErrSnapshotCorrupt — checksum
-// mismatch, or structural nonsense inside a length-complete payload).
+// SaveIndex writes TSIX3; LoadIndex reads all three. Checksums make
+// corruption a first-class, precisely reported condition: LoadIndex
+// distinguishes a truncated snapshot (ErrSnapshotTruncated — the file
+// ends before declared data) from a corrupt one (ErrSnapshotCorrupt —
+// checksum mismatch, or structural nonsense inside length-complete data).
 
 var (
 	indexMagicV1 = [6]byte{'T', 'S', 'I', 'X', '1', 0}
 	indexMagicV2 = [6]byte{'T', 'S', 'I', 'X', '2', 0}
+	indexMagicV3 = [6]byte{'T', 'S', 'I', 'X', '3', 0}
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// maxPayload caps the declared TSIX2 payload length (1 TiB) so a corrupt
-// header can neither overflow the int64 LimitReader nor promise absurd
-// work; real bounds come from the per-structure caps during decoding.
+// maxPayload caps a declared payload length (1 TiB) so a corrupt header
+// can neither overflow the int64 LimitReader nor promise absurd work;
+// real bounds come from the per-structure caps during decoding.
 const maxPayload = 1 << 40
 
 // ErrSnapshotCorrupt reports a snapshot whose bytes are all present but
-// wrong: the payload checksum does not match, or a structurally invalid
-// payload hides behind a matching length. Loaders must refuse to serve
-// from it.
+// wrong: a checksum does not match, or a structurally invalid payload
+// hides behind a matching length. Loaders must refuse to serve from it.
 var ErrSnapshotCorrupt = errors.New("snapshot corrupt")
 
 // ErrSnapshotTruncated reports a snapshot that ends early — the classic
@@ -58,15 +65,76 @@ var ErrSnapshotCorrupt = errors.New("snapshot corrupt")
 // not enough of it.
 var ErrSnapshotTruncated = errors.New("snapshot truncated")
 
-// SaveIndex serializes an index whose filter is a *BiBranch in the TSIX2
-// format (checksummed). Other filters are cheap to rebuild from the
-// dataset and are not supported.
+// SaveIndex serializes an index whose filter is a *BiBranch in the TSIX3
+// segmented format. Other filters are cheap to rebuild from the dataset
+// and are not supported.
 //
-// SaveIndex is safe to call while the index serves queries and inserts: it
-// copies the tree and profile slices under the index's read lock (a
-// consistent cut — inserts are atomic under the write lock), then
-// serializes from the copies without blocking anyone.
+// SaveIndex is safe to call while the index serves queries, inserts and
+// deletes: it takes a consistent cut of the segmented store (sealed
+// segments plus a frozen memtable snapshot) and serializes from the
+// immutable cut without blocking anyone.
 func SaveIndex(w io.Writer, ix *Index) error {
+	if _, ok := ix.filter.(*BiBranch); !ok {
+		return fmt.Errorf("search: only BiBranch indexes can be saved (have %s)", ix.filter.Name())
+	}
+	cut := ix.store.Read()
+	blobs := make([][]byte, len(cut.Segments))
+	metas := make([]segstore.SegmentMeta, len(cut.Segments))
+	for i, sg := range cut.Segments {
+		p := payloadOf(sg)
+		f, ok := p.filter.(*BiBranch)
+		if !ok {
+			return fmt.Errorf("search: only BiBranch indexes can be saved (segment %d holds %s)", i, p.filter.Name())
+		}
+		var buf bytes.Buffer
+		if err := encodePayload(&buf, f, f.profiles, p.trees); err != nil {
+			return err
+		}
+		blobs[i] = buf.Bytes()
+		metas[i] = segstore.SegmentMeta{Base: sg.Base, N: sg.N, IDs: sg.IDs, BlobLen: uint64(len(blobs[i]))}
+	}
+	m := &segstore.Manifest{NextID: cut.NextID, Tombstones: cut.Tombs.IDs(), Segments: metas}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(indexMagicV3[:]); err != nil {
+		return err
+	}
+	if err := segstore.WriteManifest(bw, m); err != nil {
+		return err
+	}
+	for _, b := range blobs {
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, crc32.Checksum(b, castagnoli)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// saveIndexV1 writes the legacy unchecksummed single-payload TSIX1
+// format. Kept (and exercised by tests) so the TSIX1-compatibility path
+// in LoadIndex is honest: snapshots from previous releases must keep
+// loading. Only single-segment, delete-free indexes fit the format.
+func saveIndexV1(w io.Writer, ix *Index) error {
+	f, profiles, trees, err := snapshotCut(ix)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(indexMagicV1[:]); err != nil {
+		return err
+	}
+	if err := encodePayload(bw, f, profiles, trees); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// saveIndexV2 writes the legacy checksummed single-payload TSIX2 format,
+// for the same compatibility honesty as saveIndexV1.
+func saveIndexV2(w io.Writer, ix *Index) error {
 	f, profiles, trees, err := snapshotCut(ix)
 	if err != nil {
 		return err
@@ -92,37 +160,26 @@ func SaveIndex(w io.Writer, ix *Index) error {
 	return bw.Flush()
 }
 
-// saveIndexV1 writes the legacy uncheck-summed TSIX1 format. Kept (and
-// exercised by tests) so the TSIX1-compatibility path in LoadIndex is
-// honest: snapshots from previous releases must keep loading.
-func saveIndexV1(w io.Writer, ix *Index) error {
-	f, profiles, trees, err := snapshotCut(ix)
-	if err != nil {
-		return err
-	}
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(indexMagicV1[:]); err != nil {
-		return err
-	}
-	if err := encodePayload(bw, f, profiles, trees); err != nil {
-		return err
-	}
-	return bw.Flush()
-}
-
-// snapshotCut copies the serializable state under the index's read lock.
+// snapshotCut extracts the single-payload serializable state for the
+// legacy formats, which cannot represent segment layouts or tombstones.
 func snapshotCut(ix *Index) (*BiBranch, []*branch.Profile, []*tree.Tree, error) {
-	ix.mu.RLock()
 	f, ok := ix.filter.(*BiBranch)
 	if !ok {
-		name := ix.filter.Name()
-		ix.mu.RUnlock()
-		return nil, nil, nil, fmt.Errorf("search: only BiBranch indexes can be saved (have %s)", name)
+		return nil, nil, nil, fmt.Errorf("search: only BiBranch indexes can be saved (have %s)", ix.filter.Name())
 	}
-	trees := append([]*tree.Tree(nil), ix.trees...)
-	profiles := append([]*branch.Profile(nil), f.profiles...)
-	ix.mu.RUnlock()
-	return f, profiles, trees, nil
+	cut := ix.store.Read()
+	if len(cut.Segments) > 1 || cut.Tombs.Len() > 0 {
+		return nil, nil, nil, errors.New("search: legacy snapshot formats require a single-segment index without deletes")
+	}
+	if len(cut.Segments) == 0 {
+		return f, nil, nil, nil
+	}
+	p := payloadOf(cut.Segments[0])
+	sf, ok := p.filter.(*BiBranch)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("search: only BiBranch indexes can be saved (have %s)", p.filter.Name())
+	}
+	return sf, sf.profiles, p.trees, nil
 }
 
 // encodePayload writes the version-independent payload.
@@ -153,52 +210,195 @@ func encodePayload(w io.Writer, f *BiBranch, profiles []*branch.Profile, trees [
 	return bw.Flush()
 }
 
-// LoadIndex deserializes an index saved by SaveIndex (TSIX2) or by a
-// previous release (TSIX1). Options configure the loaded index the same
-// way they configure NewIndex: cost model, shard count, worker pool. A
-// filter option replaces the snapshot's BiBranch filter and re-indexes
-// the loaded dataset under it. With no options the index uses unit edit
+// LoadIndex deserializes an index saved by SaveIndex (TSIX3) or by a
+// previous release (TSIX1/TSIX2). Options configure the loaded index the
+// same way they configure NewIndex: cost model, shard count, worker pool,
+// memtable sizing. A filter option replaces the snapshot's BiBranch
+// filter and re-indexes the loaded dataset under it (collapsing a
+// segmented snapshot into one segment, with dataset ids and the id
+// high-water mark preserved). With no options the index uses unit edit
 // costs and the default execution shape.
 //
-// For TSIX2, errors satisfy errors.Is against ErrSnapshotTruncated (file
-// ends early) or ErrSnapshotCorrupt (checksum mismatch / structural
-// damage) so callers can report the failure mode precisely.
+// Errors satisfy errors.Is against ErrSnapshotTruncated (file ends early)
+// or ErrSnapshotCorrupt (checksum mismatch / structural damage) so
+// callers can report the failure mode precisely.
 func LoadIndex(r io.Reader, opts ...IndexOption) (*Index, error) {
 	var magic [6]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("search: reading magic: %w", err)
 	}
-	var (
-		f   *BiBranch
-		ts  []*tree.Tree
-		err error
-	)
+	cfg := applyIndexOpts(opts)
 	switch magic {
 	case indexMagicV1:
 		// Legacy format: no checksum, structural validation only.
-		f, ts, err = decodePayload(bufio.NewReader(r))
+		f, ts, err := decodePayload(bufio.NewReader(r))
+		if err != nil {
+			return nil, err
+		}
+		return assembleSingle(cfg, f, ts), nil
 	case indexMagicV2:
-		f, ts, err = loadV2(r)
+		f, ts, err := loadV2(r)
+		if err != nil {
+			return nil, err
+		}
+		return assembleSingle(cfg, f, ts), nil
+	case indexMagicV3:
+		return loadV3(r, cfg)
 	default:
-		return nil, fmt.Errorf("search: bad index magic %q (want TSIX1 or TSIX2)", magic)
+		return nil, fmt.Errorf("search: bad index magic %q (want TSIX1, TSIX2 or TSIX3)", magic)
 	}
-	if err != nil {
-		return nil, err
-	}
-	cfg := applyIndexOpts(opts)
+}
+
+// indexShell builds an Index around an already-indexed prototype filter,
+// with an empty store ready for Bootstrap.
+func indexShell(cfg indexConfig, proto Filter) *Index {
 	ix := &Index{
-		trees:  ts,
+		filter: proto,
 		cost:   cfg.cost,
 		shards: cfg.shards,
 		pool:   newWorkPool(cfg.refineWorkers),
 	}
+	ix.store = segstore.New(segstore.Config{
+		MemtableSize: cfg.memtableSize,
+		CompactAfter: cfg.compactAfter,
+	}, ix.segHooks())
+	return ix
+}
+
+// assembleSingle builds an index from a legacy single-payload snapshot.
+func assembleSingle(cfg indexConfig, f *BiBranch, ts []*tree.Tree) *Index {
+	proto := Filter(f)
 	if cfg.filter != nil {
-		cfg.filter.Index(ts)
-		ix.filter = cfg.filter
-	} else {
-		ix.filter = f
+		proto = cfg.filter
+		proto.Index(ts)
 	}
+	ix := indexShell(cfg, proto)
+	if len(ts) > 0 {
+		base := &segstore.Segment{N: len(ts), Payload: &segPayload{trees: ts, filter: proto}}
+		ix.store.Bootstrap([]*segstore.Segment{base}, nil, len(ts))
+	}
+	return ix
+}
+
+// loadV3 reads the segmented format: manifest, then one checksummed
+// payload blob per segment.
+func loadV3(r io.Reader, cfg indexConfig) (*Index, error) {
+	m, err := segstore.ReadManifest(r)
+	if err != nil {
+		if errors.Is(err, segstore.ErrManifestTruncated) {
+			return nil, fmt.Errorf("search: %w: %v", ErrSnapshotTruncated, err)
+		}
+		return nil, fmt.Errorf("search: %w: %v", ErrSnapshotCorrupt, err)
+	}
+
+	segs := make([]*segstore.Segment, len(m.Segments))
+	for i, meta := range m.Segments {
+		if meta.BlobLen > maxPayload {
+			return nil, fmt.Errorf("search: %w: segment %d declares implausible payload length %d",
+				ErrSnapshotCorrupt, i, meta.BlobLen)
+		}
+		f, ts, err := loadBlob(r, int64(meta.BlobLen), i)
+		if err != nil {
+			return nil, err
+		}
+		if len(ts) != meta.N {
+			return nil, fmt.Errorf("search: %w: segment %d holds %d trees but the manifest says %d",
+				ErrSnapshotCorrupt, i, len(ts), meta.N)
+		}
+		segs[i] = &segstore.Segment{
+			Base:    meta.Base,
+			N:       meta.N,
+			IDs:     meta.IDs,
+			Payload: &segPayload{trees: ts, filter: f},
+		}
+	}
+
+	if cfg.filter != nil {
+		// Filter replacement collapses the snapshot to one segment over
+		// the live trees, re-indexed under the new filter. Ids and the
+		// high-water mark survive; tombstones resolve here.
+		return assembleReindexed(cfg, m, segs), nil
+	}
+
+	var proto Filter
+	if len(segs) > 0 {
+		proto = payloadOf(segs[0]).filter
+	} else {
+		proto = NewBiBranch()
+		proto.Index(nil)
+	}
+	ix := indexShell(cfg, proto)
+	ix.store.Bootstrap(segs, m.Tombstones, m.NextID)
 	return ix, nil
+}
+
+// assembleReindexed merges a segmented snapshot's live trees into one
+// segment under a replacement filter.
+func assembleReindexed(cfg indexConfig, m *segstore.Manifest, segs []*segstore.Segment) *Index {
+	tombs := segstore.NewTombstones(m.Tombstones)
+	var ids []int
+	var trees []*tree.Tree
+	for _, sg := range segs {
+		p := payloadOf(sg)
+		for i := 0; i < sg.Len(); i++ {
+			if id := sg.ID(i); !tombs.Has(id) {
+				ids = append(ids, id)
+				trees = append(trees, p.trees[i])
+			}
+		}
+	}
+	cfg.filter.Index(trees)
+	ix := indexShell(cfg, cfg.filter)
+	if len(ids) == 0 {
+		ix.store.Bootstrap(nil, nil, m.NextID)
+		return ix
+	}
+	merged := &segstore.Segment{N: len(ids), IDs: ids, Payload: &segPayload{trees: trees, filter: cfg.filter}}
+	if ids[len(ids)-1]-ids[0] == len(ids)-1 {
+		merged.Base, merged.IDs = ids[0], nil
+	}
+	ix.store.Bootstrap([]*segstore.Segment{merged}, nil, m.NextID)
+	return ix
+}
+
+// loadBlob decodes one checksummed payload blob (TSIX3 segment), hashing
+// exactly the declared bytes and classifying failures.
+func loadBlob(r io.Reader, blen int64, seg int) (*BiBranch, []*tree.Tree, error) {
+	cr := &countingHashReader{r: io.LimitReader(r, blen), h: crc32.New(castagnoli)}
+	br := bufio.NewReader(cr)
+	f, ts, derr := decodePayload(br)
+
+	// Drain whatever the decoder did not consume — on success this should
+	// be nothing; on error it completes the checksum so the failure can be
+	// classified.
+	var drained int64
+	if rest, err := io.Copy(io.Discard, br); err == nil {
+		drained = rest
+	}
+	if cr.n < blen {
+		return nil, nil, fmt.Errorf("search: %w: segment %d payload has %d of %d declared bytes",
+			ErrSnapshotTruncated, seg, cr.n, blen)
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return nil, nil, fmt.Errorf("search: %w: segment %d missing checksum trailer", ErrSnapshotTruncated, seg)
+	}
+	want := binary.LittleEndian.Uint32(trailer[:])
+	if got := cr.h.Sum32(); got != want {
+		return nil, nil, fmt.Errorf("search: %w: segment %d payload checksum %08x, trailer says %08x",
+			ErrSnapshotCorrupt, seg, got, want)
+	}
+	// Checksum matched: the bytes are exactly what the writer produced, so
+	// any remaining failure is structural corruption (or a writer bug),
+	// not I/O damage.
+	if derr != nil {
+		return nil, nil, fmt.Errorf("search: %w: segment %d: %v", ErrSnapshotCorrupt, seg, derr)
+	}
+	if drained > 0 {
+		return nil, nil, fmt.Errorf("search: %w: segment %d has %d payload bytes beyond the index structure",
+			ErrSnapshotCorrupt, seg, drained)
+	}
+	return f, ts, nil
 }
 
 // countingHashReader hashes and counts everything read through it.
@@ -233,9 +433,6 @@ func loadV2(r io.Reader) (*BiBranch, []*tree.Tree, error) {
 	br := bufio.NewReader(cr)
 	f, ts, derr := decodePayload(br)
 
-	// Drain whatever the decoder did not consume — on success this
-	// should be nothing; on error it completes the checksum so the
-	// failure can be classified.
 	var drained int64
 	if rest, err := io.Copy(io.Discard, br); err == nil {
 		drained = rest
@@ -254,9 +451,6 @@ func loadV2(r io.Reader) (*BiBranch, []*tree.Tree, error) {
 		return nil, nil, fmt.Errorf("search: %w: payload checksum %08x, trailer says %08x",
 			ErrSnapshotCorrupt, got, want)
 	}
-	// Checksum matched: the bytes are exactly what the writer produced,
-	// so any remaining failure is structural corruption (or a writer
-	// bug), not I/O damage.
 	if derr != nil {
 		return nil, nil, fmt.Errorf("search: %w: %v", ErrSnapshotCorrupt, derr)
 	}
@@ -267,10 +461,10 @@ func loadV2(r io.Reader) (*BiBranch, []*tree.Tree, error) {
 	return f, ts, nil
 }
 
-// VerifySnapshot checks a TSIX2 snapshot's integrity — length and
-// checksum — without decoding it: cheap enough to run after every
-// snapshot write, before the rename publishes it. TSIX1 snapshots carry
-// no checksum; they verify vacuously.
+// VerifySnapshot checks a snapshot's integrity — lengths and checksums —
+// without decoding it: cheap enough to run after every snapshot write,
+// before the rename publishes it. TSIX1 snapshots carry no checksum; they
+// verify vacuously.
 func VerifySnapshot(r io.Reader) error {
 	var magic [6]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
@@ -280,9 +474,15 @@ func VerifySnapshot(r io.Reader) error {
 	case indexMagicV1:
 		return nil
 	case indexMagicV2:
+		return verifyV2(r)
+	case indexMagicV3:
+		return verifyV3(r)
 	default:
 		return fmt.Errorf("search: %w: bad magic %q", ErrSnapshotCorrupt, magic)
 	}
+}
+
+func verifyV2(r io.Reader) error {
 	var lenBuf [8]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return fmt.Errorf("search: %w: reading payload length: %v", ErrSnapshotTruncated, err)
@@ -291,21 +491,51 @@ func VerifySnapshot(r io.Reader) error {
 	if plen > maxPayload {
 		return fmt.Errorf("search: %w: implausible payload length %d", ErrSnapshotCorrupt, plen)
 	}
+	return verifyChecksummed(r, int64(plen), -1)
+}
+
+func verifyV3(r io.Reader) error {
+	m, err := segstore.ReadManifest(r)
+	if err != nil {
+		if errors.Is(err, segstore.ErrManifestTruncated) {
+			return fmt.Errorf("search: %w: %v", ErrSnapshotTruncated, err)
+		}
+		return fmt.Errorf("search: %w: %v", ErrSnapshotCorrupt, err)
+	}
+	for i, meta := range m.Segments {
+		if meta.BlobLen > maxPayload {
+			return fmt.Errorf("search: %w: segment %d declares implausible payload length %d",
+				ErrSnapshotCorrupt, i, meta.BlobLen)
+		}
+		if err := verifyChecksummed(r, int64(meta.BlobLen), i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyChecksummed hashes blen bytes and compares against the u32
+// trailer; seg < 0 means the single legacy payload.
+func verifyChecksummed(r io.Reader, blen int64, seg int) error {
+	where := "payload"
+	if seg >= 0 {
+		where = fmt.Sprintf("segment %d payload", seg)
+	}
 	h := crc32.New(castagnoli)
-	n, err := io.Copy(h, io.LimitReader(r, int64(plen)))
+	n, err := io.Copy(h, io.LimitReader(r, blen))
 	if err != nil {
 		return fmt.Errorf("search: verifying snapshot: %w", err)
 	}
-	if n < int64(plen) {
-		return fmt.Errorf("search: %w: payload has %d of %d declared bytes", ErrSnapshotTruncated, n, plen)
+	if n < blen {
+		return fmt.Errorf("search: %w: %s has %d of %d declared bytes", ErrSnapshotTruncated, where, n, blen)
 	}
 	var trailer [4]byte
 	if _, err := io.ReadFull(r, trailer[:]); err != nil {
-		return fmt.Errorf("search: %w: missing checksum trailer", ErrSnapshotTruncated)
+		return fmt.Errorf("search: %w: %s missing checksum trailer", ErrSnapshotTruncated, where)
 	}
 	if want := binary.LittleEndian.Uint32(trailer[:]); h.Sum32() != want {
-		return fmt.Errorf("search: %w: payload checksum %08x, trailer says %08x",
-			ErrSnapshotCorrupt, h.Sum32(), want)
+		return fmt.Errorf("search: %w: %s checksum %08x, trailer says %08x",
+			ErrSnapshotCorrupt, where, h.Sum32(), want)
 	}
 	return nil
 }

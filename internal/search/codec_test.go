@@ -69,6 +69,120 @@ func TestSaveLoadPreservesConfig(t *testing.T) {
 	}
 }
 
+// TestSaveLoadSegmentedRoundTrip: a TSIX3 snapshot of a multi-segment,
+// tombstoned index preserves the segment layout, the id assignment, the
+// tombstones and the id high-water mark exactly.
+func TestSaveLoadSegmentedRoundTrip(t *testing.T) {
+	all := testDataset(40, 28)
+	ix := NewIndex(all[:10], NewBiBranch(), WithMemtableSize(6), WithCompactionThreshold(-1))
+	for _, tr := range all[10:] {
+		ix.Insert(tr)
+	}
+	for _, id := range []int{3, 17, 39} {
+		if !ix.Delete(id) {
+			t.Fatalf("delete %d refused", id)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[:6]; string(got) != "TSIX3\x00" {
+		t.Fatalf("SaveIndex produced magic %q, want TSIX3", got)
+	}
+	loaded, err := LoadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != 40 || loaded.Live() != 37 {
+		t.Fatalf("loaded size/live %d/%d, want 40/37", loaded.Size(), loaded.Live())
+	}
+	if a, b := ix.StoreStats(), loaded.StoreStats(); a.Segments != b.Segments || a.Tombstones != b.Tombstones {
+		t.Fatalf("layout changed in round trip: %+v vs %+v", a, b)
+	}
+	for i := 0; i < 40; i++ {
+		lt, lok := loaded.TreeAt(i)
+		ot, ook := ix.TreeAt(i)
+		if lok != ook || (lok && !tree.Equal(lt, ot)) {
+			t.Fatalf("tree %d changed in round trip (visible %v/%v)", i, ook, lok)
+		}
+	}
+	for _, q := range []*tree.Tree{all[0], all[25], testDataset(1, 29)[0]} {
+		wantK, _, _ := ix.KNN(context.Background(), q, 5)
+		gotK, _, _ := loaded.KNN(context.Background(), q, 5)
+		if !reflect.DeepEqual(wantK, gotK) {
+			t.Fatalf("KNN differs after segmented reload: %v vs %v", gotK, wantK)
+		}
+	}
+	// The loaded index stays writable: insert and delete keep working at
+	// the preserved high-water mark.
+	novel := testDataset(1, 30)[0]
+	id, _ := loaded.Insert(novel)
+	if id != 40 {
+		t.Fatalf("insert after reload got id %d, want 40", id)
+	}
+}
+
+// TestLoadSegmentedWithFilterReplace: a filter option on LoadIndex
+// re-indexes a segmented snapshot under the new filter, keeping ids and
+// the high-water mark while resolving tombstones.
+func TestLoadSegmentedWithFilterReplace(t *testing.T) {
+	all := testDataset(30, 31)
+	ix := NewIndex(all[:10], NewBiBranch(), WithMemtableSize(5), WithCompactionThreshold(-1))
+	for _, tr := range all[10:] {
+		ix.Insert(tr)
+	}
+	ix.Delete(7)
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(&buf, WithFilter(NewPivotBiBranch()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Filter().Name() != "BiBranch-pivot" {
+		t.Fatalf("filter %s, want BiBranch-pivot", loaded.Filter().Name())
+	}
+	if loaded.Size() != 30 || loaded.Live() != 29 {
+		t.Fatalf("size/live %d/%d, want 30/29", loaded.Size(), loaded.Live())
+	}
+	if _, ok := loaded.TreeAt(7); ok {
+		t.Fatal("tombstoned tree visible after filter-replacing load")
+	}
+	for _, q := range []*tree.Tree{all[3], all[20]} {
+		wantK, _, _ := ix.KNN(context.Background(), q, 4)
+		gotK, _, _ := loaded.KNN(context.Background(), q, 4)
+		if !reflect.DeepEqual(wantK, gotK) {
+			t.Fatalf("KNN differs under replaced filter: %v vs %v", gotK, wantK)
+		}
+	}
+}
+
+// TestLoadTSIX2BackCompat: checksummed single-payload snapshots from the
+// previous release keep loading.
+func TestLoadTSIX2BackCompat(t *testing.T) {
+	ts := testDataset(25, 32)
+	ix := NewIndex(ts, NewBiBranch())
+	var buf bytes.Buffer
+	if err := saveIndexV2(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[:6]; string(got) != "TSIX2\x00" {
+		t.Fatalf("legacy writer produced magic %q", got)
+	}
+	loaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatalf("TSIX2 snapshot does not load: %v", err)
+	}
+	wantK, _, _ := ix.KNN(context.Background(), ts[4], 5)
+	gotK, _, _ := loaded.KNN(context.Background(), ts[4], 5)
+	if !reflect.DeepEqual(wantK, gotK) {
+		t.Fatalf("KNN differs through TSIX2 reload: %v vs %v", gotK, wantK)
+	}
+}
+
 func TestSaveRejectsOtherFilters(t *testing.T) {
 	ix := NewIndex(testDataset(5, 23), NewHisto())
 	var buf bytes.Buffer

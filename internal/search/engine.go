@@ -15,20 +15,29 @@ import (
 	"treesim/internal/tree"
 )
 
-// The sharded parallel execution engine. A query's filter stage partitions
-// the dataset into S contiguous shards (S = WithShards, default GOMAXPROCS,
-// clamped to the dataset size) whose lower bounds are computed concurrently
-// on the index's shared worker pool; the refine stage fans exact-distance
-// verifications over the same pool, with a k-NN query propagating its
-// current k-th-best distance across workers through an atomic so late
-// verifications prune harder.
+// The sharded parallel execution engine over the segmented store. A query
+// starts by taking a consistent cut of the store — the sealed segments
+// plus a frozen memtable snapshot — and flattens them into one global
+// position domain [0, n); positions ascend with dataset ids. The filter
+// stage partitions that domain into S contiguous shards (S = WithShards,
+// default GOMAXPROCS, clamped to the domain size) whose lower bounds are
+// computed concurrently on the index's shared worker pool, each position
+// bounded by its own segment's filter; the refine stage fans
+// exact-distance verifications over the same pool, with a k-NN query
+// propagating its current k-th-best distance across workers through an
+// atomic so late verifications prune harder. Tombstoned positions are
+// skipped before any bound is computed.
 //
-// Results are shard-count invariant by construction:
+// Results are shard- and segment-layout invariant by construction:
 //
-//   - every tree's bound is computed exactly once, into its own slot;
+//   - every visible tree's bound is computed exactly once, into its own
+//     slot, and every per-segment bound is a sound lower bound of the
+//     same edit distance (differently-built filters only differ in
+//     tightness, never in soundness);
 //   - k-NN candidates are globally merged in ascending (bound, id) order,
 //     and the top-k heap breaks distance ties by id, so the answer is the
-//     unique k-minimal (dist, id) set no matter which worker verified what;
+//     unique k-minimal (dist, id) set no matter which worker verified
+//     what or how the dataset is cut into segments;
 //   - a verification is skipped only when its bound exceeds the atomic
 //     threshold, which never rises and ends at the final k-th distance —
 //     by the lower-bound property such a tree cannot be in the answer.
@@ -59,7 +68,8 @@ func shardRange(n, S, s int) (lo, hi int) {
 	return s * n / S, (s + 1) * n / S
 }
 
-// sortByBound orders ids by ascending (bound, id).
+// sortByBound orders positions by ascending (bound, position). Positions
+// ascend with dataset ids, so this is the canonical (bound, id) order.
 func sortByBound(ids []int, bounds []int) {
 	sort.Slice(ids, func(x, y int) bool {
 		bx, by := bounds[ids[x]], bounds[ids[y]]
@@ -70,9 +80,9 @@ func sortByBound(ids []int, bounds []int) {
 	})
 }
 
-// mergeRuns merges per-shard (bound, id)-sorted runs into one globally
-// sorted order. Shard counts are small (≈ GOMAXPROCS), so a linear scan
-// over the run heads beats heap bookkeeping.
+// mergeRuns merges per-shard (bound, position)-sorted runs into one
+// globally sorted order. Shard counts are small (≈ GOMAXPROCS), so a
+// linear scan over the run heads beats heap bookkeeping.
 func mergeRuns(runs [][]int, bounds []int) []int {
 	if len(runs) == 1 {
 		return runs[0]
@@ -102,17 +112,18 @@ func mergeRuns(runs [][]int, bounds []int) []int {
 	return out
 }
 
-// knn runs one k-NN query (Algorithm 2, sharded).
+// knn runs one k-NN query (Algorithm 2, sharded across segments).
 func (ix *Index) knn(ctx context.Context, q *tree.Tree, k int, qc *queryConfig, ex *Explain) ([]Result, Stats, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-
-	stats := Stats{Dataset: len(ix.trees)}
-	if k <= 0 || len(ix.trees) == 0 {
+	cut := ix.cut()
+	stats := Stats{Dataset: cut.live}
+	if k <= 0 || cut.live == 0 {
 		return nil, stats, nil
 	}
-	if k > len(ix.trees) {
-		k = len(ix.trees)
+	if k > cut.live {
+		k = cut.live
+	}
+	if ex != nil {
+		ex.Segments = len(cut.segs)
 	}
 
 	// Stage spans hang off the caller's trace (nil span methods are
@@ -121,7 +132,7 @@ func (ix *Index) knn(ctx context.Context, q *tree.Tree, k int, qc *queryConfig, 
 
 	start := time.Now()
 	fspan := span.StartChild("filter")
-	prim, order, bounds, err := ix.filterKNN(ctx, q, fspan)
+	prims, order, bounds, err := ix.filterKNN(ctx, cut, q, fspan)
 	stats.FilterTime = time.Since(start)
 	if err != nil {
 		fspan.SetBool("canceled", true)
@@ -129,8 +140,9 @@ func (ix *Index) knn(ctx context.Context, q *tree.Tree, k int, qc *queryConfig, 
 		return nil, stats, err
 	}
 	fspan.SetInt("candidates", int64(len(order)))
+	fspan.SetInt("segments", int64(len(cut.segs)))
 	fspan.End()
-	if ex != nil {
+	if ex != nil && len(order) > 0 {
 		// order is sorted by bound, so the distribution falls out of the
 		// nearest-rank positions directly.
 		n := len(order)
@@ -145,7 +157,7 @@ func (ix *Index) knn(ctx context.Context, q *tree.Tree, k int, qc *queryConfig, 
 
 	start = time.Now()
 	rspan := span.StartChild("refine")
-	out, err := ix.refineKNN(ctx, q, k, order, bounds, prim, &stats, ex)
+	out, err := ix.refineKNN(ctx, cut, q, k, order, bounds, prims, &stats, ex)
 	stats.RefineTime = time.Since(start)
 	if err != nil {
 		rspan.SetInt("verified", int64(stats.Verified))
@@ -169,72 +181,87 @@ func (ix *Index) knn(ctx context.Context, q *tree.Tree, k int, qc *queryConfig, 
 	return out, stats, nil
 }
 
-// filterKNN computes every tree's optimistic lower bound — sharded when
-// the index is configured for it — and returns the ids sorted by
-// ascending (bound, id), plus the caller-goroutine bounder (reused for
-// tightness sampling in the refine stage).
-func (ix *Index) filterKNN(ctx context.Context, q *tree.Tree, fspan *obs.Span) (Bounder, []int, []int, error) {
-	n := len(ix.trees)
+// filterKNN computes every visible tree's optimistic lower bound —
+// sharded when the index is configured for it — and returns the global
+// positions sorted by ascending (bound, id), plus the caller's per-segment
+// bounder set (reused for tightness sampling in the refine stage).
+func (ix *Index) filterKNN(ctx context.Context, cut *qcut, q *tree.Tree, fspan *obs.Span) (*segBounders, []int, []int, error) {
+	n := cut.n
 	S := ix.shardCount(n)
 	bounds := make([]int, n)
-	prim := ix.filter.Query(q)
+	prims := newSegBounders(cut, q)
+	// Materialized up front so the refine stage can read the set
+	// concurrently without lazy-init races.
+	prims.materialize()
 
 	if S == 1 {
-		order := make([]int, n)
-		for i := 0; i < n; i++ {
-			if i%ctxCheckEvery == 0 && ctx.Err() != nil {
-				return prim, nil, nil, ctx.Err()
+		order := make([]int, 0, cut.live)
+		si := 0
+		for pos := 0; pos < n; pos++ {
+			if pos%ctxCheckEvery == 0 && ctx.Err() != nil {
+				return prims, nil, nil, ctx.Err()
 			}
-			order[i] = i
-			bounds[i] = prim.KNNBound(i)
+			for pos >= cut.starts[si+1] {
+				si++
+			}
+			local := pos - cut.starts[si]
+			if cut.tombs.Has(cut.segs[si].ID(local)) {
+				continue
+			}
+			bounds[pos] = prims.at(si).KNNBound(local)
+			order = append(order, pos)
 		}
 		sortByBound(order, bounds)
-		if ar, ok := prim.(AttrReporter); ok {
-			ar.ReportAttrs(fspan)
-		}
-		return prim, order, bounds, nil
+		prims.report(fspan)
+		return prims, order, bounds, nil
 	}
 
-	// Sharded: each shard computes bounds for a contiguous id block into
-	// disjoint slots of the shared bounds slice and sorts its own run;
-	// runs are then merged. Bounders may keep per-query counters, so every
-	// shard profiles the query into a bounder of its own (O(|q|), dwarfed
-	// by the per-shard O(n/S) bound pass it pays for).
+	// Sharded: each shard computes bounds for a contiguous position block
+	// into disjoint slots of the shared bounds slice and sorts its own
+	// run; runs are then merged. Bounders may keep per-query counters, so
+	// every shard profiles the query into bounders of its own (O(|q|) per
+	// touched segment, dwarfed by the per-shard O(n/S) bound pass).
 	runs := make([][]int, S)
 	var canceled atomic.Bool
 	ix.pool.run(S, func(s int) {
 		if canceled.Load() {
 			return
 		}
-		b := prim
+		sb := prims
 		if s > 0 {
-			b = ix.filter.Query(q)
+			sb = newSegBounders(cut, q)
 		}
 		sspan := fspan.StartChild(fmt.Sprintf("shard[%d]", s))
 		lo, hi := shardRange(n, S, s)
 		run := make([]int, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			if (i-lo)%ctxCheckEvery == 0 && (canceled.Load() || ctx.Err() != nil) {
+		si := cut.segOf(lo)
+		for pos := lo; pos < hi; pos++ {
+			if (pos-lo)%ctxCheckEvery == 0 && (canceled.Load() || ctx.Err() != nil) {
 				canceled.Store(true)
 				sspan.SetBool("canceled", true)
 				sspan.End()
 				return
 			}
-			bounds[i] = b.KNNBound(i)
-			run = append(run, i)
+			for pos >= cut.starts[si+1] {
+				si++
+			}
+			local := pos - cut.starts[si]
+			if cut.tombs.Has(cut.segs[si].ID(local)) {
+				continue
+			}
+			bounds[pos] = sb.at(si).KNNBound(local)
+			run = append(run, pos)
 		}
 		sortByBound(run, bounds)
 		runs[s] = run
-		sspan.SetInt("bounds", int64(hi-lo))
-		if ar, ok := b.(AttrReporter); ok {
-			ar.ReportAttrs(sspan)
-		}
+		sspan.SetInt("bounds", int64(len(run)))
+		sb.report(sspan)
 		sspan.End()
 	})
 	if canceled.Load() || ctx.Err() != nil {
-		return prim, nil, nil, ctx.Err()
+		return prims, nil, nil, ctx.Err()
 	}
-	return prim, mergeRuns(runs, bounds), bounds, nil
+	return prims, mergeRuns(runs, bounds), bounds, nil
 }
 
 // refineKNN verifies candidates in ascending-bound order on the worker
@@ -243,7 +270,7 @@ func (ix *Index) filterKNN(ctx context.Context, q *tree.Tree, fspan *obs.Span) (
 // that meets a bound above the threshold stops the scan: the cursor hands
 // tasks out in ascending order, so everything not yet started bounds at
 // least as high and cannot enter the answer.
-func (ix *Index) refineKNN(ctx context.Context, q *tree.Tree, k int, order, bounds []int, prim Bounder, stats *Stats, ex *Explain) ([]Result, error) {
+func (ix *Index) refineKNN(ctx context.Context, cut *qcut, q *tree.Tree, k int, order, bounds []int, prims *segBounders, stats *Stats, ex *Explain) ([]Result, error) {
 	var (
 		mu       sync.Mutex
 		h        = &maxHeap{}
@@ -258,8 +285,8 @@ func (ix *Index) refineKNN(ctx context.Context, q *tree.Tree, k int, order, boun
 		if stop.Load() || canceled.Load() {
 			return
 		}
-		id := order[j]
-		if int64(bounds[id]) > thresh.Load() {
+		pos := order[j]
+		if int64(bounds[pos]) > thresh.Load() {
 			stop.Store(true)
 			return
 		}
@@ -269,18 +296,19 @@ func (ix *Index) refineKNN(ctx context.Context, q *tree.Tree, k int, order, boun
 			canceled.Store(true)
 			return
 		}
-		d := editdist.DistanceCost(q, ix.trees[id], ix.cost)
+		si, local, gid := cut.locate(pos)
+		d := editdist.DistanceCost(q, cut.treeOf(si, local), ix.cost)
 		verified.Add(1)
 		mu.Lock()
-		sampleTightness(prim, stats, ex, id, bounds[id], d)
+		sampleTightness(prims.at(si), stats, ex, local, gid, bounds[pos], d)
 		switch {
 		case h.Len() < k:
-			heap.Push(h, Result{ID: id, Dist: d})
+			heap.Push(h, Result{ID: gid, Dist: d})
 			if h.Len() == k {
 				thresh.Store(int64(h.top().Dist))
 			}
-		case d < h.top().Dist || (d == h.top().Dist && id < h.top().ID):
-			h.items[0] = Result{ID: id, Dist: d}
+		case d < h.top().Dist || (d == h.top().Dist && gid < h.top().ID):
+			h.items[0] = Result{ID: gid, Dist: d}
 			heap.Fix(h, 0)
 			thresh.Store(int64(h.top().Dist))
 		}
@@ -297,21 +325,23 @@ func (ix *Index) refineKNN(ctx context.Context, q *tree.Tree, k int, order, boun
 	return out, nil
 }
 
-// rangeq runs one range query (filter-and-refine, sharded).
+// rangeq runs one range query (filter-and-refine, sharded across
+// segments).
 func (ix *Index) rangeq(ctx context.Context, q *tree.Tree, tau int, qc *queryConfig, ex *Explain) ([]Result, Stats, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-
-	stats := Stats{Dataset: len(ix.trees)}
-	if tau < 0 {
+	cut := ix.cut()
+	stats := Stats{Dataset: cut.live}
+	if tau < 0 || cut.live == 0 {
 		return nil, stats, nil
+	}
+	if ex != nil {
+		ex.Segments = len(cut.segs)
 	}
 
 	span := qc.trace(ctx)
 
 	start := time.Now()
 	fspan := span.StartChild("filter")
-	prim, candidates, candBounds, col, err := ix.filterRange(ctx, q, tau, fspan, ex != nil)
+	prims, candidates, candBounds, col, err := ix.filterRange(ctx, cut, q, tau, fspan, ex != nil)
 	stats.FilterTime = time.Since(start)
 	if err != nil {
 		fspan.SetBool("canceled", true)
@@ -320,6 +350,7 @@ func (ix *Index) rangeq(ctx context.Context, q *tree.Tree, tau int, qc *queryCon
 	}
 	stats.Candidates = len(candidates)
 	fspan.SetInt("candidates", int64(len(candidates)))
+	fspan.SetInt("segments", int64(len(cut.segs)))
 	fspan.End()
 	if ex != nil {
 		ex.Bounds = col.boundDist()
@@ -327,7 +358,7 @@ func (ix *Index) rangeq(ctx context.Context, q *tree.Tree, tau int, qc *queryCon
 
 	start = time.Now()
 	rspan := span.StartChild("refine")
-	out, err := ix.refineRange(ctx, q, tau, candidates, candBounds, prim, &stats, ex)
+	out, err := ix.refineRange(ctx, cut, q, tau, candidates, candBounds, prims, &stats, ex)
 	stats.RefineTime = time.Since(start)
 	if err != nil {
 		rspan.SetInt("verified", int64(stats.Verified))
@@ -343,27 +374,44 @@ func (ix *Index) rangeq(ctx context.Context, q *tree.Tree, tau int, qc *queryCon
 	return out, stats, nil
 }
 
-// filterRange computes range bounds over the candidate domain — the whole
-// dataset, or the sound superset a CandidateLister enumerates — sharded
-// when configured, returning the surviving candidates with their bounds
-// (in deterministic domain order) and, when asked, the collected bound
-// distribution.
-func (ix *Index) filterRange(ctx context.Context, q *tree.Tree, tau int, fspan *obs.Span, wantBounds bool) (Bounder, []int, []int, *explainCollector, error) {
-	prim := ix.filter.Query(q)
+// filterRange computes range bounds over the candidate domain — every
+// visible position, or the sound superset the segments' CandidateListers
+// enumerate — sharded when configured, returning the surviving candidates
+// with their bounds (in deterministic domain order) and, when asked, the
+// collected bound distribution.
+func (ix *Index) filterRange(ctx context.Context, cut *qcut, q *tree.Tree, tau int, fspan *obs.Span, wantBounds bool) (*segBounders, []int, []int, *explainCollector, error) {
+	prims := newSegBounders(cut, q)
+	prims.materialize()
 
-	// The filter may enumerate a sound candidate superset directly (e.g.
-	// through a VP-tree in BDist space) without touching every indexed
-	// tree. The walk runs once, before sharding; the bound pass over the
-	// pool is what shards.
-	domain := len(ix.trees)
+	// A segment's filter may enumerate a sound candidate superset directly
+	// (e.g. through a VP-tree in BDist space) without touching every tree
+	// of the segment. The walks run once, before sharding; the bound pass
+	// over the pool is what shards. Segments without a lister contribute
+	// their full position range.
+	domain := cut.n
 	var pool []int
 	hasPool := false
-	if cl, ok := prim.(CandidateLister); ok {
+	for si := range cut.segs {
+		if _, ok := prims.at(si).(CandidateLister); ok {
+			hasPool = true
+			break
+		}
+	}
+	if hasPool {
 		vspan := fspan.StartChild("vptree")
-		pool = cl.RangeCandidates(tau)
+		for si, sg := range cut.segs {
+			if cl, ok := prims.at(si).(CandidateLister); ok {
+				for _, local := range cl.RangeCandidates(tau) {
+					pool = append(pool, cut.starts[si]+local)
+				}
+			} else {
+				for local := 0; local < sg.Len(); local++ {
+					pool = append(pool, cut.starts[si]+local)
+				}
+			}
+		}
 		vspan.SetInt("candidates", int64(len(pool)))
 		vspan.End()
-		hasPool = true
 		domain = len(pool)
 	}
 	idAt := func(j int) int { return j }
@@ -381,20 +429,22 @@ func (ix *Index) filterRange(ctx context.Context, q *tree.Tree, tau int, fspan *
 		var candidates, candBounds []int
 		for j := 0; j < domain; j++ {
 			if j%ctxCheckEvery == 0 && ctx.Err() != nil {
-				return prim, nil, nil, nil, ctx.Err()
+				return prims, nil, nil, nil, ctx.Err()
 			}
-			id := idAt(j)
-			rb := prim.RangeBound(id, tau)
+			pos := idAt(j)
+			si, local, gid := cut.locate(pos)
+			if cut.tombs.Has(gid) {
+				continue
+			}
+			rb := prims.at(si).RangeBound(local, tau)
 			col.addBound(rb)
 			if rb <= tau {
-				candidates = append(candidates, id)
+				candidates = append(candidates, pos)
 				candBounds = append(candBounds, rb)
 			}
 		}
-		if ar, ok := prim.(AttrReporter); ok {
-			ar.ReportAttrs(fspan)
-		}
-		return prim, candidates, candBounds, col, nil
+		prims.report(fspan)
+		return prims, candidates, candBounds, col, nil
 	}
 
 	type shardOut struct {
@@ -407,9 +457,9 @@ func (ix *Index) filterRange(ctx context.Context, q *tree.Tree, tau int, fspan *
 		if canceled.Load() {
 			return
 		}
-		b := prim
+		sb := prims
 		if s > 0 {
-			b = ix.filter.Query(q)
+			sb = newSegBounders(cut, q)
 		}
 		sspan := fspan.StartChild(fmt.Sprintf("shard[%d]", s))
 		lo, hi := shardRange(domain, S, s)
@@ -424,23 +474,25 @@ func (ix *Index) filterRange(ctx context.Context, q *tree.Tree, tau int, fspan *
 				sspan.End()
 				return
 			}
-			id := idAt(j)
-			rb := b.RangeBound(id, tau)
+			pos := idAt(j)
+			si, local, gid := cut.locate(pos)
+			if cut.tombs.Has(gid) {
+				continue
+			}
+			rb := sb.at(si).RangeBound(local, tau)
 			o.col.addBound(rb)
 			if rb <= tau {
-				o.cands = append(o.cands, id)
+				o.cands = append(o.cands, pos)
 				o.bnds = append(o.bnds, rb)
 			}
 		}
 		outs[s] = o
 		sspan.SetInt("bounds", int64(hi-lo))
-		if ar, ok := b.(AttrReporter); ok {
-			ar.ReportAttrs(sspan)
-		}
+		sb.report(sspan)
 		sspan.End()
 	})
 	if canceled.Load() || ctx.Err() != nil {
-		return prim, nil, nil, nil, ctx.Err()
+		return prims, nil, nil, nil, ctx.Err()
 	}
 
 	// Concatenating in shard order reproduces the sequential domain
@@ -453,13 +505,13 @@ func (ix *Index) filterRange(ctx context.Context, q *tree.Tree, tau int, fspan *
 			col.bounds = append(col.bounds, o.col.bounds...)
 		}
 	}
-	return prim, candidates, candBounds, col, nil
+	return prims, candidates, candBounds, col, nil
 }
 
 // refineRange verifies every candidate on the worker pool. There is no
 // early termination (the radius is fixed), so Verified is deterministic;
 // the final sort makes the result order independent of worker timing.
-func (ix *Index) refineRange(ctx context.Context, q *tree.Tree, tau int, candidates, candBounds []int, prim Bounder, stats *Stats, ex *Explain) ([]Result, error) {
+func (ix *Index) refineRange(ctx context.Context, cut *qcut, q *tree.Tree, tau int, candidates, candBounds []int, prims *segBounders, stats *Stats, ex *Explain) ([]Result, error) {
 	var (
 		mu       sync.Mutex
 		out      []Result
@@ -474,13 +526,13 @@ func (ix *Index) refineRange(ctx context.Context, q *tree.Tree, tau int, candida
 			canceled.Store(true)
 			return
 		}
-		id := candidates[j]
-		d := editdist.DistanceCost(q, ix.trees[id], ix.cost)
+		si, local, gid := cut.locate(candidates[j])
+		d := editdist.DistanceCost(q, cut.treeOf(si, local), ix.cost)
 		verified.Add(1)
 		mu.Lock()
-		sampleTightness(prim, stats, ex, id, candBounds[j], d)
+		sampleTightness(prims.at(si), stats, ex, local, gid, candBounds[j], d)
 		if d <= tau {
-			out = append(out, Result{ID: id, Dist: d})
+			out = append(out, Result{ID: gid, Dist: d})
 		}
 		mu.Unlock()
 	})

@@ -81,8 +81,11 @@ type Explain struct {
 	K int `json:"k,omitempty"`
 	// Tau is the radius of a range query (0 for knn).
 	Tau int `json:"tau,omitempty"`
-	// Dataset is |D|.
+	// Dataset is the visible dataset size (tombstoned trees excluded).
 	Dataset int `json:"dataset"`
+	// Segments is how many storage segments (sealed segments plus the
+	// memtable snapshot, when non-empty) the query fanned over.
+	Segments int `json:"segments,omitempty"`
 	// Candidates counts trees the filter could not prune: for a range
 	// query, bounds ≤ tau; for a k-NN query, bounds ≤ the final k-th
 	// distance (what any verification order must at least consider).
@@ -144,9 +147,11 @@ func (c *explainCollector) boundDist() BoundDist {
 
 // sampleTightness records one verified pair into the always-on Stats
 // sample set (capped) and, when ex is non-nil, the full EXPLAIN sample.
-// Pairs at exact distance 0 carry no ratio and are skipped; filters
-// without a branch embedding produce no samples.
-func sampleTightness(b Bounder, st *Stats, ex *Explain, id, bound, exact int) {
+// The bounder addresses trees by segment-local position (local) while the
+// sample reports the dataset id (gid). Pairs at exact distance 0 carry no
+// ratio and are skipped; filters without a branch embedding produce no
+// samples.
+func sampleTightness(b Bounder, st *Stats, ex *Explain, local, gid, bound, exact int) {
 	if exact <= 0 {
 		return
 	}
@@ -159,14 +164,14 @@ func sampleTightness(b Bounder, st *Stats, ex *Explain, id, bound, exact int) {
 	if !full && !brief {
 		return
 	}
-	d := bd.BDist(id)
+	d := bd.BDist(local)
 	ratio := float64(d) / float64(exact)
 	if brief {
 		st.Tightness = append(st.Tightness, ratio)
 	}
 	if full {
 		ex.Tightness = append(ex.Tightness, TightnessSample{
-			ID: id, Bound: bound, BDist: d, Exact: exact, Ratio: ratio,
+			ID: gid, Bound: bound, BDist: d, Exact: exact, Ratio: ratio,
 		})
 	}
 }

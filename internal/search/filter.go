@@ -30,10 +30,27 @@ type Filter interface {
 }
 
 // Appender is an optional Filter capability: extend the indexed state with
-// one more tree (appended at the next dataset position). Filters that
-// support it make Index.Insert work without a rebuild.
+// one more tree (appended at the next dataset position). The segmented
+// store appends into the memtable's filter through it.
 type Appender interface {
 	Append(t *tree.Tree)
+}
+
+// Fresher is an optional Filter capability: produce an empty filter of the
+// same configuration, ready to Index a new dataset. The segmented store
+// uses it to rebuild per-segment filters at compaction time, which is what
+// makes globally-preprocessed filters (pivot tables, VP-trees) appendable:
+// the expensive global build happens per segment, off the write path.
+type Fresher interface {
+	Fresh() Filter
+}
+
+// snapshotter is the internal capability of memtable filters: freeze the
+// first n indexed entries into a read-only filter sharing the underlying
+// space. The frozen filter must stay valid while the original keeps
+// appending (slice-header copies, never data copies — seals are O(1)).
+type snapshotter interface {
+	snapshotAt(n int) Filter
 }
 
 // Bounder computes edit-distance lower bounds between one query and the
@@ -89,6 +106,16 @@ func (f *BiBranch) Index(ts []*tree.Tree) {
 // space.
 func (f *BiBranch) Append(t *tree.Tree) {
 	f.profiles = append(f.profiles, f.space.Profile(t))
+}
+
+// Fresh implements Fresher.
+func (f *BiBranch) Fresh() Filter { return &BiBranch{Q: f.Q, Positional: f.Positional} }
+
+// snapshotAt freezes the first n profiles. The branch space is shared —
+// it is internally synchronized and only ever grows — and the profile
+// slice is capped at n, so appends to the live filter never show through.
+func (f *BiBranch) snapshotAt(n int) Filter {
+	return &BiBranch{Q: f.Q, Positional: f.Positional, space: f.space, profiles: f.profiles[:n:n]}
 }
 
 // Space exposes the branch space built by Index (nil before Index).
@@ -201,6 +228,23 @@ func (f *Histo) Append(t *tree.Tree) {
 	f.profiles = append(f.profiles, histogram.NewProfileConfig(t, f.cfg))
 }
 
+// Fresh implements Fresher. The resolved folding configuration (not the
+// zero Config that selects equal-space sizing) carries over, so a fresh
+// filter over an empty segment does not degenerate to zero dimensions.
+func (f *Histo) Fresh() Filter {
+	cfg := f.Config
+	if f.cfg != (histogram.Config{}) {
+		cfg = f.cfg
+	}
+	return &Histo{Config: cfg, Unbounded: f.Unbounded}
+}
+
+// snapshotAt freezes the first n profiles (shared folding configuration,
+// capped profile slice).
+func (f *Histo) snapshotAt(n int) Filter {
+	return &Histo{Config: f.Config, Unbounded: f.Unbounded, cfg: f.cfg, profiles: f.profiles[:n:n]}
+}
+
 // Query implements Filter.
 func (f *Histo) Query(q *tree.Tree) Bounder {
 	return &histoBounder{f: f, qp: histogram.NewProfileConfig(q, f.cfg)}
@@ -236,6 +280,12 @@ func (f *Seq) Index(ts []*tree.Tree) { f.trees = ts }
 // Append implements Appender.
 func (f *Seq) Append(t *tree.Tree) { f.trees = append(f.trees, t) }
 
+// Fresh implements Fresher.
+func (f *Seq) Fresh() Filter { return &Seq{} }
+
+// snapshotAt freezes the first n trees.
+func (f *Seq) snapshotAt(n int) Filter { return &Seq{trees: f.trees[:n:n]} }
+
 // Query implements Filter.
 func (f *Seq) Query(q *tree.Tree) Bounder { return &seqBounder{f: f, q: q} }
 
@@ -266,6 +316,13 @@ func (*None) Index([]*tree.Tree) {}
 
 // Append implements Appender (no per-tree state).
 func (*None) Append(*tree.Tree) {}
+
+// Fresh implements Fresher.
+func (*None) Fresh() Filter { return &None{} }
+
+// snapshotAt implements snapshotter (stateless, so the filter is its own
+// snapshot).
+func (f *None) snapshotAt(int) Filter { return f }
 
 // Query implements Filter.
 func (*None) Query(*tree.Tree) Bounder { return noneBounder{} }

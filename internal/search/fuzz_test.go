@@ -14,17 +14,35 @@ import (
 // does load, it must re-save and re-load into an equivalent index.
 func FuzzLoadIndex(f *testing.F) {
 	ix := NewIndex(testDataset(8, 41), NewBiBranch())
-	var v2 bytes.Buffer
-	if err := SaveIndex(&v2, ix); err != nil {
+	var v3 bytes.Buffer
+	if err := SaveIndex(&v3, ix); err != nil {
 		f.Fatal(err)
 	}
 	var v1 bytes.Buffer
 	if err := saveIndexV1(&v1, ix); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(v2.Bytes())
+	var v2 bytes.Buffer
+	if err := saveIndexV2(&v2, ix); err != nil {
+		f.Fatal(err)
+	}
+	// A segmented snapshot with a tombstone: sealed segments, a memtable
+	// snapshot, and a hole in the id space.
+	seg := NewIndex(testDataset(6, 42), NewBiBranch(), WithMemtableSize(3), WithCompactionThreshold(-1))
+	for _, tr := range testDataset(5, 43) {
+		seg.Insert(tr)
+	}
+	seg.Delete(4)
+	var v3seg bytes.Buffer
+	if err := SaveIndex(&v3seg, seg); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v3.Bytes())
+	f.Add(v3seg.Bytes())
 	f.Add(v1.Bytes())
-	f.Add(v2.Bytes()[:len(v2.Bytes())/2])
+	f.Add(v2.Bytes())
+	f.Add(v3.Bytes()[:len(v3.Bytes())/2])
+	f.Add([]byte("TSIX3\x00\xff\xff\xff\xff\xff\xff\xff\xff"))
 	f.Add([]byte("TSIX2\x00\xff\xff\xff\xff\xff\xff\xff\xff"))
 	f.Add([]byte("TSIX1\x00garbage"))
 	f.Add([]byte{})
@@ -44,11 +62,17 @@ func FuzzLoadIndex(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-saved index does not re-load: %v", err)
 		}
-		if again.Size() != loaded.Size() {
-			t.Fatalf("round trip changed size: %d -> %d", loaded.Size(), again.Size())
+		if again.Size() != loaded.Size() || again.Live() != loaded.Live() {
+			t.Fatalf("round trip changed size/live: %d/%d -> %d/%d",
+				loaded.Size(), loaded.Live(), again.Size(), again.Live())
 		}
 		for i := 0; i < loaded.Size(); i++ {
-			if !tree.Equal(again.Tree(i), loaded.Tree(i)) {
+			lt, lok := loaded.TreeAt(i)
+			at, aok := again.TreeAt(i)
+			if lok != aok {
+				t.Fatalf("round trip changed visibility of id %d", i)
+			}
+			if lok && !tree.Equal(at, lt) {
 				t.Fatalf("round trip changed tree %d", i)
 			}
 		}

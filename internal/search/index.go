@@ -3,11 +3,12 @@ package search
 import (
 	"context"
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"treesim/internal/editdist"
 	"treesim/internal/obs"
+	"treesim/internal/segstore"
 	"treesim/internal/tree"
 )
 
@@ -23,7 +24,7 @@ type AttrReporter interface {
 
 // Result is one answer of a similarity query.
 type Result struct {
-	ID   int // index of the tree in the dataset
+	ID   int // dataset id of the tree
 	Dist int // exact tree edit distance to the query
 }
 
@@ -40,7 +41,7 @@ type Result struct {
 // parallel refinement it can vary slightly with worker timing, because
 // the shared k-th-distance threshold prunes opportunistically.
 type Stats struct {
-	Dataset        int           // dataset size |D|
+	Dataset        int           // visible dataset size (tombstoned trees excluded)
 	Candidates     int           // trees the filter could not prune (see Explain.Candidates)
 	Verified       int           // trees whose exact edit distance was computed
 	Results        int           // result set size
@@ -97,23 +98,27 @@ func (s Stats) String() string {
 		s.Verified, s.Dataset, 100*s.AccessedFraction(), s.Candidates, s.FalsePositives, s.FilterTime, s.RefineTime)
 }
 
-// Index is a similarity-searchable tree collection: the dataset plus the
-// preprocessed state of one filter, and the execution configuration a
-// query runs under (shard count, worker pool).
+// Index is a similarity-searchable tree collection with a storage
+// lifecycle: the dataset lives in a segmented, epoch-based store
+// (internal/segstore) — inserts land in a small mutable memtable, sealed
+// segments are immutable with their own pre-built filters, deletes are
+// tombstones, and background compaction merges segments back into one.
 //
-// An Index is safe for concurrent use: queries run under a shared read
-// lock and Insert takes the write lock, so readers never observe a
-// half-appended dataset. Long-running queries therefore delay inserts (and
-// vice versa); servers that need bounded insert latency should bound query
-// time through the query context.
+// An Index is safe for concurrent use, and reads don't block writes:
+// queries snapshot the segment list and fan the shard engine across
+// segments, so a long query never delays an insert and an insert never
+// invalidates a running query's view. Dataset ids are assigned
+// monotonically and never reused; results across any segment layout are
+// identical (see the segment-layout invariance tests).
 type Index struct {
-	mu     sync.RWMutex
-	trees  []*tree.Tree
-	filter Filter
+	filter Filter // the configured prototype (also the initial segment's filter)
 	cost   editdist.CostModel
 
 	shards int       // WithShards; 0 = pool size
 	pool   *workPool // shared worker budget for shard + refine helpers
+
+	store        *segstore.Store
+	onCompaction atomic.Pointer[func(CompactionStats)]
 }
 
 // ctxCheckEvery is how many cheap filter-bound computations happen between
@@ -126,27 +131,43 @@ func defaultCost() editdist.CostModel { return editdist.UnitCost{} }
 
 // NewIndex builds an index over the dataset, preprocessing the whole
 // dataset once under the selected filter. Options pick the filter, the
-// cost model and the parallel execution shape:
+// cost model, the parallel execution shape, and the storage lifecycle:
 //
 //	ix := search.NewIndex(ts, search.NewBiBranch())          // filter as option
 //	ix := search.NewIndex(ts, search.WithFilter(f),          // interface-typed filter
-//	    search.WithShards(4), search.WithRefineWorkers(8))
+//	    search.WithShards(4), search.WithRefineWorkers(8),
+//	    search.WithMemtableSize(512))
 //
 // With no filter option (or a nil one) the index degenerates to the
 // sequential scan; with no cost option it uses unit edit costs.
 func NewIndex(ts []*tree.Tree, opts ...IndexOption) *Index {
 	cfg := applyIndexOpts(opts)
+	return newIndexFromConfig(ts, cfg)
+}
+
+// newIndexFromConfig is NewIndex after option folding (shared with
+// LoadIndex).
+func newIndexFromConfig(ts []*tree.Tree, cfg indexConfig) *Index {
 	if cfg.filter == nil {
 		cfg.filter = NewNone()
 	}
 	ix := &Index{
-		trees:  ts,
 		filter: cfg.filter,
 		cost:   cfg.cost,
 		shards: cfg.shards,
 		pool:   newWorkPool(cfg.refineWorkers),
 	}
+	// Build the prototype before the store: the memtable hook derives its
+	// filter from the (then fully resolved) prototype configuration.
 	ix.filter.Index(ts)
+	ix.store = segstore.New(segstore.Config{
+		MemtableSize: cfg.memtableSize,
+		CompactAfter: cfg.compactAfter,
+	}, ix.segHooks())
+	if len(ts) > 0 {
+		base := &segstore.Segment{N: len(ts), Payload: &segPayload{trees: ts, filter: ix.filter}}
+		ix.store.Bootstrap([]*segstore.Segment{base}, nil, len(ts))
+	}
 	return ix
 }
 
@@ -157,60 +178,89 @@ func NewIndexCost(ts []*tree.Tree, f Filter, c editdist.CostModel) *Index {
 	return NewIndex(ts, WithFilter(f), WithCostModel(c))
 }
 
-// Size returns the number of indexed trees.
-func (ix *Index) Size() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.trees)
-}
+// Size returns the dataset's id high-water mark: the id the next insert
+// will be assigned. Deleted ids stay burned, so Size never decreases and
+// is NOT the visible tree count — see Live for that. (Keeping Size as the
+// high-water mark is what makes WAL replay idempotent: a log record for
+// position p applies exactly when p == Size.)
+func (ix *Index) Size() int { return ix.store.NextID() }
 
-// Insert appends a tree to the index without rebuilding, returning its
-// dataset position. It fails when the index's filter keeps precomputed
-// global structures that appending would invalidate (the pivot and
-// VP-tree filters); rebuild with NewIndex in that case. Insert is safe to
-// call concurrently with queries: it takes the index's write lock, so it
-// waits for in-flight queries and appears atomically to later ones.
+// Live returns the number of visible (non-tombstoned) trees.
+func (ix *Index) Live() int { return ix.store.Stats().Live }
+
+// Epoch returns the index's logical-state counter: it advances with every
+// insert, delete, seal and compaction. Equal epochs imply an identical
+// visible dataset, so the epoch is the invalidation key for anything
+// cached per dataset state (query caches, prepared EXPLAIN baselines).
+func (ix *Index) Epoch() uint64 { return ix.store.Epoch() }
+
+// StoreStats snapshots the storage engine's gauges (segment count,
+// memtable fill, tombstones, seal/compaction counters).
+func (ix *Index) StoreStats() segstore.Stats { return ix.store.Stats() }
+
+// Insert appends a tree, returning its dataset id. Every filter
+// configuration accepts inserts: the tree lands in the memtable segment
+// (with an appendable filter of the configured family), and globally
+// preprocessed structures are rebuilt per segment at the next compaction.
+// The error is always nil and remains in the signature for compatibility.
+//
+// Insert is safe to call concurrently with queries — it never blocks on
+// them. When the insert fills the memtable, the memtable is sealed (O(1))
+// and a background compaction starts if the sealed-segment count reached
+// the configured threshold.
 func (ix *Index) Insert(t *tree.Tree) (int, error) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ap, ok := ix.filter.(Appender)
-	if !ok {
-		return -1, fmt.Errorf("search: filter %s does not support incremental inserts", ix.filter.Name())
+	id, sealed := ix.store.Insert(func(id int, mem any) {
+		m := mem.(*memPayload)
+		m.filter.(Appender).Append(t)
+		m.trees = append(m.trees, t)
+	})
+	if sealed {
+		ix.maybeCompact()
 	}
-	ap.Append(t)
-	ix.trees = append(ix.trees, t)
-	return len(ix.trees) - 1, nil
+	return id, nil
 }
 
-// Appendable reports whether Insert can succeed — the filter supports
-// incremental appends. Callers with a durability log check this before
-// logging an insert that would then be refused.
-func (ix *Index) Appendable() bool {
-	_, ok := ix.filter.(Appender)
-	return ok
-}
+// Delete tombstones the tree with the given id so it no longer appears in
+// any query result. It reports false when the id was never assigned or is
+// already deleted. The tree's storage is reclaimed at the next
+// compaction; the id is never reused.
+func (ix *Index) Delete(id int) bool { return ix.store.Delete(id) }
 
-// Tree returns the i-th indexed tree and true, or nil and false when i is
-// out of range. Dataset positions are stable: trees are only ever
-// appended, never removed or reordered.
+// Seal freezes the current memtable into an immutable segment regardless
+// of fill (used by tests and deterministic snapshots). It reports whether
+// anything was sealed.
+func (ix *Index) Seal() bool { return ix.store.Seal() }
+
+// Appendable reports whether Insert can succeed. The segmented store made
+// every filter configuration appendable, so it is always true.
+//
+// Deprecated: always true; kept for callers written against the
+// pre-segmented index.
+func (ix *Index) Appendable() bool { return true }
+
+// TreeAt returns the tree with dataset id i and true, or nil and false
+// when the id was never assigned or the tree is deleted. Ids are stable:
+// assigned monotonically and never reused.
 func (ix *Index) TreeAt(i int) (*tree.Tree, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if i < 0 || i >= len(ix.trees) {
+	c := ix.store.Read()
+	sg, local, ok := c.Find(i)
+	if !ok {
 		return nil, false
 	}
-	return ix.trees[i], true
+	return payloadOf(sg).trees[local], true
 }
 
-// Tree returns the i-th indexed tree. It panics when i is out of range;
-// see TreeAt for the checked variant.
+// Tree returns the tree with dataset id i. It panics when the id is
+// absent; see TreeAt for the checked variant.
 func (ix *Index) Tree(i int) *tree.Tree {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.trees[i]
+	t, ok := ix.TreeAt(i)
+	if !ok {
+		panic(fmt.Sprintf("search: no tree %d", i))
+	}
+	return t
 }
 
-// Filter returns the index's filter.
+// Filter returns the index's configured filter prototype.
 func (ix *Index) Filter() Filter { return ix.filter }
 
 // Shards returns the configured shard count (0 means GOMAXPROCS).
@@ -220,12 +270,13 @@ func (ix *Index) Shards() int { return ix.shards }
 func (ix *Index) RefineWorkers() int { return ix.pool.size }
 
 // KNN returns the k nearest neighbors of q by tree edit distance,
-// implementing Algorithm 2: lower bounds are computed for the whole
-// dataset (sharded across the worker pool), candidates are verified in
+// implementing Algorithm 2 over the segmented store: lower bounds are
+// computed for every visible tree (sharded across the worker pool, each
+// segment bounded by its own filter), candidates are verified in
 // ascending bound order, and the scan stops as soon as the next bound
 // exceeds the current k-th distance. The result is sorted by ascending
-// distance (ties by ascending ID) and is identical for every shard and
-// worker configuration.
+// distance (ties by ascending ID) and is identical for every shard,
+// worker and segment configuration.
 //
 // The scan checks ctx before every exact-distance verification (and
 // periodically during the cheap filter pass) and returns ctx.Err() with

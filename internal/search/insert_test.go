@@ -44,18 +44,42 @@ func TestInsertMatchesRebuild(t *testing.T) {
 	}
 }
 
-// TestInsertRejectedByGlobalFilters: pivot tables and VP-trees cannot be
-// appended to; Insert must refuse rather than silently corrupt bounds.
-func TestInsertRejectedByGlobalFilters(t *testing.T) {
-	ts := testDataset(20, 53)
-	extra := testDataset(1, 54)[0]
-	for _, f := range []Filter{NewPivotBiBranch(), NewVPBiBranch()} {
-		ix := NewIndex(ts, WithFilter(f))
-		if _, err := ix.Insert(extra); err == nil {
-			t.Errorf("%s accepted an incremental insert", f.Name())
+// TestInsertAcceptedByGlobalFilters: pivot tables and VP-trees were once
+// rejected as not appendable; with segmented storage the inserts land in
+// a memtable with its own sound filter, so every configuration accepts
+// them — and answers must match a from-scratch rebuild without any
+// explicit compaction.
+func TestInsertAcceptedByGlobalFilters(t *testing.T) {
+	all := testDataset(40, 53)
+	for _, mk := range []func() Filter{
+		func() Filter { return NewPivotBiBranch() },
+		func() Filter { return NewVPBiBranch() },
+	} {
+		incr := NewIndex(all[:20], WithFilter(mk()), WithCompactionThreshold(-1))
+		for i, tr := range all[20:] {
+			id, err := incr.Insert(tr)
+			if err != nil {
+				t.Fatalf("%s rejected insert: %v", incr.Filter().Name(), err)
+			}
+			if id != 20+i {
+				t.Fatalf("%s: insert %d got id %d", incr.Filter().Name(), 20+i, id)
+			}
 		}
-		if ix.Size() != 20 {
-			t.Errorf("%s: failed insert changed the dataset", f.Name())
+		if !incr.Appendable() {
+			t.Errorf("%s reports not appendable", incr.Filter().Name())
+		}
+		full := NewIndex(all, WithFilter(mk()))
+		for _, q := range []*tree.Tree{all[0], all[35], testDataset(1, 54)[0]} {
+			a, _, _ := incr.KNN(context.Background(), q, 4)
+			b, _, _ := full.KNN(context.Background(), q, 4)
+			if !sameDistances(a, b) {
+				t.Fatalf("%s: incremental KNN %v, rebuilt %v", incr.Filter().Name(), dists(a), dists(b))
+			}
+			ar, _, _ := incr.Range(context.Background(), q, 3)
+			br, _, _ := full.Range(context.Background(), q, 3)
+			if !reflect.DeepEqual(ar, br) {
+				t.Fatalf("%s: incremental Range differs", incr.Filter().Name())
+			}
 		}
 	}
 }

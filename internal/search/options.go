@@ -19,6 +19,8 @@ type indexConfig struct {
 	cost          editdist.CostModel
 	shards        int
 	refineWorkers int
+	memtableSize  int
+	compactAfter  int
 }
 
 // IndexOption configures NewIndex and LoadIndex.
@@ -76,6 +78,23 @@ func WithShards(s int) IndexOption {
 // monopolize the machine. 0 (the default) means GOMAXPROCS.
 func WithRefineWorkers(n int) IndexOption {
 	return indexOption(func(c *indexConfig) { c.refineWorkers = n })
+}
+
+// WithMemtableSize sets how many inserts the mutable memtable segment
+// accepts before it is sealed into an immutable segment (0 means the
+// store default, segstore.DefaultMemtableSize). Smaller memtables bound
+// the per-query cost of the weaker memtable filter at the price of more
+// segments between compactions.
+func WithMemtableSize(n int) IndexOption {
+	return indexOption(func(c *indexConfig) { c.memtableSize = n })
+}
+
+// WithCompactionThreshold sets how many sealed segments accumulate before
+// a seal triggers a background compaction (0 means the store default,
+// segstore.DefaultCompactAfter; negative disables automatic compaction —
+// call Index.Compact explicitly).
+func WithCompactionThreshold(n int) IndexOption {
+	return indexOption(func(c *indexConfig) { c.compactAfter = n })
 }
 
 // The concrete filters are their own index options.

@@ -45,6 +45,13 @@ func NewPivotBiBranch() *PivotBiBranch {
 // Name implements Filter.
 func (f *PivotBiBranch) Name() string { return "BiBranch-pivot" }
 
+// Fresh implements Fresher: the same cascade configuration over a new
+// dataset. The segmented store rebuilds the pivot table per segment at
+// compaction, which is what makes this filter appendable.
+func (f *PivotBiBranch) Fresh() Filter {
+	return &PivotBiBranch{Q: f.Q, Pivots: f.Pivots, Positional: f.Positional}
+}
+
 // Factor implements FactorReporter.
 func (f *PivotBiBranch) Factor() int {
 	q := f.Q

@@ -42,6 +42,13 @@ func NewVPBiBranch() *VPBiBranch { return &VPBiBranch{Positional: true} }
 // Name implements Filter.
 func (f *VPBiBranch) Name() string { return "BiBranch-vptree" }
 
+// Fresh implements Fresher: the same configuration over a new dataset.
+// The segmented store rebuilds the VP-tree per segment at compaction,
+// which is what makes this filter appendable.
+func (f *VPBiBranch) Fresh() Filter {
+	return &VPBiBranch{Q: f.Q, Positional: f.Positional, Seed: f.Seed}
+}
+
 // Index implements Filter.
 func (f *VPBiBranch) Index(ts []*tree.Tree) {
 	f.inner = &BiBranch{Q: f.Q, Positional: f.Positional}

@@ -1,0 +1,365 @@
+package segstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// castagnoli matches the polynomial used by the WAL and snapshot codecs.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func crcManifest(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// The segment manifest: the small, checksummed header of a segmented
+// snapshot. It names every segment (id layout and payload blob length),
+// the unresolved tombstones, and the id high-water mark; the payload
+// blobs follow it in the container file. Like the index snapshot codec,
+// decoding classifies failures precisely: a manifest that ends early is
+// truncated (the classic partial write), one whose bytes are all present
+// but wrong is corrupt.
+//
+// Framing: u32 body length | body | u32 CRC32C(body). Body layout (all
+// little-endian):
+//
+//	u8  version (1)
+//	u64 next id
+//	u32 tombstone count, then that many u64 ids (strictly ascending)
+//	u32 segment count, then per segment:
+//	    u8 id mode: 0 = contiguous (u64 base, u64 n)
+//	               1 = explicit   (u64 n, then n u64 ids, strictly ascending)
+//	    u64 payload blob length
+var (
+	// ErrManifestCorrupt reports a length-complete manifest whose checksum
+	// or structure is wrong.
+	ErrManifestCorrupt = errors.New("segment manifest corrupt")
+	// ErrManifestTruncated reports a manifest that ends before its
+	// declared length or trailer.
+	ErrManifestTruncated = errors.New("segment manifest truncated")
+)
+
+const (
+	manifestVersion = 1
+	// maxManifestBody caps the declared body length (64 MiB — a manifest
+	// is metadata, not data), so a corrupt length prefix is an error, not
+	// an allocation request.
+	maxManifestBody = 1 << 26
+	// maxManifestID caps ids and counts well below int overflow on any
+	// platform.
+	maxManifestID = 1 << 40
+)
+
+// SegmentMeta describes one segment in a manifest. IDs follows the same
+// convention as Segment: nil means contiguous [Base, Base+N).
+type SegmentMeta struct {
+	Base    int
+	N       int
+	IDs     []int
+	BlobLen uint64
+}
+
+// ID returns the dataset id of the local entry.
+func (m SegmentMeta) ID(local int) int {
+	if m.IDs != nil {
+		return m.IDs[local]
+	}
+	return m.Base + local
+}
+
+func (m SegmentMeta) minID() int {
+	if m.IDs != nil {
+		return m.IDs[0]
+	}
+	return m.Base
+}
+
+func (m SegmentMeta) maxID() int {
+	if m.IDs != nil {
+		return m.IDs[len(m.IDs)-1]
+	}
+	return m.Base + m.N - 1
+}
+
+// Manifest is the decoded header of a segmented snapshot.
+type Manifest struct {
+	NextID     int
+	Tombstones []int
+	Segments   []SegmentMeta
+}
+
+// WriteManifest encodes and frames m. It validates first, so a manifest
+// that would not load back is never written.
+func WriteManifest(w io.Writer, m *Manifest) error {
+	if err := m.validate(); err != nil {
+		return fmt.Errorf("segstore: refusing to write invalid manifest: %w", err)
+	}
+	var body bytes.Buffer
+	body.WriteByte(manifestVersion)
+	le := binary.LittleEndian
+	var u64 [8]byte
+	put64 := func(v int) {
+		le.PutUint64(u64[:], uint64(v))
+		body.Write(u64[:])
+	}
+	var u32 [4]byte
+	put32 := func(v int) {
+		le.PutUint32(u32[:], uint32(v))
+		body.Write(u32[:])
+	}
+	put64(m.NextID)
+	put32(len(m.Tombstones))
+	for _, id := range m.Tombstones {
+		put64(id)
+	}
+	put32(len(m.Segments))
+	for _, sg := range m.Segments {
+		if sg.IDs == nil {
+			body.WriteByte(0)
+			put64(sg.Base)
+			put64(sg.N)
+		} else {
+			body.WriteByte(1)
+			put64(sg.N)
+			for _, id := range sg.IDs {
+				put64(id)
+			}
+		}
+		le.PutUint64(u64[:], sg.BlobLen)
+		body.Write(u64[:])
+	}
+
+	le.PutUint32(u32[:], uint32(body.Len()))
+	if _, err := w.Write(u32[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return err
+	}
+	le.PutUint32(u32[:], crcManifest(body.Bytes()))
+	_, err := w.Write(u32[:])
+	return err
+}
+
+// ReadManifest decodes one framed manifest from r. Errors satisfy
+// errors.Is against ErrManifestTruncated (stream ends early) or
+// ErrManifestCorrupt (checksum mismatch or structural damage inside a
+// length-complete body).
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var u32 [4]byte
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return nil, fmt.Errorf("segstore: %w: reading manifest length: %v", ErrManifestTruncated, err)
+	}
+	blen := binary.LittleEndian.Uint32(u32[:])
+	if blen > maxManifestBody {
+		return nil, fmt.Errorf("segstore: %w: implausible manifest length %d", ErrManifestCorrupt, blen)
+	}
+	body := make([]byte, blen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("segstore: %w: manifest body: %v", ErrManifestTruncated, err)
+	}
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return nil, fmt.Errorf("segstore: %w: missing manifest checksum", ErrManifestTruncated)
+	}
+	if want, got := binary.LittleEndian.Uint32(u32[:]), crcManifest(body); got != want {
+		return nil, fmt.Errorf("segstore: %w: manifest checksum %08x, trailer says %08x",
+			ErrManifestCorrupt, got, want)
+	}
+	m, err := decodeManifestBody(body)
+	if err != nil {
+		return nil, fmt.Errorf("segstore: %w: %v", ErrManifestCorrupt, err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, fmt.Errorf("segstore: %w: %v", ErrManifestCorrupt, err)
+	}
+	return m, nil
+}
+
+// decodeManifestBody parses a checksum-verified body; every failure here
+// is structural (the caller wraps it as corrupt).
+func decodeManifestBody(body []byte) (*Manifest, error) {
+	d := &bodyReader{b: body}
+	if v := d.u8(); v != manifestVersion {
+		return nil, fmt.Errorf("unknown manifest version %d", v)
+	}
+	m := &Manifest{NextID: d.id()}
+	nTombs := d.count()
+	if d.err == nil && nTombs > len(d.b)-d.off {
+		// Each id takes 8 bytes; a count beyond the remaining bytes can
+		// only be garbage.
+		return nil, fmt.Errorf("tombstone count %d exceeds body", nTombs)
+	}
+	for i := 0; i < nTombs && d.err == nil; i++ {
+		m.Tombstones = append(m.Tombstones, d.id())
+	}
+	nSegs := d.count()
+	if d.err == nil && nSegs > len(d.b)-d.off {
+		return nil, fmt.Errorf("segment count %d exceeds body", nSegs)
+	}
+	for i := 0; i < nSegs && d.err == nil; i++ {
+		var sg SegmentMeta
+		switch mode := d.u8(); mode {
+		case 0:
+			sg.Base = d.id()
+			sg.N = d.id()
+		case 1:
+			sg.N = d.id()
+			if d.err == nil && sg.N > (len(d.b)-d.off)/8 {
+				return nil, fmt.Errorf("segment %d id count %d exceeds body", i, sg.N)
+			}
+			sg.IDs = make([]int, 0, sg.N)
+			for j := 0; j < sg.N && d.err == nil; j++ {
+				sg.IDs = append(sg.IDs, d.id())
+			}
+			if len(sg.IDs) == 0 {
+				sg.IDs = []int{} // explicit mode stays explicit
+			}
+		default:
+			if d.err == nil {
+				return nil, fmt.Errorf("segment %d has unknown id mode %d", i, mode)
+			}
+		}
+		sg.BlobLen = d.u64()
+		m.Segments = append(m.Segments, sg)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("%d trailing bytes in manifest body", len(d.b)-d.off)
+	}
+	return m, nil
+}
+
+// validate checks the structural invariants shared by writer and reader:
+// ascending unique ids within and across segments, tombstones referring
+// to present ids, and the high-water mark above everything.
+func (m *Manifest) validate() error {
+	if m.NextID < 0 || m.NextID > maxManifestID {
+		return fmt.Errorf("bad next id %d", m.NextID)
+	}
+	prevMax := -1
+	for i, sg := range m.Segments {
+		if sg.N <= 0 {
+			return fmt.Errorf("segment %d is empty", i)
+		}
+		if sg.IDs != nil {
+			if len(sg.IDs) != sg.N {
+				return fmt.Errorf("segment %d declares %d ids but carries %d", i, sg.N, len(sg.IDs))
+			}
+			for j, id := range sg.IDs {
+				if id < 0 || (j > 0 && id <= sg.IDs[j-1]) {
+					return fmt.Errorf("segment %d ids not strictly ascending", i)
+				}
+			}
+		} else if sg.Base < 0 {
+			return fmt.Errorf("segment %d has negative base", i)
+		}
+		if sg.BlobLen > maxManifestID {
+			return fmt.Errorf("segment %d declares an implausible blob length %d", i, sg.BlobLen)
+		}
+		if sg.minID() <= prevMax {
+			return fmt.Errorf("segment %d overlaps its predecessor", i)
+		}
+		prevMax = sg.maxID()
+		if prevMax >= m.NextID {
+			return fmt.Errorf("segment %d reaches id %d beyond next id %d", i, prevMax, m.NextID)
+		}
+	}
+	prev := -1
+	for _, id := range m.Tombstones {
+		if id <= prev {
+			return errors.New("tombstones not strictly ascending")
+		}
+		prev = id
+		if id >= m.NextID {
+			return fmt.Errorf("tombstone %d beyond next id %d", id, m.NextID)
+		}
+		if !metaContain(m.Segments, id) {
+			return fmt.Errorf("tombstone %d refers to no segment entry", id)
+		}
+	}
+	return nil
+}
+
+// metaContain mirrors segmentsContain over metadata.
+func metaContain(segs []SegmentMeta, id int) bool {
+	for _, sg := range segs {
+		if id < sg.minID() || id > sg.maxID() {
+			continue
+		}
+		if sg.IDs == nil {
+			return true
+		}
+		lo, hi := 0, len(sg.IDs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if sg.IDs[mid] < id {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo < len(sg.IDs) && sg.IDs[lo] == id
+	}
+	return false
+}
+
+// bodyReader is a cursor over the body with sticky errors, so decode
+// logic reads linearly without per-field error plumbing.
+type bodyReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *bodyReader) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+1 > len(d.b) {
+		d.err = errors.New("body ends inside a field")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *bodyReader) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.err = errors.New("body ends inside a field")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+// id reads a u64 and range-checks it as an id/count.
+func (d *bodyReader) id() int {
+	v := d.u64()
+	if d.err == nil && v > maxManifestID {
+		d.err = fmt.Errorf("implausible id %d", v)
+	}
+	return int(v)
+}
+
+// count reads a u32 element count.
+func (d *bodyReader) count() int {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.b) {
+		d.err = errors.New("body ends inside a field")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return int(v)
+}

@@ -1,0 +1,150 @@
+package segstore
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sampleManifest() *Manifest {
+	return &Manifest{
+		NextID:     100,
+		Tombstones: []int{3, 17},
+		Segments: []SegmentMeta{
+			{Base: 0, N: 10, BlobLen: 512},
+			{N: 3, IDs: []int{12, 17, 20}, BlobLen: 64},
+			{Base: 40, N: 5, BlobLen: 128},
+		},
+	}
+}
+
+func encodeManifest(t *testing.T, m *Manifest) []byte {
+	t.Helper()
+	enc, err := tryEncodeManifest(m)
+	if err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+	return enc
+}
+
+func tryEncodeManifest(m *Manifest) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func mustEncodeManifest(m *Manifest) []byte {
+	enc, err := tryEncodeManifest(m)
+	if err != nil {
+		panic(err)
+	}
+	return enc
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	got, err := ReadManifest(bytes.NewReader(encodeManifest(t, m)))
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip changed manifest:\n in %+v\nout %+v", m, got)
+	}
+}
+
+func TestManifestEmptyRoundTrip(t *testing.T) {
+	m := &Manifest{NextID: 0}
+	got, err := ReadManifest(bytes.NewReader(encodeManifest(t, m)))
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if got.NextID != 0 || len(got.Segments) != 0 || len(got.Tombstones) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestManifestTruncated(t *testing.T) {
+	enc := encodeManifest(t, sampleManifest())
+	for _, cut := range []int{0, 2, 4, len(enc) / 2, len(enc) - 1} {
+		_, err := ReadManifest(bytes.NewReader(enc[:cut]))
+		if !errors.Is(err, ErrManifestTruncated) {
+			t.Fatalf("cut at %d: err = %v, want truncated", cut, err)
+		}
+	}
+}
+
+func TestManifestCorrupt(t *testing.T) {
+	enc := encodeManifest(t, sampleManifest())
+	for _, pos := range []int{4, 5, 13, len(enc) - 5, len(enc) - 1} {
+		bad := bytes.Clone(enc)
+		bad[pos] ^= 0xFF
+		_, err := ReadManifest(bytes.NewReader(bad))
+		if err == nil {
+			t.Fatalf("flip at %d: decode succeeded", pos)
+		}
+		if !errors.Is(err, ErrManifestCorrupt) && !errors.Is(err, ErrManifestTruncated) {
+			t.Fatalf("flip at %d: unclassified error %v", pos, err)
+		}
+	}
+	// A checksum flip specifically must read as corrupt, not truncated.
+	bad := bytes.Clone(enc)
+	bad[len(enc)-1] ^= 0xFF
+	if _, err := ReadManifest(bytes.NewReader(bad)); !errors.Is(err, ErrManifestCorrupt) {
+		t.Fatalf("checksum flip: err = %v", err)
+	}
+}
+
+func TestWriteManifestRejectsInvalid(t *testing.T) {
+	cases := []*Manifest{
+		{NextID: -1},
+		{NextID: 5, Segments: []SegmentMeta{{Base: 0, N: 0}}},
+		{NextID: 5, Segments: []SegmentMeta{{Base: 0, N: 10}}},                          // exceeds next id
+		{NextID: 20, Segments: []SegmentMeta{{Base: 5, N: 3}, {Base: 4, N: 2}}},         // overlap
+		{NextID: 20, Segments: []SegmentMeta{{N: 2, IDs: []int{4, 4}, Base: 0}}},        // not ascending
+		{NextID: 20, Segments: []SegmentMeta{{Base: 0, N: 3}}, Tombstones: []int{7}},    // tomb outside segments
+		{NextID: 20, Segments: []SegmentMeta{{Base: 0, N: 5}}, Tombstones: []int{3, 3}}, // dup tombs
+	}
+	for i, m := range cases {
+		var buf bytes.Buffer
+		if err := WriteManifest(&buf, m); err == nil {
+			t.Fatalf("case %d: invalid manifest accepted: %+v", i, m)
+		}
+	}
+}
+
+// FuzzManifest mirrors FuzzLoadIndex: every input must either decode or
+// fail with a classified error, and decoded manifests must re-encode to a
+// byte-identical form.
+func FuzzManifest(f *testing.F) {
+	f.Add(mustEncodeManifest(sampleManifest()))
+	f.Add(mustEncodeManifest(&Manifest{NextID: 0}))
+	f.Add(mustEncodeManifest(&Manifest{
+		NextID:   8,
+		Segments: []SegmentMeta{{N: 2, IDs: []int{1, 7}, BlobLen: 9}},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadManifest(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrManifestCorrupt) && !errors.Is(err, ErrManifestTruncated) {
+				t.Fatalf("unclassified error %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteManifest(&buf, m); err != nil {
+			t.Fatalf("decoded manifest fails to re-encode: %v", err)
+		}
+		back, err := ReadManifest(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded manifest fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Fatalf("re-encode changed manifest:\n in %+v\nout %+v", m, back)
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package segstore
+
+import "sort"
+
+// Tombstones is an immutable set of deleted ids. Mutation returns a new
+// set (copy-on-write), so a published View's tombstones never change
+// under a reader; a nil *Tombstones is the valid empty set, letting the
+// hot Has path stay one nil check for delete-free workloads.
+type Tombstones struct {
+	m map[int]struct{}
+}
+
+// NewTombstones builds a set from ids (nil for an empty list).
+func NewTombstones(ids []int) *Tombstones {
+	if len(ids) == 0 {
+		return nil
+	}
+	m := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		m[id] = struct{}{}
+	}
+	return &Tombstones{m: m}
+}
+
+// Has reports whether id is tombstoned.
+func (t *Tombstones) Has(id int) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.m[id]
+	return ok
+}
+
+// Len returns the set size.
+func (t *Tombstones) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.m)
+}
+
+// IDs returns the tombstoned ids in ascending order.
+func (t *Tombstones) IDs() []int {
+	if t == nil {
+		return nil
+	}
+	out := make([]int, 0, len(t.m))
+	for id := range t.m {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// With returns the set plus id.
+func (t *Tombstones) With(id int) *Tombstones {
+	m := make(map[int]struct{}, t.Len()+1)
+	if t != nil {
+		for k := range t.m {
+			m[k] = struct{}{}
+		}
+	}
+	m[id] = struct{}{}
+	return &Tombstones{m: m}
+}
+
+// Without returns the set minus ids (nil when it empties).
+func (t *Tombstones) Without(ids []int) *Tombstones {
+	if t == nil || len(ids) == 0 {
+		return t
+	}
+	drop := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		drop[id] = struct{}{}
+	}
+	m := make(map[int]struct{}, len(t.m))
+	for k := range t.m {
+		if _, gone := drop[k]; !gone {
+			m[k] = struct{}{}
+		}
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	return &Tombstones{m: m}
+}

@@ -58,6 +58,13 @@ type InsertResponse struct {
 	Size int `json:"size"`
 }
 
+// DeleteResponse reports the id a DELETE /v1/trees/{id} tombstoned and
+// the number of visible trees after the delete.
+type DeleteResponse struct {
+	ID   int `json:"id"`
+	Live int `json:"live"`
+}
+
 // TreeResponse is one indexed tree.
 type TreeResponse struct {
 	ID   int    `json:"id"`
@@ -129,9 +136,14 @@ const (
 	ErrCodeDeadlineExceeded = "deadline_exceeded" // the request deadline expired mid-query
 	ErrCodeCanceled         = "canceled"          // the client went away mid-query
 	ErrCodeOverloaded       = "overloaded"        // admission control refused the request; retry later
-	ErrCodeNotAppendable    = "not_appendable"    // the index filter cannot accept incremental inserts
-	ErrCodeNotDurable       = "not_durable"       // the WAL append failed, so the insert was refused; retry
-	ErrCodeInternal         = "internal"          // handler panic or other server-side fault
+	// ErrCodeNotAppendable is no longer produced: the segmented store made
+	// every filter configuration accept incremental inserts.
+	//
+	// Deprecated: kept so clients written against older servers still
+	// compile; no current endpoint returns it.
+	ErrCodeNotAppendable = "not_appendable"
+	ErrCodeNotDurable    = "not_durable" // the WAL append failed, so the insert was refused; retry
+	ErrCodeInternal      = "internal"    // handler panic or other server-side fault
 )
 
 // ErrorDetail is the payload of every non-2xx JSON answer: a stable code

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"treesim/internal/tree"
@@ -20,28 +19,14 @@ import (
 //	snapshot: capture WAL offset → consistent index cut → write/verify/
 //	          rename → trim the WAL below the captured offset
 //
-// WAL records carry the dataset position the insert was assigned, which
-// makes replay idempotent: records whose position is already inside the
-// loaded snapshot are skipped, so the overlap window between a snapshot's
-// consistent cut and the subsequent trim never duplicates trees. A
-// position beyond the index's end means records are missing (a foreign or
-// mismatched log) and recovery refuses to guess.
-
-// insertRecord is the WAL payload of one insert: u32 dataset position
-// (little-endian) followed by the tree's canonical text.
-func encodeInsertRecord(id int, text string) []byte {
-	buf := make([]byte, 4+len(text))
-	binary.LittleEndian.PutUint32(buf[:4], uint32(id))
-	copy(buf[4:], text)
-	return buf
-}
-
-func decodeInsertRecord(p []byte) (id int, text string, err error) {
-	if len(p) < 4 {
-		return 0, "", fmt.Errorf("insert record of %d bytes", len(p))
-	}
-	return int(binary.LittleEndian.Uint32(p[:4])), string(p[4:]), nil
-}
+// WAL records are typed (wal.DecodeRecord): inserts carry the dataset id
+// the insert was assigned plus the tree text, tombstones carry the
+// deleted id. Ids make replay idempotent: an insert whose id is already
+// inside the loaded snapshot is skipped, and a tombstone re-applied to an
+// already-deleted id is a no-op — so the overlap window between a
+// snapshot's consistent cut and the subsequent trim never duplicates
+// work. An insert id beyond the index's end means records are missing (a
+// foreign or mismatched log) and recovery refuses to guess.
 
 // RecoveryResult describes what Recover reconstructed.
 type RecoveryResult struct {
@@ -82,25 +67,41 @@ func (s *Server) Recover() (RecoveryResult, error) {
 
 	var res RecoveryResult
 	rres, err := wal.Replay(s.cfg.WALPath, s.fs, func(p []byte) error {
-		id, text, err := decodeInsertRecord(p)
+		rec, err := wal.DecodeRecord(p)
 		if err != nil {
 			return err
 		}
-		size := s.ix.Size()
-		switch {
-		case id < size:
-			res.Skipped++
-			return nil
-		case id > size:
-			return fmt.Errorf("record for position %d but the index ends at %d — "+
-				"the log does not belong to this snapshot", id, size)
-		}
-		t, err := tree.Parse(text)
-		if err != nil {
-			return fmt.Errorf("position %d: %w", id, err)
-		}
-		if _, err := s.ix.Insert(t); err != nil {
-			return fmt.Errorf("position %d: %w", id, err)
+		switch rec.Type {
+		case wal.RecordInsert:
+			size := s.ix.Size()
+			switch {
+			case rec.ID < size:
+				res.Skipped++
+				return nil
+			case rec.ID > size:
+				return fmt.Errorf("record for position %d but the index ends at %d — "+
+					"the log does not belong to this snapshot", rec.ID, size)
+			}
+			t, err := tree.Parse(rec.Tree)
+			if err != nil {
+				return fmt.Errorf("position %d: %w", rec.ID, err)
+			}
+			if _, err := s.ix.Insert(t); err != nil {
+				return fmt.Errorf("position %d: %w", rec.ID, err)
+			}
+		case wal.RecordTombstone:
+			if rec.ID >= s.ix.Size() {
+				return fmt.Errorf("tombstone for position %d but the index ends at %d — "+
+					"the log does not belong to this snapshot", rec.ID, s.ix.Size())
+			}
+			// An already-deleted id reports false: the snapshot covered the
+			// delete, the record replays as a no-op.
+			if !s.ix.Delete(rec.ID) {
+				res.Skipped++
+				return nil
+			}
+		default:
+			return fmt.Errorf("unhandled record type %d", rec.Type)
 		}
 		res.Replayed++
 		s.replayProgress.Add(1)
@@ -141,7 +142,20 @@ func (s *Server) appendToWAL(id int, t *tree.Tree) error {
 	if s.wal == nil {
 		return nil
 	}
-	if err := s.wal.Append(encodeInsertRecord(id, t.String())); err != nil {
+	if err := s.wal.Append(wal.EncodeInsert(id, t.String())); err != nil {
+		return err
+	}
+	s.walRecords.Add(1)
+	return nil
+}
+
+// appendTombstoneToWAL logs one delete before it is applied; called with
+// walMu held.
+func (s *Server) appendTombstoneToWAL(id int) error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Append(wal.EncodeTombstone(id)); err != nil {
 		return err
 	}
 	s.walRecords.Add(1)

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"encoding/binary"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -8,6 +10,7 @@ import (
 
 	"treesim/internal/faultfs"
 	"treesim/internal/search"
+	"treesim/internal/wal"
 )
 
 // These tests prove the durability contract end to end: an insert the
@@ -207,6 +210,94 @@ func TestCrashDuringSnapshotKeepsWAL(t *testing.T) {
 		t.Fatalf("recovered index holds %d trees, want 21", got)
 	}
 	expectTree(t, s2, 20, "mid(snap,shot)")
+	s2.wal.Close()
+}
+
+// TestLegacyWALReplaysCleanly: a log written before typed records existed
+// — every payload a raw (u32 id | tree text) insert, no tombstones —
+// must replay unchanged. The records are hand-built bytes, not
+// wal.EncodeInsert output, so the test holds even if the encoder drifts.
+func TestLegacyWALReplaysCleanly(t *testing.T) {
+	cfg := durableConfig(t.TempDir())
+	s, hs := startDurable(t, cfg, 20)
+	hs.Close()
+	s.wal.Close()
+
+	l, err := wal.Open(cfg.WALPath, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := func(id int, text string) []byte {
+		p := make([]byte, 4+len(text))
+		binary.LittleEndian.PutUint32(p[:4], uint32(id))
+		copy(p[4:], text)
+		return p
+	}
+	for i, text := range []string{"old0(a,b)", "old1(c(d),e)"} {
+		if err := l.Append(legacy(20+i, text)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := restartDurable(t, cfg)
+	if rec.Replayed != 2 || rec.TornTail {
+		t.Fatalf("recovery %s, want 2 replayed from the legacy log", rec)
+	}
+	expectTree(t, s2, 20, "old0(a,b)")
+	expectTree(t, s2, 21, "old1(c(d),e)")
+	s2.wal.Close()
+}
+
+// TestDeleteSurvivesCrash: an acknowledged DELETE is a WAL tombstone; a
+// crash before any snapshot covers it must not resurrect the tree. The
+// log also mixes insert and tombstone records with a torn tail, proving
+// the typed-record replay inherits the prefix-recovery semantics.
+func TestDeleteSurvivesCrash(t *testing.T) {
+	cfg := durableConfig(t.TempDir())
+	s, hs := startDurable(t, cfg, 20)
+
+	insertTree(t, hs.URL, "mix0(a,b)")
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/trees/3", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	insertTree(t, hs.URL, "mix1(c,d)")
+	hs.Close()
+	s.wal.Close()
+
+	// Tear the log's last record (the second insert): the delete and the
+	// first insert are the recoverable prefix.
+	raw, err := os.ReadFile(cfg.WALPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x40
+	if err := os.WriteFile(cfg.WALPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := restartDurable(t, cfg)
+	if !rec.TornTail || rec.Replayed != 2 {
+		t.Fatalf("recovery %s, want torn tail with 2 replayed", rec)
+	}
+	if _, ok := s2.ix.TreeAt(3); ok {
+		t.Fatal("deleted tree resurrected by replay")
+	}
+	expectTree(t, s2, 20, "mix0(a,b)")
+	if got, want := s2.ix.Size(), 21; got != want {
+		t.Fatalf("recovered size %d, want %d", got, want)
+	}
+	if got, want := s2.ix.Live(), 20; got != want {
+		t.Fatalf("recovered live count %d, want %d", got, want)
+	}
 	s2.wal.Close()
 }
 

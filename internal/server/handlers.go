@@ -310,19 +310,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, ErrCodeInvalidTree, err.Error(), requestID(w))
 		return
 	}
-	if !s.ix.Appendable() {
-		// The filter keeps global precomputed structures (pivot tables,
-		// VP-trees) that appending would corrupt; this deployment needs a
-		// rebuild, not a retry. Checked before the WAL append so the log
-		// never records an insert that was refused.
-		writeError(w, http.StatusUnprocessableEntity, ErrCodeNotAppendable,
-			fmt.Sprintf("filter %s does not support incremental inserts", s.ix.Filter().Name()), requestID(w))
-		return
-	}
 	// Durability before acknowledgment: the record must be in the WAL
 	// before the insert is applied or acked, and walMu makes (assign
 	// position, append, apply) atomic so log order matches position
-	// order — what makes replay deterministic.
+	// order — what makes replay deterministic. Every filter configuration
+	// accepts inserts (the segmented store lands them in a memtable
+	// segment), so there is no rejection path between append and apply.
 	s.walMu.Lock()
 	id := s.ix.Size()
 	wsp := obs.FromContext(r.Context()).StartChild("wal.append")
@@ -336,14 +329,44 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			"insert not durable (write-ahead log append failed); retry", requestID(w))
 		return
 	}
-	id, err = s.ix.Insert(t)
+	id, _ = s.ix.Insert(t)
 	s.walMu.Unlock()
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, ErrCodeNotAppendable, err.Error(), requestID(w))
-		return
-	}
 	s.inserts.Add(1)
 	writeJSON(w, http.StatusOK, InsertResponse{ID: id, Size: s.ix.Size()})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidArgument, "tree id must be an integer", requestID(w))
+		return
+	}
+	// Same discipline as inserts: tombstone in the WAL before the delete
+	// is applied or acknowledged, with walMu ordering the log like the
+	// applies. The existence check runs under walMu too, so a concurrent
+	// duplicate delete cannot slip between check and apply.
+	s.walMu.Lock()
+	if _, ok := s.ix.TreeAt(id); !ok {
+		s.walMu.Unlock()
+		writeError(w, http.StatusNotFound, ErrCodeNotFound,
+			fmt.Sprintf("no tree %d (deleted or never assigned)", id), requestID(w))
+		return
+	}
+	wsp := obs.FromContext(r.Context()).StartChild("wal.append")
+	err = s.appendTombstoneToWAL(id)
+	wsp.End()
+	if err != nil {
+		s.walMu.Unlock()
+		s.log.Error("wal append failed, delete refused", "err", err)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, ErrCodeNotDurable,
+			"delete not durable (write-ahead log append failed); retry", requestID(w))
+		return
+	}
+	s.ix.Delete(id)
+	s.walMu.Unlock()
+	s.deletes.Add(1)
+	writeJSON(w, http.StatusOK, DeleteResponse{ID: id, Live: s.ix.Live()})
 }
 
 func (s *Server) handleGetTree(w http.ResponseWriter, r *http.Request) {
@@ -402,28 +425,46 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if wantsProm(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
+		st := s.ix.StoreStats()
 		_ = s.metrics.WriteProm(w, PromGauges{
-			IndexSize:       s.ix.Size(),
-			IndexFilter:     s.ix.Filter().Name(),
-			InFlight:        s.sem.inflight(),
-			MaxInFlight:     cap(s.sem),
-			Inserts:         s.inserts.Load(),
-			Snapshots:       s.snapshots.Load(),
-			WALRecords:      s.walRecords.Load(),
-			WALReplayed:     s.walReplayed.Load(),
-			SnapCRCFailures: s.snapCRCFail.Load(),
+			IndexSize:        s.ix.Size(),
+			IndexLive:        st.Live,
+			IndexFilter:      s.ix.Filter().Name(),
+			InFlight:         s.sem.inflight(),
+			MaxInFlight:      cap(s.sem),
+			Inserts:          s.inserts.Load(),
+			Deletes:          s.deletes.Load(),
+			Snapshots:        s.snapshots.Load(),
+			WALRecords:       s.walRecords.Load(),
+			WALReplayed:      s.walReplayed.Load(),
+			SnapCRCFailures:  s.snapCRCFail.Load(),
+			StoreEpoch:       st.Epoch,
+			StoreSegments:    st.Segments,
+			StoreMemtableLen: st.MemtableLen,
+			StoreTombstones:  st.Tombstones,
+			StoreSeals:       st.Seals,
+			StoreCompactions: st.Compactions,
 		})
 		return
 	}
 	snap := s.metrics.Snapshot()
+	st := s.ix.StoreStats()
 	snap.IndexSize = s.ix.Size()
+	snap.IndexLive = st.Live
 	snap.IndexFilter = s.ix.Filter().Name()
 	snap.InFlight = s.sem.inflight()
 	snap.MaxInFlight = cap(s.sem)
 	snap.Inserts = s.inserts.Load()
+	snap.Deletes = s.deletes.Load()
 	snap.Snapshots = s.snapshots.Load()
 	snap.WALRecords = s.walRecords.Load()
 	snap.WALReplayedRecords = s.walReplayed.Load()
 	snap.SnapshotCRCFailures = s.snapCRCFail.Load()
+	snap.StoreEpoch = st.Epoch
+	snap.StoreSegments = st.Segments
+	snap.StoreMemtableLen = st.MemtableLen
+	snap.StoreTombstones = st.Tombstones
+	snap.StoreSeals = st.Seals
+	snap.StoreCompactions = st.Compactions
 	writeJSON(w, http.StatusOK, snap)
 }

@@ -34,6 +34,9 @@ type Metrics struct {
 	QueryFilter   *obs.Histogram
 	QueryRefine   *obs.Histogram
 	SnapshotWrite *obs.Histogram
+	// Compaction times each segment-merge of the storage engine (filter
+	// rebuild included).
+	Compaction *obs.Histogram
 
 	// Filter-quality histograms, fed from every similarity query.
 	// FilterCandidates buckets the per-query candidate count the filter
@@ -106,6 +109,7 @@ func NewMetrics() *Metrics {
 		QueryFilter:        obs.NewHistogram(obs.DefDurationBuckets),
 		QueryRefine:        obs.NewHistogram(obs.DefDurationBuckets),
 		SnapshotWrite:      obs.NewHistogram(obs.DefDurationBuckets),
+		Compaction:         obs.NewHistogram(obs.DefDurationBuckets),
 		FilterCandidates:   obs.NewHistogram(candidateBounds),
 		FalsePositiveRatio: obs.NewHistogram(ratioBounds),
 		Tightness:          obs.NewRollingHistogram(tightnessBounds, tightnessWindow, 10),
@@ -196,12 +200,26 @@ type QuerySnapshot struct {
 // (index size, in-flight requests) before marshaling.
 type Snapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	IndexSize     int     `json:"index_size"`
-	IndexFilter   string  `json:"index_filter"`
-	InFlight      int     `json:"inflight"`
-	MaxInFlight   int     `json:"max_inflight"`
-	Inserts       uint64  `json:"inserts_total"`
-	Snapshots     uint64  `json:"snapshots_total"`
+	// IndexSize is the id high-water mark; IndexLive the visible tree
+	// count (tombstoned trees excluded).
+	IndexSize   int    `json:"index_size"`
+	IndexLive   int    `json:"index_live"`
+	IndexFilter string `json:"index_filter"`
+	InFlight    int    `json:"inflight"`
+	MaxInFlight int    `json:"max_inflight"`
+	Inserts     uint64 `json:"inserts_total"`
+	Deletes     uint64 `json:"deletes_total"`
+	Snapshots   uint64 `json:"snapshots_total"`
+	// Storage-engine gauges: the epoch (logical-state counter; bumps on
+	// every insert, delete, seal and compaction), sealed segment count,
+	// memtable fill, unresolved tombstones, and the lifetime seal and
+	// compaction counters.
+	StoreEpoch       uint64 `json:"store_epoch"`
+	StoreSegments    int    `json:"store_segments"`
+	StoreMemtableLen int    `json:"store_memtable_len"`
+	StoreTombstones  int    `json:"store_tombstones"`
+	StoreSeals       uint64 `json:"store_seals_total"`
+	StoreCompactions uint64 `json:"store_compactions_total"`
 	// Durability gauges: WAL records appended by this process, records
 	// replayed during startup recovery, and snapshots that failed their
 	// checksum self-verification (and were therefore not published).
@@ -217,6 +235,7 @@ type Snapshot struct {
 	QueryFilterSeconds   HistogramJSON `json:"query_filter_seconds"`
 	QueryRefineSeconds   HistogramJSON `json:"query_refine_seconds"`
 	SnapshotWriteSeconds HistogramJSON `json:"snapshot_write_seconds"`
+	CompactionSeconds    HistogramJSON `json:"compaction_seconds"`
 	// Filter-quality histograms: per-query candidate counts, per-query
 	// false-positive ratios, and the rolling-window tightness ratios
 	// (BDist/EDist over recently verified pairs).
@@ -299,6 +318,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	out.QueryFilterSeconds = histogramJSON(m.QueryFilter)
 	out.QueryRefineSeconds = histogramJSON(m.QueryRefine)
 	out.SnapshotWriteSeconds = histogramJSON(m.SnapshotWrite)
+	out.CompactionSeconds = histogramJSON(m.Compaction)
 	out.FilterCandidates = histogramJSON(m.FilterCandidates)
 	out.FilterFPRatio = histogramJSON(m.FalsePositiveRatio)
 	out.FilterTightness10m = histogramSnapshotJSON(m.Tightness.Snapshot())

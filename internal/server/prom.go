@@ -28,14 +28,23 @@ var latencySecondsBounds = func() []float64 {
 // registry only holds counters); the caller fills it per scrape.
 type PromGauges struct {
 	IndexSize       int
+	IndexLive       int
 	IndexFilter     string
 	InFlight        int
 	MaxInFlight     int
 	Inserts         uint64
+	Deletes         uint64
 	Snapshots       uint64
 	WALRecords      uint64
 	WALReplayed     uint64
 	SnapCRCFailures uint64
+	// Storage-engine gauges and counters (see search.Index.StoreStats).
+	StoreEpoch       uint64
+	StoreSegments    int
+	StoreMemtableLen int
+	StoreTombstones  int
+	StoreSeals       uint64
+	StoreCompactions uint64
 }
 
 // WriteProm renders the whole registry in Prometheus text exposition
@@ -54,16 +63,32 @@ func (m *Metrics) WriteProm(w io.Writer, g PromGauges) error {
 		}, 1)
 	pw.Family("treesim_uptime_seconds", "gauge", "Seconds since the server started.").
 		Sample(nil, time.Since(m.start).Seconds())
-	pw.Family("treesim_index_size", "gauge", "Trees in the live index.").
+	pw.Family("treesim_index_size", "gauge", "Id high-water mark of the live index (deleted ids stay burned).").
 		Sample(nil, float64(g.IndexSize))
+	pw.Family("treesim_index_live", "gauge", "Visible trees in the live index (tombstoned excluded).").
+		Sample(nil, float64(g.IndexLive))
 	pw.Family("treesim_index_info", "gauge", "Constant 1, labeled with the active filter.").
 		Sample(obs.Labels{"filter": g.IndexFilter}, 1)
+	pw.Family("treesim_store_epoch", "gauge", "Storage-engine logical-state counter; advances on every insert, delete, seal and compaction.").
+		Sample(nil, float64(g.StoreEpoch))
+	pw.Family("treesim_store_segments", "gauge", "Sealed immutable segments (memtable excluded).").
+		Sample(nil, float64(g.StoreSegments))
+	pw.Family("treesim_store_memtable_trees", "gauge", "Trees in the mutable memtable segment.").
+		Sample(nil, float64(g.StoreMemtableLen))
+	pw.Family("treesim_store_tombstones", "gauge", "Unresolved tombstones (resolved at the next compaction).").
+		Sample(nil, float64(g.StoreTombstones))
+	pw.Family("treesim_store_seals_total", "counter", "Memtable seals since process start.").
+		Sample(nil, float64(g.StoreSeals))
+	pw.Family("treesim_store_compactions_total", "counter", "Completed compactions since process start.").
+		Sample(nil, float64(g.StoreCompactions))
 	pw.Family("treesim_inflight_requests", "gauge", "Query requests currently admitted.").
 		Sample(nil, float64(g.InFlight))
 	pw.Family("treesim_max_inflight_requests", "gauge", "Admission limit for concurrent queries.").
 		Sample(nil, float64(g.MaxInFlight))
 	pw.Family("treesim_inserts_total", "counter", "Accepted tree inserts.").
 		Sample(nil, float64(g.Inserts))
+	pw.Family("treesim_deletes_total", "counter", "Accepted tree deletes.").
+		Sample(nil, float64(g.Deletes))
 	pw.Family("treesim_snapshots_total", "counter", "Snapshots published.").
 		Sample(nil, float64(g.Snapshots))
 	pw.Family("treesim_wal_records_total", "counter", "WAL records appended by this process.").
@@ -153,6 +178,8 @@ func (m *Metrics) WriteProm(w io.Writer, g PromGauges) error {
 		Histogram(nil, m.WALFsync.Snapshot())
 	pw.Family("treesim_snapshot_write_seconds", "histogram", "Snapshot publication time (write, sync, verify, rename).").
 		Histogram(nil, m.SnapshotWrite.Snapshot())
+	pw.Family("treesim_compaction_seconds", "histogram", "Segment compaction time (merge plus filter rebuild).").
+		Histogram(nil, m.Compaction.Snapshot())
 
 	return pw.Err()
 }

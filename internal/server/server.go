@@ -10,18 +10,21 @@
 //	POST /v1/range       all indexed trees within edit distance tau
 //	POST /v1/dist        exact distance between two ad-hoc trees
 //	POST /v1/batch       many knn/range queries in one request
-//	POST /v1/trees       insert a tree into the live index
-//	GET  /v1/trees/{id}  fetch an indexed tree
-//	GET  /healthz        liveness (always 200 while the process runs)
-//	GET  /readyz         readiness (503 while draining)
-//	GET  /metrics        counters, latency histograms, accessed-fraction
+//	POST   /v1/trees       insert a tree into the live index
+//	GET    /v1/trees/{id}  fetch an indexed tree
+//	DELETE /v1/trees/{id}  tombstone an indexed tree
+//	GET    /healthz        liveness (always 200 while the process runs)
+//	GET    /readyz         readiness (503 while draining)
+//	GET    /metrics        counters, latency histograms, accessed-fraction
 //
-// The server owns the index (which is internally synchronized: inserts
-// take its write lock, queries its read lock), admits at most
-// Config.MaxInFlight queries at once (429 beyond that), bounds each query
-// with a context deadline, logs every request with a request ID, persists
-// periodic snapshots through the internal/search codec, and drains
-// in-flight queries before writing a final snapshot on shutdown.
+// The server owns the index, whose segmented store synchronizes itself:
+// queries read lock-free epoch snapshots while inserts fill a memtable,
+// deletes tombstone, and background compactions merge sealed segments.
+// The server admits at most Config.MaxInFlight queries at once (429
+// beyond that), bounds each query with a context deadline, logs every
+// request with a request ID, persists periodic snapshots through the
+// internal/search codec, and drains in-flight queries before writing a
+// final snapshot on shutdown.
 package server
 
 import (
@@ -130,7 +133,8 @@ type Server struct {
 	ready     atomic.Bool   // readyz: accepting traffic
 	reqSeq    atomic.Uint64 // request-ID counter
 	inserts   atomic.Uint64 // total inserts accepted
-	saved     atomic.Uint64 // value of inserts at the last snapshot
+	deletes   atomic.Uint64 // total deletes accepted
+	saved     atomic.Uint64 // value of inserts+deletes at the last snapshot
 	snapshots atomic.Uint64 // snapshots written
 
 	// Durability state (see durability.go). fs is the filesystem the
@@ -173,10 +177,19 @@ func New(ix *search.Index, cfg Config) *Server {
 	s.mux.Handle("POST /v1/batch", s.instrument("/v1/batch", true, s.handleBatch))
 	s.mux.Handle("POST /v1/trees", s.instrument("/v1/trees", true, s.handleInsert))
 	s.mux.Handle("GET /v1/trees/{id}", s.instrument("/v1/trees/{id}", false, s.handleGetTree))
+	s.mux.Handle("DELETE /v1/trees/{id}", s.instrument("/v1/trees/{id}", true, s.handleDelete))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", false, s.handleHealthz))
 	s.mux.Handle("GET /readyz", s.instrument("/readyz", false, s.handleReadyz))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", false, s.handleMetrics))
 	s.mux.Handle("GET /version", s.instrument("/version", false, s.handleVersion))
+	// Compactions run on background goroutines inside the index; the hook
+	// surfaces each one as a log line and a duration observation.
+	ix.OnCompaction(func(cs search.CompactionStats) {
+		s.metrics.Compaction.ObserveDuration(cs.Duration)
+		s.log.Info("compaction",
+			"segments_in", cs.Inputs, "trees_in", cs.InputTrees,
+			"trees_out", cs.Output, "duration", cs.Duration)
+	})
 	s.ready.Store(true)
 	return s
 }
@@ -247,8 +260,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// dirty reports whether inserts happened since the last snapshot.
-func (s *Server) dirty() bool { return s.inserts.Load() != s.saved.Load() }
+// dirty reports whether writes (inserts or deletes) happened since the
+// last snapshot.
+func (s *Server) dirty() bool { return s.inserts.Load()+s.deletes.Load() != s.saved.Load() }
 
 // recordQuery offers one served query to the workload log. Recording is
 // best-effort: a sampled-out query returns silently, and a write error is
@@ -303,8 +317,8 @@ func (s *Server) Snapshot() error {
 	if s.wal != nil {
 		walOff = s.wal.Offset()
 	}
-	// Inserts accepted after this read land in the next snapshot.
-	mark := s.inserts.Load()
+	// Writes accepted after this read land in the next snapshot.
+	mark := s.inserts.Load() + s.deletes.Load()
 	// The span tree times each stage of the publication; on success it is
 	// logged with the "snapshot written" record and its total duration
 	// feeds the snapshot_write_seconds histogram.

@@ -210,19 +210,79 @@ func TestInsertAndGet(t *testing.T) {
 	}
 }
 
-// TestInsertRejectedForGlobalFilter: a server over a pivot-table index
-// answers inserts with 422 instead of corrupting bounds.
-func TestInsertRejectedForGlobalFilter(t *testing.T) {
+// TestInsertAcceptedForGlobalFilter: pivot-table indexes once answered
+// inserts with 422 (not_appendable); the segmented store made every
+// filter configuration appendable, so the insert lands and is
+// immediately queryable.
+func TestInsertAcceptedForGlobalFilter(t *testing.T) {
 	ts := testDataset(20, 6)
 	ix := search.NewIndex(ts, search.NewPivotBiBranch())
 	s := New(ix, quietConfig())
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
-	if code := postJSON(t, hs.URL+"/v1/trees", InsertRequest{Tree: "a(b,c)"}, nil); code != 422 {
-		t.Fatalf("insert into pivot index: status %d, want 422", code)
+	var ins InsertResponse
+	if code := postJSON(t, hs.URL+"/v1/trees", InsertRequest{Tree: "a(b,c)"}, &ins); code != 200 {
+		t.Fatalf("insert into pivot index: status %d, want 200", code)
 	}
-	if ix.Size() != 20 {
-		t.Fatalf("rejected insert changed the index: size %d", ix.Size())
+	if ins.ID != 20 || ix.Size() != 21 {
+		t.Fatalf("insert got id %d, index size %d", ins.ID, ix.Size())
+	}
+	var knn QueryResponse
+	postJSON(t, hs.URL+"/v1/knn", KNNRequest{Tree: "a(b,c)", K: 1}, &knn)
+	if len(knn.Results) != 1 || knn.Results[0].ID != 20 || knn.Results[0].Dist != 0 {
+		t.Fatalf("inserted tree not its own nearest neighbor: %+v", knn.Results)
+	}
+}
+
+// TestDeleteEndpoint: DELETE tombstones a tree, the id 404s afterwards,
+// queries stop returning it, and unknown or double deletes answer
+// not_found through the stable error envelope.
+func TestDeleteEndpoint(t *testing.T) {
+	s, hs, ts := newTestServer(t, quietConfig(), 20, 8)
+	ix := s.Index()
+	target := ts[5]
+	del := func(id string) (int, ErrorResponse, DeleteResponse) {
+		req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/trees/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		var e ErrorResponse
+		var d DeleteResponse
+		if resp.StatusCode == 200 {
+			_ = json.Unmarshal(raw, &d)
+		} else {
+			_ = json.Unmarshal(raw, &e)
+		}
+		return resp.StatusCode, e, d
+	}
+	code, _, d := del("5")
+	if code != 200 || d.ID != 5 || d.Live != 19 {
+		t.Fatalf("delete: status %d, resp %+v", code, d)
+	}
+	if getJSON(t, hs.URL+"/v1/trees/5", nil) != 404 {
+		t.Fatal("deleted tree still fetchable")
+	}
+	var knn QueryResponse
+	postJSON(t, hs.URL+"/v1/knn", KNNRequest{Tree: target.String(), K: 3}, &knn)
+	for _, r := range knn.Results {
+		if r.ID == 5 {
+			t.Fatalf("deleted tree in KNN results: %+v", knn.Results)
+		}
+	}
+	if code, e, _ := del("5"); code != 404 || e.Error.Code != ErrCodeNotFound {
+		t.Fatalf("double delete: status %d code %q, want 404 %q", code, e.Error.Code, ErrCodeNotFound)
+	}
+	if code, e, _ := del("999"); code != 404 || e.Error.Code != ErrCodeNotFound {
+		t.Fatalf("unknown id delete: status %d code %q", code, e.Error.Code)
+	}
+	if code, e, _ := del("abc"); code != 400 || e.Error.Code != ErrCodeInvalidArgument {
+		t.Fatalf("non-integer id delete: status %d code %q", code, e.Error.Code)
+	}
+	if ix.Size() != 20 || ix.Live() != 19 {
+		t.Fatalf("after delete: size %d live %d, want 20/19", ix.Size(), ix.Live())
 	}
 }
 

@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Typed record payloads. The log framing (wal.go) carries opaque bytes;
+// this file defines what the server puts inside them.
+//
+// The original format had exactly one record kind — an insert: u32
+// little-endian dataset id followed by the tree's canonical text. Newer
+// kinds are carried behind an escape: a record whose first four bytes are
+// 0xFFFFFFFF (an id no real dataset reaches — ids are capped far below
+// it) is an extended record, and its fifth byte names the type. Old logs
+// therefore decode unchanged as inserts, and old readers fail loudly
+// (implausible id) rather than misread new records as trees.
+//
+//	insert:    u32 id | canonical tree text
+//	extended:  u32 0xFFFFFFFF | u8 type | payload
+//	tombstone: u32 0xFFFFFFFF | u8 1    | u32 id
+
+// RecordType discriminates decoded records.
+type RecordType uint8
+
+const (
+	// RecordInsert is a tree insert (the only pre-extension kind).
+	RecordInsert RecordType = 0
+	// RecordTombstone marks a dataset id as deleted.
+	RecordTombstone RecordType = 1
+)
+
+// extendedMark is the impossible-id escape introducing an extended record.
+const extendedMark = 0xFFFFFFFF
+
+// Record is one decoded WAL payload.
+type Record struct {
+	Type RecordType
+	// ID is the dataset id the record concerns.
+	ID int
+	// Tree is the canonical text of an inserted tree (inserts only).
+	Tree string
+}
+
+// EncodeInsert builds an insert payload — byte-identical to the original
+// single-kind format.
+func EncodeInsert(id int, text string) []byte {
+	buf := make([]byte, 4+len(text))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(id))
+	copy(buf[4:], text)
+	return buf
+}
+
+// EncodeTombstone builds a tombstone payload for a deleted id.
+func EncodeTombstone(id int) []byte {
+	buf := make([]byte, 4+1+4)
+	binary.LittleEndian.PutUint32(buf[:4], extendedMark)
+	buf[4] = byte(RecordTombstone)
+	binary.LittleEndian.PutUint32(buf[5:], uint32(id))
+	return buf
+}
+
+// DecodeRecord parses one payload, accepting both the original insert
+// format and extended records. Unknown extended types are an error: a log
+// from a future version must stop recovery, not silently drop writes.
+func DecodeRecord(p []byte) (Record, error) {
+	if len(p) < 4 {
+		return Record{}, fmt.Errorf("wal: record of %d bytes", len(p))
+	}
+	head := binary.LittleEndian.Uint32(p[:4])
+	if head != extendedMark {
+		return Record{Type: RecordInsert, ID: int(head), Tree: string(p[4:])}, nil
+	}
+	if len(p) < 5 {
+		return Record{}, fmt.Errorf("wal: extended record missing type byte")
+	}
+	switch t := RecordType(p[4]); t {
+	case RecordTombstone:
+		if len(p) != 9 {
+			return Record{}, fmt.Errorf("wal: tombstone record of %d bytes, want 9", len(p))
+		}
+		return Record{Type: RecordTombstone, ID: int(binary.LittleEndian.Uint32(p[5:]))}, nil
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record type %d", t)
+	}
+}

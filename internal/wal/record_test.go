@@ -1,0 +1,55 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// TestRecordInsertRoundTrip: insert payloads decode back, and stay
+// byte-identical to the original single-kind format (u32 id + text) so
+// logs written before typed records replay unchanged.
+func TestRecordInsertRoundTrip(t *testing.T) {
+	p := EncodeInsert(42, "a(b(c),d)")
+	legacy := make([]byte, 4+len("a(b(c),d)"))
+	binary.LittleEndian.PutUint32(legacy[:4], 42)
+	copy(legacy[4:], "a(b(c),d)")
+	if !bytes.Equal(p, legacy) {
+		t.Fatalf("EncodeInsert not byte-compatible with the legacy format:\n got %x\nwant %x", p, legacy)
+	}
+	rec, err := DecodeRecord(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type != RecordInsert || rec.ID != 42 || rec.Tree != "a(b(c),d)" {
+		t.Fatalf("decoded %+v", rec)
+	}
+}
+
+// TestRecordTombstoneRoundTrip covers the extended tombstone kind.
+func TestRecordTombstoneRoundTrip(t *testing.T) {
+	rec, err := DecodeRecord(EncodeTombstone(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type != RecordTombstone || rec.ID != 7 || rec.Tree != "" {
+		t.Fatalf("decoded %+v", rec)
+	}
+}
+
+// TestRecordDecodeErrors: malformed payloads fail loudly instead of being
+// misread as inserts.
+func TestRecordDecodeErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"too short":           {1, 2},
+		"escape without type": {0xFF, 0xFF, 0xFF, 0xFF},
+		"unknown type":        {0xFF, 0xFF, 0xFF, 0xFF, 99, 0, 0, 0, 0},
+		"short tombstone":     {0xFF, 0xFF, 0xFF, 0xFF, 1, 7},
+		"long tombstone":      append(EncodeTombstone(7), 0),
+	}
+	for name, p := range cases {
+		if _, err := DecodeRecord(p); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

@@ -277,7 +277,7 @@ func TestCrashBetweenAppends(t *testing.T) {
 	}
 	appendAll(t, l, "first", "second")
 	in.CrashAfterWriteN = in.Writes() // crash now
-	l.f.Write([]byte{0}) // trip the crash
+	l.f.Write([]byte{0})              // trip the crash
 	if err := l.Append([]byte("after-crash")); err == nil {
 		t.Fatal("append after crash acked")
 	}

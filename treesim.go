@@ -146,8 +146,9 @@ type Stats = search.Stats
 type Explain = search.Explain
 
 // IndexOption configures NewIndex and LoadIndex; see WithFilter,
-// WithCostModel, WithShards and WithRefineWorkers. Concrete filter values
-// returned by the New*Filter constructors are themselves IndexOptions.
+// WithCostModel, WithShards, WithRefineWorkers, WithMemtableSize and
+// WithCompactionThreshold. Concrete filter values returned by the
+// New*Filter constructors are themselves IndexOptions.
 type IndexOption = search.IndexOption
 
 // QueryOption configures one KNN or Range call; see WithExplain.
@@ -185,6 +186,17 @@ func WithShards(s int) IndexOption { return search.WithShards(s) }
 // WithRefineWorkers bounds the index-wide pool of helper goroutines that
 // queries parallelize over (0 = GOMAXPROCS).
 func WithRefineWorkers(n int) IndexOption { return search.WithRefineWorkers(n) }
+
+// WithMemtableSize sets how many inserted trees the mutable memtable
+// segment absorbs before it is sealed into an immutable segment
+// (0 = default). Layout never changes results — only write amplification
+// and per-query segment fan-out.
+func WithMemtableSize(n int) IndexOption { return search.WithMemtableSize(n) }
+
+// WithCompactionThreshold sets how many sealed segments accumulate before
+// a background compaction merges them into one (0 = default, negative =
+// never compact automatically; Compact still works).
+func WithCompactionThreshold(n int) IndexOption { return search.WithCompactionThreshold(n) }
 
 // WithExplain asks a query to produce its filter-quality analysis into
 // *dst (set only on success).

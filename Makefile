@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race hammer bench bench-server bench-diff fuzz ci
+.PHONY: build vet test race hammer chaos bench bench-server bench-diff fuzz ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,14 @@ race:
 # compactions and snapshots) under the race detector, repeated.
 hammer:
 	$(GO) test -race -count=2 -run 'Shard|Hammer' ./internal/search
+
+# Fault-tolerance certificate: the chaos matrix drives every durability
+# operation (insert, delete, seal, compact, snapshot, rotate, trim)
+# through every fault class (crash, short write, fsync error), restarts
+# after each cell, and asserts zero acked-write loss plus
+# snapshot/WAL/live-index parity — all under the race detector.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Degraded|Fallback|TornTombstone' ./internal/server ./internal/wal
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
@@ -46,4 +54,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzLoadIndex$$' -fuzztime=$(FUZZTIME) ./internal/search
 	$(GO) test -run='^$$' -fuzz='^FuzzManifest$$' -fuzztime=$(FUZZTIME) ./internal/segstore
 
-ci: build vet test race hammer fuzz
+ci: build vet test race hammer chaos fuzz

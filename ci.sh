@@ -27,6 +27,13 @@ go test -race ./...
 echo "== shard + compaction hammer (-race)"
 go test -race -count=2 -run 'Shard|Hammer' ./internal/search
 
+# Chaos matrix: every durability operation × every fault class, with a
+# restart and a zero-acked-write-loss + parity check per cell. Run under
+# the race detector so the degraded-mode prober and snapshot loop are
+# exercised for data races too.
+echo "== chaos matrix (-race)"
+go test -race -count=1 -run 'Chaos|Degraded|Fallback|TornTombstone' ./internal/server ./internal/wal
+
 # Serving-benchmark smoke: a tiny fixed-seed run proves the end-to-end
 # harness works; real numbers come from `make bench-server`.
 echo "== benchserver smoke"

@@ -16,10 +16,20 @@
 // With -wal set, every accepted insert is appended to a write-ahead log
 // before it is acknowledged, closing the crash window between snapshots:
 // startup recovery loads the snapshot, replays the WAL records it does
-// not cover, and trims the log once a fresh snapshot is published. A
-// corrupt snapshot aborts startup with a non-zero exit — delete or
-// restore the file rather than silently serving a damaged index.
-// -wal-sync chooses the fsync policy ("always" per record, or "never").
+// not cover, and trims the log once a fresh snapshot is published. The
+// log is segmented — it rotates to a new file beyond -wal-max-bytes and
+// trimming deletes whole covered segments — and -wal-sync chooses the
+// fsync policy ("always" per record, or "never").
+//
+// Snapshots are generational: each publication shifts the previous file
+// to <path>.1, .2, … up to -snapshot-keep generations. A corrupt or
+// truncated snapshot no longer aborts startup when an older generation
+// loads — the server falls back generation by generation and replays
+// the correspondingly longer WAL suffix. Startup fails only when every
+// retained generation is damaged. At runtime a failing disk (WAL append
+// or snapshot errors) flips the server into degraded read-only mode:
+// queries keep serving, writes get 503 not_durable with Retry-After,
+// and a background prober restores write service when the disk heals.
 //
 // Observability: -slow-query logs the span tree of any query at or above
 // the threshold (0 logs every query) together with its EXPLAIN record,
@@ -71,8 +81,10 @@ type config struct {
 	indexFile    string
 	snapshot     string
 	snapInterval time.Duration
+	snapKeep     int
 	walPath      string
 	walSync      string
+	walMaxBytes  int64
 	filter       string
 	q            int
 	maxInFlight  int
@@ -104,8 +116,10 @@ func run(args []string, stderr io.Writer) int {
 	fs.StringVar(&c.indexFile, "index", "", "saved index file from 'treesim index' (alternative to -data/-xml)")
 	fs.StringVar(&c.snapshot, "snapshot", "", "snapshot path: loaded at startup when present, persisted periodically and at shutdown")
 	fs.DurationVar(&c.snapInterval, "snapshot-interval", time.Minute, "periodic snapshot cadence (requires -snapshot)")
+	fs.IntVar(&c.snapKeep, "snapshot-keep", 3, "snapshot generations retained for corruption fallback (1 = only the latest)")
 	fs.StringVar(&c.walPath, "wal", "", "write-ahead log path: inserts are logged before acknowledgment and replayed at startup")
 	fs.StringVar(&c.walSync, "wal-sync", "always", "WAL fsync policy: always (fsync per record) or never")
+	fs.Int64Var(&c.walMaxBytes, "wal-max-bytes", 0, "rotate the WAL to a new segment beyond this size (0 = 64MiB, negative disables rotation)")
 	fs.StringVar(&c.filter, "filter", "bibranch", "filter when building from -data/-xml: bibranch, bibranch-nopos")
 	fs.IntVar(&c.q, "q", 2, "binary branch level when building from -data/-xml")
 	fs.IntVar(&c.maxInFlight, "max-inflight", 64, "admitted concurrent query requests; beyond this the server answers 429")
@@ -160,8 +174,10 @@ func run(args []string, stderr io.Writer) int {
 		QueryTimeout:     c.timeout,
 		SnapshotPath:     c.snapshot,
 		SnapshotInterval: c.snapInterval,
+		SnapshotKeep:     c.snapKeep,
 		WALPath:          c.walPath,
 		WALSync:          syncPolicy,
+		WALMaxBytes:      c.walMaxBytes,
 		OmitTrees:        c.omitTrees,
 		Logger:           log,
 	}
@@ -284,15 +300,22 @@ func loadIndex(c config) (*search.Index, string, error) {
 		search.WithMemtableSize(c.memtable), search.WithCompactionThreshold(c.compactAt),
 	}
 	if c.snapshot != "" {
-		if f, err := os.Open(c.snapshot); err == nil {
-			defer f.Close()
-			ix, err := search.LoadIndex(f, par...)
-			if err != nil {
-				return nil, "", fmt.Errorf("loading snapshot %s: %w", c.snapshot, err)
+		ix, gen, err := server.LoadSnapshotFallback(nil, c.snapshot, c.snapKeep, par...)
+		switch {
+		case err == nil:
+			origin := "snapshot " + c.snapshot
+			if gen > 0 {
+				// Newer generations were corrupt or truncated; the WAL
+				// replay that follows covers the suffix this older cut
+				// misses.
+				origin = fmt.Sprintf("snapshot %s (fell back to generation %d)", c.snapshot, gen)
 			}
-			return ix, "snapshot " + c.snapshot, nil
-		} else if !errors.Is(err, os.ErrNotExist) {
-			return nil, "", fmt.Errorf("opening snapshot %s: %w", c.snapshot, err)
+			return ix, origin, nil
+		case errors.Is(err, os.ErrNotExist):
+			// Cold start: no generation on disk, fall through to the
+			// other index sources.
+		default:
+			return nil, "", fmt.Errorf("loading snapshot %s: %w", c.snapshot, err)
 		}
 	}
 	if c.indexFile != "" {

@@ -233,6 +233,46 @@ func TestBadWALSyncFlag(t *testing.T) {
 	}
 }
 
+// TestFallbackGenerationWarmStart: when the current snapshot is corrupt
+// but an older generation (written by a previous publication's shift
+// chain) still loads, the daemon starts from the older generation
+// instead of refusing — the whole point of -snapshot-keep.
+func TestFallbackGenerationWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	snap, base := writeSnapshot(t, dir)
+	good, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snap+".1", good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0x01
+	if err := os.WriteFile(snap, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	url, exit := startServer(t, []string{"-snapshot", snap})
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		IndexSize int `json:"index_size"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if metrics.IndexSize != base {
+		t.Fatalf("index size %d after generation fallback, want %d", metrics.IndexSize, base)
+	}
+	if code := sigterm(t, exit); code != 0 {
+		t.Fatalf("exit code %d after SIGTERM, want 0", code)
+	}
+}
+
 // TestWALWarmStart: the daemon replays a write-ahead log over a snapshot
 // at startup — the crash-recovery path as a real restarted process runs
 // it — and reports the replay in /metrics.

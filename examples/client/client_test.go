@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"treesim/internal/datagen"
+	"treesim/internal/faultfs"
 	"treesim/internal/search"
 	"treesim/internal/server"
 )
@@ -75,6 +77,53 @@ func TestClientTraced(t *testing.T) {
 		if !strings.Contains(transcript, want) {
 			t.Errorf("transcript missing %q:\n%s", want, transcript)
 		}
+	}
+}
+
+// TestClientRidesOutDegradedMode runs the retry policy against a real
+// server in degraded read-only mode, not a scripted handler: an
+// injected WAL fault makes the first insert fail and flips the server
+// degraded (503 not_durable + Retry-After), and the client's backoff
+// outlasts the degraded window — the durability prober heals the
+// one-shot fault and a retried attempt lands.
+func TestClientRidesOutDegradedMode(t *testing.T) {
+	dir := t.TempDir()
+	spec := datagen.Spec{FanoutMean: 3, FanoutStd: 1, SizeMean: 10, SizeStd: 3, Labels: 6, Decay: 0.1}
+	ix := search.NewIndex(datagen.New(spec, 9).Dataset(10, 4), search.NewBiBranch())
+	// Write 1 is the WAL magic at open; write 2 — the first insert's
+	// append — fails once, and every write after that succeeds.
+	s := server.New(ix, server.Config{
+		Logger:                slog.New(slog.NewTextHandler(io.Discard, nil)),
+		WALPath:               dir + "/wal.log",
+		SnapshotPath:          dir + "/index.tsix",
+		SnapshotInterval:      -1,
+		DegradedProbeInterval: 5 * time.Millisecond,
+		FS:                    &faultfs.Injector{FailWriteN: 2},
+	})
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	defer s.Shutdown(context.Background())
+
+	attempts := 0
+	p := retryPolicy{
+		maxAttempts: 5,
+		baseDelay:   20 * time.Millisecond,
+		maxDelay:    time.Second,
+		sleep:       func(d time.Duration) { attempts++; time.Sleep(d) },
+		jitter:      rand.New(rand.NewSource(1)),
+	}
+	var res insertResponse
+	if err := post(hs.Client(), p, hs.URL+"/v1/trees", insertRequest{Tree: "a(b,c)"}, &res); err != nil {
+		t.Fatalf("insert through degraded window: %v", err)
+	}
+	if attempts == 0 {
+		t.Fatal("insert succeeded without retrying — the degraded window never opened")
+	}
+	if res.ID != 10 || ix.Size() != 11 {
+		t.Fatalf("insert landed as id %d (index size %d), want id 10 and size 11", res.ID, ix.Size())
 	}
 }
 

@@ -76,11 +76,14 @@ func main() {
 
 // retryPolicy says how to treat the server's transient answers: 429
 // (admission control sheds load), 503 (durability temporarily
-// unavailable) and 504 (query deadline). Those are retried with capped
-// exponential backoff and equal jitter — half the backoff is
-// deterministic, half random, so a herd of clients spreads out — and a
-// Retry-After header overrides the computed delay when it asks for
-// longer. Everything else (4xx mistakes, 5xx bugs) fails immediately.
+// unavailable — including degraded read-only mode, where a failing disk
+// makes the server refuse writes with not_durable + Retry-After until
+// its prober sees the disk heal) and 504 (query deadline). Those are
+// retried with capped exponential backoff and equal jitter — half the
+// backoff is deterministic, half random, so a herd of clients spreads
+// out — and a Retry-After header overrides the computed delay when it
+// asks for longer. Everything else (4xx mistakes, 5xx bugs) fails
+// immediately.
 type retryPolicy struct {
 	maxAttempts int
 	baseDelay   time.Duration

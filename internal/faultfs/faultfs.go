@@ -39,6 +39,9 @@ type FS interface {
 	Remove(name string) error
 	// SyncDir fsyncs a directory, making a just-renamed entry durable.
 	SyncDir(dir string) error
+	// ReadDir lists a directory's entry names in lexical order — how the
+	// segmented WAL discovers its segment files at open.
+	ReadDir(dir string) ([]string, error)
 }
 
 // OS is the real filesystem.
@@ -56,6 +59,18 @@ func (osFS) CreateTemp(dir, pattern string) (File, error) {
 
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
 
 func (osFS) SyncDir(dir string) error {
 	d, err := os.Open(dir)
@@ -106,10 +121,68 @@ type Injector struct {
 	// FailSync makes every Sync and SyncDir call fail with ErrInjected
 	// (the write itself still lands in the page cache).
 	FailSync bool
+	// FailWritesFrom, when > 0, makes every write call numbered >= it fail
+	// with ErrInjected before writing anything — a disk that filled up and
+	// stays full until the plan is cleared (SetFailWritesFrom(0)).
+	FailWritesFrom int
 
 	mu      sync.Mutex
 	writes  int
 	crashed bool
+}
+
+// The Set* methods change the fault plan while operations are running on
+// other goroutines (a disk "healing" mid-test). Direct field writes are
+// only safe before the injector is shared.
+
+// SetFailSync arms or clears the every-sync failure.
+func (in *Injector) SetFailSync(v bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.FailSync = v
+}
+
+// SetFailWritesFrom arms (n > 0) or clears (n <= 0) the full-disk plan;
+// n is compared against the injector-wide 1-based write counter.
+func (in *Injector) SetFailWritesFrom(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.FailWritesFrom = n
+}
+
+// SetShortWriteN arms a torn write at the Nth write call.
+func (in *Injector) SetShortWriteN(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ShortWriteN = n
+}
+
+// SetCrashAfterWriteN arms a crash after the Nth write call completes.
+func (in *Injector) SetCrashAfterWriteN(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.CrashAfterWriteN = n
+}
+
+// SetFailWriteN arms a clean failure of the Nth write call.
+func (in *Injector) SetFailWriteN(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.FailWriteN = n
+}
+
+// SetCrashOnRename arms or clears the crash-at-rename point.
+func (in *Injector) SetCrashOnRename(v bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.CrashOnRename = v
+}
+
+// failSync reads the sync plan under the lock.
+func (in *Injector) failSync() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.FailSync
 }
 
 func (in *Injector) base() FS {
@@ -190,10 +263,17 @@ func (in *Injector) SyncDir(dir string) error {
 	if err := in.checkAlive(); err != nil {
 		return err
 	}
-	if in.FailSync {
+	if in.failSync() {
 		return fmt.Errorf("syncdir %s: %w", dir, ErrInjected)
 	}
 	return in.base().SyncDir(dir)
+}
+
+func (in *Injector) ReadDir(dir string) ([]string, error) {
+	if err := in.checkAlive(); err != nil {
+		return nil, err
+	}
+	return in.base().ReadDir(dir)
 }
 
 // faultFile routes a file's operations through its injector's plan.
@@ -210,7 +290,8 @@ func (w *faultFile) Write(p []byte) (int, error) {
 	}
 	w.in.writes++
 	n := w.in.writes
-	fail := w.in.FailWriteN > 0 && n == w.in.FailWriteN
+	fail := (w.in.FailWriteN > 0 && n == w.in.FailWriteN) ||
+		(w.in.FailWritesFrom > 0 && n >= w.in.FailWritesFrom)
 	short := w.in.ShortWriteN > 0 && n == w.in.ShortWriteN
 	crashAfter := w.in.CrashAfterWriteN > 0 && n >= w.in.CrashAfterWriteN
 	w.in.mu.Unlock()
@@ -254,7 +335,7 @@ func (w *faultFile) Sync() error {
 	if err := w.in.checkAlive(); err != nil {
 		return err
 	}
-	if w.in.FailSync {
+	if w.in.failSync() {
 		return fmt.Errorf("sync %s: %w", w.f.Name(), ErrInjected)
 	}
 	return w.f.Sync()

@@ -231,13 +231,6 @@ func (ix *Index) Delete(id int) bool { return ix.store.Delete(id) }
 // anything was sealed.
 func (ix *Index) Seal() bool { return ix.store.Seal() }
 
-// Appendable reports whether Insert can succeed. The segmented store made
-// every filter configuration appendable, so it is always true.
-//
-// Deprecated: always true; kept for callers written against the
-// pre-segmented index.
-func (ix *Index) Appendable() bool { return true }
-
 // TreeAt returns the tree with dataset id i and true, or nil and false
 // when the id was never assigned or the tree is deleted. Ids are stable:
 // assigned monotonically and never reused.

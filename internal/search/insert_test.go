@@ -65,9 +65,6 @@ func TestInsertAcceptedByGlobalFilters(t *testing.T) {
 				t.Fatalf("%s: insert %d got id %d", incr.Filter().Name(), 20+i, id)
 			}
 		}
-		if !incr.Appendable() {
-			t.Errorf("%s reports not appendable", incr.Filter().Name())
-		}
 		full := NewIndex(all, WithFilter(mk()))
 		for _, q := range []*tree.Tree{all[0], all[35], testDataset(1, 54)[0]} {
 			a, _, _ := incr.KNN(context.Background(), q, 4)

@@ -115,11 +115,15 @@ type BatchResponse struct {
 }
 
 // ReadyResponse answers /readyz. Status is "ready", "recovering" (WAL
-// replay in progress; ReplayedRecords counts records applied so far) or
-// "draining". When ready, ReplayedRecords is the startup recovery total
-// and WALRecords counts inserts logged since.
+// replay in progress; ReplayedRecords counts records applied so far),
+// "degraded" (durable writes failing: queries still serve — the response
+// stays 200 — but inserts and deletes get 503 not_durable until the disk
+// heals; DegradedReason names what failed) or "draining". When ready,
+// ReplayedRecords is the startup recovery total and WALRecords counts
+// writes logged since.
 type ReadyResponse struct {
 	Status          string `json:"status"`
+	DegradedReason  string `json:"degraded_reason,omitempty"`
 	ReplayedRecords uint64 `json:"replayed_records,omitempty"`
 	WALRecords      uint64 `json:"wal_records,omitempty"`
 }
@@ -136,14 +140,8 @@ const (
 	ErrCodeDeadlineExceeded = "deadline_exceeded" // the request deadline expired mid-query
 	ErrCodeCanceled         = "canceled"          // the client went away mid-query
 	ErrCodeOverloaded       = "overloaded"        // admission control refused the request; retry later
-	// ErrCodeNotAppendable is no longer produced: the segmented store made
-	// every filter configuration accept incremental inserts.
-	//
-	// Deprecated: kept so clients written against older servers still
-	// compile; no current endpoint returns it.
-	ErrCodeNotAppendable = "not_appendable"
-	ErrCodeNotDurable    = "not_durable" // the WAL append failed, so the insert was refused; retry
-	ErrCodeInternal      = "internal"    // handler panic or other server-side fault
+	ErrCodeNotDurable       = "not_durable"       // the durable write path is failing (WAL append or degraded mode); retry
+	ErrCodeInternal         = "internal"          // handler panic or other server-side fault
 )
 
 // ErrorDetail is the payload of every non-2xx JSON answer: a stable code

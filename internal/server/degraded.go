@@ -1,0 +1,115 @@
+package server
+
+import (
+	"math/rand"
+	"time"
+
+	"treesim/internal/wal"
+)
+
+// Degraded read-only mode: availability under storage faults.
+//
+// A write is only acknowledged after it is durable, so when durable
+// writes start failing — a full disk (ENOSPC), a dying one (EIO on
+// fsync), a permission flip — the server cannot accept writes. What it
+// can still do is serve queries: they read lock-free epoch snapshots of
+// the index and never touch the disk. Degraded mode is exactly that
+// split, instead of the crash-on-fault a naive server would choose:
+//
+//	enter:  a WAL append/fsync or snapshot write fails
+//	while:  queries answer normally; inserts and deletes fast-fail 503
+//	        not_durable + Retry-After without touching the WAL; /readyz
+//	        reports "degraded" (still 200 — the node serves reads);
+//	        /metrics raises treesim_degraded with the entry reason
+//	exit:   a background prober retries a durable write on a jittered
+//	        interval; when one lands, a fresh snapshot re-covers the
+//	        state and writes re-enable
+//
+// The probe is a no-op WAL record (wal.RecordProbe, skipped at replay)
+// so healing is proven by the exact code path inserts depend on; without
+// a WAL the probe is a snapshot attempt.
+
+// enterDegraded flips the server read-only and starts the heal prober
+// (unless one is already running or shutdown has begun). reason is a
+// short stable label ("wal_append", "snapshot") for logs and metrics.
+func (s *Server) enterDegraded(reason string, cause error) {
+	s.degradedMu.Lock()
+	defer s.degradedMu.Unlock()
+	if s.degraded.Load() {
+		return
+	}
+	s.degraded.Store(true)
+	s.degradedReason = reason
+	s.degradedTotal.Add(1)
+	s.log.Error("entering degraded read-only mode: queries keep serving, writes get 503",
+		"reason", reason, "err", cause)
+	if s.probing || s.closing {
+		return
+	}
+	s.probing = true
+	s.bg.Add(1)
+	go s.probeLoop()
+}
+
+// exitDegraded re-enables writes after a successful probe.
+func (s *Server) exitDegraded() {
+	s.degradedMu.Lock()
+	reason := s.degradedReason
+	s.degraded.Store(false)
+	s.degradedReason = ""
+	s.probing = false
+	s.degradedMu.Unlock()
+	s.log.Info("degraded mode cleared: durable writes re-enabled", "was", reason)
+}
+
+// degradedState reads the flag and reason consistently for /readyz and
+// /metrics.
+func (s *Server) degradedState() (bool, string) {
+	s.degradedMu.Lock()
+	defer s.degradedMu.Unlock()
+	return s.degraded.Load(), s.degradedReason
+}
+
+// probeLoop retries a durable write until one lands or the server shuts
+// down. The interval is jittered around Config.DegradedProbeInterval so
+// a fleet of servers sharing a recovered disk array does not thunder
+// back in lockstep.
+func (s *Server) probeLoop() {
+	defer s.bg.Done()
+	base := s.cfg.DegradedProbeInterval
+	for {
+		wait := base/2 + time.Duration(rand.Int63n(int64(base)))
+		select {
+		case <-s.stopSnap:
+			return
+		case <-time.After(wait):
+		}
+		if s.tryHeal() {
+			return
+		}
+	}
+}
+
+// tryHeal makes one durable-write attempt: a probe record through the
+// WAL append+fsync path, then a snapshot so the covered state is durable
+// again (and the log trims). Success clears degraded mode.
+func (s *Server) tryHeal() bool {
+	if s.wal != nil {
+		s.walMu.Lock()
+		err := s.wal.Append(wal.EncodeProbe())
+		s.walMu.Unlock()
+		if err != nil {
+			s.log.Debug("degraded probe failed", "err", err)
+			return false
+		}
+		s.walRecords.Add(1)
+	}
+	if s.cfg.SnapshotPath != "" {
+		if err := s.Snapshot(); err != nil {
+			s.log.Debug("degraded probe snapshot failed", "err", err)
+			return false
+		}
+	}
+	s.exitDegraded()
+	return true
+}

@@ -1,12 +1,14 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"treesim/internal/faultfs"
 	"treesim/internal/search"
@@ -157,12 +159,12 @@ func TestCorruptWALTailRecoversPrefix(t *testing.T) {
 	hs.Close()
 	s.wal.Close()
 
-	raw, err := os.ReadFile(cfg.WALPath)
+	raw, err := os.ReadFile(wal.SegmentPath(cfg.WALPath, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	raw[len(raw)-1] ^= 0x40
-	if err := os.WriteFile(cfg.WALPath, raw, 0o644); err != nil {
+	if err := os.WriteFile(wal.SegmentPath(cfg.WALPath, 1), raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -275,12 +277,12 @@ func TestDeleteSurvivesCrash(t *testing.T) {
 
 	// Tear the log's last record (the second insert): the delete and the
 	// first insert are the recoverable prefix.
-	raw, err := os.ReadFile(cfg.WALPath)
+	raw, err := os.ReadFile(wal.SegmentPath(cfg.WALPath, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	raw[len(raw)-1] ^= 0x40
-	if err := os.WriteFile(cfg.WALPath, raw, 0o644); err != nil {
+	if err := os.WriteFile(wal.SegmentPath(cfg.WALPath, 1), raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -303,9 +305,13 @@ func TestDeleteSurvivesCrash(t *testing.T) {
 
 // TestWALAppendFailureRefusesInsert: when the WAL write fails, the
 // insert is neither acknowledged nor applied — durability before
-// acknowledgment also means no acknowledgment without durability.
+// acknowledgment also means no acknowledgment without durability. The
+// failure also flips the server into degraded read-only mode, so
+// follow-up writes are refused until the background prober verifies the
+// disk has healed.
 func TestWALAppendFailureRefusesInsert(t *testing.T) {
 	cfg := durableConfig(t.TempDir())
+	cfg.DegradedProbeInterval = 5 * time.Millisecond
 	// Write 1 is the WAL magic at Open; write 2 is the first append.
 	inj := &faultfs.Injector{FailWriteN: 2}
 	ix := search.NewIndex(testDataset(10, 1), search.NewBiBranch())
@@ -323,13 +329,35 @@ func TestWALAppendFailureRefusesInsert(t *testing.T) {
 	if got := s.ix.Size(); got != 10 {
 		t.Fatalf("refused insert leaked into the index (size %d, want 10)", got)
 	}
+	var ready ReadyResponse
+	getJSON(t, hs.URL+"/readyz", &ready)
+	if ready.Status != "degraded" || ready.DegradedReason != "wal_append" {
+		t.Fatalf("readyz after WAL failure: %+v, want degraded/wal_append", ready)
+	}
 
-	// The fault was one-shot: the retried insert succeeds and lands at
-	// the position the failed attempt would have taken.
-	insertTree(t, hs.URL, "f(a,b)")
+	// The fault was one-shot: once the prober re-verifies the disk, a
+	// retried insert succeeds and lands at the position the failed
+	// attempt would have taken.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var resp InsertResponse
+		code := postJSON(t, hs.URL+"/v1/trees", InsertRequest{Tree: "f(a,b)"}, &resp)
+		if code == 200 {
+			break
+		}
+		if code != 503 {
+			t.Fatalf("retried insert: status %d, want 200 or 503", code)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never recovered from one-shot WAL failure")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 	if got := s.ix.Size(); got != 11 {
 		t.Fatalf("retried insert missing (size %d, want 11)", got)
 	}
 	expectTree(t, s, 10, "f(a,b)")
-	s.wal.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 }

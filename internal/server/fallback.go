@@ -1,0 +1,55 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"treesim/internal/faultfs"
+	"treesim/internal/search"
+)
+
+// LoadSnapshotFallback loads the newest readable snapshot generation:
+// generation 0 (the snapshot path itself) first, then each older
+// generation the Snapshot publication chain retained, up to keep-1. A
+// generation that does not exist is skipped; one that exists but fails
+// to load (corrupt, truncated, wrong magic) is recorded and the next
+// older one is tried — a damaged current snapshot therefore degrades
+// recovery time (the WAL suffix to replay is longer) instead of
+// preventing startup.
+//
+// It returns the loaded index and the generation it came from. When no
+// generation file exists at all the error wraps os.ErrNotExist (a cold
+// start, not a failure); when generations exist but none loads, the
+// error joins every per-generation failure so the operator sees exactly
+// what is damaged. A nil fsys means the real filesystem.
+func LoadSnapshotFallback(fsys faultfs.FS, path string, keep int, opts ...search.IndexOption) (*search.Index, int, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	var errs []error
+	for gen := 0; gen < keep; gen++ {
+		name := SnapshotGeneration(path, gen)
+		f, err := fsys.OpenFile(name, os.O_RDONLY, 0)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			errs = append(errs, fmt.Errorf("generation %d (%s): %w", gen, name, err))
+			continue
+		}
+		ix, lerr := search.LoadIndex(f, opts...)
+		f.Close()
+		if lerr == nil {
+			return ix, gen, nil
+		}
+		errs = append(errs, fmt.Errorf("generation %d (%s): %w", gen, name, lerr))
+	}
+	if len(errs) == 0 {
+		return nil, 0, fmt.Errorf("snapshot %s: %w", path, os.ErrNotExist)
+	}
+	return nil, 0, errors.Join(errs...)
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"treesim/internal/search"
+)
+
+// These tests prove the generational-snapshot contract: every
+// publication shifts the previous snapshot one generation back, and a
+// restart falls back to the newest generation that still loads,
+// rebuilding the rest from the write-ahead log — which is only trimmed
+// below the oldest retained generation's cut, so the suffix is always
+// there to replay.
+
+// corruptFile flips one byte in the middle of path so the snapshot
+// checksum fails on load.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// truncateFile cuts path to half its size — a torn snapshot write.
+func truncateFile(t *testing.T, path string) {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildGenerations publishes three snapshot generations with one insert
+// between each, plus one tail insert covered only by the WAL:
+//
+//	gen 2: 10 base trees         gen 1: + gen1(a,b)
+//	gen 0: + gen2(c,d)           WAL tail: + tail(e,f)
+//
+// It closes the WAL (simulating process death) and returns the config.
+func buildGenerations(t *testing.T) Config {
+	t.Helper()
+	cfg := durableConfig(t.TempDir())
+	cfg.SnapshotKeep = 3
+	s, hs := startDurable(t, cfg, 10)
+	insertTree(t, hs.URL, "gen1(a,b)")
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	insertTree(t, hs.URL, "gen2(c,d)")
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	insertTree(t, hs.URL, "tail(e,f)")
+	s.wal.Close()
+	return cfg
+}
+
+// TestSnapshotGenerationsShift: each publication renames the previous
+// file one generation back, and every retained generation loads on its
+// own and holds the state of its cut.
+func TestSnapshotGenerationsShift(t *testing.T) {
+	cfg := buildGenerations(t)
+	wantSizes := []int{12, 11, 10} // gen 0 newest … gen 2 oldest
+	for gen, want := range wantSizes {
+		f, err := os.Open(SnapshotGeneration(cfg.SnapshotPath, gen))
+		if err != nil {
+			t.Fatalf("generation %d missing: %v", gen, err)
+		}
+		ix, err := search.LoadIndex(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("generation %d does not load: %v", gen, err)
+		}
+		if ix.Size() != want {
+			t.Fatalf("generation %d holds %d trees, want %d", gen, ix.Size(), want)
+		}
+	}
+}
+
+// TestFallbackSkipsCorruptGeneration: with the current snapshot corrupt,
+// the restart loads generation 1 and the WAL replay reconstructs the
+// full acknowledged state.
+func TestFallbackSkipsCorruptGeneration(t *testing.T) {
+	cfg := buildGenerations(t)
+	corruptFile(t, cfg.SnapshotPath)
+
+	ix, gen, err := LoadSnapshotFallback(nil, cfg.SnapshotPath, cfg.SnapshotKeep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 || ix.Size() != 11 {
+		t.Fatalf("loaded generation %d with %d trees, want generation 1 with 11", gen, ix.Size())
+	}
+
+	s := New(ix, cfg)
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.wal.Close()
+	if got := s.ix.Size(); got != 13 {
+		t.Fatalf("recovered size %d, want 13", got)
+	}
+	expectTree(t, s, 11, "gen2(c,d)")
+	expectTree(t, s, 12, "tail(e,f)")
+}
+
+// TestFallbackPastTruncatedGeneration is the worst retained case: the
+// current snapshot is corrupt AND generation 1 is truncated mid-file.
+// The restart must reach generation 2 — two cuts back — and the WAL,
+// ring-gated against trimming below the oldest retained generation,
+// still holds every record needed to rebuild the acknowledged state.
+func TestFallbackPastTruncatedGeneration(t *testing.T) {
+	cfg := buildGenerations(t)
+	corruptFile(t, cfg.SnapshotPath)
+	truncateFile(t, SnapshotGeneration(cfg.SnapshotPath, 1))
+
+	ix, gen, err := LoadSnapshotFallback(nil, cfg.SnapshotPath, cfg.SnapshotKeep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || ix.Size() != 10 {
+		t.Fatalf("loaded generation %d with %d trees, want generation 2 with 10", gen, ix.Size())
+	}
+
+	s := New(ix, cfg)
+	rec, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.wal.Close()
+	if rec.Replayed != 3 {
+		t.Fatalf("recovery %s, want 3 replayed", rec)
+	}
+	if got := s.ix.Size(); got != 13 {
+		t.Fatalf("recovered size %d, want 13", got)
+	}
+	expectTree(t, s, 10, "gen1(a,b)")
+	expectTree(t, s, 11, "gen2(c,d)")
+	expectTree(t, s, 12, "tail(e,f)")
+}
+
+// TestFallbackColdStart: no generation on disk is a cold start, reported
+// as os.ErrNotExist so callers fall through to other index sources.
+func TestFallbackColdStart(t *testing.T) {
+	_, _, err := LoadSnapshotFallback(nil, t.TempDir()+"/index.tsix", 3)
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("cold start error %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestFallbackAllGenerationsDamaged: when every retained generation is
+// damaged the error names each one, and keeps the load failures visible
+// (operators grep for "corrupt").
+func TestFallbackAllGenerationsDamaged(t *testing.T) {
+	cfg := buildGenerations(t)
+	for gen := 0; gen < cfg.SnapshotKeep; gen++ {
+		corruptFile(t, SnapshotGeneration(cfg.SnapshotPath, gen))
+	}
+	_, _, err := LoadSnapshotFallback(nil, cfg.SnapshotPath, cfg.SnapshotKeep)
+	if err == nil {
+		t.Fatal("all generations damaged, want an error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "corrupt") {
+		t.Fatalf("error does not mention corruption: %v", err)
+	}
+	for gen := 0; gen < cfg.SnapshotKeep; gen++ {
+		if !strings.Contains(msg, SnapshotGeneration(cfg.SnapshotPath, gen)) {
+			t.Fatalf("error does not name generation %d: %v", gen, err)
+		}
+	}
+}

@@ -310,6 +310,13 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, ErrCodeInvalidTree, err.Error(), requestID(w))
 		return
 	}
+	// A degraded server fast-fails writes without touching the WAL: the
+	// disk is known-bad until a heal probe says otherwise, and retrying
+	// on every client request would hammer it.
+	if s.degraded.Load() {
+		writeDegraded(w, "insert", requestID(w))
+		return
+	}
 	// Durability before acknowledgment: the record must be in the WAL
 	// before the insert is applied or acked, and walMu makes (assign
 	// position, append, apply) atomic so log order matches position
@@ -324,6 +331,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.walMu.Unlock()
 		s.log.Error("wal append failed, insert refused", "err", err)
+		s.enterDegraded("wal_append", err)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, ErrCodeNotDurable,
 			"insert not durable (write-ahead log append failed); retry", requestID(w))
@@ -335,10 +343,22 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, InsertResponse{ID: id, Size: s.ix.Size()})
 }
 
+// writeDegraded is the uniform write-path rejection while the server is
+// in degraded read-only mode.
+func writeDegraded(w http.ResponseWriter, op, reqID string) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, ErrCodeNotDurable,
+		op+" refused: server is in degraded read-only mode (durable storage failing); retry", reqID)
+}
+
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, ErrCodeInvalidArgument, "tree id must be an integer", requestID(w))
+		return
+	}
+	if s.degraded.Load() {
+		writeDegraded(w, "delete", requestID(w))
 		return
 	}
 	// Same discipline as inserts: tombstone in the WAL before the delete
@@ -358,6 +378,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.walMu.Unlock()
 		s.log.Error("wal append failed, delete refused", "err", err)
+		s.enterDegraded("wal_append", err)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, ErrCodeNotDurable,
 			"delete not durable (write-ahead log append failed); retry", requestID(w))
@@ -399,6 +420,18 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "draining"})
 		return
 	}
+	// Degraded still answers 200: the node serves queries and must keep
+	// receiving read traffic; the status string tells routers to shed
+	// writes only.
+	if deg, reason := s.degradedState(); deg {
+		writeJSON(w, http.StatusOK, ReadyResponse{
+			Status:          "degraded",
+			DegradedReason:  reason,
+			ReplayedRecords: s.walReplayed.Load(),
+			WALRecords:      s.walRecords.Load(),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, ReadyResponse{
 		Status:          "ready",
 		ReplayedRecords: s.walReplayed.Load(),
@@ -422,6 +455,13 @@ func wantsProm(r *http.Request) bool {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	deg, degReason := s.degradedState()
+	var walSegs int
+	var walBytes int64
+	if s.wal != nil {
+		walSegs = s.wal.Segments()
+		walBytes = s.wal.Bytes()
+	}
 	if wantsProm(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
@@ -437,7 +477,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Snapshots:        s.snapshots.Load(),
 			WALRecords:       s.walRecords.Load(),
 			WALReplayed:      s.walReplayed.Load(),
+			WALSegments:      walSegs,
+			WALBytes:         walBytes,
 			SnapCRCFailures:  s.snapCRCFail.Load(),
+			Degraded:         deg,
+			DegradedReason:   degReason,
+			DegradedTotal:    s.degradedTotal.Load(),
 			StoreEpoch:       st.Epoch,
 			StoreSegments:    st.Segments,
 			StoreMemtableLen: st.MemtableLen,
@@ -459,7 +504,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Snapshots = s.snapshots.Load()
 	snap.WALRecords = s.walRecords.Load()
 	snap.WALReplayedRecords = s.walReplayed.Load()
+	snap.WALSegments = walSegs
+	snap.WALBytes = walBytes
 	snap.SnapshotCRCFailures = s.snapCRCFail.Load()
+	if deg {
+		snap.Degraded = 1
+	}
+	snap.DegradedReason = degReason
+	snap.DegradedTotal = s.degradedTotal.Load()
 	snap.StoreEpoch = st.Epoch
 	snap.StoreSegments = st.Segments
 	snap.StoreMemtableLen = st.MemtableLen

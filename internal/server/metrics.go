@@ -221,12 +221,21 @@ type Snapshot struct {
 	StoreSeals       uint64 `json:"store_seals_total"`
 	StoreCompactions uint64 `json:"store_compactions_total"`
 	// Durability gauges: WAL records appended by this process, records
-	// replayed during startup recovery, and snapshots that failed their
-	// checksum self-verification (and were therefore not published).
-	WALRecords          uint64                      `json:"wal_records_total"`
-	WALReplayedRecords  uint64                      `json:"wal_replayed_records"`
-	SnapshotCRCFailures uint64                      `json:"snapshot_crc_failures"`
-	Endpoints           map[string]EndpointSnapshot `json:"endpoints"`
+	// replayed during startup recovery, the segment count and total bytes
+	// of the live log (checkpoint health: growing bytes mean snapshots
+	// are falling behind), and snapshots that failed their checksum
+	// self-verification (and were therefore not published).
+	WALRecords          uint64 `json:"wal_records_total"`
+	WALReplayedRecords  uint64 `json:"wal_replayed_records"`
+	WALSegments         int    `json:"wal_segments"`
+	WALBytes            int64  `json:"wal_bytes"`
+	SnapshotCRCFailures uint64 `json:"snapshot_crc_failures"`
+	// Degraded read-only mode: 1 while durable writes are failing (with
+	// the entry reason), plus a lifetime entry counter.
+	Degraded       int                         `json:"degraded"`
+	DegradedReason string                      `json:"degraded_reason,omitempty"`
+	DegradedTotal  uint64                      `json:"degraded_total"`
+	Endpoints      map[string]EndpointSnapshot `json:"endpoints"`
 	Queries             QuerySnapshot               `json:"queries"`
 	// Duration histograms (seconds): WAL durability cost, per-stage query
 	// time, snapshot publication time.

@@ -37,7 +37,12 @@ type PromGauges struct {
 	Snapshots       uint64
 	WALRecords      uint64
 	WALReplayed     uint64
+	WALSegments     int
+	WALBytes        int64
 	SnapCRCFailures uint64
+	Degraded        bool
+	DegradedReason  string
+	DegradedTotal   uint64
 	// Storage-engine gauges and counters (see search.Index.StoreStats).
 	StoreEpoch       uint64
 	StoreSegments    int
@@ -97,6 +102,18 @@ func (m *Metrics) WriteProm(w io.Writer, g PromGauges) error {
 		Sample(nil, float64(g.WALReplayed))
 	pw.Family("treesim_snapshot_crc_failures_total", "counter", "Snapshots that failed checksum self-verification.").
 		Sample(nil, float64(g.SnapCRCFailures))
+	pw.Family("treesim_wal_segments", "gauge", "Segment files in the live write-ahead log.").
+		Sample(nil, float64(g.WALSegments))
+	pw.Family("treesim_wal_bytes", "gauge", "Total valid bytes across live WAL segments; growth means snapshots are falling behind the write rate.").
+		Sample(nil, float64(g.WALBytes))
+	degFam := pw.Family("treesim_degraded", "gauge", "1 while the server is in degraded read-only mode (durable writes failing), labeled with the entry reason.")
+	if g.Degraded {
+		degFam.Sample(obs.Labels{"reason": g.DegradedReason}, 1)
+	} else {
+		degFam.Sample(nil, 0)
+	}
+	pw.Family("treesim_degraded_total", "counter", "Times the server entered degraded read-only mode.").
+		Sample(nil, float64(g.DegradedTotal))
 
 	// Per-endpoint counters and latency histograms. Rendering happens
 	// under mu into the caller's buffer, mirroring Snapshot's consistency.

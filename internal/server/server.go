@@ -29,6 +29,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -73,6 +74,26 @@ type Config struct {
 	// value — acknowledged inserts survive power loss) or wal.SyncNever
 	// (survive a process crash only).
 	WALSync wal.SyncPolicy
+	// WALMaxBytes rotates the write-ahead log into a new segment file
+	// once the active one reaches this size; whole covered segments are
+	// deleted after snapshots instead of rewriting the log. 0 means the
+	// 64 MiB default; negative disables rotation.
+	WALMaxBytes int64
+	// SnapshotKeep is how many snapshot generations to retain: the
+	// current file plus SnapshotKeep-1 predecessors (<path>.1 is the
+	// newest predecessor). Recovery falls back generation by generation
+	// when the newest is corrupt, replaying the correspondingly longer
+	// WAL suffix — the WAL is only trimmed below the oldest retained
+	// generation's cut. 0 means 1 (no predecessors).
+	SnapshotKeep int
+	// DegradedProbeInterval is the base wait between durability probes
+	// while the server is in degraded read-only mode (a failed WAL append
+	// or snapshot write); each wait is jittered around it. 0 means 1s.
+	DegradedProbeInterval time.Duration
+	// FS is the filesystem the snapshot and WAL paths write through. Nil
+	// means the real OS; fault-injection harnesses (chaos tests, disk
+	// fault drills) pass a faultfs.Injector instead.
+	FS faultfs.FS
 	// SnapshotInterval is how often the snapshot loop checks for new
 	// inserts to persist. Default 1m; negative disables the periodic
 	// loop (the final shutdown snapshot still happens).
@@ -115,6 +136,18 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotInterval == 0 {
 		c.SnapshotInterval = time.Minute
 	}
+	if c.WALMaxBytes == 0 {
+		c.WALMaxBytes = 64 << 20
+	}
+	if c.SnapshotKeep <= 0 {
+		c.SnapshotKeep = 1
+	}
+	if c.DegradedProbeInterval <= 0 {
+		c.DegradedProbeInterval = time.Second
+	}
+	if c.FS == nil {
+		c.FS = faultfs.OS
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
@@ -137,9 +170,8 @@ type Server struct {
 	saved     atomic.Uint64 // value of inserts+deletes at the last snapshot
 	snapshots atomic.Uint64 // snapshots written
 
-	// Durability state (see durability.go). fs is the filesystem the
-	// snapshot and WAL paths write through; tests swap in a fault
-	// injector before first use.
+	// Durability state (see durability.go). fs is Config.FS resolved:
+	// the filesystem the snapshot and WAL paths write through.
 	fs             faultfs.FS
 	wal            *wal.Log
 	walMu          sync.Mutex    // makes (assign position, WAL append, apply) atomic
@@ -148,6 +180,22 @@ type Server struct {
 	snapCRCFail    atomic.Uint64 // snapshots that failed checksum self-verification
 	recovering     atomic.Bool   // Recover in progress (readyz: 503)
 	replayProgress atomic.Uint64 // records applied so far during Recover
+
+	// Degraded read-only mode (see degraded.go): a failed durable write
+	// flips degraded on; writes get 503 not_durable while queries keep
+	// serving; a jittered prober clears it when the disk heals.
+	degraded       atomic.Bool
+	degradedTotal  atomic.Uint64
+	degradedMu     sync.Mutex
+	degradedReason string // under degradedMu
+	probing        bool   // under degradedMu: prober goroutine running
+	closing        bool   // under degradedMu: Shutdown begun, no new probers
+
+	// snapCuts are the WAL offsets captured at the last SnapshotKeep
+	// published snapshots, oldest first (under snapMu). The WAL only trims
+	// below snapCuts[0] once the ring is full, so every retained snapshot
+	// generation stays recoverable: older generation + longer WAL suffix.
+	snapCuts []int64
 
 	httpSrv  *http.Server
 	ln       net.Listener
@@ -167,7 +215,7 @@ func New(ix *search.Index, cfg Config) *Server {
 		log:      cfg.Logger,
 		metrics:  NewMetrics(),
 		sem:      newLimiter(cfg.MaxInFlight),
-		fs:       faultfs.OS,
+		fs:       cfg.FS,
 		stopSnap: make(chan struct{}),
 	}
 	s.mux = http.NewServeMux()
@@ -245,6 +293,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
 	}
+	// No new prober goroutines may start once the background group is
+	// being drained.
+	s.degradedMu.Lock()
+	s.closing = true
+	s.degradedMu.Unlock()
 	s.stopSnapshotLoop()
 	if s.dirty() {
 		if serr := s.Snapshot(); serr != nil && err == nil {
@@ -362,10 +415,23 @@ func (s *Server) Snapshot() error {
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
 	rsp := span.StartChild("rename")
+	// Shift the generation chain before publishing: the current snapshot
+	// becomes <path>.1, .1 becomes .2, and so on up to SnapshotKeep-1
+	// predecessors. Each shift is one atomic rename, so a crash anywhere
+	// in the chain leaves every file a complete, loadable snapshot.
+	for i := s.cfg.SnapshotKeep - 1; i >= 1; i-- {
+		src := SnapshotGeneration(s.cfg.SnapshotPath, i-1)
+		if err := s.fs.Rename(src, SnapshotGeneration(s.cfg.SnapshotPath, i)); err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue // generation not written yet
+			}
+			return fmt.Errorf("server: snapshot generation shift: %w", err)
+		}
+	}
 	if err := s.fs.Rename(tmp.Name(), s.cfg.SnapshotPath); err != nil {
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
-	// Fsync the directory so the rename itself survives power loss.
+	// Fsync the directory so the renames themselves survive power loss.
 	if err := s.fs.SyncDir(dir); err != nil {
 		return fmt.Errorf("server: snapshot dir sync: %w", err)
 	}
@@ -375,15 +441,42 @@ func (s *Server) Snapshot() error {
 	s.saved.Store(mark)
 	s.snapshots.Add(1)
 	s.log.Info("snapshot written", "path", s.cfg.SnapshotPath, "trees", s.ix.Size(),
-		"trace", span.Snapshot())
-	if s.wal != nil && walOff > 0 {
-		if err := s.wal.TrimPrefix(walOff); err != nil {
-			// Not fatal: the untrimmed records replay idempotently; the
-			// next snapshot retries the trim.
-			s.log.Error("wal trim after snapshot failed", "err", err)
-		}
-	}
+		"generations", s.cfg.SnapshotKeep, "trace", span.Snapshot())
+	s.trimWAL(walOff)
 	return nil
+}
+
+// SnapshotGeneration names generation gen of a snapshot path: gen 0 is
+// the path itself, gen i its i-th predecessor ("<path>.i").
+func SnapshotGeneration(path string, gen int) string {
+	if gen == 0 {
+		return path
+	}
+	return fmt.Sprintf("%s.%d", path, gen)
+}
+
+// trimWAL records the just-published snapshot's WAL cut and trims the
+// log below the oldest cut still needed. With SnapshotKeep generations
+// retained, the trim floor is the cut of the oldest one — and until this
+// process has published a full ring of snapshots the log is not trimmed
+// at all, because older on-disk generations (from a previous process)
+// have cuts we no longer know. Called with snapMu held.
+func (s *Server) trimWAL(walOff int64) {
+	if s.wal == nil || walOff <= 0 {
+		return
+	}
+	s.snapCuts = append(s.snapCuts, walOff)
+	if len(s.snapCuts) < s.cfg.SnapshotKeep {
+		return
+	}
+	for len(s.snapCuts) > s.cfg.SnapshotKeep {
+		s.snapCuts = s.snapCuts[1:]
+	}
+	if err := s.wal.TrimPrefix(s.snapCuts[0]); err != nil {
+		// Not fatal: the untrimmed records replay idempotently; the
+		// next snapshot retries the trim.
+		s.log.Error("wal trim after snapshot failed", "err", err)
+	}
 }
 
 func (s *Server) startSnapshotLoop() {
@@ -400,9 +493,13 @@ func (s *Server) startSnapshotLoop() {
 			case <-s.stopSnap:
 				return
 			case <-t.C:
+				if s.degraded.Load() {
+					continue // the heal prober owns retries while degraded
+				}
 				if s.dirty() {
 					if err := s.Snapshot(); err != nil {
 						s.log.Error("periodic snapshot failed", "err", err)
+						s.enterDegraded("snapshot", err)
 					}
 				}
 			}

@@ -210,10 +210,9 @@ func TestInsertAndGet(t *testing.T) {
 	}
 }
 
-// TestInsertAcceptedForGlobalFilter: pivot-table indexes once answered
-// inserts with 422 (not_appendable); the segmented store made every
-// filter configuration appendable, so the insert lands and is
-// immediately queryable.
+// TestInsertAcceptedForGlobalFilter: pivot-table indexes once rejected
+// inserts; the segmented store made every filter configuration
+// appendable, so the insert lands and is immediately queryable.
 func TestInsertAcceptedForGlobalFilter(t *testing.T) {
 	ts := testDataset(20, 6)
 	ix := search.NewIndex(ts, search.NewPivotBiBranch())

@@ -28,6 +28,9 @@ const (
 	RecordInsert RecordType = 0
 	// RecordTombstone marks a dataset id as deleted.
 	RecordTombstone RecordType = 1
+	// RecordProbe is a durability probe: a no-op record the degraded
+	// server appends to test whether the disk has healed. Replay skips it.
+	RecordProbe RecordType = 2
 )
 
 // extendedMark is the impossible-id escape introducing an extended record.
@@ -60,6 +63,16 @@ func EncodeTombstone(id int) []byte {
 	return buf
 }
 
+// EncodeProbe builds a probe payload. It carries no data: its only job
+// is to exercise the append + fsync path when the server is checking
+// whether a degraded disk has recovered.
+func EncodeProbe() []byte {
+	buf := make([]byte, 4+1)
+	binary.LittleEndian.PutUint32(buf[:4], extendedMark)
+	buf[4] = byte(RecordProbe)
+	return buf
+}
+
 // DecodeRecord parses one payload, accepting both the original insert
 // format and extended records. Unknown extended types are an error: a log
 // from a future version must stop recovery, not silently drop writes.
@@ -80,6 +93,11 @@ func DecodeRecord(p []byte) (Record, error) {
 			return Record{}, fmt.Errorf("wal: tombstone record of %d bytes, want 9", len(p))
 		}
 		return Record{Type: RecordTombstone, ID: int(binary.LittleEndian.Uint32(p[5:]))}, nil
+	case RecordProbe:
+		if len(p) != 5 {
+			return Record{}, fmt.Errorf("wal: probe record of %d bytes, want 5", len(p))
+		}
+		return Record{Type: RecordProbe}, nil
 	default:
 		return Record{}, fmt.Errorf("wal: unknown record type %d", t)
 	}

@@ -37,6 +37,18 @@ func TestRecordTombstoneRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRecordProbeRoundTrip covers the durability-probe kind: no data,
+// decodes cleanly so replay can skip it.
+func TestRecordProbeRoundTrip(t *testing.T) {
+	rec, err := DecodeRecord(EncodeProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type != RecordProbe || rec.ID != 0 || rec.Tree != "" {
+		t.Fatalf("decoded %+v", rec)
+	}
+}
+
 // TestRecordDecodeErrors: malformed payloads fail loudly instead of being
 // misread as inserts.
 func TestRecordDecodeErrors(t *testing.T) {
@@ -46,6 +58,7 @@ func TestRecordDecodeErrors(t *testing.T) {
 		"unknown type":        {0xFF, 0xFF, 0xFF, 0xFF, 99, 0, 0, 0, 0},
 		"short tombstone":     {0xFF, 0xFF, 0xFF, 0xFF, 1, 7},
 		"long tombstone":      append(EncodeTombstone(7), 0),
+		"long probe":          append(EncodeProbe(), 0),
 	}
 	for name, p := range cases {
 		if _, err := DecodeRecord(p); err == nil {

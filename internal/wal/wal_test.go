@@ -17,6 +17,11 @@ func walPath(t *testing.T) string {
 	return filepath.Join(t.TempDir(), "insert.wal")
 }
 
+// seg returns the on-disk file of segment n for a configured path —
+// where the data actually lives; the configured path itself only names
+// the log.
+func seg(path string, n int) string { return segName(path, int64(n)) }
+
 // collect replays the log into a slice of payload copies.
 func collect(t *testing.T, path string) ([][]byte, ReplayResult) {
 	t.Helper()
@@ -75,15 +80,122 @@ func TestReplayMissingFile(t *testing.T) {
 
 func TestReplayRejectsForeignFile(t *testing.T) {
 	path := walPath(t)
-	os.WriteFile(path, []byte("definitely not a WAL"), 0o644)
+	os.WriteFile(seg(path, 1), []byte("definitely not a WAL"), 0o644)
 	if _, err := Replay(path, nil, nil); err == nil {
 		t.Fatal("foreign file replayed without error")
 	}
 }
 
-// TestTornTailRecoversPrefix truncates the file at every byte boundary of
-// the final record: replay must always deliver the full prefix and flag
-// (but not fail on) the tear.
+// TestLegacySingleFileAdopted: a pre-segmentation log at the exact
+// configured path replays as-is and is renamed to segment 1 on Open, so
+// upgrades keep every record without a migration step.
+func TestLegacySingleFileAdopted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "insert.wal")
+	// Build an old-format file: segment files are byte-identical to the
+	// pre-segmentation format, so write one and move it to the bare path.
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "old-1", "old-2")
+	l.Close()
+	if err := os.Rename(seg(path, 1), path); err != nil {
+		t.Fatal(err)
+	}
+
+	got, res := collect(t, path)
+	if res.Records != 2 || string(got[0]) != "old-1" {
+		t.Fatalf("legacy replay %q (%+v)", got, res)
+	}
+
+	l, err = Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 2 {
+		t.Fatalf("adopted log sees %d records, want 2", l.Records())
+	}
+	appendAll(t, l, "new-3")
+	l.Close()
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("legacy file still present after adoption: %v", err)
+	}
+	got, res = collect(t, path)
+	if res.Records != 3 || string(got[2]) != "new-3" {
+		t.Fatalf("after adoption %q (%+v)", got, res)
+	}
+}
+
+// TestRotationSplitsSegments: with a small segment cap, appends rotate
+// into new files; replay crosses the boundaries in order and Offset stays
+// strictly monotonic across them.
+func TestRotationSplitsSegments(t *testing.T) {
+	path := walPath(t)
+	l, err := Open(path, Options{MaxSegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	prev := int64(0)
+	for i := 0; i < 5; i++ {
+		p := fmt.Sprintf("record-%d", i)
+		want = append(want, p)
+		appendAll(t, l, p)
+		if off := l.Offset(); off <= prev {
+			t.Fatalf("Offset not monotonic across rotation: %d then %d", prev, off)
+		} else {
+			prev = off
+		}
+	}
+	if l.Segments() != 5 {
+		t.Fatalf("Segments() = %d, want 5 (one record each)", l.Segments())
+	}
+	if l.Bytes() <= 0 {
+		t.Fatalf("Bytes() = %d", l.Bytes())
+	}
+	l.Close()
+
+	got, res := collect(t, path)
+	if res.Torn || res.Records != 5 || res.Segments != 5 {
+		t.Fatalf("replay %+v, want 5 records over 5 segments", res)
+	}
+	for i, w := range want {
+		if string(got[i]) != w {
+			t.Fatalf("record %d = %q, want %q", i, got[i], w)
+		}
+	}
+}
+
+// TestReopenAcrossSegments: a restarted process opens the multi-segment
+// log and keeps appending into the last segment.
+func TestReopenAcrossSegments(t *testing.T) {
+	path := walPath(t)
+	l, err := Open(path, Options{MaxSegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "a", "b", "c")
+	l.Close()
+
+	l, err = Open(path, Options{MaxSegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 3 || l.Segments() != 3 {
+		t.Fatalf("reopened: %d records in %d segments", l.Records(), l.Segments())
+	}
+	appendAll(t, l, "d")
+	l.Close()
+	got, res := collect(t, path)
+	if res.Records != 4 || string(got[3]) != "d" {
+		t.Fatalf("after reopen %q (%+v)", got, res)
+	}
+}
+
+// TestTornTailRecoversPrefix truncates the active segment at every byte
+// boundary of the final record: replay must always deliver the full
+// prefix and flag (but not fail on) the tear.
 func TestTornTailRecoversPrefix(t *testing.T) {
 	path := walPath(t)
 	l, err := Open(path, Options{})
@@ -92,14 +204,14 @@ func TestTornTailRecoversPrefix(t *testing.T) {
 	}
 	appendAll(t, l, "alpha", "beta", "gamma-the-last")
 	l.Close()
-	full, err := os.ReadFile(path)
+	full, err := os.ReadFile(seg(path, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	twoEnd := len(full) - recordHeader - len("gamma-the-last")
 
 	for cut := twoEnd + 1; cut < len(full); cut++ {
-		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+		if err := os.WriteFile(seg(path, 1), full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		got, res := collect(t, path)
@@ -109,9 +221,78 @@ func TestTornTailRecoversPrefix(t *testing.T) {
 		if res.Records != 2 || len(got) != 2 || string(got[0]) != "alpha" || string(got[1]) != "beta" {
 			t.Fatalf("cut at %d: recovered %d records %q, want the 2-record prefix", cut, res.Records, got)
 		}
-		if res.ValidBytes != int64(twoEnd) {
-			t.Fatalf("cut at %d: valid prefix ends at %d, want %d", cut, res.ValidBytes, twoEnd)
+		if res.EndPos != pos(1, int64(twoEnd)) {
+			t.Fatalf("cut at %d: valid prefix ends at %d, want %d", cut, res.EndPos, pos(1, int64(twoEnd)))
 		}
+	}
+}
+
+// TestTornTombstoneAtRotationBoundary: the tear lands inside a 9-byte
+// tombstone record that rotation made the first record of a fresh
+// segment — the smallest extended record at the trickiest position.
+// Every prefix of it must replay to exactly the sealed segment's
+// records, and Open must truncate the tear and accept new appends.
+func TestTornTombstoneAtRotationBoundary(t *testing.T) {
+	path := walPath(t)
+	insert := EncodeInsert(0, "a(b,c)")
+	// Cap the segment at exactly its size after the insert: the next
+	// append rotates first, so the tombstone opens segment 2.
+	max := headerLen + int64(recordHeader+len(insert))
+	l, err := Open(path, Options{MaxSegmentBytes: max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(insert); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(EncodeTombstone(0)); err != nil {
+		t.Fatal(err)
+	}
+	if l.Segments() != 2 {
+		t.Fatalf("Segments() = %d, want the tombstone rotated into segment 2", l.Segments())
+	}
+	l.Close()
+
+	full, err := os.ReadFile(seg(path, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int(headerLen) + recordHeader + 9; len(full) != want {
+		t.Fatalf("segment 2 is %d bytes, want magic + framed 9-byte tombstone = %d", len(full), want)
+	}
+
+	for cut := int(headerLen); cut < len(full); cut++ {
+		if err := os.WriteFile(seg(path, 2), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, res := collect(t, path)
+		if res.Records != 1 || len(got) != 1 || !bytes.Equal(got[0], insert) {
+			t.Fatalf("cut at %d: recovered %d records, want just the sealed insert", cut, res.Records)
+		}
+		if torn := cut > int(headerLen); res.Torn != torn {
+			t.Fatalf("cut at %d: Torn = %v, want %v", cut, res.Torn, torn)
+		}
+	}
+
+	// Open on the worst tear (one byte short of complete) truncates it
+	// and the log keeps accepting records.
+	if err := os.WriteFile(seg(path, 2), full[:len(full)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(path, Options{MaxSegmentBytes: max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 1 {
+		t.Fatalf("reopened log sees %d records, want 1", l.Records())
+	}
+	if err := l.Append(EncodeTombstone(0)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	got, res := collect(t, path)
+	if res.Torn || res.Records != 2 || !bytes.Equal(got[1], EncodeTombstone(0)) {
+		t.Fatalf("after reopen: %q (%+v), want insert + retried tombstone", got, res)
 	}
 }
 
@@ -126,7 +307,7 @@ func TestCorruptTailRecoversPrefix(t *testing.T) {
 	}
 	appendAll(t, l, "alpha", "beta", "gamma-the-last")
 	l.Close()
-	full, err := os.ReadFile(path)
+	full, err := os.ReadFile(seg(path, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +316,7 @@ func TestCorruptTailRecoversPrefix(t *testing.T) {
 	for flip := twoEnd; flip < len(full); flip++ {
 		mut := append([]byte(nil), full...)
 		mut[flip] ^= 0x40
-		if err := os.WriteFile(path, mut, 0o644); err != nil {
+		if err := os.WriteFile(seg(path, 1), mut, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		got, res := collect(t, path)
@@ -149,25 +330,43 @@ func TestCorruptTailRecoversPrefix(t *testing.T) {
 }
 
 // TestCorruptMiddleStopsThere: a bit flip in an interior record ends the
-// valid prefix at that record; later (physically intact) records are not
-// delivered — order is part of the contract.
+// valid prefix at that record; later (physically intact) records — even
+// whole later segments — are not delivered, and Open removes them so
+// appends stay replayable. Order is part of the contract.
 func TestCorruptMiddleStopsThere(t *testing.T) {
 	path := walPath(t)
-	l, err := Open(path, Options{})
+	l, err := Open(path, Options{MaxSegmentBytes: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	appendAll(t, l, "alpha", "beta", "gamma")
 	l.Close()
-	full, _ := os.ReadFile(path)
-	// Flip a payload byte of "alpha" (first record starts after the magic).
+	// Flip a payload byte of "beta" (segment 2's first record).
+	full, _ := os.ReadFile(seg(path, 2))
 	mut := append([]byte(nil), full...)
 	mut[int(headerLen)+recordHeader] ^= 0x01
-	os.WriteFile(path, mut, 0o644)
+	os.WriteFile(seg(path, 2), mut, 0o644)
 
 	got, res := collect(t, path)
-	if len(got) != 0 || res.Records != 0 || !res.Torn {
-		t.Fatalf("corrupt first record: replayed %d records (%+v), want 0", len(got), res)
+	if len(got) != 1 || string(got[0]) != "alpha" || !res.Torn {
+		t.Fatalf("corrupt middle segment: replayed %q (%+v), want just [alpha]", got, res)
+	}
+
+	l, err = Open(path, Options{MaxSegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 1 {
+		t.Fatalf("reopened log sees %d records, want 1", l.Records())
+	}
+	if _, err := os.Stat(seg(path, 3)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("segment beyond the tear not removed — its records are unreachable")
+	}
+	appendAll(t, l, "delta")
+	l.Close()
+	got, res = collect(t, path)
+	if res.Torn || res.Records != 2 || string(got[1]) != "delta" {
+		t.Fatalf("after reopen %q (%+v)", got, res)
 	}
 }
 
@@ -181,8 +380,8 @@ func TestOpenTruncatesTornTailAndAppends(t *testing.T) {
 	}
 	appendAll(t, l, "alpha", "beta")
 	l.Close()
-	full, _ := os.ReadFile(path)
-	os.WriteFile(path, full[:len(full)-3], 0o644) // tear "beta"
+	full, _ := os.ReadFile(seg(path, 1))
+	os.WriteFile(seg(path, 1), full[:len(full)-3], 0o644) // tear "beta"
 
 	l, err = Open(path, Options{})
 	if err != nil {
@@ -225,7 +424,7 @@ func TestFailedWriteRollsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	appendAll(t, l, "good-1")
-	in.FailWriteN = in.Writes() + 1 // fail the next record write
+	in.SetFailWriteN(in.Writes() + 1) // fail the next record write
 	if err := l.Append([]byte("never-acked")); err == nil {
 		t.Fatal("append with injected write failure succeeded")
 	}
@@ -241,6 +440,36 @@ func TestFailedWriteRollsBack(t *testing.T) {
 	}
 }
 
+// TestSyncFailureRollsBack: a record whose bytes landed but whose fsync
+// failed was never acknowledged, so it must not stay in the log — if it
+// did, the next append would reuse its position and replay (first
+// record per position wins) would drop the acknowledged record in favor
+// of the refused one.
+func TestSyncFailureRollsBack(t *testing.T) {
+	path := walPath(t)
+	in := &faultfs.Injector{}
+	l, err := Open(path, Options{FS: in, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "acked-1")
+	in.SetFailSync(true)
+	if err := l.Append([]byte("refused-by-sync")); err == nil {
+		t.Fatal("append with failing fsync succeeded")
+	}
+	in.SetFailSync(false) // the disk heals
+	appendAll(t, l, "acked-2")
+	l.Close()
+
+	got, res := collect(t, path)
+	if res.Torn || res.Records != 2 {
+		t.Fatalf("%+v, want 2 clean records", res)
+	}
+	if string(got[0]) != "acked-1" || string(got[1]) != "acked-2" {
+		t.Fatalf("records %q, refused record must not survive", got)
+	}
+}
+
 // TestShortWriteTornRecordRecovered: a short (torn) write that the
 // process never gets to roll back — it "crashes" immediately — leaves a
 // tail that replay discards and Open truncates.
@@ -252,8 +481,8 @@ func TestShortWriteTornRecordRecovered(t *testing.T) {
 		t.Fatal(err)
 	}
 	appendAll(t, l, "durable")
-	in.ShortWriteN = in.Writes() + 1
-	in.CrashAfterWriteN = in.Writes() + 1 // no rollback: truncate fails too
+	in.SetShortWriteN(in.Writes() + 1)
+	in.SetCrashAfterWriteN(in.Writes() + 1) // no rollback: truncate fails too
 	if err := l.Append([]byte("torn-record-payload")); err == nil {
 		t.Fatal("short write acked")
 	}
@@ -276,8 +505,8 @@ func TestCrashBetweenAppends(t *testing.T) {
 		t.Fatal(err)
 	}
 	appendAll(t, l, "first", "second")
-	in.CrashAfterWriteN = in.Writes() // crash now
-	l.f.Write([]byte{0})              // trip the crash
+	in.SetCrashAfterWriteN(in.Writes()) // crash now
+	l.f.Write([]byte{0})                // trip the crash
 	if err := l.Append([]byte("after-crash")); err == nil {
 		t.Fatal("append after crash acked")
 	}
@@ -287,9 +516,12 @@ func TestCrashBetweenAppends(t *testing.T) {
 	}
 }
 
+// TestTrimPrefix: trimming to a checkpoint cut deletes exactly the
+// segments whose records are all covered — including the one the cut
+// ends on — and the log keeps accepting appends.
 func TestTrimPrefix(t *testing.T) {
 	path := walPath(t)
-	l, err := Open(path, Options{})
+	l, err := Open(path, Options{MaxSegmentBytes: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,6 +533,11 @@ func TestTrimPrefix(t *testing.T) {
 	}
 	if l.Records() != 1 {
 		t.Fatalf("after trim Records() = %d, want 1", l.Records())
+	}
+	for _, n := range []int{1, 2} {
+		if _, err := os.Stat(seg(path, n)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("covered segment %d survived the trim", n)
+		}
 	}
 	// The log keeps accepting appends after the trim.
 	appendAll(t, l, "uncovered-4")
@@ -315,6 +552,30 @@ func TestTrimPrefix(t *testing.T) {
 	}
 }
 
+// TestTrimPrefixMidSegment: a cut inside a segment keeps that whole
+// segment — covered records replay idempotently; nothing is rewritten.
+func TestTrimPrefixMidSegment(t *testing.T) {
+	path := walPath(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "covered-1")
+	cut := l.Offset()
+	appendAll(t, l, "uncovered-2")
+	if err := l.TrimPrefix(cut); err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 2 {
+		t.Fatalf("mid-segment trim dropped records: %d, want 2 (kept intact)", l.Records())
+	}
+	l.Close()
+	_, res := collect(t, path)
+	if res.Records != 2 {
+		t.Fatalf("%+v", res)
+	}
+}
+
 func TestTrimPrefixWholeLog(t *testing.T) {
 	path := walPath(t)
 	l, err := Open(path, Options{})
@@ -322,11 +583,15 @@ func TestTrimPrefixWholeLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	appendAll(t, l, "a", "b", "c")
-	if err := l.TrimPrefix(l.Offset()); err != nil {
+	before := l.Offset()
+	if err := l.TrimPrefix(before); err != nil {
 		t.Fatal(err)
 	}
 	if l.Records() != 0 {
 		t.Fatalf("Records() = %d after full trim", l.Records())
+	}
+	if after := l.Offset(); after <= before {
+		t.Fatalf("full trim moved Offset backwards: %d then %d", before, after)
 	}
 	appendAll(t, l, "fresh")
 	l.Close()
@@ -336,31 +601,38 @@ func TestTrimPrefixWholeLog(t *testing.T) {
 	}
 }
 
-// TestTrimCrashKeepsUncovered: a crash during the trim's rename window
-// leaves either the old or the new file; both contain every uncovered
-// record.
+// TestTrimCrashKeepsUncovered: a crash midway through the trim's
+// per-segment deletions leaves a subset of the covered segments gone;
+// replay of what remains still yields every uncovered record.
 func TestTrimCrashKeepsUncovered(t *testing.T) {
 	path := walPath(t)
-	in := &faultfs.Injector{}
-	l, err := Open(path, Options{FS: in})
+	l, err := Open(path, Options{MaxSegmentBytes: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	appendAll(t, l, "covered")
-	cut := l.Offset()
-	appendAll(t, l, "uncovered")
-	in.CrashOnRename = true
-	if err := l.TrimPrefix(cut); err == nil {
-		t.Fatal("trim with crashed rename succeeded")
+	appendAll(t, l, "covered-1", "covered-2", "uncovered")
+	l.Close()
+	// Simulate the crash state: the trim removed segment 1, died before
+	// segment 2.
+	if err := os.Remove(seg(path, 1)); err != nil {
+		t.Fatal(err)
 	}
-	// Restart: the old file must still hold the uncovered record.
 	got, res := collect(t, path)
-	if res.Records != 2 {
-		t.Fatalf("recovered %d records (%+v), want old intact log", res.Records, res)
+	if res.Torn || res.Records != 2 {
+		t.Fatalf("recovered %d records (%+v)", res.Records, res)
 	}
 	if string(got[1]) != "uncovered" {
 		t.Fatalf("uncovered record lost: %q", got)
 	}
+	// A restart opens the gapped log and finishes normally.
+	l, err = Open(path, Options{MaxSegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 2 {
+		t.Fatalf("reopened %d records, want 2", l.Records())
+	}
+	l.Close()
 }
 
 func TestSyncPolicies(t *testing.T) {
@@ -394,8 +666,8 @@ func TestParseSyncPolicy(t *testing.T) {
 	}
 }
 
-// TestLargePayloadBytes: binary payloads with embedded zeros and high
-// bytes survive byte-exact.
+// TestBinaryPayloads: binary payloads with embedded zeros and high bytes
+// survive byte-exact.
 func TestBinaryPayloads(t *testing.T) {
 	path := walPath(t)
 	l, err := Open(path, Options{})

@@ -35,10 +35,18 @@ echo "== chaos matrix (-race)"
 go test -race -count=1 -run 'Chaos|Degraded|Fallback|TornTombstone' ./internal/server ./internal/wal
 
 # Serving-benchmark smoke: a tiny fixed-seed run proves the end-to-end
-# harness works; real numbers come from `make bench-server`.
-echo "== benchserver smoke"
+# harness works; real numbers come from `make bench-server`. The run
+# also exercises the flight recorder: benchserver GETs /debug/traces
+# and /debug/slo against its server and writes what it saw into the
+# report's trace_recorder section — so check that section is present
+# and the ring actually retained traces.
+echo "== benchserver smoke (includes /debug/traces + /debug/slo)"
 SMOKE_BENCH="$(mktemp /tmp/bench_server.XXXXXX.json)"
 go run ./cmd/benchserver -n 200 -queries 20 -out "$SMOKE_BENCH"
+grep -q '"trace_recorder"' "$SMOKE_BENCH" || {
+    echo "ci: smoke report has no trace_recorder section" >&2; exit 1; }
+grep -q '"retained": 0,' "$SMOKE_BENCH" && {
+    echo "ci: flight recorder retained nothing during the smoke" >&2; exit 1; }
 
 # Advisory bench diff: compare the committed full-size report against the
 # smoke run. The configurations differ (and CI machines are noisy), so a

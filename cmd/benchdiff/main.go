@@ -13,6 +13,12 @@
 // -threshold exits 3 — usable as an advisory CI gate. Metadata keys
 // (timestamps, versions, seeds) are not numbers being measured and are
 // skipped.
+//
+// BENCH_server.json also carries the flight recorder's health under
+// trace_recorder.* (retained counts, adaptive threshold, measured
+// overhead per request); the flattening picks those up like any other
+// numeric leaf, so recorder drift shows in the same diff. None of them
+// contain "p99", so they inform but never gate.
 package main
 
 import (

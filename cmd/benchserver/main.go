@@ -54,6 +54,23 @@ type endpointReport struct {
 	QPS      float64 `json:"qps"`
 }
 
+// recorderReport measures the flight recorder: what the workload left in
+// the ring, and what the recorder costs on the single-query k-NN path
+// (identical drives against a recorder-on and a recorder-off server).
+type recorderReport struct {
+	Retained        int   `json:"retained"`
+	RetainedSlow    int   `json:"retained_slow"`
+	RetainedOverThr int   `json:"retained_over_threshold"`
+	ThresholdUS     int64 `json:"threshold_us"`
+	RefineSpansOK   int   `json:"refine_spans_ok"` // 1 when a tail trace carries refine attrs
+	KnnP50OnUS      int64 `json:"knn_p50_recorder_on_us"`
+	KnnP50OffUS     int64 `json:"knn_p50_recorder_off_us"`
+	// Overhead of offering every request to the recorder, from the p50
+	// delta of the two drives. Negative values are measurement noise.
+	OverheadNSPerRequest int64   `json:"overhead_ns_per_request"`
+	OverheadPct          float64 `json:"overhead_pct"`
+}
+
 // report is the written JSON document.
 type report struct {
 	Timestamp            string                    `json:"timestamp"`
@@ -71,6 +88,7 @@ type report struct {
 	Mixed                map[string]endpointReport `json:"mixed"`
 	MeanAccessedFraction float64                   `json:"mean_accessed_fraction"`
 	StageMeansUS         map[string]float64        `json:"stage_means_us"`
+	Recorder             recorderReport            `json:"trace_recorder"`
 }
 
 func main() {
@@ -238,7 +256,88 @@ func bench(c config) (*report, error) {
 		"filter": histMeanUS(snap.QueryFilterSeconds),
 		"refine": histMeanUS(snap.QueryRefineSeconds),
 	}
+
+	if err := benchRecorder(client, base, c, ts, order, rep); err != nil {
+		return nil, fmt.Errorf("recorder: %w", err)
+	}
 	return rep, nil
+}
+
+// benchRecorder inspects the main server's flight recorder after the
+// workload (tail retention over the adaptive threshold, refine spans in
+// the retained trees, /debug/slo liveness) and measures the recorder's
+// per-request cost by driving the single-query k-NN workload against a
+// recorder-on and a recorder-off server.
+func benchRecorder(client *http.Client, base string, c config, ts []*tree.Tree, order []int, rep *report) error {
+	// The workload above fed the main server's recorder; the traces it
+	// kept over the adaptive threshold are the tail the ring exists for.
+	var all server.DebugTracesResponse
+	if err := getJSON(client, base+"/debug/traces", &all); err != nil {
+		return err
+	}
+	rep.Recorder.Retained = all.Stats.Retained
+	rep.Recorder.RetainedSlow = all.Stats.Slow
+	rep.Recorder.ThresholdUS = all.Stats.ThresholdUS
+
+	var tail server.DebugTracesResponse
+	url := fmt.Sprintf("%s/debug/traces?min_us=%d", base, all.Stats.ThresholdUS)
+	if err := getJSON(client, url, &tail); err != nil {
+		return err
+	}
+	rep.Recorder.RetainedOverThr = len(tail.Traces)
+	for _, tr := range tail.Traces {
+		for _, child := range tr.Trace.Children {
+			if child.Name == "refine" && child.Attrs["verified"] != nil {
+				rep.Recorder.RefineSpansOK = 1
+			}
+		}
+	}
+
+	// /debug/slo must answer and carry rows for the driven endpoints.
+	var slo server.SLOResponse
+	if err := getJSON(client, base+"/debug/slo", &slo); err != nil {
+		return err
+	}
+	if len(slo.Endpoints) == 0 {
+		return fmt.Errorf("/debug/slo reports no endpoints after the workload")
+	}
+
+	// Overhead: identical single-connection k-NN drives against fresh
+	// servers that differ only in TraceRing.
+	single := c
+	single.concurrency = 1
+	p50 := make(map[bool]int64)
+	for _, on := range []bool{true, false} {
+		ring := 0 // default: recorder on
+		if !on {
+			ring = -1
+		}
+		rix := search.NewIndex(ts, search.NewBiBranch())
+		rsrv := server.New(rix, server.Config{
+			MaxInFlight: 4,
+			TraceRing:   ring,
+			Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		rln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go rsrv.Serve(rln) //nolint:errcheck // torn down with the process
+		lat, elapsed, err := drive(client, "http://"+rln.Addr().String()+"/v1/knn", single, ts, order,
+			func(q string) any { return map[string]any{"tree": q, "k": c.k} })
+		rln.Close()
+		if err != nil {
+			return err
+		}
+		p50[on] = summarize(lat, elapsed).P50US
+	}
+	rep.Recorder.KnnP50OnUS = p50[true]
+	rep.Recorder.KnnP50OffUS = p50[false]
+	rep.Recorder.OverheadNSPerRequest = (p50[true] - p50[false]) * 1e3
+	if p50[false] > 0 {
+		rep.Recorder.OverheadPct = float64(p50[true]-p50[false]) / float64(p50[false]) * 100
+	}
+	return nil
 }
 
 // fixedShuffle is a deterministic permutation of [0,n) (an LCG-driven

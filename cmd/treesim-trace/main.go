@@ -1,0 +1,192 @@
+// Command treesim-trace browses a running treesimd's flight recorder and
+// SLO table from the terminal — the operator's view of "what was slow and
+// why" without a tracing backend.
+//
+//	treesim-trace list                          # retained traces, newest first
+//	treesim-trace list -endpoint /v1/knn -min 5ms -error -limit 10
+//	treesim-trace get r0000002a                 # one trace, span tree pretty-printed
+//	treesim-trace slo                           # per-endpoint burn-rate table
+//
+// The debug endpoints are loopback-only, so -addr defaults to
+// localhost; point it through a port-forward for a remote node.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"treesim/internal/obs"
+	"treesim/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, `usage: treesim-trace [-addr host:port] <command>
+
+commands:
+  list [-endpoint E] [-min D] [-error] [-limit N]   list retained traces
+  get <request-id>                                  print one trace's span tree
+  slo                                               print the SLO burn-rate table`)
+	return 2
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("treesim-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:8080", "treesimd address (debug endpoints are loopback-only)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		return usage(stderr)
+	}
+	base := "http://" + *addr
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "list":
+		return runList(base, rest, stdout, stderr)
+	case "get":
+		return runGet(base, rest, stdout, stderr)
+	case "slo":
+		return runSLO(base, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "treesim-trace: unknown command %q\n", cmd)
+		return usage(stderr)
+	}
+}
+
+// getInto fetches url and decodes the JSON body, surfacing the server's
+// error envelope on non-200.
+func getInto(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er server.ErrorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error.Code != "" {
+			return fmt.Errorf("%s: %s (%s)", resp.Status, er.Error.Message, er.Error.Code)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+func runList(base string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("treesim-trace list", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	endpoint := fs.String("endpoint", "", "only traces for this endpoint")
+	minDur := fs.Duration("min", 0, "only traces at least this slow")
+	errOnly := fs.Bool("error", false, "only errored requests")
+	limit := fs.Int("limit", 0, "cap the listing (0 = all retained)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	url := fmt.Sprintf("%s/debug/traces?endpoint=%s&min_us=%d&limit=%d",
+		base, *endpoint, minDur.Microseconds(), *limit)
+	if *errOnly {
+		url += "&error=1"
+	}
+	var resp server.DebugTracesResponse
+	if err := getInto(url, &resp); err != nil {
+		fmt.Fprintf(stderr, "treesim-trace: %v\n", err)
+		return 1
+	}
+	st := resp.Stats
+	fmt.Fprintf(stdout, "recorder: %d/%d retained (%d error, %d slow, %d baseline), %d offered, %d dropped, slow threshold %v\n",
+		st.Retained, st.Capacity, st.Errors, st.Slow, st.Baseline,
+		st.Offered, st.Dropped, time.Duration(st.ThresholdUS)*time.Microsecond)
+	if len(resp.Traces) == 0 {
+		fmt.Fprintln(stdout, "no matching traces")
+		return 0
+	}
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "REQUEST\tENDPOINT\tSTATUS\tCLASS\tDURATION\tSTART")
+	for _, tr := range resp.Traces {
+		class := string(tr.Class)
+		if tr.Degraded {
+			class += "+degraded"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%v\t%s\n",
+			tr.RequestID, tr.Endpoint, tr.Status, class,
+			time.Duration(tr.DurationUS)*time.Microsecond,
+			tr.Start.Format(time.RFC3339))
+	}
+	tw.Flush()
+	return 0
+}
+
+func runGet(base string, args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: treesim-trace get <request-id>")
+		return 2
+	}
+	var tr obs.RetainedTrace
+	if err := getInto(base+"/debug/traces/"+args[0], &tr); err != nil {
+		fmt.Fprintf(stderr, "treesim-trace: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s %s status=%d class=%s dur=%v (slow threshold %v)\n",
+		tr.RequestID, tr.Endpoint, tr.Status, tr.Class,
+		time.Duration(tr.DurationUS)*time.Microsecond,
+		time.Duration(tr.ThresholdUS)*time.Microsecond)
+	obs.FprintSpanTree(stdout, tr.Trace)
+	if tr.Explain != nil {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		fmt.Fprintln(stdout, "explain:")
+		enc.Encode(tr.Explain)
+	}
+	return 0
+}
+
+func runSLO(base string, stdout, stderr io.Writer) int {
+	var slo server.SLOResponse
+	if err := getInto(base+"/debug/slo", &slo); err != nil {
+		fmt.Fprintf(stderr, "treesim-trace: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "objective: %v latency, %.4g target; windows fast=%v slow=%v\n",
+		time.Duration(slo.LatencyObjectiveS*float64(time.Second)), slo.Target,
+		time.Duration(slo.FastWindowS*float64(time.Second)),
+		time.Duration(slo.WindowS*float64(time.Second)))
+	if slo.Degraded {
+		fmt.Fprintf(stdout, "DEGRADED: read-only mode active (%s), entered %d time(s)\n",
+			slo.DegradedReason, slo.DegradedTotal)
+	}
+	if len(slo.Endpoints) == 0 {
+		fmt.Fprintln(stdout, "no traffic recorded")
+		return 0
+	}
+	eps := append([]obs.EndpointSLO(nil), slo.Endpoints...)
+	sort.Slice(eps, func(i, j int) bool { return eps[i].Endpoint < eps[j].Endpoint })
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ENDPOINT\tWINDOW\tREQUESTS\tERRORS\tSLOW\tBAD%\tBURN")
+	for _, e := range eps {
+		for _, w := range []struct {
+			name string
+			win  obs.SLOWindow
+		}{{"fast", e.Fast}, {"slow", e.Slow}} {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.2f%%\t%.2f\n",
+				e.Endpoint, w.name, w.win.Requests, w.win.Errors, w.win.Slow,
+				w.win.BadRatio*100, w.win.BurnRate)
+		}
+	}
+	tw.Flush()
+	return 0
+}

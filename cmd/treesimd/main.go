@@ -41,6 +41,15 @@
 // rotated beyond -qlog-max-bytes) to a JSONL workload log that
 // cmd/treesim-analyze replays offline against a matrix of filters.
 //
+// A flight recorder keeps the span trees of recent interesting requests
+// in a fixed ring (-trace-ring entries): every errored request, every
+// request slower than an adaptive tail threshold, and a sampled baseline
+// of normal traffic. The loopback-only GET /debug/traces lists them
+// (filter with ?endpoint=, ?min_us=, ?error=1), GET /debug/traces/{id}
+// fetches one, and GET /debug/slo serves per-endpoint error-budget burn
+// rates against the -slo-latency / -slo-target objectives; browse both
+// with cmd/treesim-trace.
+//
 // SIGINT/SIGTERM trigger a graceful drain: readiness flips to 503,
 // in-flight queries finish, a final snapshot is written, then the process
 // exits 0.
@@ -101,6 +110,9 @@ type config struct {
 	refineWork   int
 	memtable     int
 	compactAt    int
+	traceRing    int
+	sloLatency   time.Duration
+	sloTarget    float64
 	version      bool
 }
 
@@ -136,6 +148,9 @@ func run(args []string, stderr io.Writer) int {
 	fs.IntVar(&c.refineWork, "refine-workers", 0, "index-wide worker pool size shared by all queries (0 = GOMAXPROCS)")
 	fs.IntVar(&c.memtable, "memtable-size", 0, "inserts absorbed by the mutable memtable segment before it seals (0 = default)")
 	fs.IntVar(&c.compactAt, "compact-threshold", 0, "sealed segments that trigger a background compaction (0 = default, negative = manual only)")
+	fs.IntVar(&c.traceRing, "trace-ring", 0, "retained traces in the flight recorder, served on /debug/traces (0 = 256, negative disables)")
+	fs.DurationVar(&c.sloLatency, "slo-latency", 0, "per-request latency objective for the SLO burn rate (0 = 100ms)")
+	fs.Float64Var(&c.sloTarget, "slo-target", 0, "good-request objective in (0,1) for the SLO burn rate (0 = 0.99)")
 	fs.BoolVar(&c.version, "version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -179,6 +194,9 @@ func run(args []string, stderr io.Writer) int {
 		WALSync:          syncPolicy,
 		WALMaxBytes:      c.walMaxBytes,
 		OmitTrees:        c.omitTrees,
+		TraceRing:        c.traceRing,
+		SLOLatency:       c.sloLatency,
+		SLOTarget:        c.sloTarget,
 		Logger:           log,
 	}
 	if c.slowQuery >= 0 {

@@ -18,9 +18,10 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"sort"
 	"strconv"
 	"time"
+
+	"treesim/internal/obs"
 )
 
 // The wire types, as a client would declare them (they mirror
@@ -52,16 +53,7 @@ type knnResponse struct {
 		Verified         int     `json:"verified"`
 		AccessedFraction float64 `json:"accessed_fraction"`
 	} `json:"stats"`
-	Trace *spanJSON `json:"trace"`
-}
-
-// spanJSON mirrors the server's span-tree rendering (?trace=1).
-type spanJSON struct {
-	Name     string         `json:"name"`
-	StartUS  int64          `json:"start_us"`
-	DurUS    int64          `json:"dur_us"`
-	Attrs    map[string]any `json:"attrs"`
-	Children []spanJSON     `json:"children"`
+	Trace *obs.SpanSnapshot `json:"trace"`
 }
 
 func main() {
@@ -187,7 +179,7 @@ func run(base string, out io.Writer, client *http.Client, policy retryPolicy, tr
 			return fmt.Errorf("asked for a trace but the response carries none")
 		}
 		fmt.Fprintf(out, "trace (server-side time per stage):\n")
-		printSpan(out, *knn.Trace, 0, knn.Trace.DurUS)
+		obs.FprintSpanTree(out, *knn.Trace)
 	}
 
 	// Fetch the best match back by id.
@@ -210,29 +202,6 @@ func run(base string, out io.Writer, client *http.Client, policy retryPolicy, tr
 		fmt.Fprintf(out, "best match (%d nodes): %s\n", tr.Size, tr.Tree)
 	}
 	return nil
-}
-
-// printSpan renders one span and its children as an indented tree with
-// each stage's share of the root time and its attributes.
-func printSpan(out io.Writer, sp spanJSON, depth int, rootUS int64) {
-	pct := 0.0
-	if rootUS > 0 {
-		pct = 100 * float64(sp.DurUS) / float64(rootUS)
-	}
-	fmt.Fprintf(out, "  %*s%-12s %8dus %5.1f%%", depth*2, "", sp.Name, sp.DurUS, pct)
-	// Attrs in sorted order so the transcript is stable.
-	keys := make([]string, 0, len(sp.Attrs))
-	for k := range sp.Attrs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(out, "  %s=%v", k, sp.Attrs[k])
-	}
-	fmt.Fprintln(out)
-	for _, c := range sp.Children {
-		printSpan(out, c, depth+1, rootUS)
-	}
 }
 
 // post sends v as JSON and decodes the 200 response into res, retrying

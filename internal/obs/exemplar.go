@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Exemplar links one histogram bucket to a concrete request: the most
+// recent observation that landed in the bucket, by ID. When the p99
+// bucket of a latency histogram spikes, its exemplar names a request
+// whose retained trace (see Recorder) shows where the time went —
+// turning an aggregate into something debuggable.
+type Exemplar struct {
+	RequestID string    `json:"request_id"`
+	Value     float64   `json:"value"` // the observed value (seconds for latency)
+	Time      time.Time `json:"time"`
+}
+
+// Exemplars tracks one exemplar per histogram bucket over the same
+// ascending le bounds as a Histogram, plus the +Inf overflow bucket.
+// Observations are a single atomic pointer store, so the hot path stays
+// lock-free; last writer wins, which is exactly the "most recent" the
+// type promises. A nil *Exemplars ignores observations.
+type Exemplars struct {
+	bounds []float64
+	slots  []atomic.Pointer[Exemplar] // len(bounds)+1; last = overflow
+}
+
+// NewExemplars returns an exemplar store over the given strictly
+// ascending upper bounds. It panics on unordered bounds — a programmer
+// error, matching NewHistogram.
+func NewExemplars(bounds []float64) *Exemplars {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: exemplar bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	return &Exemplars{bounds: bs, slots: make([]atomic.Pointer[Exemplar], len(bs)+1)}
+}
+
+// Observe records requestID as the latest exemplar of v's bucket.
+func (e *Exemplars) Observe(v float64, requestID string) {
+	if e == nil {
+		return
+	}
+	i := sort.SearchFloat64s(e.bounds, v) // first bound >= v (le convention)
+	e.slots[i].Store(&Exemplar{RequestID: requestID, Value: v, Time: time.Now()})
+}
+
+// Bounds returns the bucket upper bounds (shared; do not mutate).
+func (e *Exemplars) Bounds() []float64 {
+	if e == nil {
+		return nil
+	}
+	return e.bounds
+}
+
+// Snapshot returns the current exemplar per bucket, indexed like
+// HistogramSnapshot.Counts (nil entries where a bucket has never been
+// hit). Safe on nil.
+func (e *Exemplars) Snapshot() []*Exemplar {
+	if e == nil {
+		return nil
+	}
+	out := make([]*Exemplar, len(e.slots))
+	for i := range e.slots {
+		out[i] = e.slots[i].Load()
+	}
+	return out
+}

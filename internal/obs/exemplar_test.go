@@ -1,0 +1,53 @@
+package obs
+
+import "testing"
+
+func TestExemplarsTrackMostRecentPerBucket(t *testing.T) {
+	e := NewExemplars([]float64{0.001, 0.01, 0.1})
+	e.Observe(0.0005, "fast-1")
+	e.Observe(0.0008, "fast-2") // same bucket: replaces fast-1
+	e.Observe(0.05, "mid")
+	e.Observe(3.0, "huge") // past the last bound: overflow bucket
+
+	snap := e.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d slots, want bounds+1 = 4", len(snap))
+	}
+	if snap[0] == nil || snap[0].RequestID != "fast-2" || snap[0].Value != 0.0008 {
+		t.Fatalf("bucket 0 exemplar = %+v, want the most recent fast request", snap[0])
+	}
+	if snap[1] != nil {
+		t.Fatalf("untouched bucket should have no exemplar: %+v", snap[1])
+	}
+	if snap[2] == nil || snap[2].RequestID != "mid" {
+		t.Fatalf("bucket 2 exemplar = %+v", snap[2])
+	}
+	if snap[3] == nil || snap[3].RequestID != "huge" {
+		t.Fatalf("overflow exemplar = %+v", snap[3])
+	}
+	if got := e.Bounds(); len(got) != 3 || got[2] != 0.1 {
+		t.Fatalf("bounds = %v", got)
+	}
+}
+
+func TestExemplarsBoundaryUsesLeConvention(t *testing.T) {
+	e := NewExemplars([]float64{0.001, 0.01})
+	e.Observe(0.001, "exact") // v <= bound: lands in the bound's own bucket
+	if snap := e.Snapshot(); snap[0] == nil || snap[0].RequestID != "exact" {
+		t.Fatalf("exact-boundary observation landed wrong: %+v", snap)
+	}
+}
+
+func TestExemplarsNilAndPanics(t *testing.T) {
+	var e *Exemplars
+	e.Observe(1, "x") // must not panic
+	if e.Snapshot() != nil || e.Bounds() != nil {
+		t.Fatal("nil exemplars returned data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unordered bounds should panic")
+		}
+	}()
+	NewExemplars([]float64{2, 1})
+}

@@ -1,0 +1,425 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder is an in-process flight recorder: a fixed-size sharded ring
+// of completed request traces with tail-based retention. Every request
+// is offered on completion; the recorder always keeps errored requests
+// and requests slower than an adaptive threshold (a rolling latency
+// quantile), and reservoir-samples a small baseline of normal requests
+// so slow traces have something to diff against. Everything else is
+// dropped before its span tree is ever snapshotted — the drop path is a
+// rolling-histogram observation plus a few atomics and allocates
+// nothing.
+//
+// Retention classes are strictly ordered: a baseline trace never evicts
+// an error or slow trace, and an incoming error/slow trace evicts the
+// oldest baseline anywhere in the ring before it recycles one of its
+// own kind. Errored and over-threshold traces are therefore never lost
+// while a baseline sample survives.
+//
+// Methods are safe for concurrent use and safe on a nil *Recorder
+// (disabled: Offer drops everything, List/Get find nothing), mirroring
+// the package's Span contract.
+type Recorder struct {
+	capacity int
+	baseCap  int // reservoir target for baseline traces
+	quantile float64
+	floorNS  int64
+
+	lat       *RollingHistogram // all offered durations, feeding the threshold
+	threshold atomic.Int64      // cached quantile, ns; recomputed every recalcEvery offers
+	offers    atomic.Uint64
+	dropped   atomic.Uint64
+	baseSeen  atomic.Uint64 // normal (non-tail) requests seen, for the reservoir
+	rng       atomic.Uint64 // xorshift state for reservoir admission
+	seq       atomic.Uint64 // insertion order, for oldest-first eviction
+
+	shards []recShard
+}
+
+// recalcEvery is how many offers share one cached threshold before it is
+// recomputed from the rolling histogram.
+const recalcEvery = 64
+
+// thresholdMinSamples is how many observations the rolling window needs
+// before the quantile is trusted over the configured floor.
+const thresholdMinSamples = 32
+
+// TraceClass says why a trace was retained.
+type TraceClass string
+
+const (
+	TraceError    TraceClass = "error"    // request failed (5xx); always kept
+	TraceSlow     TraceClass = "slow"     // duration >= adaptive threshold
+	TraceBaseline TraceClass = "baseline" // reservoir-sampled normal request
+)
+
+// RetainedTrace is one request the recorder kept. Entries are immutable
+// once inserted; List and Get hand out shared pointers.
+type RetainedTrace struct {
+	RequestID   string       `json:"request_id"`
+	Endpoint    string       `json:"endpoint"`
+	Status      int          `json:"status"`
+	Class       TraceClass   `json:"class"`
+	Degraded    bool         `json:"degraded,omitempty"`
+	Start       time.Time    `json:"start"`
+	DurationUS  int64        `json:"dur_us"`
+	ThresholdUS int64        `json:"threshold_us"` // the slow threshold when this trace completed
+	Trace       SpanSnapshot `json:"trace"`
+	Explain     any          `json:"explain,omitempty"` // per-query analysis, when the server had one
+
+	seq uint64
+}
+
+// CompletedRequest describes one finished request offered to the
+// recorder. Root is snapshotted only if the trace is retained.
+type CompletedRequest struct {
+	RequestID string
+	Endpoint  string
+	Status    int
+	Error     bool // terminal server failure; always retained
+	Degraded  bool // completed inside a degraded (read-only) window
+	Start     time.Time
+	Duration  time.Duration
+	Root      *Span
+	Explain   any
+}
+
+// RecorderConfig sizes a Recorder. Zero values take defaults.
+type RecorderConfig struct {
+	Capacity int           // total retained traces (default 256)
+	Shards   int           // ring shards (default 4)
+	Baseline int           // reservoir target for normal requests (default Capacity/8, min 1)
+	Window   time.Duration // rolling window feeding the adaptive threshold (default 1m)
+	Quantile float64       // latency quantile defining "slow" (default 0.99)
+	MinSlow  time.Duration // threshold floor while the window is cold or fast (default 1ms)
+}
+
+type recShard struct {
+	mu      sync.Mutex
+	entries []*RetainedTrace
+	cap     int
+}
+
+// NewRecorder returns a recorder with cfg's sizing.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 256
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Shards > cfg.Capacity {
+		cfg.Shards = cfg.Capacity
+	}
+	if cfg.Baseline <= 0 {
+		cfg.Baseline = cfg.Capacity / 8
+	}
+	if cfg.Baseline < 1 {
+		cfg.Baseline = 1
+	}
+	if cfg.Baseline > cfg.Capacity {
+		cfg.Baseline = cfg.Capacity
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = time.Minute
+	}
+	if cfg.Quantile <= 0 || cfg.Quantile >= 1 {
+		cfg.Quantile = 0.99
+	}
+	if cfg.MinSlow <= 0 {
+		cfg.MinSlow = time.Millisecond
+	}
+	r := &Recorder{
+		capacity: cfg.Capacity,
+		baseCap:  cfg.Baseline,
+		quantile: cfg.Quantile,
+		floorNS:  cfg.MinSlow.Nanoseconds(),
+		lat:      NewRollingHistogram(DefDurationBuckets, cfg.Window, 12),
+		shards:   make([]recShard, cfg.Shards),
+	}
+	// Spread capacity over the shards, remainder to the first ones.
+	per, rem := cfg.Capacity/cfg.Shards, cfg.Capacity%cfg.Shards
+	for i := range r.shards {
+		r.shards[i].cap = per
+		if i < rem {
+			r.shards[i].cap++
+		}
+	}
+	r.threshold.Store(r.floorNS)
+	r.rng.Store(0x9e3779b97f4a7c15) // fixed seed: the reservoir needs spread, not secrecy
+	return r
+}
+
+// Offer presents a completed request. It returns whether the trace was
+// retained; when it was not, req.Root has not been touched and nothing
+// was allocated.
+func (r *Recorder) Offer(req CompletedRequest) bool {
+	if r == nil {
+		return false
+	}
+	n := r.offers.Add(1)
+	r.lat.Observe(req.Duration.Seconds())
+	if n%recalcEvery == 1 {
+		r.recalcThreshold()
+	}
+	thr := r.threshold.Load()
+
+	var class TraceClass
+	switch {
+	case req.Error:
+		class = TraceError
+	case req.Duration.Nanoseconds() >= thr:
+		class = TraceSlow
+	default:
+		class = TraceBaseline
+		// Reservoir admission (algorithm R) before paying for a snapshot:
+		// the k-th baseline of n seen is kept with probability k/n, so the
+		// survivors approximate a uniform sample of normal traffic.
+		seen := r.baseSeen.Add(1)
+		if seen > uint64(r.baseCap) && r.rand(seen) >= uint64(r.baseCap) {
+			r.dropped.Add(1)
+			return false
+		}
+	}
+
+	ent := &RetainedTrace{
+		RequestID:   req.RequestID,
+		Endpoint:    req.Endpoint,
+		Status:      req.Status,
+		Class:       class,
+		Degraded:    req.Degraded,
+		Start:       req.Start,
+		DurationUS:  req.Duration.Microseconds(),
+		ThresholdUS: thr / 1e3,
+		Trace:       req.Root.Snapshot(),
+		Explain:     req.Explain,
+		seq:         r.seq.Add(1),
+	}
+	home := int(ent.seq % uint64(len(r.shards)))
+	if class == TraceBaseline {
+		if !r.insertBaseline(home, ent) {
+			r.dropped.Add(1)
+			return false
+		}
+		return true
+	}
+	r.insertTail(home, ent)
+	return true
+}
+
+// insertBaseline adds a baseline trace: into the first shard (walking
+// the ring from home) with free space or an older baseline to replace.
+// It never touches an error or slow entry; when the whole ring is tail
+// traces the insert is refused.
+func (r *Recorder) insertBaseline(home int, ent *RetainedTrace) bool {
+	for off := range r.shards {
+		sh := &r.shards[(home+off)%len(r.shards)]
+		sh.mu.Lock()
+		if len(sh.entries) < sh.cap {
+			sh.entries = append(sh.entries, ent)
+			sh.mu.Unlock()
+			return true
+		}
+		if i := oldestOf(sh.entries, true); i >= 0 {
+			sh.entries[i] = ent
+			sh.mu.Unlock()
+			return true
+		}
+		sh.mu.Unlock()
+	}
+	return false
+}
+
+// insertTail adds an error/slow trace. Order of preference: free space
+// in the home shard, the oldest baseline in the home shard, the oldest
+// baseline in any other shard (walking the ring, one lock at a time),
+// and only when no baseline exists anywhere, the home shard's oldest
+// entry of any class.
+func (r *Recorder) insertTail(home int, ent *RetainedTrace) {
+	for off := range r.shards {
+		sh := &r.shards[(home+off)%len(r.shards)]
+		sh.mu.Lock()
+		if len(sh.entries) < sh.cap {
+			sh.entries = append(sh.entries, ent)
+			sh.mu.Unlock()
+			return
+		}
+		if i := oldestOf(sh.entries, true); i >= 0 {
+			sh.entries[i] = ent
+			sh.mu.Unlock()
+			return
+		}
+		sh.mu.Unlock()
+	}
+	// Ring is wall-to-wall errors and slow traces: recycle the oldest in
+	// the home shard (every shard holds at least one entry here).
+	sh := &r.shards[home]
+	sh.mu.Lock()
+	if i := oldestOf(sh.entries, false); i >= 0 {
+		sh.entries[i] = ent
+	}
+	sh.mu.Unlock()
+}
+
+// oldestOf returns the index of the oldest entry (lowest seq), optionally
+// restricted to baselines; -1 when no candidate exists.
+func oldestOf(entries []*RetainedTrace, baselineOnly bool) int {
+	best := -1
+	for i, e := range entries {
+		if baselineOnly && e.Class != TraceBaseline {
+			continue
+		}
+		if best < 0 || e.seq < entries[best].seq {
+			best = i
+		}
+	}
+	return best
+}
+
+// recalcThreshold refreshes the cached slow threshold from the rolling
+// quantile, floored at MinSlow. With a cold window the floor stands
+// alone, so early traffic is judged against an honest minimum rather
+// than a quantile of three requests. QuantileLower (the bucket's lower
+// edge, no interpolation) keeps the threshold at or below every true
+// tail observation: a recorder that over-retains by a bucket's width is
+// mildly wasteful, one that overshoots misses the very requests it
+// exists to keep.
+func (r *Recorder) recalcThreshold() {
+	snap := r.lat.Snapshot()
+	thr := r.floorNS
+	if snap.Count >= thresholdMinSamples {
+		if ns := int64(snap.QuantileLower(r.quantile) * 1e9); ns > thr {
+			thr = ns
+		}
+	}
+	r.threshold.Store(thr)
+}
+
+// Threshold returns the current adaptive slow threshold.
+func (r *Recorder) Threshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Duration(r.threshold.Load())
+}
+
+// rand draws from [0, max) via an atomic xorshift step.
+func (r *Recorder) rand(max uint64) uint64 {
+	for {
+		old := r.rng.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if r.rng.CompareAndSwap(old, x) {
+			return x % max
+		}
+	}
+}
+
+// TraceFilter selects retained traces in List.
+type TraceFilter struct {
+	Endpoint  string        // exact match when non-empty
+	MinDur    time.Duration // only traces at least this slow
+	ErrorOnly bool          // only the error class
+	Limit     int           // max results, most recent first; <=0 means all
+}
+
+// List returns the retained traces matching f, newest first.
+func (r *Recorder) List(f TraceFilter) []*RetainedTrace {
+	if r == nil {
+		return nil
+	}
+	minUS := f.MinDur.Microseconds()
+	var out []*RetainedTrace
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if f.Endpoint != "" && e.Endpoint != f.Endpoint {
+				continue
+			}
+			if e.DurationUS < minUS {
+				continue
+			}
+			if f.ErrorOnly && e.Class != TraceError {
+				continue
+			}
+			out = append(out, e)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit]
+	}
+	return out
+}
+
+// Get returns the retained trace for a request ID, or nil.
+func (r *Recorder) Get(requestID string) *RetainedTrace {
+	if r == nil {
+		return nil
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if e.RequestID == requestID {
+				sh.mu.Unlock()
+				return e
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// RecorderStats summarizes the recorder for /metrics and /debug/traces.
+type RecorderStats struct {
+	Capacity    int    `json:"capacity"`
+	Retained    int    `json:"retained"`
+	Errors      int    `json:"errors"`
+	Slow        int    `json:"slow"`
+	Baseline    int    `json:"baseline"`
+	Offered     uint64 `json:"offered"`
+	Dropped     uint64 `json:"dropped"`
+	ThresholdUS int64  `json:"threshold_us"`
+}
+
+// Stats counts the current ring contents. Safe on nil (zero stats).
+func (r *Recorder) Stats() RecorderStats {
+	if r == nil {
+		return RecorderStats{}
+	}
+	st := RecorderStats{
+		Capacity:    r.capacity,
+		Offered:     r.offers.Load(),
+		Dropped:     r.dropped.Load(),
+		ThresholdUS: r.threshold.Load() / 1e3,
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			st.Retained++
+			switch e.Class {
+			case TraceError:
+				st.Errors++
+			case TraceSlow:
+				st.Slow++
+			default:
+				st.Baseline++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return st
+}

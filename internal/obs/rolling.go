@@ -62,6 +62,21 @@ func NewRollingHistogram(bounds []float64, window time.Duration, slots int) *Rol
 // advance recycles slots the clock has moved past. Called under mu.
 func (h *RollingHistogram) advance() {
 	now := h.now()
+	// A gap of a full window or more outlives every slot: clear them all
+	// in one O(slots) pass and jump the epoch, instead of spinning once
+	// per elapsed slot (and instead of jumping with stale slots intact,
+	// which is what the per-slot loop alone used to do).
+	if now.Sub(h.curT) >= h.slotD*time.Duration(len(h.slots)) {
+		for i := range h.slots {
+			s := &h.slots[i]
+			for j := range s.counts {
+				s.counts[j] = 0
+			}
+			s.sum = 0
+		}
+		h.curT = now
+		return
+	}
 	for now.Sub(h.curT) >= h.slotD {
 		h.cur = (h.cur + 1) % len(h.slots)
 		s := &h.slots[h.cur]
@@ -70,11 +85,6 @@ func (h *RollingHistogram) advance() {
 		}
 		s.sum = 0
 		h.curT = h.curT.Add(h.slotD)
-		// A long idle gap still terminates: after len(slots) steps every
-		// slot is zero, so jump the epoch directly to the current slot.
-		if now.Sub(h.curT) >= h.slotD*time.Duration(len(h.slots)) {
-			h.curT = now
-		}
 	}
 }
 

@@ -105,3 +105,22 @@ func TestRollingHistogramConcurrent(t *testing.T) {
 		t.Fatalf("Count = %d, want %d", got, n*per)
 	}
 }
+
+// TestRollingIdleGapClearsEverything is a regression test: a gap of a
+// full window or more used to jump the epoch with stale slots intact,
+// so old observations reappeared in the next Snapshot.
+func TestRollingIdleGapClearsEverything(t *testing.T) {
+	h := NewRollingHistogram([]float64{1}, time.Minute, 6)
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	h.now = clk.now
+	h.curT = clk.now()
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	clk.mu.Lock()
+	clk.t = clk.t.Add(3 * time.Hour)
+	clk.mu.Unlock()
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("after 3h idle, count = %d, want 0 (counts %v)", s.Count, s.Counts)
+	}
+}

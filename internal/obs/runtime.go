@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sort"
+)
+
+// Runtime telemetry, sampled from runtime/metrics on demand (at scrape
+// time — no background goroutine): heap size, goroutine count, GC cycle
+// count, and the runtime's GC-pause and scheduler-latency histograms
+// downsampled onto a fixed bucket ladder so they render through the
+// same HistogramSnapshot/Prometheus path as everything else.
+
+// DefPauseBuckets are the upper bounds, in seconds, for GC pause and
+// scheduler latency distributions: 1µs to 100ms in decades. Stop-the-
+// world pauses past 100ms land in +Inf and deserve the attention.
+var DefPauseBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+
+// RuntimeStats is one sample of the Go runtime's health.
+type RuntimeStats struct {
+	HeapBytes    uint64            `json:"heap_bytes"`
+	Goroutines   uint64            `json:"goroutines"`
+	GCCycles     uint64            `json:"gc_cycles"`
+	GCPause      HistogramSnapshot `json:"gc_pause_seconds"`
+	SchedLatency HistogramSnapshot `json:"sched_latency_seconds"`
+}
+
+var runtimeSampleNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/sched/goroutines:goroutines",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// ReadRuntime samples the runtime. Metrics a future runtime drops are
+// reported as zero rather than failing the scrape.
+func ReadRuntime() RuntimeStats {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, n := range runtimeSampleNames {
+		samples[i].Name = n
+	}
+	metrics.Read(samples)
+	var out RuntimeStats
+	for _, s := range samples {
+		switch s.Name {
+		case "/memory/classes/heap/objects:bytes":
+			out.HeapBytes = sampleUint64(s)
+		case "/sched/goroutines:goroutines":
+			out.Goroutines = sampleUint64(s)
+		case "/gc/cycles/total:gc-cycles":
+			out.GCCycles = sampleUint64(s)
+		case "/gc/pauses:seconds":
+			out.GCPause = downsampleRuntimeHistogram(s, DefPauseBuckets)
+		case "/sched/latencies:seconds":
+			out.SchedLatency = downsampleRuntimeHistogram(s, DefPauseBuckets)
+		}
+	}
+	return out
+}
+
+func sampleUint64(s metrics.Sample) uint64 {
+	if s.Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s.Value.Uint64()
+}
+
+// downsampleRuntimeHistogram folds a runtime Float64Histogram (hundreds
+// of variable-width buckets, possibly with infinite edges) onto our
+// fixed le bounds. Each runtime bucket [lo, hi) is attributed to the
+// bound covering its finite edge — hi normally, lo when hi is +Inf — a
+// conservative upper-bound placement consistent with the le convention.
+// The sum is approximated the same way; renders only need it to be
+// plausible and monotone.
+func downsampleRuntimeHistogram(s metrics.Sample, bounds []float64) HistogramSnapshot {
+	out := HistogramSnapshot{Bounds: bounds, Counts: make([]uint64, len(bounds)+1)}
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return out
+	}
+	h := s.Value.Float64Histogram()
+	if h == nil {
+		return out
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		v := hi
+		if math.IsInf(v, 1) {
+			v = lo
+		}
+		if math.IsInf(v, -1) || v < 0 {
+			v = 0
+		}
+		j := sort.SearchFloat64s(bounds, v)
+		out.Counts[j] += c
+		out.Count += c
+		out.Sum += v * float64(c)
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestReadRuntime(t *testing.T) {
+	runtime.GC() // guarantee at least one cycle and one pause sample
+	st := ReadRuntime()
+	if st.HeapBytes == 0 {
+		t.Error("heap bytes = 0")
+	}
+	if st.Goroutines == 0 {
+		t.Error("goroutines = 0")
+	}
+	if st.GCCycles == 0 {
+		t.Error("gc cycles = 0 after an explicit GC")
+	}
+	for name, h := range map[string]HistogramSnapshot{
+		"gc_pause": st.GCPause, "sched_latency": st.SchedLatency,
+	} {
+		if len(h.Bounds) != len(DefPauseBuckets) || len(h.Counts) != len(h.Bounds)+1 {
+			t.Fatalf("%s histogram shape: bounds=%d counts=%d", name, len(h.Bounds), len(h.Counts))
+		}
+		var total uint64
+		for _, c := range h.Counts {
+			total += c
+		}
+		if total != h.Count {
+			t.Errorf("%s: Count %d != bucket total %d", name, h.Count, total)
+		}
+	}
+	if st.GCPause.Count == 0 {
+		t.Error("gc pause histogram empty after an explicit GC")
+	}
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLO tracking: per-endpoint rolling RED counters (rate, errors,
+// duration-over-objective) and multi-window burn rates.
+//
+// A request is "bad" when it errors or runs past the latency objective;
+// the burn rate is the bad fraction divided by the error budget
+// (1 − target), so burn 1.0 means the budget is being spent exactly as
+// fast as the SLO allows, and burn 10 means ten times too fast. Two
+// windows are reported per endpoint — a short one that reacts to an
+// active incident and a long one that shows sustained budget spend —
+// the standard fast/slow multi-window alerting pair.
+
+// SLOConfig sets the objectives and windows. Zero values take defaults.
+type SLOConfig struct {
+	Latency    time.Duration // per-request latency objective (default 100ms)
+	Target     float64       // good-request objective in (0,1) (default 0.99)
+	Window     time.Duration // slow-burn window (default 1h)
+	FastWindow time.Duration // fast-burn window (default 5m)
+	Slots      int           // ring granularity over Window (default 60)
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Latency <= 0 {
+		c.Latency = 100 * time.Millisecond
+	}
+	if c.Target <= 0 || c.Target >= 1 {
+		c.Target = 0.99
+	}
+	if c.Window <= 0 {
+		c.Window = time.Hour
+	}
+	if c.FastWindow <= 0 || c.FastWindow > c.Window {
+		c.FastWindow = c.Window / 12
+	}
+	if c.Slots < 1 {
+		c.Slots = 60
+	}
+	return c
+}
+
+// SLOTracker accumulates per-endpoint RED counters into a fixed ring of
+// time slots, like RollingHistogram: memory stays O(endpoints × slots)
+// forever. One mutex guards the whole tracker — each request touches it
+// once, which is in the same cost class as the metrics it already pays
+// for. A nil tracker ignores observations.
+type SLOTracker struct {
+	cfg SLOConfig
+
+	mu    sync.Mutex
+	rings map[string]*sloRing
+	now   func() time.Time
+}
+
+type sloRing struct {
+	slots []sloSlot
+	cur   int
+	curT  time.Time
+}
+
+type sloSlot struct {
+	requests, errors, slow uint64
+}
+
+// NewSLOTracker returns a tracker with cfg's objectives.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	return &SLOTracker{
+		cfg:   cfg.withDefaults(),
+		rings: make(map[string]*sloRing),
+		now:   time.Now,
+	}
+}
+
+// Config returns the tracker's resolved objectives (zero value on nil).
+func (t *SLOTracker) Config() SLOConfig {
+	if t == nil {
+		return SLOConfig{}
+	}
+	return t.cfg
+}
+
+// Observe records one completed request.
+func (t *SLOTracker) Observe(endpoint string, d time.Duration, isError bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ring := t.rings[endpoint]
+	if ring == nil {
+		ring = &sloRing{slots: make([]sloSlot, t.cfg.Slots), curT: t.now()}
+		t.rings[endpoint] = ring
+	}
+	t.advance(ring)
+	s := &ring.slots[ring.cur]
+	s.requests++
+	switch {
+	case isError:
+		s.errors++
+	case d > t.cfg.Latency:
+		s.slow++
+	}
+}
+
+// advance recycles slots the clock has moved past. Called under mu.
+func (t *SLOTracker) advance(ring *sloRing) {
+	slotD := t.cfg.Window / time.Duration(t.cfg.Slots)
+	now := t.now()
+	if now.Sub(ring.curT) >= slotD*time.Duration(len(ring.slots)) {
+		for i := range ring.slots {
+			ring.slots[i] = sloSlot{} // full-window gap: nothing survives
+		}
+		ring.curT = now
+		return
+	}
+	for now.Sub(ring.curT) >= slotD {
+		ring.cur = (ring.cur + 1) % len(ring.slots)
+		ring.slots[ring.cur] = sloSlot{}
+		ring.curT = ring.curT.Add(slotD)
+	}
+}
+
+// SLOWindow is one window's aggregated counters and burn rate.
+type SLOWindow struct {
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	Slow     uint64  `json:"slow"`
+	BadRatio float64 `json:"bad_ratio"`
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// EndpointSLO is one endpoint's fast- and slow-window view.
+type EndpointSLO struct {
+	Endpoint string    `json:"endpoint"`
+	Fast     SLOWindow `json:"fast"`
+	Slow     SLOWindow `json:"slow"`
+}
+
+// SLOReport is the full SLO table.
+type SLOReport struct {
+	LatencyObjectiveS float64       `json:"latency_objective_seconds"`
+	Target            float64       `json:"target"`
+	FastWindowS       float64       `json:"fast_window_seconds"`
+	WindowS           float64       `json:"window_seconds"`
+	Endpoints         []EndpointSLO `json:"endpoints"`
+}
+
+// Report aggregates every endpoint's rings, sorted by endpoint. Safe on
+// nil (zero report).
+func (t *SLOTracker) Report() SLOReport {
+	if t == nil {
+		return SLOReport{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rep := SLOReport{
+		LatencyObjectiveS: t.cfg.Latency.Seconds(),
+		Target:            t.cfg.Target,
+		FastWindowS:       t.cfg.FastWindow.Seconds(),
+		WindowS:           t.cfg.Window.Seconds(),
+	}
+	slotD := t.cfg.Window / time.Duration(t.cfg.Slots)
+	fastSlots := int((t.cfg.FastWindow + slotD - 1) / slotD)
+	if fastSlots < 1 {
+		fastSlots = 1
+	}
+	budget := 1 - t.cfg.Target
+	for name, ring := range t.rings {
+		t.advance(ring)
+		var fast, slow SLOWindow
+		for back := 0; back < len(ring.slots); back++ {
+			s := ring.slots[(ring.cur-back+len(ring.slots))%len(ring.slots)]
+			slow.Requests += s.requests
+			slow.Errors += s.errors
+			slow.Slow += s.slow
+			if back < fastSlots {
+				fast.Requests += s.requests
+				fast.Errors += s.errors
+				fast.Slow += s.slow
+			}
+		}
+		finishWindow(&fast, budget)
+		finishWindow(&slow, budget)
+		rep.Endpoints = append(rep.Endpoints, EndpointSLO{Endpoint: name, Fast: fast, Slow: slow})
+	}
+	sort.Slice(rep.Endpoints, func(i, j int) bool {
+		return rep.Endpoints[i].Endpoint < rep.Endpoints[j].Endpoint
+	})
+	return rep
+}
+
+func finishWindow(w *SLOWindow, budget float64) {
+	if w.Requests == 0 {
+		return
+	}
+	w.BadRatio = float64(w.Errors+w.Slow) / float64(w.Requests)
+	if budget > 0 {
+		w.BurnRate = w.BadRatio / budget
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// newTestTracker wires a tracker to rolling_test.go's fakeClock.
+func newTestTracker(cfg SLOConfig) (*SLOTracker, *fakeClock) {
+	tr := NewSLOTracker(cfg)
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	tr.now = clk.now
+	return tr, clk
+}
+
+func TestSLOBurnRate(t *testing.T) {
+	tr, _ := newTestTracker(SLOConfig{Latency: 10 * time.Millisecond, Target: 0.99})
+	for i := 0; i < 97; i++ {
+		tr.Observe("/v1/knn", time.Millisecond, false)
+	}
+	tr.Observe("/v1/knn", time.Millisecond, true)     // error
+	tr.Observe("/v1/knn", 50*time.Millisecond, false) // over objective
+	tr.Observe("/v1/knn", 50*time.Millisecond, true)  // error AND slow: counted once, as error
+	rep := tr.Report()
+	if len(rep.Endpoints) != 1 {
+		t.Fatalf("endpoints = %+v", rep.Endpoints)
+	}
+	ep := rep.Endpoints[0]
+	if ep.Endpoint != "/v1/knn" {
+		t.Fatalf("endpoint = %q", ep.Endpoint)
+	}
+	w := ep.Slow
+	if w.Requests != 100 || w.Errors != 2 || w.Slow != 1 {
+		t.Fatalf("window = %+v, want 100 requests / 2 errors / 1 slow", w)
+	}
+	// 3 bad of 100 against a 1% budget: burning 3× too fast.
+	if w.BadRatio != 0.03 || math.Abs(w.BurnRate-3) > 1e-9 {
+		t.Fatalf("bad ratio %v burn %v, want 0.03 and 3", w.BadRatio, w.BurnRate)
+	}
+	// Both windows see the same traffic when nothing has expired.
+	if ep.Fast != ep.Slow {
+		t.Fatalf("fast %+v != slow %+v with no rollover", ep.Fast, ep.Slow)
+	}
+	if rep.Target != 0.99 || rep.LatencyObjectiveS != 0.01 {
+		t.Fatalf("report objectives: %+v", rep)
+	}
+}
+
+func TestSLOFastWindowReactsSlowWindowRemembers(t *testing.T) {
+	// 60-slot hour: 1-minute slots, 5-minute fast window.
+	tr, clk := newTestTracker(SLOConfig{Latency: 10 * time.Millisecond, Target: 0.9,
+		Window: time.Hour, FastWindow: 5 * time.Minute, Slots: 60})
+	// An incident 30 minutes ago...
+	for i := 0; i < 10; i++ {
+		tr.Observe("/v1/knn", time.Millisecond, true)
+	}
+	clk.t = clk.t.Add(30 * time.Minute)
+	// ...followed by healthy traffic now.
+	for i := 0; i < 10; i++ {
+		tr.Observe("/v1/knn", time.Millisecond, false)
+	}
+	ep := tr.Report().Endpoints[0]
+	if ep.Fast.Errors != 0 || ep.Fast.Requests != 10 {
+		t.Fatalf("fast window should only see recent traffic: %+v", ep.Fast)
+	}
+	if ep.Slow.Errors != 10 || ep.Slow.Requests != 20 {
+		t.Fatalf("slow window should remember the incident: %+v", ep.Slow)
+	}
+	if ep.Fast.BurnRate != 0 || math.Abs(ep.Slow.BurnRate-5) > 1e-9 {
+		t.Fatalf("burn fast=%v slow=%v, want 0 and 5", ep.Fast.BurnRate, ep.Slow.BurnRate)
+	}
+	// Two hours later everything has aged out.
+	clk.t = clk.t.Add(2 * time.Hour)
+	ep = tr.Report().Endpoints[0]
+	if ep.Slow.Requests != 0 {
+		t.Fatalf("window should be empty after 2h idle: %+v", ep.Slow)
+	}
+}
+
+func TestSLOTrackerDefaultsAndNil(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{})
+	cfg := tr.Config()
+	if cfg.Latency != 100*time.Millisecond || cfg.Target != 0.99 ||
+		cfg.Window != time.Hour || cfg.FastWindow != 5*time.Minute || cfg.Slots != 60 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	var nilTr *SLOTracker
+	nilTr.Observe("/v1/knn", time.Second, true)
+	if rep := nilTr.Report(); len(rep.Endpoints) != 0 {
+		t.Fatalf("nil tracker report: %+v", rep)
+	}
+	if nilTr.Config() != (SLOConfig{}) {
+		t.Fatal("nil tracker config not zero")
+	}
+}

@@ -157,8 +157,9 @@ func (ix *Index) knn(ctx context.Context, q *tree.Tree, k int, qc *queryConfig, 
 
 	start = time.Now()
 	rspan := span.StartChild("refine")
-	out, err := ix.refineKNN(ctx, cut, q, k, order, bounds, prims, &stats, ex)
+	out, err := ix.refineKNN(ctx, cut, q, k, order, bounds, prims, &stats, ex, rspan)
 	stats.RefineTime = time.Since(start)
+	rspan.SetInt("pruned", int64(len(order)-stats.Verified))
 	if err != nil {
 		rspan.SetInt("verified", int64(stats.Verified))
 		rspan.SetBool("canceled", true)
@@ -270,7 +271,7 @@ func (ix *Index) filterKNN(ctx context.Context, cut *qcut, q *tree.Tree, fspan *
 // that meets a bound above the threshold stops the scan: the cursor hands
 // tasks out in ascending order, so everything not yet started bounds at
 // least as high and cannot enter the answer.
-func (ix *Index) refineKNN(ctx context.Context, cut *qcut, q *tree.Tree, k int, order, bounds []int, prims *segBounders, stats *Stats, ex *Explain) ([]Result, error) {
+func (ix *Index) refineKNN(ctx context.Context, cut *qcut, q *tree.Tree, k int, order, bounds []int, prims *segBounders, stats *Stats, ex *Explain, rspan *obs.Span) ([]Result, error) {
 	var (
 		mu       sync.Mutex
 		h        = &maxHeap{}
@@ -278,7 +279,9 @@ func (ix *Index) refineKNN(ctx context.Context, cut *qcut, q *tree.Tree, k int, 
 		canceled atomic.Bool
 		verified atomic.Int64
 		thresh   atomic.Int64
+		dpCells  atomic.Int64
 	)
+	qSize := q.Size()           // Size walks the tree; price it once, not per task
 	thresh.Store(math.MaxInt64) // nothing prunes until the heap holds k
 
 	ix.pool.run(len(order), func(j int) {
@@ -297,8 +300,10 @@ func (ix *Index) refineKNN(ctx context.Context, cut *qcut, q *tree.Tree, k int, 
 			return
 		}
 		si, local, gid := cut.locate(pos)
-		d := editdist.DistanceCost(q, cut.treeOf(si, local), ix.cost)
+		t := cut.treeOf(si, local)
+		d := editdist.DistanceCost(q, t, ix.cost)
 		verified.Add(1)
+		dpCells.Add(int64(qSize) * int64(t.Size()))
 		mu.Lock()
 		sampleTightness(prims.at(si), stats, ex, local, gid, bounds[pos], d)
 		switch {
@@ -315,6 +320,10 @@ func (ix *Index) refineKNN(ctx context.Context, cut *qcut, q *tree.Tree, k int, 
 		mu.Unlock()
 	})
 	stats.Verified = int(verified.Load())
+	// dp_cells is the dynamic-programming work the refine stage paid:
+	// Σ |q|·|t| over every verified pair, the cost model the paper's
+	// accessed-fraction measure abstracts over.
+	rspan.SetInt("dp_cells", dpCells.Load())
 	if canceled.Load() {
 		return nil, ctx.Err()
 	}
@@ -358,7 +367,7 @@ func (ix *Index) rangeq(ctx context.Context, q *tree.Tree, tau int, qc *queryCon
 
 	start = time.Now()
 	rspan := span.StartChild("refine")
-	out, err := ix.refineRange(ctx, cut, q, tau, candidates, candBounds, prims, &stats, ex)
+	out, err := ix.refineRange(ctx, cut, q, tau, candidates, candBounds, prims, &stats, ex, rspan)
 	stats.RefineTime = time.Since(start)
 	if err != nil {
 		rspan.SetInt("verified", int64(stats.Verified))
@@ -511,13 +520,15 @@ func (ix *Index) filterRange(ctx context.Context, cut *qcut, q *tree.Tree, tau i
 // refineRange verifies every candidate on the worker pool. There is no
 // early termination (the radius is fixed), so Verified is deterministic;
 // the final sort makes the result order independent of worker timing.
-func (ix *Index) refineRange(ctx context.Context, cut *qcut, q *tree.Tree, tau int, candidates, candBounds []int, prims *segBounders, stats *Stats, ex *Explain) ([]Result, error) {
+func (ix *Index) refineRange(ctx context.Context, cut *qcut, q *tree.Tree, tau int, candidates, candBounds []int, prims *segBounders, stats *Stats, ex *Explain, rspan *obs.Span) ([]Result, error) {
 	var (
 		mu       sync.Mutex
 		out      []Result
 		canceled atomic.Bool
 		verified atomic.Int64
+		dpCells  atomic.Int64
 	)
+	qSize := q.Size()
 	ix.pool.run(len(candidates), func(j int) {
 		if canceled.Load() {
 			return
@@ -527,8 +538,10 @@ func (ix *Index) refineRange(ctx context.Context, cut *qcut, q *tree.Tree, tau i
 			return
 		}
 		si, local, gid := cut.locate(candidates[j])
-		d := editdist.DistanceCost(q, cut.treeOf(si, local), ix.cost)
+		t := cut.treeOf(si, local)
+		d := editdist.DistanceCost(q, t, ix.cost)
 		verified.Add(1)
+		dpCells.Add(int64(qSize) * int64(t.Size()))
 		mu.Lock()
 		sampleTightness(prims.at(si), stats, ex, local, gid, candBounds[j], d)
 		if d <= tau {
@@ -537,6 +550,7 @@ func (ix *Index) refineRange(ctx context.Context, cut *qcut, q *tree.Tree, tau i
 		mu.Unlock()
 	})
 	stats.Verified = int(verified.Load())
+	rspan.SetInt("dp_cells", dpCells.Load())
 	if canceled.Load() {
 		return nil, ctx.Err()
 	}

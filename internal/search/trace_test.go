@@ -63,6 +63,15 @@ func TestKNNContextSpans(t *testing.T) {
 	if got := refine.Attrs["results"]; got != int64(stats.Results) {
 		t.Errorf("refine results attr %v, stats say %d", got, stats.Results)
 	}
+	// pruned + verified covers the whole candidate order, and the DP work
+	// is at least |q|·|t_min| per verification (every tree has ≥1 node).
+	if got := refine.Attrs["pruned"]; got != int64(60-stats.Verified) {
+		t.Errorf("refine pruned attr %v, want %d", got, 60-stats.Verified)
+	}
+	cells, _ := refine.Attrs["dp_cells"].(int64)
+	if stats.Verified > 0 && cells < int64(stats.Verified) {
+		t.Errorf("dp_cells %d below verified count %d", cells, stats.Verified)
+	}
 }
 
 // TestRangeContextSpansUntraced: queries without a span in the context

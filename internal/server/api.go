@@ -141,6 +141,7 @@ const (
 	ErrCodeCanceled         = "canceled"          // the client went away mid-query
 	ErrCodeOverloaded       = "overloaded"        // admission control refused the request; retry later
 	ErrCodeNotDurable       = "not_durable"       // the durable write path is failing (WAL append or degraded mode); retry
+	ErrCodeForbidden        = "forbidden"         // the endpoint is restricted (debug endpoints are loopback-only)
 	ErrCodeInternal         = "internal"          // handler panic or other server-side fault
 )
 

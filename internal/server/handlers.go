@@ -101,8 +101,10 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		stats search.Stats
 		ex    *search.Explain
 	)
-	// Explain analysis also runs when the slow-query log is on, so a query
-	// that crosses the threshold logs *why* the filter let it get slow.
+	// EXPLAIN analysis runs at most once per request; setExplain hands the
+	// one record to every consumer — the ?explain=1 response below, the
+	// slow-query log's deferred record, and the flight recorder's retained
+	// trace — instead of each forcing its own analysis.
 	if wantExplain(r) || s.cfg.SlowQuery != nil {
 		res, stats, ex, err = s.ix.KNNExplain(r.Context(), q, req.K)
 	} else {
@@ -146,6 +148,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		stats search.Stats
 		ex    *search.Explain
 	)
+	// Same EXPLAIN compute-once-and-share discipline as handleKNN.
 	if wantExplain(r) || s.cfg.SlowQuery != nil {
 		res, stats, ex, err = s.ix.RangeExplain(r.Context(), q, req.Tau)
 	} else {
@@ -467,6 +470,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		st := s.ix.StoreStats()
 		_ = s.metrics.WriteProm(w, PromGauges{
+			Runtime:          obs.ReadRuntime(),
+			SLO:              s.slo.Report(),
+			Recorder:         s.recorder.Stats(),
 			IndexSize:        s.ix.Size(),
 			IndexLive:        st.Live,
 			IndexFilter:      s.ix.Filter().Name(),
@@ -518,5 +524,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.StoreTombstones = st.Tombstones
 	snap.StoreSeals = st.Seals
 	snap.StoreCompactions = st.Compactions
+	snap.Runtime = runtimeJSON(obs.ReadRuntime())
+	snap.SLO = s.slo.Report()
+	snap.TraceRecorder = s.recorder.Stats()
 	writeJSON(w, http.StatusOK, snap)
 }

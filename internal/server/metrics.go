@@ -90,6 +90,10 @@ type endpointStats struct {
 	timeouts uint64 // 504 (query deadline)
 	buckets  []uint64
 	sum      time.Duration
+	// exemplars remembers, per latency bucket, the most recent request ID
+	// that landed there — the bridge from a histogram spike to a concrete
+	// retained trace (GET /debug/traces/{request_id}).
+	exemplars *obs.Exemplars
 }
 
 type queryStats struct {
@@ -116,13 +120,17 @@ func NewMetrics() *Metrics {
 	}
 }
 
-// Observe records one finished request.
-func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
+// Observe records one finished request. rid (the request ID) becomes the
+// latency bucket's exemplar; pass "" to skip exemplar tracking.
+func (m *Metrics) Observe(endpoint string, status int, d time.Duration, rid string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	e := m.endpoints[endpoint]
 	if e == nil {
-		e = &endpointStats{buckets: make([]uint64, len(latencyBounds)+1)}
+		e = &endpointStats{
+			buckets:   make([]uint64, len(latencyBounds)+1),
+			exemplars: obs.NewExemplars(latencySecondsBounds),
+		}
 		m.endpoints[endpoint] = e
 	}
 	e.requests++
@@ -137,6 +145,9 @@ func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
 	e.sum += d
 	i := sort.Search(len(latencyBounds), func(i int) bool { return d <= latencyBounds[i] })
 	e.buckets[i]++
+	if rid != "" {
+		e.exemplars.Observe(d.Seconds(), rid)
+	}
 }
 
 // ObserveQuery folds one similarity query's stats into the aggregate.
@@ -164,14 +175,16 @@ func (m *Metrics) ObserveQuery(s search.Stats) {
 	m.query.accessedBuckets[i]++
 }
 
-// EndpointSnapshot is the rendered state of one endpoint.
+// EndpointSnapshot is the rendered state of one endpoint. Exemplars maps
+// latency bucket labels to the most recent request that landed there.
 type EndpointSnapshot struct {
-	Requests  uint64            `json:"requests"`
-	Errors    uint64            `json:"errors"`
-	Rejected  uint64            `json:"rejected"`
-	Timeouts  uint64            `json:"timeouts"`
-	LatencyUS LatencySnapshot   `json:"latency_us"`
-	Buckets   map[string]uint64 `json:"latency_buckets"`
+	Requests  uint64                   `json:"requests"`
+	Errors    uint64                   `json:"errors"`
+	Rejected  uint64                   `json:"rejected"`
+	Timeouts  uint64                   `json:"timeouts"`
+	LatencyUS LatencySnapshot          `json:"latency_us"`
+	Buckets   map[string]uint64        `json:"latency_buckets"`
+	Exemplars map[string]*obs.Exemplar `json:"latency_exemplars,omitempty"`
 }
 
 // LatencySnapshot summarizes an endpoint's latency histogram.
@@ -236,7 +249,7 @@ type Snapshot struct {
 	DegradedReason string                      `json:"degraded_reason,omitempty"`
 	DegradedTotal  uint64                      `json:"degraded_total"`
 	Endpoints      map[string]EndpointSnapshot `json:"endpoints"`
-	Queries             QuerySnapshot               `json:"queries"`
+	Queries        QuerySnapshot               `json:"queries"`
 	// Duration histograms (seconds): WAL durability cost, per-stage query
 	// time, snapshot publication time.
 	WALAppendSeconds     HistogramJSON `json:"wal_append_seconds"`
@@ -251,6 +264,32 @@ type Snapshot struct {
 	FilterCandidates   HistogramJSON `json:"filter_candidates"`
 	FilterFPRatio      HistogramJSON `json:"filter_false_positive_ratio"`
 	FilterTightness10m HistogramJSON `json:"filter_tightness_ratio_10m"`
+	// Runtime telemetry (heap, goroutines, GC pauses, scheduler latency),
+	// the per-endpoint SLO burn-rate table, and the flight recorder's
+	// retention stats. Filled by the handler per scrape, like the gauges.
+	Runtime       RuntimeJSON       `json:"runtime"`
+	SLO           obs.SLOReport     `json:"slo"`
+	TraceRecorder obs.RecorderStats `json:"trace_recorder"`
+}
+
+// RuntimeJSON renders obs.RuntimeStats with the registry's histogram
+// bucket-label convention.
+type RuntimeJSON struct {
+	HeapBytes           uint64        `json:"heap_bytes"`
+	Goroutines          uint64        `json:"goroutines"`
+	GCCycles            uint64        `json:"gc_cycles"`
+	GCPauseSeconds      HistogramJSON `json:"gc_pause_seconds"`
+	SchedLatencySeconds HistogramJSON `json:"sched_latency_seconds"`
+}
+
+func runtimeJSON(rs obs.RuntimeStats) RuntimeJSON {
+	return RuntimeJSON{
+		HeapBytes:           rs.HeapBytes,
+		Goroutines:          rs.Goroutines,
+		GCCycles:            rs.GCCycles,
+		GCPauseSeconds:      histogramSnapshotJSON(rs.GCPause),
+		SchedLatencySeconds: histogramSnapshotJSON(rs.SchedLatency),
+	}
 }
 
 // HistogramJSON is the JSON rendering of an obs.Histogram: bucket labels
@@ -302,6 +341,15 @@ func (m *Metrics) Snapshot() Snapshot {
 		}
 		for i, c := range e.buckets {
 			snap.Buckets[latencyBucketLabel(i)] = c
+		}
+		for i, ex := range e.exemplars.Snapshot() {
+			if ex == nil {
+				continue
+			}
+			if snap.Exemplars == nil {
+				snap.Exemplars = make(map[string]*obs.Exemplar)
+			}
+			snap.Exemplars[latencyBucketLabel(i)] = ex
 		}
 		out.Endpoints[name] = snap
 	}

@@ -88,11 +88,11 @@ func TestMetricsEndpoint(t *testing.T) {
 // TestMetricsObserve: direct unit check of the histogram bucketing edges.
 func TestMetricsObserve(t *testing.T) {
 	m := NewMetrics()
-	m.Observe("/x", 200, 100*time.Microsecond) // first bucket
-	m.Observe("/x", 200, 10*time.Second)       // overflow bucket
-	m.Observe("/x", 429, time.Millisecond)
-	m.Observe("/x", 504, time.Millisecond)
-	m.Observe("/x", 500, time.Millisecond)
+	m.Observe("/x", 200, 100*time.Microsecond, "r1") // first bucket
+	m.Observe("/x", 200, 10*time.Second, "r2")       // overflow bucket
+	m.Observe("/x", 429, time.Millisecond, "r3")
+	m.Observe("/x", 504, time.Millisecond, "r4")
+	m.Observe("/x", 500, time.Millisecond, "")
 	snap := m.Snapshot()
 	e := snap.Endpoints["/x"]
 	if e.Requests != 5 || e.Rejected != 1 || e.Timeouts != 1 || e.Errors != 1 {
@@ -103,6 +103,17 @@ func TestMetricsObserve(t *testing.T) {
 	}
 	if e.Buckets[latencyBucketLabel(0)] != 1 {
 		t.Errorf("first bucket %d, want 1", e.Buckets[latencyBucketLabel(0)])
+	}
+	// Exemplars follow the bucket labels; r4 overwrote r3's 1ms slot, and
+	// the "" request id left the 1ms slot's exemplar untouched.
+	if ex := e.Exemplars[latencyBucketLabel(0)]; ex == nil || ex.RequestID != "r1" {
+		t.Errorf("first-bucket exemplar %+v, want r1", ex)
+	}
+	if ex := e.Exemplars["le_inf"]; ex == nil || ex.RequestID != "r2" {
+		t.Errorf("overflow exemplar %+v, want r2", ex)
+	}
+	if ex := e.Exemplars[latencyBucketLabel(1)]; ex == nil || ex.RequestID != "r4" {
+		t.Errorf("1ms exemplar %+v, want r4 (latest wins)", ex)
 	}
 
 	m.ObserveQuery(search.Stats{Dataset: 100, Verified: 5, Results: 3})

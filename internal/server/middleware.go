@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"treesim/internal/obs"
@@ -12,8 +13,10 @@ import (
 )
 
 // explainHolder carries a query's EXPLAIN record from the handler back to
-// the middleware's deferred slow-query logging. The handler and the defer
-// run on the same goroutine, so a plain field suffices.
+// the middleware's deferred consumers — the slow-query log and the flight
+// recorder's retained trace. The handler and the defer run on the same
+// goroutine, so a plain field suffices; the analysis is computed at most
+// once per request and shared by everyone (?explain=1 included).
 type explainHolder struct{ ex *search.Explain }
 
 type explainKey struct{}
@@ -70,11 +73,12 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 		span.SetStr("request_id", rid)
 		r = r.WithContext(obs.NewContext(r.Context(), span))
 
-		// The slow-query log wants the query's EXPLAIN record alongside the
-		// span tree; the holder lets the handler pass it upward without the
+		// The slow-query log and the flight recorder both want the query's
+		// EXPLAIN record alongside the span tree; the holder lets the
+		// handler pass the one computed record upward without the
 		// middleware knowing which endpoint ran.
 		var holder *explainHolder
-		if limited && s.cfg.SlowQuery != nil {
+		if limited {
 			holder = &explainHolder{}
 			r = r.WithContext(context.WithValue(r.Context(), explainKey{}, holder))
 		}
@@ -87,17 +91,46 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 				}
 				sw.status = http.StatusInternalServerError
 			}
+			// Tag the span before it freezes: a request that ran (or ended)
+			// inside a degraded read-only window is marked so its retained
+			// trace and slow-query record say so.
+			degraded := s.degraded.Load()
+			if degraded {
+				span.SetBool("degraded", true)
+			}
 			span.End()
 			elapsed := time.Since(start)
-			s.metrics.Observe(endpoint, sw.status, elapsed)
+			s.metrics.Observe(endpoint, sw.status, elapsed, rid)
+			if strings.HasPrefix(endpoint, "/v1/") {
+				s.slo.Observe(endpoint, elapsed, sw.status >= 500)
+				var ex any
+				if holder != nil && holder.ex != nil {
+					ex = holder.ex
+				}
+				s.recorder.Offer(obs.CompletedRequest{
+					RequestID: rid,
+					Endpoint:  endpoint,
+					Status:    sw.status,
+					Error:     sw.status >= 500,
+					Degraded:  degraded,
+					Start:     start,
+					Duration:  elapsed,
+					Root:      span,
+					Explain:   ex,
+				})
+			}
 			if limited && s.cfg.SlowQuery != nil && elapsed >= *s.cfg.SlowQuery {
+				snap := span.Snapshot()
 				args := []any{
 					"request_id", rid,
 					"endpoint", endpoint,
 					"status", sw.status,
 					"dur_us", elapsed.Microseconds(),
 					"threshold_us", s.cfg.SlowQuery.Microseconds(),
-					"trace", span.Snapshot(),
+					"trace", snap,
+					// The same renderer the client and treesim-trace
+					// use, so a human greps one familiar shape.
+					"trace_tree", obs.RenderSpanTree(snap),
 				}
 				if holder != nil && holder.ex != nil {
 					args = append(args, "explain", holder.ex)

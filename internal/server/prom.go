@@ -50,6 +50,11 @@ type PromGauges struct {
 	StoreTombstones  int
 	StoreSeals       uint64
 	StoreCompactions uint64
+	// Runtime telemetry, the SLO burn-rate table, and the flight
+	// recorder's retention stats — sampled by the handler per scrape.
+	Runtime  obs.RuntimeStats
+	SLO      obs.SLOReport
+	Recorder obs.RecorderStats
 }
 
 // WriteProm renders the whole registry in Prometheus text exposition
@@ -115,6 +120,49 @@ func (m *Metrics) WriteProm(w io.Writer, g PromGauges) error {
 	pw.Family("treesim_degraded_total", "counter", "Times the server entered degraded read-only mode.").
 		Sample(nil, float64(g.DegradedTotal))
 
+	// Runtime telemetry.
+	pw.Family("treesim_goroutines", "gauge", "Live goroutines.").
+		Sample(nil, float64(g.Runtime.Goroutines))
+	pw.Family("treesim_heap_bytes", "gauge", "Bytes of live heap objects.").
+		Sample(nil, float64(g.Runtime.HeapBytes))
+	pw.Family("treesim_gc_cycles_total", "counter", "Completed GC cycles.").
+		Sample(nil, float64(g.Runtime.GCCycles))
+	pw.Family("treesim_gc_pause_seconds", "histogram", "Stop-the-world GC pause distribution since process start.").
+		Histogram(nil, g.Runtime.GCPause)
+	pw.Family("treesim_sched_latency_seconds", "histogram", "Scheduler latency: time goroutines spend runnable before running.").
+		Histogram(nil, g.Runtime.SchedLatency)
+
+	// SLO burn rates: bad-request ratio over the error budget (1-target),
+	// per endpoint, for the fast (incident-reactive) and slow (sustained
+	// spend) windows.
+	pw.Family("treesim_slo_latency_objective_seconds", "gauge", "Per-request latency objective; slower requests spend error budget.").
+		Sample(nil, g.SLO.LatencyObjectiveS)
+	pw.Family("treesim_slo_target", "gauge", "Good-request objective in (0,1).").
+		Sample(nil, g.SLO.Target)
+	burn := pw.Family("treesim_slo_burn_rate", "gauge",
+		"Error-budget burn rate by endpoint and window; 1 spends the budget exactly at the objective rate.")
+	for _, e := range g.SLO.Endpoints {
+		burn.Sample(obs.Labels{"endpoint": e.Endpoint, "window": "fast"}, e.Fast.BurnRate)
+		burn.Sample(obs.Labels{"endpoint": e.Endpoint, "window": "slow"}, e.Slow.BurnRate)
+	}
+	bad := pw.Family("treesim_slo_bad_requests", "gauge",
+		"Requests that errored or ran past the latency objective, by endpoint, over the slow window.")
+	for _, e := range g.SLO.Endpoints {
+		bad.Sample(obs.Labels{"endpoint": e.Endpoint}, float64(e.Slow.Errors+e.Slow.Slow))
+	}
+
+	// Flight recorder.
+	ret := pw.Family("treesim_trace_retained", "gauge", "Traces currently retained in the flight recorder, by class.")
+	ret.Sample(obs.Labels{"class": "error"}, float64(g.Recorder.Errors))
+	ret.Sample(obs.Labels{"class": "slow"}, float64(g.Recorder.Slow))
+	ret.Sample(obs.Labels{"class": "baseline"}, float64(g.Recorder.Baseline))
+	pw.Family("treesim_trace_offered_total", "counter", "Completed requests offered to the flight recorder.").
+		Sample(nil, float64(g.Recorder.Offered))
+	pw.Family("treesim_trace_dropped_total", "counter", "Offers dropped without snapshotting (normal requests losing the reservoir draw).").
+		Sample(nil, float64(g.Recorder.Dropped))
+	pw.Family("treesim_trace_threshold_seconds", "gauge", "Adaptive slow-trace retention threshold.").
+		Sample(nil, float64(g.Recorder.ThresholdUS)/1e6)
+
 	// Per-endpoint counters and latency histograms. Rendering happens
 	// under mu into the caller's buffer, mirroring Snapshot's consistency.
 	m.mu.Lock()
@@ -148,6 +196,24 @@ func (m *Metrics) WriteProm(w io.Writer, g PromGauges) error {
 			Count:  e.requests,
 			Sum:    e.sum.Seconds(),
 		})
+	}
+	// Exemplars ride as an ordinary gauge family (value = observed
+	// seconds) rather than OpenMetrics `#`-syntax, so any 0.0.4 parser
+	// keeps working; request_id links a bucket to GET /debug/traces/{id}.
+	exf := pw.Family("treesim_request_latency_exemplar", "gauge",
+		"Most recent request observed in each latency bucket; value is its latency in seconds.")
+	for _, name := range names {
+		e := m.endpoints[name]
+		for i, ex := range e.exemplars.Snapshot() {
+			if ex == nil {
+				continue
+			}
+			le := "+Inf"
+			if i < len(latencySecondsBounds) {
+				le = strconv.FormatFloat(latencySecondsBounds[i], 'g', -1, 64)
+			}
+			exf.Sample(obs.Labels{"endpoint": name, "le": le, "request_id": ex.RequestID}, ex.Value)
+		}
 	}
 
 	q := m.query

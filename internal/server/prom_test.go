@@ -270,6 +270,63 @@ func TestMetricsPromExposition(t *testing.T) {
 	if v, ok := byName("treesim_query_accessed_fraction_count", nil); !ok || v != 4 {
 		t.Errorf("accessed_fraction count %v (found %v), want 4", v, ok)
 	}
+
+	// Runtime telemetry: gauges carry live values and both runtime
+	// histograms parse through the strict checker above.
+	if v, ok := byName("treesim_goroutines", nil); !ok || v < 1 {
+		t.Errorf("goroutines %v (found %v), want >= 1", v, ok)
+	}
+	if v, ok := byName("treesim_heap_bytes", nil); !ok || v <= 0 {
+		t.Errorf("heap_bytes %v (found %v), want > 0", v, ok)
+	}
+	if _, ok := byName("treesim_gc_pause_seconds_count", nil); !ok {
+		t.Error("gc_pause_seconds histogram missing")
+	}
+	if _, ok := byName("treesim_sched_latency_seconds_count", nil); !ok {
+		t.Error("sched_latency_seconds histogram missing")
+	}
+
+	// SLO families: the objectives render, and the four /v1 requests show
+	// up as burn-rate rows for both windows.
+	if v, ok := byName("treesim_slo_target", nil); !ok || v != 0.99 {
+		t.Errorf("slo_target %v (found %v), want 0.99", v, ok)
+	}
+	for _, win := range []string{"fast", "slow"} {
+		if _, ok := byName("treesim_slo_burn_rate", map[string]string{"endpoint": "/v1/knn", "window": win}); !ok {
+			t.Errorf("no slo_burn_rate{endpoint=/v1/knn,window=%s} sample", win)
+		}
+	}
+
+	// Flight recorder families: 4 requests into an empty ring are all
+	// offered, the per-class retained gauges exist, and the exemplar
+	// family links buckets to request IDs with a parseable le label.
+	if v, ok := byName("treesim_trace_offered_total", nil); !ok || v < 4 {
+		t.Errorf("trace_offered_total %v (found %v), want >= 4", v, ok)
+	}
+	for _, class := range []string{"error", "slow", "baseline"} {
+		if _, ok := byName("treesim_trace_retained", map[string]string{"class": class}); !ok {
+			t.Errorf("no trace_retained{class=%s} sample", class)
+		}
+	}
+	foundEx := false
+	for _, s := range samples {
+		if s.name != "treesim_request_latency_exemplar" {
+			continue
+		}
+		foundEx = true
+		if !strings.HasPrefix(s.labels["request_id"], "r") {
+			t.Errorf("exemplar request_id %q not a request id", s.labels["request_id"])
+		}
+		if _, err := strconv.ParseFloat(s.labels["le"], 64); err != nil {
+			t.Errorf("exemplar le %q does not parse: %v", s.labels["le"], err)
+		}
+		if s.value < 0 {
+			t.Errorf("exemplar value %v negative", s.value)
+		}
+	}
+	if !foundEx {
+		t.Error("no treesim_request_latency_exemplar samples after traffic")
+	}
 }
 
 // TestMetricsContentNegotiation: the Accept header switches the

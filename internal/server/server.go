@@ -115,6 +115,21 @@ type Config struct {
 	// query over a recording error. The caller owns the writer's lifetime
 	// (close it after Shutdown).
 	QueryLog *qlog.Writer
+	// TraceRing sizes the flight recorder: a ring of completed request
+	// traces retained by tail-based sampling (every errored request, every
+	// request slower than an adaptive latency quantile, plus a reservoir
+	// of normal baselines), browsable at GET /debug/traces. 0 means 256;
+	// negative disables the recorder entirely.
+	TraceRing int
+	// SLOLatency is the per-request latency objective for the SLO layer:
+	// a /v1/* request slower than this spends error budget even when it
+	// succeeds. 0 means 100ms.
+	SLOLatency time.Duration
+	// SLOTarget is the availability objective in (0,1): the fraction of
+	// /v1/* requests that must be good (no 5xx, within SLOLatency) for
+	// the burn rate on GET /debug/slo and /metrics to read 1.0. 0 means
+	// 0.99.
+	SLOTarget float64
 	// Logger receives structured request logs. Default: slog text
 	// handler on stderr.
 	Logger *slog.Logger
@@ -156,12 +171,14 @@ func (c Config) withDefaults() Config {
 
 // Server serves similarity queries over one live index.
 type Server struct {
-	cfg     Config
-	ix      *search.Index
-	log     *slog.Logger
-	metrics *Metrics
-	sem     limiter
-	mux     *http.ServeMux
+	cfg      Config
+	ix       *search.Index
+	log      *slog.Logger
+	metrics  *Metrics
+	sem      limiter
+	mux      *http.ServeMux
+	recorder *obs.Recorder   // flight recorder; nil when Config.TraceRing < 0
+	slo      *obs.SLOTracker // per-endpoint RED counters and burn rates
 
 	ready     atomic.Bool   // readyz: accepting traffic
 	reqSeq    atomic.Uint64 // request-ID counter
@@ -217,6 +234,10 @@ func New(ix *search.Index, cfg Config) *Server {
 		sem:      newLimiter(cfg.MaxInFlight),
 		fs:       cfg.FS,
 		stopSnap: make(chan struct{}),
+		slo:      obs.NewSLOTracker(obs.SLOConfig{Latency: cfg.SLOLatency, Target: cfg.SLOTarget}),
+	}
+	if cfg.TraceRing >= 0 {
+		s.recorder = obs.NewRecorder(obs.RecorderConfig{Capacity: cfg.TraceRing})
 	}
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/knn", s.instrument("/v1/knn", true, s.handleKNN))
@@ -230,6 +251,11 @@ func New(ix *search.Index, cfg Config) *Server {
 	s.mux.Handle("GET /readyz", s.instrument("/readyz", false, s.handleReadyz))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", false, s.handleMetrics))
 	s.mux.Handle("GET /version", s.instrument("/version", false, s.handleVersion))
+	// Debug surfaces (see debug.go) answer loopback callers only: retained
+	// traces carry full query trees and the SLO table is operator-facing.
+	s.mux.Handle("GET /debug/traces", s.instrument("/debug/traces", false, s.loopbackOnly(s.handleDebugTraces)))
+	s.mux.Handle("GET /debug/traces/{id}", s.instrument("/debug/traces/{id}", false, s.loopbackOnly(s.handleDebugTrace)))
+	s.mux.Handle("GET /debug/slo", s.instrument("/debug/slo", false, s.loopbackOnly(s.handleDebugSLO)))
 	// Compactions run on background goroutines inside the index; the hook
 	// surfaces each one as a log line and a duration observation.
 	ix.OnCompaction(func(cs search.CompactionStats) {
@@ -250,6 +276,9 @@ func (s *Server) Index() *search.Index { return s.ix }
 
 // Metrics returns the server's metrics registry.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Recorder returns the flight recorder (nil when disabled).
+func (s *Server) Recorder() *obs.Recorder { return s.recorder }
 
 // Serve accepts connections on ln until Shutdown. It starts the periodic
 // snapshot loop and blocks like http.Server.Serve (returning

@@ -146,6 +146,10 @@ func TestSlowQueryLog(t *testing.T) {
 	if rid == "" {
 		t.Errorf("slow-query record lacks request_id: %v", rec)
 	}
+	tree, _ := rec["trace_tree"].(string)
+	if !strings.Contains(tree, "filter") || !strings.Contains(tree, "refine") {
+		t.Errorf("trace_tree is not the rendered span tree: %q", tree)
+	}
 	trace, ok := rec["trace"].(map[string]any)
 	if !ok {
 		t.Fatalf("slow-query record lacks a structured trace: %v", rec)

@@ -48,6 +48,18 @@ grep -q '"trace_recorder"' "$SMOKE_BENCH" || {
 grep -q '"retained": 0,' "$SMOKE_BENCH" && {
     echo "ci: flight recorder retained nothing during the smoke" >&2; exit 1; }
 
+# The smoke run also stands up an in-process OTLP/JSON collector and
+# drives a fully-sampled workload through the exporter: benchserver
+# itself fails if the collector rejects a batch, so here it is enough
+# to check the section exists, at least one batch was delivered, and
+# nothing was dropped on the floor.
+grep -q '"otlp_export"' "$SMOKE_BENCH" || {
+    echo "ci: smoke report has no otlp_export section" >&2; exit 1; }
+grep -q '"batches": 0,' "$SMOKE_BENCH" && {
+    echo "ci: exporter delivered no OTLP batches during the smoke" >&2; exit 1; }
+grep -q '"dropped": 0,' "$SMOKE_BENCH" || {
+    echo "ci: exporter dropped traces during the smoke" >&2; exit 1; }
+
 # Advisory bench diff: compare the committed full-size report against the
 # smoke run. The configurations differ (and CI machines are noisy), so a
 # flagged regression is a prompt to run `make bench-diff` properly, never
@@ -65,5 +77,7 @@ go test -run='^$' -fuzz='^FuzzParse$' -fuzztime="$FUZZTIME" ./internal/tree
 go test -run='^$' -fuzz='^FuzzParseString$' -fuzztime="$FUZZTIME" ./internal/xmltree
 go test -run='^$' -fuzz='^FuzzLoadIndex$' -fuzztime="$FUZZTIME" ./internal/search
 go test -run='^$' -fuzz='^FuzzManifest$' -fuzztime="$FUZZTIME" ./internal/segstore
+go test -run='^$' -fuzz='^FuzzParseTraceparent$' -fuzztime="$FUZZTIME" ./internal/obs
+go test -run='^$' -fuzz='^FuzzTraceparentMiddleware$' -fuzztime="$FUZZTIME" ./internal/server
 
 echo "ci: all green"

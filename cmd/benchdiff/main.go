@@ -16,9 +16,11 @@
 //
 // BENCH_server.json also carries the flight recorder's health under
 // trace_recorder.* (retained counts, adaptive threshold, measured
-// overhead per request); the flattening picks those up like any other
-// numeric leaf, so recorder drift shows in the same diff. None of them
-// contain "p99", so they inform but never gate.
+// overhead per request) and the OTLP exporter's under otlp_export.*
+// (delivered batches and spans, drop count, measured export overhead
+// on the k-NN p50); the flattening picks both up like any other
+// numeric leaf, so recorder or exporter drift shows in the same diff.
+// None of those keys contain "p99", so they inform but never gate.
 package main
 
 import (

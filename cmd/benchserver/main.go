@@ -14,6 +14,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"treesim/internal/datagen"
+	"treesim/internal/obs"
 	"treesim/internal/search"
 	"treesim/internal/server"
 	"treesim/internal/tree"
@@ -71,6 +73,24 @@ type recorderReport struct {
 	OverheadPct          float64 `json:"overhead_pct"`
 }
 
+// otlpReport measures the OTLP/JSON exporter: what a fully-sampled
+// k-NN drive delivered to an in-process collector (every batch is
+// strictly validated before it counts), and what export costs on the
+// single-query path (identical drives against an exporter-on and
+// exporter-off server).
+type otlpReport struct {
+	Batches        int64 `json:"batches"`
+	Spans          int64 `json:"spans"`
+	InvalidBatches int64 `json:"invalid_batches"`
+	Dropped        int64 `json:"dropped"`
+	KnnP50OnUS     int64 `json:"knn_p50_export_on_us"`
+	KnnP50OffUS    int64 `json:"knn_p50_export_off_us"`
+	// Overhead of exporting every trace, from the p50 delta of the two
+	// drives. Negative values are measurement noise.
+	OverheadNSPerRequest int64   `json:"overhead_ns_per_request"`
+	OverheadPct          float64 `json:"overhead_pct"`
+}
+
 // report is the written JSON document.
 type report struct {
 	Timestamp            string                    `json:"timestamp"`
@@ -89,6 +109,7 @@ type report struct {
 	MeanAccessedFraction float64                   `json:"mean_accessed_fraction"`
 	StageMeansUS         map[string]float64        `json:"stage_means_us"`
 	Recorder             recorderReport            `json:"trace_recorder"`
+	OTLPExport           otlpReport                `json:"otlp_export"`
 }
 
 func main() {
@@ -260,7 +281,131 @@ func bench(c config) (*report, error) {
 	if err := benchRecorder(client, base, c, ts, order, rep); err != nil {
 		return nil, fmt.Errorf("recorder: %w", err)
 	}
+	if err := benchOTLP(client, c, ts, order, rep); err != nil {
+		return nil, fmt.Errorf("otlp: %w", err)
+	}
 	return rep, nil
+}
+
+// benchOTLP stands up an in-process OTLP/JSON collector that rejects
+// any batch failing strict validation, drives the single-query k-NN
+// workload against an exporter-on (TraceSample 1, so every trace
+// exports) and an exporter-off server, and reports delivery counts plus
+// the p50 cost of having the exporter on the request path.
+func benchOTLP(client *http.Client, c config, ts []*tree.Tree, order []int, rep *report) error {
+	var batches, spans, invalid atomic.Int64
+	sinkMux := http.NewServeMux()
+	sinkMux.HandleFunc("/v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n, err := obs.CountOTLPSpans(body)
+		if err != nil {
+			invalid.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		batches.Add(1)
+		spans.Add(int64(n))
+	})
+	sinkLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	sink := &http.Server{Handler: sinkMux}
+	go sink.Serve(sinkLn) //nolint:errcheck // closed below
+	defer sink.Close()
+	endpoint := "http://" + sinkLn.Addr().String() + "/v1/traces"
+
+	// Two servers that differ only in export config, measured with
+	// alternating drives: the p50 delta under test is small enough that
+	// back-to-back same-arm runs would fold machine drift into the
+	// answer. Warm-up drives pay the fresh-server one-time costs
+	// (connection setup, allocator growth), then three measured rounds
+	// per arm; the per-arm minimum is the usual noise-robust latency
+	// estimator.
+	single := c
+	single.concurrency = 1
+	knnBody := func(q string) any { return map[string]any{"tree": q, "k": c.k} }
+	type arm struct {
+		on   bool
+		srv  *server.Server
+		ln   net.Listener
+		p50s []int64
+	}
+	arms := []*arm{{on: true}, {on: false}}
+	for _, a := range arms {
+		cfg := server.Config{
+			MaxInFlight: 4,
+			Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+		}
+		if a.on {
+			cfg.OTLPEndpoint = endpoint
+			cfg.TraceSample = 1
+		}
+		a.srv = server.New(search.NewIndex(ts, search.NewBiBranch()), cfg)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		a.ln = ln
+		go a.srv.Serve(ln) //nolint:errcheck // shut down below
+		warm := single
+		if warm.queries > 30 {
+			warm.queries = 30
+		}
+		if _, _, err := drive(client, "http://"+ln.Addr().String()+"/v1/knn", warm, ts, order, knnBody); err != nil {
+			return err
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for _, a := range arms {
+			lat, elapsed, err := drive(client, "http://"+a.ln.Addr().String()+"/v1/knn", single, ts, order, knnBody)
+			if err != nil {
+				return err
+			}
+			a.p50s = append(a.p50s, summarize(lat, elapsed).P50US)
+		}
+	}
+	p50 := make(map[bool]int64)
+	for _, a := range arms {
+		// Shutdown flushes the exporter queue, so the sink's counters and
+		// the exporter's drop count are final before we read them.
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		serr := a.srv.Shutdown(sctx)
+		cancel()
+		if serr != nil {
+			return fmt.Errorf("flush shutdown: %w", serr)
+		}
+		if a.on {
+			rep.OTLPExport.Dropped = int64(a.srv.Exporter().Stats().Dropped)
+		}
+		best := a.p50s[0]
+		for _, v := range a.p50s[1:] {
+			if v < best {
+				best = v
+			}
+		}
+		p50[a.on] = best
+	}
+	rep.OTLPExport.Batches = batches.Load()
+	rep.OTLPExport.Spans = spans.Load()
+	rep.OTLPExport.InvalidBatches = invalid.Load()
+	if rep.OTLPExport.Batches == 0 {
+		return fmt.Errorf("exporter delivered no batches to the collector")
+	}
+	if rep.OTLPExport.InvalidBatches > 0 {
+		return fmt.Errorf("collector rejected %d batches as invalid OTLP/JSON", rep.OTLPExport.InvalidBatches)
+	}
+	rep.OTLPExport.KnnP50OnUS = p50[true]
+	rep.OTLPExport.KnnP50OffUS = p50[false]
+	rep.OTLPExport.OverheadNSPerRequest = (p50[true] - p50[false]) * 1e3
+	if p50[false] > 0 {
+		rep.OTLPExport.OverheadPct = float64(p50[true]-p50[false]) / float64(p50[false]) * 100
+	}
+	return nil
 }
 
 // benchRecorder inspects the main server's flight recorder after the

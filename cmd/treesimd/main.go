@@ -50,6 +50,18 @@
 // rates against the -slo-latency / -slo-target objectives; browse both
 // with cmd/treesim-trace.
 //
+// Distributed tracing: every request carries W3C trace-context — an
+// inbound traceparent header continues the caller's trace, otherwise a
+// fresh 128-bit trace ID is minted — and the ID is echoed in X-Trace-Id
+// and every log line. With -otlp-endpoint set, finished span trees are
+// batched into OTLP/JSON and POSTed to that collector URL in the
+// background: errored and tail-retained traces always export,
+// caller-sampled traces (flag 01) export, and the rest are head-sampled
+// at -trace-sample by a deterministic hash of the trace ID. Tail-slow
+// and errored requests also trigger a short CPU profile (rate-limited
+// to one per -profile-every), retained in memory and served on the
+// loopback-only GET /debug/profiles, linked to traces by trace ID.
+//
 // SIGINT/SIGTERM trigger a graceful drain: readiness flips to 503,
 // in-flight queries finish, a final snapshot is written, then the process
 // exits 0.
@@ -113,6 +125,9 @@ type config struct {
 	traceRing    int
 	sloLatency   time.Duration
 	sloTarget    float64
+	otlpEndpoint string
+	traceSample  float64
+	profileEvery time.Duration
 	version      bool
 }
 
@@ -151,6 +166,9 @@ func run(args []string, stderr io.Writer) int {
 	fs.IntVar(&c.traceRing, "trace-ring", 0, "retained traces in the flight recorder, served on /debug/traces (0 = 256, negative disables)")
 	fs.DurationVar(&c.sloLatency, "slo-latency", 0, "per-request latency objective for the SLO burn rate (0 = 100ms)")
 	fs.Float64Var(&c.sloTarget, "slo-target", 0, "good-request objective in (0,1) for the SLO burn rate (0 = 0.99)")
+	fs.StringVar(&c.otlpEndpoint, "otlp-endpoint", "", "POST finished traces as OTLP/JSON to this collector URL (e.g. http://localhost:4318/v1/traces); empty disables export")
+	fs.Float64Var(&c.traceSample, "trace-sample", 0, "head-sampling rate in [0,1] for exporting normal traces (errors and tail-retained traces always export)")
+	fs.DurationVar(&c.profileEvery, "profile-every", 0, "minimum spacing between tail-triggered CPU profiles (0 = 1m, negative disables)")
 	fs.BoolVar(&c.version, "version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -197,7 +215,13 @@ func run(args []string, stderr io.Writer) int {
 		TraceRing:        c.traceRing,
 		SLOLatency:       c.sloLatency,
 		SLOTarget:        c.sloTarget,
+		OTLPEndpoint:     c.otlpEndpoint,
+		TraceSample:      c.traceSample,
+		ProfileEvery:     c.profileEvery,
 		Logger:           log,
+	}
+	if c.otlpEndpoint != "" {
+		log.Info("otlp export enabled", "endpoint", c.otlpEndpoint, "sample", c.traceSample)
 	}
 	if c.slowQuery >= 0 {
 		threshold := c.slowQuery

@@ -10,11 +10,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"treesim/internal/datagen"
 	"treesim/internal/faultfs"
+	"treesim/internal/obs"
 	"treesim/internal/search"
 	"treesim/internal/server"
 )
@@ -239,5 +241,55 @@ func TestPostGivesUp(t *testing.T) {
 	}
 	if *attempts2 != 1 || sleeps != 0 {
 		t.Fatalf("422: attempts %d sleeps %d, want 1 and 0", *attempts2, sleeps)
+	}
+}
+
+// TestPostReusesTraceAcrossRetries: every attempt of one logical
+// request carries the same trace ID with a fresh span ID, and the
+// attempt number in tracestate — the server-side view is one trace of
+// numbered attempts.
+func TestPostReusesTraceAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var parents, states []string
+	inner, _ := flakyHandler(t, []int{503, 503}, "")
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		parents = append(parents, r.Header.Get("traceparent"))
+		states = append(states, r.Header.Get("tracestate"))
+		mu.Unlock()
+		inner.ServeHTTP(w, r)
+	})
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+	p := retryPolicy{
+		maxAttempts: 5,
+		baseDelay:   time.Millisecond,
+		maxDelay:    time.Millisecond,
+		sleep:       func(time.Duration) {},
+	}
+	var res insertResponse
+	if err := post(hs.Client(), p, hs.URL, insertRequest{Tree: "a"}, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(parents) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(parents))
+	}
+	var traceIDs, spanIDs []string
+	for i, h := range parents {
+		tc, err := obs.ParseTraceparent(h)
+		if err != nil {
+			t.Fatalf("attempt %d traceparent %q: %v", i, h, err)
+		}
+		traceIDs = append(traceIDs, tc.TraceID.String())
+		spanIDs = append(spanIDs, tc.SpanID.String())
+		if n, ok := obs.ParseRetryState(states[i]); !ok || n != i {
+			t.Fatalf("attempt %d tracestate %q, want retry:%d", i, states[i], i)
+		}
+	}
+	if traceIDs[0] != traceIDs[1] || traceIDs[1] != traceIDs[2] {
+		t.Fatalf("trace id changed across retries: %v", traceIDs)
+	}
+	if spanIDs[0] == spanIDs[1] || spanIDs[1] == spanIDs[2] {
+		t.Fatalf("span id reused across retries: %v", spanIDs)
 	}
 }

@@ -206,14 +206,31 @@ func run(base string, out io.Writer, client *http.Client, policy retryPolicy, tr
 
 // post sends v as JSON and decodes the 200 response into res, retrying
 // transient statuses per the policy.
+//
+// One logical request is one W3C trace: the trace ID is drawn once and
+// reused across every retry, each attempt gets a fresh span ID (it IS a
+// distinct call), and the attempt number rides in tracestate — so on
+// the server a retried request reads as one trace of numbered attempts
+// instead of unrelated traces.
 func post(client *http.Client, p retryPolicy, url string, v, res any) error {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
+	tc := obs.NewTraceContext()
 	var lastErr error
 	for attempt := 0; attempt < p.maxAttempts; attempt++ {
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if attempt > 0 {
+			tc = tc.WithNewSpan()
+		}
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("traceparent", tc.Traceparent())
+		req.Header.Set("tracestate", obs.RetryState(attempt))
+		resp, err := client.Do(req)
 		if err != nil {
 			return err
 		}

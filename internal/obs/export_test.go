@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// otlpSink is an in-process OTLP/JSON collector for tests: it validates
+// every body with CountOTLPSpans and remembers the decoded requests.
+type otlpSink struct {
+	t  *testing.T
+	mu sync.Mutex
+
+	spans   int
+	batches int
+	bodies  [][]byte
+
+	failFirst  atomic.Int32 // respond with this status for the first N posts
+	failStatus int
+	retryAfter string
+}
+
+func (s *otlpSink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.t.Errorf("sink read: %v", err)
+		http.Error(w, "read", http.StatusBadRequest)
+		return
+	}
+	if n := s.failFirst.Load(); n > 0 {
+		s.failFirst.Add(-1)
+		if s.retryAfter != "" {
+			w.Header().Set("Retry-After", s.retryAfter)
+		}
+		w.WriteHeader(s.failStatus)
+		return
+	}
+	n, err := CountOTLPSpans(body)
+	if err != nil {
+		s.t.Errorf("sink got invalid OTLP body: %v\n%s", err, body)
+		http.Error(w, "invalid", http.StatusBadRequest)
+		return
+	}
+	if r.Header.Get("Content-Type") != "application/json" {
+		s.t.Errorf("content type %q", r.Header.Get("Content-Type"))
+	}
+	s.mu.Lock()
+	s.spans += n
+	s.batches++
+	s.bodies = append(s.bodies, body)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *otlpSink) counts() (spans, batches int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spans, s.batches
+}
+
+func finishedTrace(name string) ExportTrace {
+	root := New(name)
+	child := root.StartChild("filter")
+	child.SetInt("candidates", 7)
+	child.End()
+	root.SetStr("request_id", "req-1")
+	root.End()
+	return ExportTrace{Root: root, Start: time.Now().Add(-time.Millisecond)}
+}
+
+func TestExporterDeliversValidOTLP(t *testing.T) {
+	sink := &otlpSink{t: t}
+	srv := httptest.NewServer(sink)
+	defer srv.Close()
+
+	e := NewExporter(ExporterConfig{Endpoint: srv.URL, Interval: 20 * time.Millisecond})
+	for i := 0; i < 3; i++ {
+		if !e.Offer(finishedTrace("knn")) {
+			t.Fatalf("offer %d rejected", i)
+		}
+	}
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	spans, batches := sink.counts()
+	if spans != 6 { // 3 trees x (root + child)
+		t.Errorf("sink saw %d spans, want 6", spans)
+	}
+	if batches < 1 {
+		t.Error("sink saw no batches")
+	}
+	st := e.Stats()
+	if st.SentSpans != 6 || st.Dropped != 0 || st.Offered != 3 {
+		t.Errorf("stats %+v", st)
+	}
+
+	// Shape details a real collector cares about.
+	var req otlpRequest
+	sink.mu.Lock()
+	body := sink.bodies[0]
+	sink.mu.Unlock()
+	if err := json.Unmarshal(body, &req); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	res := req.ResourceSpans[0]
+	if len(res.Resource.Attributes) == 0 || res.Resource.Attributes[0].Key != "service.name" {
+		t.Errorf("missing service.name resource attr: %+v", res.Resource)
+	}
+	sp := res.ScopeSpans[0].Spans
+	if sp[0].Kind != otlpKindServer {
+		t.Errorf("root kind %d, want SERVER", sp[0].Kind)
+	}
+	if sp[1].Kind != otlpKindInternal {
+		t.Errorf("child kind %d, want INTERNAL", sp[1].Kind)
+	}
+	if sp[1].ParentSpanID != sp[0].SpanID {
+		t.Errorf("child parent %q, root span %q", sp[1].ParentSpanID, sp[0].SpanID)
+	}
+	var start, end int64
+	if _, err := json.Number(sp[0].StartNano).Int64(); err != nil {
+		t.Errorf("start nano %q", sp[0].StartNano)
+	}
+	json.Unmarshal([]byte(sp[0].StartNano), &start) //nolint:errcheck
+	json.Unmarshal([]byte(sp[0].EndNano), &end)     //nolint:errcheck
+	if end <= start {
+		t.Errorf("root interval [%d, %d] empty", start, end)
+	}
+}
+
+func TestExporterErrorStatus(t *testing.T) {
+	sink := &otlpSink{t: t}
+	srv := httptest.NewServer(sink)
+	defer srv.Close()
+
+	e := NewExporter(ExporterConfig{Endpoint: srv.URL})
+	tr := finishedTrace("knn")
+	tr.Err = true
+	e.Offer(tr)
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var req otlpRequest
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.bodies) == 0 {
+		t.Fatal("no batch delivered")
+	}
+	if err := json.Unmarshal(sink.bodies[0], &req); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	root := req.ResourceSpans[0].ScopeSpans[0].Spans[0]
+	if root.Status == nil || root.Status.Code != otlpStatusError {
+		t.Errorf("errored root exported without ERROR status: %+v", root.Status)
+	}
+}
+
+func TestExporterRetriesThenDelivers(t *testing.T) {
+	sink := &otlpSink{t: t, failStatus: http.StatusServiceUnavailable, retryAfter: "0"}
+	sink.failFirst.Store(2)
+	srv := httptest.NewServer(sink)
+	defer srv.Close()
+
+	e := NewExporter(ExporterConfig{
+		Endpoint:    srv.URL,
+		Interval:    10 * time.Millisecond,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+	})
+	e.Offer(finishedTrace("knn"))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, batches := sink.counts(); batches >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batch never delivered after transient failures")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	st := e.Stats()
+	if st.Retries < 2 {
+		t.Errorf("retries %d, want >= 2", st.Retries)
+	}
+	if st.Dropped != 0 {
+		t.Errorf("dropped %d after eventual success", st.Dropped)
+	}
+}
+
+func TestExporterDropsOnPermanentRejection(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	e := NewExporter(ExporterConfig{Endpoint: srv.URL, BaseBackoff: time.Millisecond})
+	e.Offer(finishedTrace("knn"))
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	st := e.Stats()
+	if st.Dropped != 1 {
+		t.Errorf("dropped %d, want 1 (400 is permanent)", st.Dropped)
+	}
+	if st.Retries != 0 {
+		t.Errorf("retried a permanent rejection %d times", st.Retries)
+	}
+}
+
+func TestExporterBoundedQueueDrops(t *testing.T) {
+	// An endpoint that never answers within the test, so the queue backs
+	// up behind the first in-flight batch.
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+
+	e := NewExporter(ExporterConfig{Endpoint: srv.URL, Queue: 4, MaxBatch: 1, Interval: time.Millisecond})
+	time.Sleep(10 * time.Millisecond) // let the worker pick up and block on a first batch
+	dropped := 0
+	for i := 0; i < 32; i++ {
+		if !e.Offer(finishedTrace("knn")) {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("bounded queue never rejected an offer")
+	}
+	if st := e.Stats(); st.Dropped != uint64(dropped) {
+		t.Errorf("drop counter %d, offers rejected %d", st.Dropped, dropped)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := e.Close(ctx); err == nil {
+		t.Log("close drained despite blocked sink (ok: sink unblocked late)")
+	}
+}
+
+func TestExporterNilSafe(t *testing.T) {
+	var e *Exporter
+	if e.Offer(ExportTrace{}) {
+		t.Error("nil exporter accepted an offer")
+	}
+	if err := e.Close(context.Background()); err != nil {
+		t.Errorf("nil close: %v", err)
+	}
+	if st := e.Stats(); st.Offered != 0 || st.Dropped != 0 || st.Queued != 0 {
+		t.Errorf("nil stats %+v", st)
+	}
+}
+
+func TestCountOTLPSpansRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		``,
+		`{}`,
+		`{"resourceSpans":[]}`,
+		`{"resourceSpans":[{"resource":{},"scopeSpans":[{"scope":{"name":"x"},"spans":[]}]}]}`,
+		`{"resourceSpans":[{"resource":{},"scopeSpans":[{"scope":{"name":"x"},"spans":[{"traceId":"zz","spanId":"00f067aa0ba902b7","name":"a","kind":2,"startTimeUnixNano":"1","endTimeUnixNano":"2"}]}]}]}`,
+		`{"resourceSpans":[{"resource":{},"scopeSpans":[{"scope":{"name":"x"},"spans":[{"traceId":"4bf92f3577b34da6a3ce929d0e0e4736","spanId":"00f067aa0ba902b7","name":"a","kind":2,"startTimeUnixNano":"soon","endTimeUnixNano":"2"}]}]}]}`,
+	} {
+		if n, err := CountOTLPSpans([]byte(bad)); err == nil {
+			t.Errorf("CountOTLPSpans accepted %q (n=%d)", bad, n)
+		}
+	}
+}

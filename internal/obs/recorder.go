@@ -64,6 +64,7 @@ const (
 // once inserted; List and Get hand out shared pointers.
 type RetainedTrace struct {
 	RequestID   string       `json:"request_id"`
+	TraceID     string       `json:"trace_id,omitempty"` // hex W3C trace id
 	Endpoint    string       `json:"endpoint"`
 	Status      int          `json:"status"`
 	Class       TraceClass   `json:"class"`
@@ -81,6 +82,7 @@ type RetainedTrace struct {
 // recorder. Root is snapshotted only if the trace is retained.
 type CompletedRequest struct {
 	RequestID string
+	TraceID   string // hex W3C trace id of Root's trace
 	Endpoint  string
 	Status    int
 	Error     bool // terminal server failure; always retained
@@ -157,12 +159,14 @@ func NewRecorder(cfg RecorderConfig) *Recorder {
 	return r
 }
 
-// Offer presents a completed request. It returns whether the trace was
-// retained; when it was not, req.Root has not been touched and nothing
-// was allocated.
-func (r *Recorder) Offer(req CompletedRequest) bool {
+// Offer presents a completed request. It returns the retention class
+// and whether the trace was retained; when it was not, req.Root has not
+// been touched and nothing was allocated. Callers use the class to
+// chain tail reactions — the server triggers a profile capture on a
+// retained error or slow trace, never on a baseline sample.
+func (r *Recorder) Offer(req CompletedRequest) (TraceClass, bool) {
 	if r == nil {
-		return false
+		return "", false
 	}
 	n := r.offers.Add(1)
 	r.lat.Observe(req.Duration.Seconds())
@@ -185,12 +189,13 @@ func (r *Recorder) Offer(req CompletedRequest) bool {
 		seen := r.baseSeen.Add(1)
 		if seen > uint64(r.baseCap) && r.rand(seen) >= uint64(r.baseCap) {
 			r.dropped.Add(1)
-			return false
+			return class, false
 		}
 	}
 
 	ent := &RetainedTrace{
 		RequestID:   req.RequestID,
+		TraceID:     req.TraceID,
 		Endpoint:    req.Endpoint,
 		Status:      req.Status,
 		Class:       class,
@@ -206,12 +211,12 @@ func (r *Recorder) Offer(req CompletedRequest) bool {
 	if class == TraceBaseline {
 		if !r.insertBaseline(home, ent) {
 			r.dropped.Add(1)
-			return false
+			return class, false
 		}
-		return true
+		return class, true
 	}
 	r.insertTail(home, ent)
-	return true
+	return class, true
 }
 
 // insertBaseline adds a baseline trace: into the first shard (walking
@@ -363,16 +368,19 @@ func (r *Recorder) List(f TraceFilter) []*RetainedTrace {
 	return out
 }
 
-// Get returns the retained trace for a request ID, or nil.
-func (r *Recorder) Get(requestID string) *RetainedTrace {
-	if r == nil {
+// Get returns the retained trace whose request ID or hex trace ID
+// matches id, or nil. Accepting either spelling lets an operator paste
+// whatever identifier they have — a request id from a log line or a
+// trace id from a collector UI.
+func (r *Recorder) Get(id string) *RetainedTrace {
+	if r == nil || id == "" {
 		return nil
 	}
 	for i := range r.shards {
 		sh := &r.shards[i]
 		sh.mu.Lock()
 		for _, e := range sh.entries {
-			if e.RequestID == requestID {
+			if e.RequestID == id || (e.TraceID != "" && e.TraceID == id) {
 				sh.mu.Unlock()
 				return e
 			}

@@ -264,7 +264,7 @@ func TestRecorderHammer(t *testing.T) {
 
 func TestRecorderNilIsDisabled(t *testing.T) {
 	var r *Recorder
-	if r.Offer(CompletedRequest{RequestID: "x"}) {
+	if _, kept := r.Offer(CompletedRequest{RequestID: "x"}); kept {
 		t.Fatal("nil recorder retained a trace")
 	}
 	if r.List(TraceFilter{}) != nil || r.Get("x") != nil {

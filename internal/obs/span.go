@@ -38,6 +38,15 @@ type Span struct {
 	name  string
 	start time.Time // carries the monotonic clock
 
+	// W3C identity: every span belongs to a 128-bit trace and has a
+	// 64-bit id of its own; parentID is the caller's span (a remote one
+	// for a root continuing an inbound traceparent). Immutable after
+	// creation, so reads need no lock.
+	traceID  TraceID
+	spanID   SpanID
+	parentID SpanID
+	state    string // raw tracestate, roots only
+
 	mu       sync.Mutex
 	dur      time.Duration
 	ended    bool
@@ -45,21 +54,64 @@ type Span struct {
 	children []*Span
 }
 
-// New starts a root span.
+// New starts a root span of a fresh trace.
 func New(name string) *Span {
-	return &Span{name: name, start: time.Now()}
+	return &Span{name: name, start: time.Now(), traceID: NewTraceID(), spanID: NewSpanID()}
 }
 
-// StartChild starts and attaches a child span.
+// NewRemote starts a root span that continues a caller's trace: same
+// trace id, parented under the caller's span, tracestate carried along
+// for export. An invalid context falls back to a fresh trace — the
+// spec's rule for unusable headers.
+func NewRemote(name string, tc TraceContext) *Span {
+	if !tc.Valid() {
+		return New(name)
+	}
+	return &Span{
+		name:     name,
+		start:    time.Now(),
+		traceID:  tc.TraceID,
+		spanID:   NewSpanID(),
+		parentID: tc.SpanID,
+		state:    tc.State,
+	}
+}
+
+// StartChild starts and attaches a child span, inheriting the trace id.
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name, start: time.Now()}
+	c := &Span{name: name, start: time.Now(), traceID: s.traceID, spanID: NewSpanID(), parentID: s.spanID}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// TraceID returns the span's trace id (zero on nil).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's own id (zero on nil).
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.spanID
+}
+
+// TraceContext returns the propagation state an outbound call from this
+// span should carry: same trace, this span as parent.
+func (s *Span) TraceContext() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.traceID, SpanID: s.spanID, Flags: FlagSampled, State: s.state}
 }
 
 // End freezes the span's duration. Later Ends are no-ops, so deferred and
@@ -151,11 +203,17 @@ func StartChildContext(ctx context.Context, name string) (context.Context, *Span
 // responses, slog groups (via LogValue) for the slow-query log. StartUS is
 // the span's start relative to the snapshot root.
 type SpanSnapshot struct {
-	Name     string         `json:"name"`
-	StartUS  int64          `json:"start_us"`
-	DurUS    int64          `json:"dur_us"`
-	Attrs    map[string]any `json:"attrs,omitempty"`
-	Children []SpanSnapshot `json:"children,omitempty"`
+	Name string `json:"name"`
+	// Hex W3C identities; ParentSpanID is empty on a root that started
+	// its own trace. TraceState rides only on roots that received one.
+	TraceID      string         `json:"trace_id,omitempty"`
+	SpanID       string         `json:"span_id,omitempty"`
+	ParentSpanID string         `json:"parent_span_id,omitempty"`
+	TraceState   string         `json:"trace_state,omitempty"`
+	StartUS      int64          `json:"start_us"`
+	DurUS        int64          `json:"dur_us"`
+	Attrs        map[string]any `json:"attrs,omitempty"`
+	Children     []SpanSnapshot `json:"children,omitempty"`
 }
 
 // Snapshot renders the tree rooted at s. A still-running span reports its
@@ -175,9 +233,17 @@ func (s *Span) snapshot(base time.Time) SpanSnapshot {
 		dur = time.Since(s.start)
 	}
 	out := SpanSnapshot{
-		Name:    s.name,
-		StartUS: s.start.Sub(base).Microseconds(),
-		DurUS:   dur.Microseconds(),
+		Name:       s.name,
+		TraceState: s.state,
+		StartUS:    s.start.Sub(base).Microseconds(),
+		DurUS:      dur.Microseconds(),
+	}
+	if !s.traceID.IsZero() {
+		out.TraceID = s.traceID.String()
+		out.SpanID = s.spanID.String()
+		if !s.parentID.IsZero() {
+			out.ParentSpanID = s.parentID.String()
+		}
 	}
 	if len(s.attrs) > 0 {
 		out.Attrs = make(map[string]any, len(s.attrs))

@@ -91,7 +91,17 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleDebugTrace fetches one retained trace by request ID.
+// DebugTraceResponse is the GET /debug/traces/{id} body: the retained
+// trace plus, when the tail profiler captured one for the same trace,
+// the profile's id — the link from "this request was slow" to "here is
+// the CPU evidence" (GET /debug/profiles/{profile_id}).
+type DebugTraceResponse struct {
+	*obs.RetainedTrace
+	ProfileID string `json:"profile_id,omitempty"`
+}
+
+// handleDebugTrace fetches one retained trace by request ID or hex
+// trace ID.
 func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	if s.recorder == nil {
 		writeError(w, http.StatusNotFound, ErrCodeNotFound,
@@ -102,10 +112,56 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	tr := s.recorder.Get(id)
 	if tr == nil {
 		writeError(w, http.StatusNotFound, ErrCodeNotFound,
-			"no retained trace for request id "+strconv.Quote(id)+" (evicted or never retained)", requestID(w))
+			"no retained trace for request or trace id "+strconv.Quote(id)+" (evicted or never retained)", requestID(w))
 		return
 	}
-	writeJSON(w, http.StatusOK, tr)
+	resp := DebugTraceResponse{RetainedTrace: tr}
+	if cp, ok := s.profiler.ByTraceID(tr.TraceID); ok {
+		resp.ProfileID = cp.ID
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// DebugProfilesResponse is the GET /debug/profiles body: capture stats
+// followed by the retained profiles, newest first, payloads omitted.
+type DebugProfilesResponse struct {
+	Stats    obs.ProfilerStats     `json:"stats"`
+	Profiles []obs.CapturedProfile `json:"profiles"`
+}
+
+// handleDebugProfiles lists tail-triggered CPU profiles.
+func (s *Server) handleDebugProfiles(w http.ResponseWriter, r *http.Request) {
+	if s.profiler == nil {
+		writeError(w, http.StatusNotFound, ErrCodeNotFound,
+			"tail profiler disabled (-profile-every < 0 or flight recorder off)", requestID(w))
+		return
+	}
+	resp := DebugProfilesResponse{Stats: s.profiler.Stats(), Profiles: s.profiler.List()}
+	if resp.Profiles == nil {
+		resp.Profiles = []obs.CapturedProfile{} // render as [], not null
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDebugProfile serves one profile's pprof-gzip payload, ready for
+// `go tool pprof` straight off a curl.
+func (s *Server) handleDebugProfile(w http.ResponseWriter, r *http.Request) {
+	if s.profiler == nil {
+		writeError(w, http.StatusNotFound, ErrCodeNotFound,
+			"tail profiler disabled (-profile-every < 0 or flight recorder off)", requestID(w))
+		return
+	}
+	id := r.PathValue("id")
+	cp, ok := s.profiler.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrCodeNotFound,
+			"no profile "+strconv.Quote(id)+" (evicted or never captured)", requestID(w))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", "attachment; filename="+strconv.Quote(cp.ID+".pprof.gz"))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(cp.Bytes)
 }
 
 // handleDebugSLO serves the burn-rate table.

@@ -473,6 +473,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Runtime:          obs.ReadRuntime(),
 			SLO:              s.slo.Report(),
 			Recorder:         s.recorder.Stats(),
+			Exporter:         s.exporter.Stats(),
+			Profiler:         s.profiler.Stats(),
 			IndexSize:        s.ix.Size(),
 			IndexLive:        st.Live,
 			IndexFilter:      s.ix.Filter().Name(),
@@ -527,5 +529,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Runtime = runtimeJSON(obs.ReadRuntime())
 	snap.SLO = s.slo.Report()
 	snap.TraceRecorder = s.recorder.Stats()
+	snap.OTLPExport = otlpExportJSON(s.exporter.Stats())
+	snap.TailProfiler = s.profiler.Stats()
 	writeJSON(w, http.StatusOK, snap)
 }

@@ -270,6 +270,35 @@ type Snapshot struct {
 	Runtime       RuntimeJSON       `json:"runtime"`
 	SLO           obs.SLOReport     `json:"slo"`
 	TraceRecorder obs.RecorderStats `json:"trace_recorder"`
+	// Trace-export pipeline health (queue depth, deliveries, drops) and
+	// the tail profiler's capture counters. Filled by the handler per
+	// scrape; zero when the subsystem is disabled.
+	OTLPExport   OTLPExportJSON    `json:"otlp_export"`
+	TailProfiler obs.ProfilerStats `json:"tail_profiler"`
+}
+
+// OTLPExportJSON renders obs.ExporterStats with the registry's
+// histogram bucket-label convention for the batch latency.
+type OTLPExportJSON struct {
+	Queued              int           `json:"queued"`
+	Offered             uint64        `json:"offered"`
+	Batches             uint64        `json:"batches"`
+	SentSpans           uint64        `json:"sent_spans"`
+	Dropped             uint64        `json:"dropped"`
+	Retries             uint64        `json:"retries"`
+	BatchLatencySeconds HistogramJSON `json:"batch_latency_seconds"`
+}
+
+func otlpExportJSON(st obs.ExporterStats) OTLPExportJSON {
+	return OTLPExportJSON{
+		Queued:              st.Queued,
+		Offered:             st.Offered,
+		Batches:             st.Batches,
+		SentSpans:           st.SentSpans,
+		Dropped:             st.Dropped,
+		Retries:             st.Retries,
+		BatchLatencySeconds: histogramSnapshotJSON(st.BatchLatency),
+	}
 }
 
 // RuntimeJSON renders obs.RuntimeStats with the registry's histogram

@@ -66,11 +66,28 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 
 		// Every request gets a root span keyed by its request ID; handlers
 		// and the search engine hang stage children off it through the
-		// context. Snapshotting is deferred until someone asks (?trace=1
-		// or the slow-query log), so an unobserved trace costs only the
-		// root allocation.
-		span := obs.New(endpoint)
+		// context. Snapshotting is deferred until someone asks (?trace=1,
+		// the slow-query log, or the OTLP exporter), so an unobserved trace
+		// costs only the root allocation.
+		//
+		// An inbound W3C traceparent continues the caller's trace — same
+		// trace ID, root parented under the caller's span; a malformed one
+		// falls back to a fresh trace per the spec's restart rule. The
+		// trace ID echoes back on X-Trace-Id, so even unexported requests
+		// hand the caller a handle into /debug/traces.
+		tc, tperr := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if tperr == nil {
+			tc.State = r.Header.Get("tracestate")
+		}
+		span := obs.NewRemote(endpoint, tc)
+		traceID := span.TraceID().String()
+		w.Header().Set("X-Trace-Id", traceID)
 		span.SetStr("request_id", rid)
+		if n, ok := obs.ParseRetryState(tc.State); ok {
+			// The client's retry counter, carried in tracestate so every
+			// attempt of one logical request lands in the same trace.
+			span.SetInt("retry", int64(n))
+		}
 		r = r.WithContext(obs.NewContext(r.Context(), span))
 
 		// The slow-query log and the flight recorder both want the query's
@@ -98,31 +115,57 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 			if degraded {
 				span.SetBool("degraded", true)
 			}
+			span.SetInt("http.status_code", int64(sw.status))
 			span.End()
 			elapsed := time.Since(start)
 			s.metrics.Observe(endpoint, sw.status, elapsed, rid)
 			if strings.HasPrefix(endpoint, "/v1/") {
-				s.slo.Observe(endpoint, elapsed, sw.status >= 500)
+				errStatus := sw.status >= 500
+				s.slo.Observe(endpoint, elapsed, errStatus)
 				var ex any
 				if holder != nil && holder.ex != nil {
 					ex = holder.ex
 				}
-				s.recorder.Offer(obs.CompletedRequest{
+				class, retained := s.recorder.Offer(obs.CompletedRequest{
 					RequestID: rid,
+					TraceID:   traceID,
 					Endpoint:  endpoint,
 					Status:    sw.status,
-					Error:     sw.status >= 500,
+					Error:     errStatus,
 					Degraded:  degraded,
 					Start:     start,
 					Duration:  elapsed,
 					Root:      span,
 					Explain:   ex,
 				})
+				tail := retained && class != obs.TraceBaseline
+				if tail {
+					// A retained slow/errored trace is exactly the evidence a
+					// profile explains; the profiler's token bucket absorbs
+					// tail storms.
+					s.profiler.Trigger(traceID, rid, string(class))
+				}
+				if s.exporter != nil {
+					// Head sampling is deterministic in the trace ID, so the
+					// whole chain agrees without coordination; errors,
+					// recorder-retained tails and caller-sampled traces export
+					// unconditionally.
+					export := errStatus || tail ||
+						(tperr == nil && tc.Sampled()) ||
+						obs.SampleTraceID(span.TraceID(), s.cfg.TraceSample)
+					if export {
+						// The span is ended and frozen; the exporter snapshots
+						// it on its own goroutine, so this is just a channel
+						// send on the request path.
+						s.exporter.Offer(obs.ExportTrace{Root: span, Start: start, Err: errStatus})
+					}
+				}
 			}
 			if limited && s.cfg.SlowQuery != nil && elapsed >= *s.cfg.SlowQuery {
 				snap := span.Snapshot()
 				args := []any{
 					"request_id", rid,
+					"trace_id", traceID,
 					"endpoint", endpoint,
 					"status", sw.status,
 					"dur_us", elapsed.Microseconds(),
@@ -139,6 +182,7 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 			}
 			s.log.Info("request",
 				"request_id", rid,
+				"trace_id", traceID,
 				"method", r.Method,
 				"path", r.URL.Path,
 				"status", sw.status,

@@ -50,11 +50,14 @@ type PromGauges struct {
 	StoreTombstones  int
 	StoreSeals       uint64
 	StoreCompactions uint64
-	// Runtime telemetry, the SLO burn-rate table, and the flight
-	// recorder's retention stats — sampled by the handler per scrape.
+	// Runtime telemetry, the SLO burn-rate table, the flight recorder's
+	// retention stats, and the trace-export/tail-profiler health —
+	// sampled by the handler per scrape.
 	Runtime  obs.RuntimeStats
 	SLO      obs.SLOReport
 	Recorder obs.RecorderStats
+	Exporter obs.ExporterStats
+	Profiler obs.ProfilerStats
 }
 
 // WriteProm renders the whole registry in Prometheus text exposition
@@ -162,6 +165,32 @@ func (m *Metrics) WriteProm(w io.Writer, g PromGauges) error {
 		Sample(nil, float64(g.Recorder.Dropped))
 	pw.Family("treesim_trace_threshold_seconds", "gauge", "Adaptive slow-trace retention threshold.").
 		Sample(nil, float64(g.Recorder.ThresholdUS)/1e6)
+
+	// OTLP trace export pipeline.
+	pw.Family("treesim_otlp_queue_depth", "gauge", "Span trees waiting in the exporter queue.").
+		Sample(nil, float64(g.Exporter.Queued))
+	pw.Family("treesim_otlp_offered_total", "counter", "Span trees offered to the exporter.").
+		Sample(nil, float64(g.Exporter.Offered))
+	pw.Family("treesim_otlp_batches_total", "counter", "OTLP/JSON batches delivered to the collector.").
+		Sample(nil, float64(g.Exporter.Batches))
+	pw.Family("treesim_otlp_sent_spans_total", "counter", "Individual spans delivered to the collector.").
+		Sample(nil, float64(g.Exporter.SentSpans))
+	pw.Family("treesim_otlp_dropped_total", "counter", "Span trees dropped (queue full or delivery retries exhausted).").
+		Sample(nil, float64(g.Exporter.Dropped))
+	pw.Family("treesim_otlp_retries_total", "counter", "Batch delivery retries.").
+		Sample(nil, float64(g.Exporter.Retries))
+	pw.Family("treesim_otlp_batch_latency_seconds", "histogram", "Wall time from first delivery attempt to a batch's 2xx, retries included.").
+		Histogram(nil, g.Exporter.BatchLatency)
+
+	// Tail-triggered CPU profiler.
+	pw.Family("treesim_profile_triggered_total", "counter", "Capture triggers from retained slow/errored traces.").
+		Sample(nil, float64(g.Profiler.Triggered))
+	pw.Family("treesim_profile_captured_total", "counter", "CPU profiles captured into the ring.").
+		Sample(nil, float64(g.Profiler.Captured))
+	pw.Family("treesim_profile_skipped_total", "counter", "Triggers absorbed by the rate limit or an in-flight capture.").
+		Sample(nil, float64(g.Profiler.Skipped))
+	pw.Family("treesim_profile_retained", "gauge", "Profiles currently held in the ring.").
+		Sample(nil, float64(g.Profiler.Retained))
 
 	// Per-endpoint counters and latency histograms. Rendering happens
 	// under mu into the caller's buffer, mirroring Snapshot's consistency.

@@ -130,6 +130,23 @@ type Config struct {
 	// the burn rate on GET /debug/slo and /metrics to read 1.0. 0 means
 	// 0.99.
 	SLOTarget float64
+	// OTLPEndpoint, when set, enables the trace exporter: completed /v1/*
+	// span trees are batched as OTLP/JSON and POSTed there (a collector's
+	// /v1/traces URL). Empty disables export entirely.
+	OTLPEndpoint string
+	// TraceSample is the head-sampling rate in [0,1] for exported traces.
+	// Errored requests, flight-recorder-retained tails, and requests whose
+	// inbound traceparent carries the sampled flag are always exported;
+	// this rate applies to everything else. 0 exports only those classes.
+	TraceSample float64
+	// ProfileEvery is the tail profiler's token refill interval: at most
+	// one CPU profile capture per interval when the flight recorder
+	// retains a slow or errored trace. 0 means 1m; negative disables the
+	// profiler.
+	ProfileEvery time.Duration
+	// ProfileCapture is the CPU profile duration per capture. 0 means
+	// 500ms.
+	ProfileCapture time.Duration
 	// Logger receives structured request logs. Default: slog text
 	// handler on stderr.
 	Logger *slog.Logger
@@ -177,8 +194,10 @@ type Server struct {
 	metrics  *Metrics
 	sem      limiter
 	mux      *http.ServeMux
-	recorder *obs.Recorder   // flight recorder; nil when Config.TraceRing < 0
-	slo      *obs.SLOTracker // per-endpoint RED counters and burn rates
+	recorder *obs.Recorder     // flight recorder; nil when Config.TraceRing < 0
+	slo      *obs.SLOTracker   // per-endpoint RED counters and burn rates
+	exporter *obs.Exporter     // OTLP/JSON trace export; nil when Config.OTLPEndpoint == ""
+	profiler *obs.TailProfiler // tail-triggered CPU profiles; nil when disabled
 
 	ready     atomic.Bool   // readyz: accepting traffic
 	reqSeq    atomic.Uint64 // request-ID counter
@@ -239,6 +258,20 @@ func New(ix *search.Index, cfg Config) *Server {
 	if cfg.TraceRing >= 0 {
 		s.recorder = obs.NewRecorder(obs.RecorderConfig{Capacity: cfg.TraceRing})
 	}
+	if cfg.OTLPEndpoint != "" {
+		s.exporter = obs.NewExporter(obs.ExporterConfig{
+			Endpoint: cfg.OTLPEndpoint,
+			Logger:   cfg.Logger,
+		})
+	}
+	// The profiler rides on the recorder's verdicts; without retained
+	// tails nothing ever triggers it.
+	if s.recorder != nil && cfg.ProfileEvery >= 0 {
+		s.profiler = obs.NewTailProfiler(obs.ProfilerConfig{
+			Every:   cfg.ProfileEvery,
+			Capture: cfg.ProfileCapture,
+		})
+	}
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/knn", s.instrument("/v1/knn", true, s.handleKNN))
 	s.mux.Handle("POST /v1/range", s.instrument("/v1/range", true, s.handleRange))
@@ -256,6 +289,8 @@ func New(ix *search.Index, cfg Config) *Server {
 	s.mux.Handle("GET /debug/traces", s.instrument("/debug/traces", false, s.loopbackOnly(s.handleDebugTraces)))
 	s.mux.Handle("GET /debug/traces/{id}", s.instrument("/debug/traces/{id}", false, s.loopbackOnly(s.handleDebugTrace)))
 	s.mux.Handle("GET /debug/slo", s.instrument("/debug/slo", false, s.loopbackOnly(s.handleDebugSLO)))
+	s.mux.Handle("GET /debug/profiles", s.instrument("/debug/profiles", false, s.loopbackOnly(s.handleDebugProfiles)))
+	s.mux.Handle("GET /debug/profiles/{id}", s.instrument("/debug/profiles/{id}", false, s.loopbackOnly(s.handleDebugProfile)))
 	// Compactions run on background goroutines inside the index; the hook
 	// surfaces each one as a log line and a duration observation.
 	ix.OnCompaction(func(cs search.CompactionStats) {
@@ -279,6 +314,12 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Recorder returns the flight recorder (nil when disabled).
 func (s *Server) Recorder() *obs.Recorder { return s.recorder }
+
+// Exporter returns the OTLP trace exporter (nil when disabled).
+func (s *Server) Exporter() *obs.Exporter { return s.exporter }
+
+// Profiler returns the tail profiler (nil when disabled).
+func (s *Server) Profiler() *obs.TailProfiler { return s.profiler }
 
 // Serve accepts connections on ln until Shutdown. It starts the periodic
 // snapshot loop and blocks like http.Server.Serve (returning
@@ -338,6 +379,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			err = cerr
 		}
 	}
+	// Flush queued traces before the process goes away; the shutdown
+	// context bounds how long a slow collector can hold us.
+	if ferr := s.exporter.Close(ctx); ferr != nil && err == nil {
+		err = ferr
+	}
+	s.profiler.Close()
 	s.log.Info("shut down", "final_snapshot", s.cfg.SnapshotPath != "", "err", err)
 	return err
 }

@@ -60,6 +60,22 @@ grep -q '"batches": 0,' "$SMOKE_BENCH" && {
 grep -q '"dropped": 0,' "$SMOKE_BENCH" || {
     echo "ci: exporter dropped traces during the smoke" >&2; exit 1; }
 
+# The smoke run also measures the bounded verification engine: on this
+# workload the refine stage must have cut at least one verification
+# short via the O(n) pre-checks and at least one via a DP early abort,
+# and the DP cells actually touched must be strictly below what full
+# verification of the same pairs would cost.
+grep -q '"bounded_refine"' "$SMOKE_BENCH" || {
+    echo "ci: smoke report has no bounded_refine section" >&2; exit 1; }
+grep -q '"refine_aborted_total": 0,' "$SMOKE_BENCH" && {
+    echo "ci: bounded refine never aborted a DP during the smoke" >&2; exit 1; }
+grep -q '"precheck_rejects_total": 0,' "$SMOKE_BENCH" && {
+    echo "ci: bounded refine pre-checks rejected nothing during the smoke" >&2; exit 1; }
+cells=$(sed -n 's/^ *"dp_cells_total": \([0-9][0-9]*\).*/\1/p' "$SMOKE_BENCH" | head -1)
+full=$(sed -n 's/^ *"dp_cells_full_total": \([0-9][0-9]*\).*/\1/p' "$SMOKE_BENCH" | head -1)
+[ -n "$cells" ] && [ -n "$full" ] && [ "$cells" -lt "$full" ] || {
+    echo "ci: bounded refine touched $cells of $full DP cells; want strictly fewer" >&2; exit 1; }
+
 # Advisory bench diff: compare the committed full-size report against the
 # smoke run. The configurations differ (and CI machines are noisy), so a
 # flagged regression is a prompt to run `make bench-diff` properly, never

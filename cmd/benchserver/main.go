@@ -91,6 +91,24 @@ type otlpReport struct {
 	OverheadPct          float64 `json:"overhead_pct"`
 }
 
+// boundedReport measures the bounded verification engine: identical
+// single-connection k-NN drives against a bounded-refine-on and a
+// bounded-refine-off server (results are identical by construction; only
+// the verification work differs), plus the cut-short counters the on
+// server accumulated.
+type boundedReport struct {
+	KnnP50OnUS      int64 `json:"knn_p50_bounded_on_us"`
+	KnnP99OnUS      int64 `json:"knn_p99_bounded_on_us"`
+	KnnP50OffUS     int64 `json:"knn_p50_bounded_off_us"`
+	KnnP99OffUS     int64 `json:"knn_p99_bounded_off_us"`
+	RefineAborted   int   `json:"refine_aborted_total"`
+	PrecheckRejects int   `json:"precheck_rejects_total"`
+	DPCells         int64 `json:"dp_cells_total"`
+	DPCellsFull     int64 `json:"dp_cells_full_total"`
+	// Fraction of full-DP work the bounded engine actually paid.
+	DPCellsRatio float64 `json:"dp_cells_ratio"`
+}
+
 // report is the written JSON document.
 type report struct {
 	Timestamp            string                    `json:"timestamp"`
@@ -108,6 +126,7 @@ type report struct {
 	Mixed                map[string]endpointReport `json:"mixed"`
 	MeanAccessedFraction float64                   `json:"mean_accessed_fraction"`
 	StageMeansUS         map[string]float64        `json:"stage_means_us"`
+	BoundedRefine        boundedReport             `json:"bounded_refine"`
 	Recorder             recorderReport            `json:"trace_recorder"`
 	OTLPExport           otlpReport                `json:"otlp_export"`
 }
@@ -278,6 +297,9 @@ func bench(c config) (*report, error) {
 		"refine": histMeanUS(snap.QueryRefineSeconds),
 	}
 
+	if err := benchBounded(client, c, ts, order, rep); err != nil {
+		return nil, fmt.Errorf("bounded: %w", err)
+	}
 	if err := benchRecorder(client, base, c, ts, order, rep); err != nil {
 		return nil, fmt.Errorf("recorder: %w", err)
 	}
@@ -285,6 +307,89 @@ func bench(c config) (*report, error) {
 		return nil, fmt.Errorf("otlp: %w", err)
 	}
 	return rep, nil
+}
+
+// benchBounded drives the identical single-connection k-NN workload
+// against a bounded-refine-on and a bounded-refine-off server and reports
+// both latency profiles plus the on server's cut-short counters. The
+// result sets are identical (pinned by the search package's invariance
+// tests); the delta is purely verification work avoided.
+func benchBounded(client *http.Client, c config, ts []*tree.Tree, order []int, rep *report) error {
+	// Two servers that differ only in WithBoundedRefine, measured with
+	// alternating drives (the same warm-up + interleaved min-of-3 protocol
+	// as the exporter bench, so machine drift lands on both arms equally).
+	single := c
+	single.concurrency = 1
+	knnBody := func(q string) any { return map[string]any{"tree": q, "k": c.k} }
+	type arm struct {
+		on         bool
+		ln         net.Listener
+		p50s, p99s []int64
+	}
+	arms := []*arm{{on: true}, {on: false}}
+	for _, a := range arms {
+		bix := search.NewIndex(ts, search.NewBiBranch(), search.WithBoundedRefine(a.on))
+		bsrv := server.New(bix, server.Config{
+			MaxInFlight: 4,
+			Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		a.ln = ln
+		go bsrv.Serve(ln) //nolint:errcheck // torn down with the process
+		defer ln.Close()
+		warm := single
+		if warm.queries > 30 {
+			warm.queries = 30
+		}
+		if _, _, err := drive(client, "http://"+ln.Addr().String()+"/v1/knn", warm, ts, order, knnBody); err != nil {
+			return err
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for _, a := range arms {
+			lat, elapsed, err := drive(client, "http://"+a.ln.Addr().String()+"/v1/knn", single, ts, order, knnBody)
+			if err != nil {
+				return err
+			}
+			sum := summarize(lat, elapsed)
+			a.p50s = append(a.p50s, sum.P50US)
+			a.p99s = append(a.p99s, sum.P99US)
+		}
+	}
+	minOf := func(vs []int64) int64 {
+		best := vs[0]
+		for _, v := range vs[1:] {
+			if v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	for _, a := range arms {
+		if a.on {
+			rep.BoundedRefine.KnnP50OnUS = minOf(a.p50s)
+			rep.BoundedRefine.KnnP99OnUS = minOf(a.p99s)
+			var snap server.Snapshot
+			if err := getJSON(client, "http://"+a.ln.Addr().String()+"/metrics", &snap); err != nil {
+				return err
+			}
+			rep.BoundedRefine.RefineAborted = snap.Queries.RefineAbortedTotal
+			rep.BoundedRefine.PrecheckRejects = snap.Queries.PrecheckRejectsTotal
+			rep.BoundedRefine.DPCells = snap.Queries.DPCellsTotal
+			rep.BoundedRefine.DPCellsFull = snap.Queries.DPCellsFullTotal
+			if snap.Queries.DPCellsFullTotal > 0 {
+				rep.BoundedRefine.DPCellsRatio =
+					float64(snap.Queries.DPCellsTotal) / float64(snap.Queries.DPCellsFullTotal)
+			}
+		} else {
+			rep.BoundedRefine.KnnP50OffUS = minOf(a.p50s)
+			rep.BoundedRefine.KnnP99OffUS = minOf(a.p99s)
+		}
+	}
+	return nil
 }
 
 // benchOTLP stands up an in-process OTLP/JSON collector that rejects

@@ -80,6 +80,13 @@ type filterReport struct {
 	TotalP99US int64 `json:"total_p99_us"`
 	// IndexBuildUS is the one-time cost of building this filter's index.
 	IndexBuildUS int64 `json:"index_build_us"`
+	// Bounded-verification counters over the replay: verifications cut
+	// short by the O(n) pre-checks or by a DP early abort, and the DP
+	// cells actually computed vs. what full verification would cost.
+	RefineAborted   int   `json:"refine_aborted"`
+	PrecheckRejects int   `json:"precheck_rejects"`
+	DPCells         int64 `json:"dp_cells"`
+	DPCellsFull     int64 `json:"dp_cells_full"`
 }
 
 // report is the written JSON document.
@@ -283,6 +290,10 @@ func replay(spec string, f search.Filter, ts []*tree.Tree, recs []qlog.Record) (
 		datasetScans += stats.Dataset
 		candidates += stats.Candidates
 		falsePos += stats.FalsePositives
+		fr.RefineAborted += stats.RefineAborted
+		fr.PrecheckRejects += stats.PrecheckRejects
+		fr.DPCells += stats.DPCells
+		fr.DPCellsFull += stats.DPCellsFull
 		filterTime += stats.FilterTime
 		refineTime += stats.RefineTime
 		for _, t := range stats.Tightness {
@@ -320,15 +331,20 @@ func printTable(w io.Writer, rep report) {
 	sort.Slice(rows, func(i, j int) bool { return rows[i].AccessedFraction < rows[j].AccessedFraction })
 	fmt.Fprintf(w, "workload: %d queries over %d trees (%s)\n\n", rep.Records, rep.Dataset, rep.QlogPath)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "filter\taccessed\tcand/query\tfp-rate\ttightness\tfilter-us\trefine-us\tp99-us")
+	fmt.Fprintln(tw, "filter\taccessed\tcand/query\tfp-rate\ttightness\tfilter-us\trefine-us\tp99-us\tdp-cells\tcut-short")
 	for _, r := range rows {
 		tight := "-"
 		if r.TightnessSamples > 0 {
 			tight = fmt.Sprintf("%.2f/%d", r.TightnessMean, r.TightnessLimit)
 		}
-		fmt.Fprintf(tw, "%s\t%.4f\t%.1f\t%.3f\t%s\t%.0f\t%.0f\t%d\n",
+		cells := "-"
+		if r.DPCellsFull > 0 {
+			cells = fmt.Sprintf("%.2f", float64(r.DPCells)/float64(r.DPCellsFull))
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%.1f\t%.3f\t%s\t%.0f\t%.0f\t%d\t%s\t%d+%d\n",
 			r.Spec, r.AccessedFraction, r.CandidatesMean, r.FalsePositiveRate,
-			tight, r.FilterMeanUS, r.RefineMeanUS, r.TotalP99US)
+			tight, r.FilterMeanUS, r.RefineMeanUS, r.TotalP99US,
+			cells, r.PrecheckRejects, r.RefineAborted)
 	}
 	tw.Flush()
 }

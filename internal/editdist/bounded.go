@@ -1,0 +1,221 @@
+package editdist
+
+import "treesim/internal/tree"
+
+// Threshold-bounded verification: a cutoff-aware variant of the
+// Zhang–Shasha program for callers that only need a yes/no against a known
+// threshold (the refine stage of similarity search: τ for range queries,
+// the running k-th-best for k-NN). Three mechanisms, in escalating cost:
+//
+//  1. O(n) pre-checks. Size delta, height delta, and label-histogram L1
+//     delta are each admissible lower bounds on the number of edit
+//     operations; scaled by the cost model's per-operation minimum they
+//     reject a pair before any DP memory is even allocated.
+//
+//  2. Diagonal band. A forest-distance cell comparing prefixes whose
+//     sizes differ by more than band = cutoff/minOpCost nodes costs more
+//     than the cutoff in unmatched inserts or deletes alone, so each
+//     keyroot subproblem only fills the cells within that band of its
+//     diagonal (Ukkonen's trick, lifted to the tree DP).
+//
+//  3. Frontier-row abandoning. When every cell of a subproblem's frontier
+//     row exceeds the cutoff, every later cell of that subproblem does
+//     too: restricting an optimal Tai mapping of larger prefixes to the
+//     frontier row's prefix yields a valid, cheaper mapping measured by
+//     some cell of that row. The subproblem is abandoned and its untouched
+//     tree-distance entries keep the `unreachable` sentinel — which is
+//     exactly their meaning for the subproblems that read them later.
+//
+// Soundness: band-confined values never underestimate (they minimize over
+// a subset of edit paths), and whenever the true distance is ≤ the cutoff
+// the optimal path stays inside the band (leaving it costs > cutoff on
+// non-decreasing path costs), so the computed value is exact. A computed
+// value > cutoff therefore proves the true distance > cutoff, but may
+// overshoot it — which is why bounded calls report `cutoff+1` as the
+// certified lower bound rather than the raw cell value. The band and the
+// pre-checks need a positive per-operation minimum cost (see MinOpCoster);
+// without one the band degenerates to the full matrix and only the — still
+// sound for any non-negative costs — row abandoning remains.
+
+// unreachable is the sentinel for "no mapping at or below the cutoff
+// reaches this cell". It is far enough from the int ceiling that adding
+// operation costs cannot wrap, and any value at or above it compares
+// greater than every admissible cutoff.
+const unreachable = int(^uint(0)>>1) / 4 // math.MaxInt / 4
+
+// sat adds an operation cost onto a (possibly unreachable) DP value,
+// saturating so unreachable stays unreachable.
+func sat(v, cost int) int {
+	if v >= unreachable || v+cost >= unreachable {
+		return unreachable
+	}
+	return v + cost
+}
+
+// MinOpCoster is an optional CostModel capability: a uniform lower bound
+// (≥ 1) on the cost of every single edit operation — every insert, every
+// delete, and every relabel between distinct labels. Models reporting it
+// unlock the pre-checks and the diagonal band of the bounded distance;
+// models without it still get frontier-row abandoning, which is sound for
+// any non-negative costs.
+type MinOpCoster interface {
+	MinOpCost() int
+}
+
+// MinOpCost implements MinOpCoster: every UnitCost operation costs 1.
+func (UnitCost) MinOpCost() int { return 1 }
+
+// minOpCost resolves a model's per-operation minimum, 0 when unknown.
+func minOpCost(c CostModel) int {
+	if m, ok := c.(MinOpCoster); ok {
+		if v := m.MinOpCost(); v >= 1 {
+			return v
+		}
+	}
+	return 0
+}
+
+// precheckBound returns the best O(n) admissible lower bound on the edit
+// distance: max of size delta, height delta, and half the label-histogram
+// L1 delta (rounded up), scaled by the per-operation minimum cost. Each is
+// a lower bound on the operation count — insert/delete change size and
+// height by at most one and histogram mass by one; relabel changes
+// neither size nor height and at most two units of mass.
+func precheckBound(t1, t2 *tree.Tree, a, b *decomp, cmin int) int {
+	lb := a.n - b.n
+	if lb < 0 {
+		lb = -lb
+	}
+	if hd := t1.Height() - t2.Height(); hd > lb {
+		lb = hd
+	} else if -hd > lb {
+		lb = -hd
+	}
+	counts := make(map[string]int, a.n)
+	for i := 1; i <= a.n; i++ {
+		counts[a.label[i]]++
+	}
+	for j := 1; j <= b.n; j++ {
+		counts[b.label[j]]--
+	}
+	l1 := 0
+	for _, v := range counts {
+		if v < 0 {
+			v = -v
+		}
+		l1 += v
+	}
+	if h := (l1 + 1) / 2; h > lb {
+		lb = h
+	}
+	if lb > 0 && cmin > unreachable/lb {
+		return unreachable
+	}
+	return cmin * lb
+}
+
+// fullCells is how many interior forest-distance cells the unbounded
+// program computes: Σ over keyroot pairs of (i−lml(i)+1)·(j−lml(j)+1),
+// which factorizes into the product of the two trees' per-keyroot
+// special-subforest size sums.
+func fullCells(a, b *decomp) int64 {
+	var sa, sb int64
+	for _, i := range a.keyroots {
+		sa += int64(i - a.lml[i] + 1)
+	}
+	for _, j := range b.keyroots {
+		sb += int64(j - b.lml[j] + 1)
+	}
+	return sa * sb
+}
+
+// distBounded runs the band-limited, early-abandoning program over all
+// keyroot pairs (both trees non-empty). It returns the root cell — which
+// is the exact distance when ≤ cutoff, and otherwise only a witness that
+// the distance exceeds it (possibly the unreachable sentinel).
+func distBounded(a, b *decomp, c CostModel, cutoff, band int, m *Metrics) int {
+	// td starts at unreachable: a cell a subproblem never wrote (cut off by
+	// the band, or behind an abandoned frontier) is proven > cutoff, and
+	// the sentinel makes later subproblems treat it exactly that way.
+	td := make([][]int, a.n+1)
+	for i := range td {
+		row := make([]int, b.n+1)
+		for j := range row {
+			row[j] = unreachable
+		}
+		td[i] = row
+	}
+	fd := make([][]int, a.n+1)
+	for i := range fd {
+		fd[i] = make([]int, b.n+1)
+	}
+	var cells int64
+	for _, i := range a.keyroots {
+		for _, j := range b.keyroots {
+			treeDistBounded(a, b, i, j, c, td, fd, cutoff, band, &cells)
+		}
+	}
+	if m != nil {
+		m.Cells = cells
+	}
+	return td[a.n][b.n]
+}
+
+// treeDistBounded fills the in-band cells of one keyroot subproblem,
+// abandoning it as soon as an entire frontier row exceeds the cutoff (the
+// untouched td entries keep their unreachable sentinel). Reads outside the
+// band — or of fd scratch the band never wrote — go through read, which
+// substitutes the sentinel.
+func treeDistBounded(a, b *decomp, i, j int, c CostModel, td, fd [][]int, cutoff, band int, cells *int64) {
+	li, lj := a.lml[i], b.lml[j]
+	// A cell (r, cc) is in band when the two forest prefixes it compares
+	// differ by at most band nodes; anything farther off the diagonal
+	// costs more than the cutoff in unmatched inserts or deletes alone.
+	read := func(r, cc int) int {
+		if d := (r - li) - (cc - lj); d > band || d < -band {
+			return unreachable
+		}
+		return fd[r][cc]
+	}
+	fd[li-1][lj-1] = 0
+	for dj := lj; dj <= j && dj-lj < band; dj++ {
+		fd[li-1][dj] = sat(fd[li-1][dj-1], c.Insert(b.label[dj]))
+	}
+	for di := li; di <= i; di++ {
+		rowMin := unreachable
+		if di-li < band {
+			fd[di][lj-1] = sat(fd[di-1][lj-1], c.Delete(a.label[di]))
+			rowMin = fd[di][lj-1]
+		}
+		lo, hi := lj+(di-li)-band, lj+(di-li)+band
+		if lo < lj {
+			lo = lj
+		}
+		if hi > j {
+			hi = j
+		}
+		for dj := lo; dj <= hi; dj++ {
+			del := sat(read(di-1, dj), c.Delete(a.label[di]))
+			ins := sat(read(di, dj-1), c.Insert(b.label[dj]))
+			var v int
+			if a.lml[di] == li && b.lml[dj] == lj {
+				rel := sat(read(di-1, dj-1), c.Relabel(a.label[di], b.label[dj]))
+				v = min3(del, ins, rel)
+				td[di][dj] = v
+			} else {
+				sub := sat(read(a.lml[di]-1, b.lml[dj]-1), td[di][dj])
+				v = min3(del, ins, sub)
+			}
+			fd[di][dj] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if hi >= lo {
+			*cells += int64(hi - lo + 1)
+		}
+		if rowMin > cutoff {
+			return
+		}
+	}
+}

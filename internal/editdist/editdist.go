@@ -7,11 +7,14 @@
 //
 //	O(|T1|·|T2|·min(depth(T1),leaves(T1))·min(depth(T2),leaves(T2)))
 //
-// time and O(|T1|·|T2|) space. The package also provides the classic string
-// edit distance and the Guha et al. preorder/postorder sequence lower bound
-// (reference [15]), used as an additional filter baseline, and an
-// exponential brute-force distance over Tai mappings used to validate the
-// dynamic program in tests.
+// time and O(|T1|·|T2|) space. The entry points are options-based
+// (Distance, WithCost, WithCutoff); DistanceWithin is the cutoff-first
+// surface for threshold verification, backed by O(n) pre-checks, a
+// diagonal DP band and frontier-row early abandoning (see bounded.go).
+// The package also provides the classic string edit distance and the Guha
+// et al. preorder/postorder sequence lower bound (reference [15]), used as
+// an additional filter baseline, and an exponential brute-force distance
+// over Tai mappings used to validate the dynamic program in tests.
 package editdist
 
 import "treesim/internal/tree"
@@ -48,24 +51,106 @@ func (UnitCost) Insert(string) int { return 1 }
 // Delete implements CostModel.
 func (UnitCost) Delete(string) int { return 1 }
 
-// Distance returns the unit-cost tree edit distance between t1 and t2.
-func Distance(t1, t2 *tree.Tree) int {
-	return DistanceCost(t1, t2, UnitCost{})
+// Distance returns the tree edit distance between t1 and t2 under the
+// options' cost model (unit costs by default):
+//
+//	d := editdist.Distance(t1, t2)                        // paper's unit costs
+//	d := editdist.Distance(t1, t2, editdist.WithCost(c))  // custom model
+//
+// With WithCutoff the computation is bounded: the result is exact whenever
+// it is ≤ the cutoff and otherwise only guaranteed to exceed it. Callers
+// that need to know which side the pair landed on should use
+// DistanceWithin.
+func Distance(t1, t2 *tree.Tree, opts ...Option) int {
+	cfg := applyOptions(opts)
+	d, _ := distance(t1, t2, &cfg)
+	return d
+}
+
+// DistanceWithin is the cutoff-first entry point for threshold
+// verification: it decides whether the edit distance between t1 and t2 is
+// at most cutoff, spending as little work as the decision allows
+// (pre-checks, diagonal band, early abandoning — see bounded.go). It
+// returns (d, true) with the exact distance d when d ≤ cutoff, and
+// (lb, false) with a certified lower bound lb > cutoff when the distance
+// is proven to exceed it.
+func DistanceWithin(t1, t2 *tree.Tree, cutoff int, opts ...Option) (int, bool) {
+	cfg := applyOptions(opts)
+	if cutoff < cfg.cutoff {
+		cfg.cutoff = cutoff
+	}
+	return distance(t1, t2, &cfg)
 }
 
 // DistanceCost returns the tree edit distance under an arbitrary cost
 // model, using the Zhang–Shasha dynamic program.
+//
+// Deprecated: use Distance(t1, t2, WithCost(c)).
 func DistanceCost(t1, t2 *tree.Tree, c CostModel) int {
+	return Distance(t1, t2, WithCost(c))
+}
+
+// distance dispatches a folded configuration: empty-tree cases first, then
+// the unbounded or the bounded program. The boolean reports dist ≤ cutoff;
+// when false the returned value is a certified lower bound > cutoff.
+func distance(t1, t2 *tree.Tree, cfg *config) (int, bool) {
 	a, b := decompose(t1), decompose(t2)
+	if cfg.metrics != nil {
+		*cfg.metrics = Metrics{FullCells: fullCells(a, b)}
+	}
+	c := cfg.cost
 	switch {
 	case a.n == 0 && b.n == 0:
-		return 0
+		return 0, 0 <= cfg.cutoff
 	case a.n == 0:
-		return b.totalCost(c.Insert)
+		d := b.totalCost(c.Insert)
+		return d, d <= cfg.cutoff
 	case b.n == 0:
-		return a.totalCost(c.Delete)
+		d := a.totalCost(c.Delete)
+		return d, d <= cfg.cutoff
 	}
+	cutoff := cfg.cutoff
+	if cutoff >= unreachable {
+		// No cutoff (or one too large to prune anything): the plain
+		// program, with every cell of every keyroot subproblem computed.
+		d := distFull(a, b, c, cfg.metrics)
+		return d, d <= cutoff
+	}
+	if cutoff < 0 {
+		// Distances are non-negative, so nothing is within a negative
+		// cutoff; 0 is the trivial certified lower bound.
+		if cfg.metrics != nil {
+			cfg.metrics.Precheck = true
+		}
+		return 0, false
+	}
+	cmin := minOpCost(c)
+	band := a.n + b.n // covers every cell: no restriction
+	if cmin >= 1 {
+		if lb := precheckBound(t1, t2, a, b, cmin); lb > cutoff {
+			if cfg.metrics != nil {
+				cfg.metrics.Precheck = true
+			}
+			return lb, false
+		}
+		if w := cutoff / cmin; w < band {
+			band = w
+		}
+	}
+	d := distBounded(a, b, c, cutoff, band, cfg.metrics)
+	if d > cutoff {
+		// The band-confined value proves dist > cutoff but may overshoot
+		// the true distance, so certify only the tight integer bound.
+		if cfg.metrics != nil {
+			cfg.metrics.Aborted = true
+		}
+		return cutoff + 1, false
+	}
+	return d, true
+}
 
+// distFull runs the unbounded Zhang–Shasha program (both trees non-empty).
+func distFull(a, b *decomp, c CostModel, m *Metrics) int {
 	// td[i][j] = tree distance between subtree rooted at postorder node i
 	// of T1 and subtree rooted at postorder node j of T2 (1-based).
 	td := make([][]int, a.n+1)
@@ -82,6 +167,9 @@ func DistanceCost(t1, t2 *tree.Tree, c CostModel) int {
 		for _, j := range b.keyroots {
 			treeDist(a, b, i, j, c, td, fd)
 		}
+	}
+	if m != nil {
+		m.Cells = m.FullCells
 	}
 	return td[a.n][b.n]
 }

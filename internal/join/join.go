@@ -59,7 +59,7 @@ func SelfJoin(ts []*tree.Tree, tau int, opts Options) ([]Pair, Stats) {
 				continue
 			}
 			atomic.AddInt64(&verified, 1)
-			if d := editdist.DistanceCost(ts[i], ts[j], cost); d <= tau {
+			if d, ok := editdist.DistanceWithin(ts[i], ts[j], tau, editdist.WithCost(cost)); ok {
 				local = append(local, Pair{R: i, S: j, Dist: d})
 			}
 		}
@@ -102,7 +102,7 @@ func Join(rs, ss []*tree.Tree, tau int, opts Options) ([]Pair, Stats) {
 				continue
 			}
 			atomic.AddInt64(&verified, 1)
-			if d := editdist.DistanceCost(rs[i], ss[j], cost); d <= tau {
+			if d, ok := editdist.DistanceWithin(rs[i], ss[j], tau, editdist.WithCost(cost)); ok {
 				local = append(local, Pair{R: i, S: j, Dist: d})
 			}
 		}

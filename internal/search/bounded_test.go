@@ -1,0 +1,108 @@
+package search
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"treesim/internal/tree"
+)
+
+// TestBoundedRefineInvariance is the bounded verification engine's
+// exactness certificate: across every filter family, several shard counts
+// and both query kinds, an index refining against the live cutoff returns
+// byte-identical results (and identical deterministic counters) to one
+// computing every distance in full. Verified counts attempts in both
+// modes, so for range queries even the attempt counter must match.
+func TestBoundedRefineInvariance(t *testing.T) {
+	ts := testDataset(90, 53)
+	queries := []*tree.Tree{ts[3], ts[60], testDataset(1, 77)[0]}
+	for _, f := range shardFilters() {
+		for _, S := range []int{1, 3, 0} {
+			full := NewIndex(ts, WithFilter(freshFilter(f)), WithShards(S), WithBoundedRefine(false))
+			bounded := NewIndex(ts, WithFilter(freshFilter(f)), WithShards(S))
+			if full.BoundedRefine() || !bounded.BoundedRefine() {
+				t.Fatal("BoundedRefine accessor disagrees with the options")
+			}
+			for qi, q := range queries {
+				for _, k := range []int{1, 5, 12} {
+					want, _, err := full.KNN(context.Background(), q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, bstats, err := bounded.KNN(context.Background(), q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s S=%d q=%d k=%d: bounded %v, full %v", f.Name(), S, qi, k, got, want)
+					}
+					if bstats.DPCells > bstats.DPCellsFull {
+						t.Fatalf("%s S=%d q=%d k=%d: touched %d cells > full %d",
+							f.Name(), S, qi, k, bstats.DPCells, bstats.DPCellsFull)
+					}
+				}
+				for _, tau := range []int{0, 2, 6} {
+					want, wstats, err := full.Range(context.Background(), q, tau)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, bstats, err := bounded.Range(context.Background(), q, tau)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s S=%d q=%d tau=%d: bounded %v, full %v", f.Name(), S, qi, tau, got, want)
+					}
+					if bstats.Verified != wstats.Verified ||
+						bstats.Candidates != wstats.Candidates ||
+						bstats.Results != wstats.Results ||
+						bstats.FalsePositives != wstats.FalsePositives {
+						t.Fatalf("%s S=%d q=%d tau=%d: stats %+v, want %+v",
+							f.Name(), S, qi, tau, bstats, wstats)
+					}
+					if wstats.RefineAborted != 0 || wstats.PrecheckRejects != 0 {
+						t.Fatalf("full refine reported bounded counters: %+v", wstats)
+					}
+					if bstats.Verified > 0 && bstats.DPCells >= bstats.DPCellsFull &&
+						bstats.RefineAborted+bstats.PrecheckRejects > 0 {
+						t.Fatalf("%s S=%d q=%d tau=%d: rejections without cell savings: %+v",
+							f.Name(), S, qi, tau, bstats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBoundedRefineCountersFire: on a realistic workload the bounded
+// engine must actually exercise both cut-short paths — pre-check
+// rejections and DP early aborts — and touch strictly fewer cells than
+// full verification would. (The exact split is data-dependent; firing at
+// all is the regression being pinned.)
+func TestBoundedRefineCountersFire(t *testing.T) {
+	ts := testDataset(200, 9)
+	ix := NewIndex(ts, NewBiBranch())
+	var agg Stats
+	for qi := 0; qi < 8; qi++ {
+		_, st, err := ix.KNN(context.Background(), ts[qi*20], 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg.Add(st)
+		_, st, err = ix.Range(context.Background(), ts[qi*20+7], 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg.Add(st)
+	}
+	if agg.PrecheckRejects == 0 {
+		t.Errorf("no pre-check rejections across the workload: %+v", agg)
+	}
+	if agg.RefineAborted == 0 {
+		t.Errorf("no DP early aborts across the workload: %+v", agg)
+	}
+	if agg.DPCells >= agg.DPCellsFull {
+		t.Errorf("bounded refine touched %d of %d full cells; want strictly fewer", agg.DPCells, agg.DPCellsFull)
+	}
+}

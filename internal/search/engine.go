@@ -42,6 +42,15 @@ import (
 //     threshold, which never rises and ends at the final k-th distance —
 //     by the lower-bound property such a tree cannot be in the answer.
 //
+// By default the refine stage is threshold-bounded: every verification
+// runs through editdist.DistanceWithin against the live cutoff (τ, or the
+// k-NN atomic threshold), so most false positives are disproven by an
+// O(n) pre-check or an early-abandoned banded DP instead of the full
+// program. This never changes results — a distance proven above the
+// cutoff can't enter the answer — only the work: see the verifier type
+// and the bounded-refine invariance tests. WithBoundedRefine(false)
+// restores full verification.
+//
 // Stats.Verified (and therefore FalsePositives and Tightness) for k-NN can
 // vary with worker timing — opportunistic pruning means a fast machine may
 // verify a few candidates a slow one skips — but results, Candidates and
@@ -265,24 +274,111 @@ func (ix *Index) filterKNN(ctx context.Context, cut *qcut, q *tree.Tree, fspan *
 	return prims, mergeRuns(runs, bounds), bounds, nil
 }
 
+// verifier is the refine stage's shared verification kernel: both query
+// kinds funnel their exact-distance computations through it, so the
+// bounded-verification logic — live cutoff, pre-checks, early abandoning,
+// DP-cell accounting — lives in exactly one place. cutoff returns the
+// threshold a distance must not exceed to matter for the answer: τ for
+// range queries, the current k-th-best for k-NN. It is read once per
+// verification, before the DP; for k-NN that read can be stale, but the
+// threshold only ever decreases, so a stale value is merely a looser
+// (still correct) cutoff.
+type verifier struct {
+	cut     *qcut
+	q       *tree.Tree
+	cutoff  func() int
+	bounded bool
+	costOpt editdist.Option
+
+	verified    atomic.Int64
+	aborted     atomic.Int64
+	prechecked  atomic.Int64
+	dpCells     atomic.Int64
+	dpCellsFull atomic.Int64
+}
+
+func (ix *Index) newVerifier(cut *qcut, q *tree.Tree, cutoff func() int) *verifier {
+	return &verifier{
+		cut: cut, q: q, cutoff: cutoff,
+		bounded: ix.bounded,
+		costOpt: editdist.WithCost(ix.cost),
+	}
+}
+
+// verify computes the edit distance between the query and the tree at
+// global position pos. within reports whether d is the exact distance
+// (it was ≤ the cutoff at verification time); when false, d is only a
+// certified lower bound — the tree is provably too far to matter, which
+// is all the engine needs.
+func (v *verifier) verify(pos int) (si, local, gid, d int, within bool) {
+	si, local, gid = v.cut.locate(pos)
+	t := v.cut.treeOf(si, local)
+	v.verified.Add(1)
+	var m editdist.Metrics
+	if v.bounded {
+		d, within = editdist.DistanceWithin(v.q, t, v.cutoff(), v.costOpt, editdist.WithMetrics(&m))
+		if !within {
+			if m.Precheck {
+				v.prechecked.Add(1)
+			} else {
+				v.aborted.Add(1)
+			}
+		}
+	} else {
+		d = editdist.Distance(v.q, t, v.costOpt, editdist.WithMetrics(&m))
+		within = true
+	}
+	v.dpCells.Add(m.Cells)
+	v.dpCellsFull.Add(m.FullCells)
+	return si, local, gid, d, within
+}
+
+// finish copies the verifier's counters into the query stats and the
+// refine span. dp_cells is the dynamic-programming work the refine stage
+// actually paid; dp_cells_full is what full verification of the same
+// pairs would have cost — the paper's accessed-fraction measure, made
+// cell-exact.
+func (v *verifier) finish(stats *Stats, rspan *obs.Span) {
+	stats.Verified = int(v.verified.Load())
+	stats.RefineAborted = int(v.aborted.Load())
+	stats.PrecheckRejects = int(v.prechecked.Load())
+	stats.DPCells = v.dpCells.Load()
+	stats.DPCellsFull = v.dpCellsFull.Load()
+	rspan.SetInt("dp_cells", stats.DPCells)
+	rspan.SetInt("dp_cells_full", stats.DPCellsFull)
+	rspan.SetInt("aborted", int64(stats.RefineAborted))
+	rspan.SetInt("precheck_rejects", int64(stats.PrecheckRejects))
+}
+
+// clampCutoff converts the k-NN atomic threshold to an editdist cutoff.
+func clampCutoff(v int64) int {
+	if v > int64(math.MaxInt) {
+		return math.MaxInt
+	}
+	return int(v)
+}
+
 // refineKNN verifies candidates in ascending-bound order on the worker
 // pool, maintaining the k-minimal (dist, id) heap under a mutex and the
 // current k-th distance in an atomic that only ever decreases. A worker
 // that meets a bound above the threshold stops the scan: the cursor hands
 // tasks out in ascending order, so everything not yet started bounds at
 // least as high and cannot enter the answer.
+//
+// The same threshold is the bounded verifier's cutoff: a candidate enters
+// the heap only with d < top.Dist, or d == top.Dist on an id tie-break, so
+// a distance proven > thresh can never change the answer, and while the
+// heap is short the threshold is MaxInt64 — every verification is exact.
 func (ix *Index) refineKNN(ctx context.Context, cut *qcut, q *tree.Tree, k int, order, bounds []int, prims *segBounders, stats *Stats, ex *Explain, rspan *obs.Span) ([]Result, error) {
 	var (
 		mu       sync.Mutex
 		h        = &maxHeap{}
 		stop     atomic.Bool
 		canceled atomic.Bool
-		verified atomic.Int64
 		thresh   atomic.Int64
-		dpCells  atomic.Int64
 	)
-	qSize := q.Size()           // Size walks the tree; price it once, not per task
 	thresh.Store(math.MaxInt64) // nothing prunes until the heap holds k
+	ver := ix.newVerifier(cut, q, func() int { return clampCutoff(thresh.Load()) })
 
 	ix.pool.run(len(order), func(j int) {
 		if stop.Load() || canceled.Load() {
@@ -299,11 +395,10 @@ func (ix *Index) refineKNN(ctx context.Context, cut *qcut, q *tree.Tree, k int, 
 			canceled.Store(true)
 			return
 		}
-		si, local, gid := cut.locate(pos)
-		t := cut.treeOf(si, local)
-		d := editdist.DistanceCost(q, t, ix.cost)
-		verified.Add(1)
-		dpCells.Add(int64(qSize) * int64(t.Size()))
+		si, local, gid, d, within := ver.verify(pos)
+		if !within {
+			return
+		}
 		mu.Lock()
 		sampleTightness(prims.at(si), stats, ex, local, gid, bounds[pos], d)
 		switch {
@@ -319,11 +414,7 @@ func (ix *Index) refineKNN(ctx context.Context, cut *qcut, q *tree.Tree, k int, 
 		}
 		mu.Unlock()
 	})
-	stats.Verified = int(verified.Load())
-	// dp_cells is the dynamic-programming work the refine stage paid:
-	// Σ |q|·|t| over every verified pair, the cost model the paper's
-	// accessed-fraction measure abstracts over.
-	rspan.SetInt("dp_cells", dpCells.Load())
+	ver.finish(stats, rspan)
 	if canceled.Load() {
 		return nil, ctx.Err()
 	}
@@ -518,17 +609,17 @@ func (ix *Index) filterRange(ctx context.Context, cut *qcut, q *tree.Tree, tau i
 }
 
 // refineRange verifies every candidate on the worker pool. There is no
-// early termination (the radius is fixed), so Verified is deterministic;
-// the final sort makes the result order independent of worker timing.
+// early termination (the radius is fixed), so Verified — and, because the
+// cutoff τ is the same for every candidate, the whole bounded-verification
+// breakdown — is deterministic; the final sort makes the result order
+// independent of worker timing.
 func (ix *Index) refineRange(ctx context.Context, cut *qcut, q *tree.Tree, tau int, candidates, candBounds []int, prims *segBounders, stats *Stats, ex *Explain, rspan *obs.Span) ([]Result, error) {
 	var (
 		mu       sync.Mutex
 		out      []Result
 		canceled atomic.Bool
-		verified atomic.Int64
-		dpCells  atomic.Int64
 	)
-	qSize := q.Size()
+	ver := ix.newVerifier(cut, q, func() int { return tau })
 	ix.pool.run(len(candidates), func(j int) {
 		if canceled.Load() {
 			return
@@ -537,11 +628,11 @@ func (ix *Index) refineRange(ctx context.Context, cut *qcut, q *tree.Tree, tau i
 			canceled.Store(true)
 			return
 		}
-		si, local, gid := cut.locate(candidates[j])
-		t := cut.treeOf(si, local)
-		d := editdist.DistanceCost(q, t, ix.cost)
-		verified.Add(1)
-		dpCells.Add(int64(qSize) * int64(t.Size()))
+		si, local, gid, d, within := ver.verify(candidates[j])
+		if !within {
+			// Proven > τ; an inexact distance carries no tightness signal.
+			return
+		}
 		mu.Lock()
 		sampleTightness(prims.at(si), stats, ex, local, gid, candBounds[j], d)
 		if d <= tau {
@@ -549,8 +640,7 @@ func (ix *Index) refineRange(ctx context.Context, cut *qcut, q *tree.Tree, tau i
 		}
 		mu.Unlock()
 	})
-	stats.Verified = int(verified.Load())
-	rspan.SetInt("dp_cells", dpCells.Load())
+	ver.finish(stats, rspan)
 	if canceled.Load() {
 		return nil, ctx.Err()
 	}

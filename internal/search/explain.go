@@ -100,6 +100,16 @@ type Explain struct {
 	Results int `json:"results"`
 	// AccessedFraction is Verified/Dataset — the paper's quality measure.
 	AccessedFraction float64 `json:"accessed_fraction"`
+	// RefineAborted and PrecheckRejects break down how many of the
+	// Verified attempts the bounded verifier cut short: DP early aborts
+	// and O(n) pre-check rejections (both zero under full refine).
+	RefineAborted   int `json:"refine_aborted"`
+	PrecheckRejects int `json:"precheck_rejects"`
+	// DPCells is the dynamic-programming cells the refine stage computed;
+	// DPCellsFull is what full verification of the same pairs would have
+	// cost.
+	DPCells     int64 `json:"dp_cells"`
+	DPCellsFull int64 `json:"dp_cells_full"`
 	// Bounds is the distribution of the computed lower bounds.
 	Bounds BoundDist `json:"bounds"`
 	// Tightness holds up to tightnessCap verified-pair samples.
@@ -188,6 +198,10 @@ func (e *Explain) finish(f Filter, st Stats) {
 	e.FalsePositives = st.FalsePositives
 	e.Results = st.Results
 	e.AccessedFraction = st.AccessedFraction()
+	e.RefineAborted = st.RefineAborted
+	e.PrecheckRejects = st.PrecheckRejects
+	e.DPCells = st.DPCells
+	e.DPCellsFull = st.DPCellsFull
 	e.FilterUS = st.FilterTime.Microseconds()
 	e.RefineUS = st.RefineTime.Microseconds()
 	if fr, ok := f.(FactorReporter); ok {
@@ -210,6 +224,8 @@ func (e *Explain) String() string {
 		e.Candidates, e.Verified, e.FalsePositives, e.Results, e.AccessedFraction)
 	fmt.Fprintf(&b, "  bounds: computed=%d min=%d p50=%d p99=%d max=%d\n",
 		e.Bounds.Computed, e.Bounds.Min, e.Bounds.P50, e.Bounds.P99, e.Bounds.Max)
+	fmt.Fprintf(&b, "  refine: aborted=%d precheck_rejects=%d dp_cells=%d/%d\n",
+		e.RefineAborted, e.PrecheckRejects, e.DPCells, e.DPCellsFull)
 	fmt.Fprintf(&b, "  stages: filter=%dµs refine=%dµs\n", e.FilterUS, e.RefineUS)
 	if len(e.Tightness) > 0 {
 		limit := ""

@@ -159,6 +159,7 @@ func TestExplainString(t *testing.T) {
 		"explain: knn k=3 filter=BiBranch dataset=30\n",
 		"false_positives=", "accessed=0.",
 		"bounds: computed=30 ",
+		"refine: aborted=", " precheck_rejects=", " dp_cells=",
 		"stages: filter=Xµs refine=Xµs\n",
 		"tightness BDist/EDist (proven ≤ 5):",
 	} {
@@ -166,10 +167,10 @@ func TestExplainString(t *testing.T) {
 			t.Errorf("rendering lacks %q:\n%s", want, got)
 		}
 	}
-	// The whole layout: four-plus lines, each prefixed predictably.
+	// The whole layout: five-plus lines, each prefixed predictably.
 	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
-	if len(lines) != 5 {
-		t.Errorf("rendering has %d lines, want 5:\n%s", len(lines), got)
+	if len(lines) != 6 {
+		t.Errorf("rendering has %d lines, want 6:\n%s", len(lines), got)
 	}
 }
 

@@ -43,11 +43,23 @@ type Result struct {
 type Stats struct {
 	Dataset        int           // visible dataset size (tombstoned trees excluded)
 	Candidates     int           // trees the filter could not prune (see Explain.Candidates)
-	Verified       int           // trees whose exact edit distance was computed
+	Verified       int           // trees the refine stage took to verification
 	Results        int           // result set size
 	FalsePositives int           // verified candidates whose exact distance failed the predicate
 	FilterTime     time.Duration // time spent computing lower bounds
 	RefineTime     time.Duration // time spent computing exact distances
+	// Bounded-verification breakdown (zero when the index runs full
+	// refine): of the Verified attempts, PrecheckRejects were disproven by
+	// an O(n) pre-check before any DP, and RefineAborted by the DP
+	// abandoning early once the distance provably exceeded the live
+	// cutoff. DPCells is the dynamic-programming cells actually computed
+	// across the query's verifications; DPCellsFull is what the unbounded
+	// program would have computed for the same pairs — the gap is the
+	// refine work the cutoff saved.
+	RefineAborted   int
+	PrecheckRejects int
+	DPCells         int64
+	DPCellsFull     int64
 	// Tightness holds sampled BDist/EDist ratios of verified pairs (capped
 	// per query), when the filter exposes a branch distance. Each ratio is
 	// provably ≤ the filter's Factor; the server feeds them into a rolling
@@ -77,6 +89,10 @@ func (s *Stats) Add(o Stats) {
 	s.FalsePositives += o.FalsePositives
 	s.FilterTime += o.FilterTime
 	s.RefineTime += o.RefineTime
+	s.RefineAborted += o.RefineAborted
+	s.PrecheckRejects += o.PrecheckRejects
+	s.DPCells += o.DPCells
+	s.DPCellsFull += o.DPCellsFull
 	if room := statsTightnessCap - len(s.Tightness); room > 0 {
 		if len(o.Tightness) < room {
 			room = len(o.Tightness)
@@ -94,8 +110,13 @@ func (s Stats) FalsePositiveRate() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("verified %d/%d (%.2f%%), %d candidates, %d false positives, filter %v, refine %v",
+	out := fmt.Sprintf("verified %d/%d (%.2f%%), %d candidates, %d false positives, filter %v, refine %v",
 		s.Verified, s.Dataset, 100*s.AccessedFraction(), s.Candidates, s.FalsePositives, s.FilterTime, s.RefineTime)
+	if s.RefineAborted > 0 || s.PrecheckRejects > 0 {
+		out += fmt.Sprintf(", bounded: %d aborted, %d precheck rejects, %d/%d dp cells",
+			s.RefineAborted, s.PrecheckRejects, s.DPCells, s.DPCellsFull)
+	}
+	return out
 }
 
 // Index is a similarity-searchable tree collection with a storage
@@ -111,8 +132,9 @@ func (s Stats) String() string {
 // monotonically and never reused; results across any segment layout are
 // identical (see the segment-layout invariance tests).
 type Index struct {
-	filter Filter // the configured prototype (also the initial segment's filter)
-	cost   editdist.CostModel
+	filter  Filter // the configured prototype (also the initial segment's filter)
+	cost    editdist.CostModel
+	bounded bool // WithBoundedRefine: verify against the live cutoff
 
 	shards int       // WithShards; 0 = pool size
 	pool   *workPool // shared worker budget for shard + refine helpers
@@ -152,10 +174,11 @@ func newIndexFromConfig(ts []*tree.Tree, cfg indexConfig) *Index {
 		cfg.filter = NewNone()
 	}
 	ix := &Index{
-		filter: cfg.filter,
-		cost:   cfg.cost,
-		shards: cfg.shards,
-		pool:   newWorkPool(cfg.refineWorkers),
+		filter:  cfg.filter,
+		cost:    cfg.cost,
+		bounded: cfg.boundedRefine,
+		shards:  cfg.shards,
+		pool:    newWorkPool(cfg.refineWorkers),
 	}
 	// Build the prototype before the store: the memtable hook derives its
 	// filter from the (then fully resolved) prototype configuration.
@@ -261,6 +284,10 @@ func (ix *Index) Shards() int { return ix.shards }
 
 // RefineWorkers returns the size of the index's worker pool.
 func (ix *Index) RefineWorkers() int { return ix.pool.size }
+
+// BoundedRefine reports whether the refine stage verifies candidates
+// against the live cutoff (the default) or always computes full distances.
+func (ix *Index) BoundedRefine() bool { return ix.bounded }
 
 // KNN returns the k nearest neighbors of q by tree edit distance,
 // implementing Algorithm 2 over the segmented store: lower bounds are

@@ -49,6 +49,12 @@ type Metrics struct {
 	FilterCandidates   *obs.Histogram
 	FalsePositiveRatio *obs.Histogram
 	Tightness          *obs.RollingHistogram
+
+	// DPCellsPerVerify buckets, per query, the mean dynamic-programming
+	// cells paid per verification — the bounded refine engine's work
+	// gauge (a full Zhang–Shasha verification of two ~30-node trees costs
+	// thousands of cells; pre-checks and early aborts pull the mean down).
+	DPCellsPerVerify *obs.Histogram
 }
 
 // latencyBounds are the histogram bucket upper bounds.
@@ -82,6 +88,9 @@ var tightnessBounds = []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
 
 // tightnessWindow is the rolling histogram's span (10 slots inside it).
 const tightnessWindow = 10 * time.Minute
+
+// dpCellsBounds bucket the mean DP cells per verification.
+var dpCellsBounds = []float64{16, 64, 256, 1024, 4096, 16384, 65536, 262144}
 
 type endpointStats struct {
 	requests uint64
@@ -117,6 +126,7 @@ func NewMetrics() *Metrics {
 		FilterCandidates:   obs.NewHistogram(candidateBounds),
 		FalsePositiveRatio: obs.NewHistogram(ratioBounds),
 		Tightness:          obs.NewRollingHistogram(tightnessBounds, tightnessWindow, 10),
+		DPCellsPerVerify:   obs.NewHistogram(dpCellsBounds),
 	}
 }
 
@@ -158,6 +168,7 @@ func (m *Metrics) ObserveQuery(s search.Stats) {
 	m.FilterCandidates.Observe(float64(s.Candidates))
 	if s.Verified > 0 {
 		m.FalsePositiveRatio.Observe(s.FalsePositiveRate())
+		m.DPCellsPerVerify.Observe(float64(s.DPCells) / float64(s.Verified))
 	}
 	for _, t := range s.Tightness {
 		m.Tightness.Observe(t)
@@ -196,16 +207,24 @@ type LatencySnapshot struct {
 
 // QuerySnapshot is the rendered aggregate over all similarity queries.
 type QuerySnapshot struct {
-	Count                uint64            `json:"count"`
-	VerifiedTotal        int               `json:"verified_total"`
-	DatasetTotal         int               `json:"dataset_total"`
-	ResultsTotal         int               `json:"results_total"`
-	CandidatesTotal      int               `json:"candidates_total"`
-	FalsePositivesTotal  int               `json:"false_positives_total"`
-	MeanAccessedFraction float64           `json:"mean_accessed_fraction"`
-	FalsePositiveRate    float64           `json:"false_positive_rate"`
-	FilterMicrosTotal    int64             `json:"filter_us_total"`
-	RefineMicrosTotal    int64             `json:"refine_us_total"`
+	Count                uint64  `json:"count"`
+	VerifiedTotal        int     `json:"verified_total"`
+	DatasetTotal         int     `json:"dataset_total"`
+	ResultsTotal         int     `json:"results_total"`
+	CandidatesTotal      int     `json:"candidates_total"`
+	FalsePositivesTotal  int     `json:"false_positives_total"`
+	MeanAccessedFraction float64 `json:"mean_accessed_fraction"`
+	FalsePositiveRate    float64 `json:"false_positive_rate"`
+	FilterMicrosTotal    int64   `json:"filter_us_total"`
+	RefineMicrosTotal    int64   `json:"refine_us_total"`
+	// Bounded-verification counters: of the verification attempts, how
+	// many the refine stage cut short by a pre-check or an early DP abort,
+	// and the DP cells actually computed vs. what full verification of the
+	// same pairs would have cost.
+	RefineAbortedTotal   int               `json:"refine_aborted_total"`
+	PrecheckRejectsTotal int               `json:"precheck_rejects_total"`
+	DPCellsTotal         int64             `json:"dp_cells_total"`
+	DPCellsFullTotal     int64             `json:"dp_cells_full_total"`
 	AccessedBuckets      map[string]uint64 `json:"accessed_fraction_buckets"`
 }
 
@@ -264,6 +283,9 @@ type Snapshot struct {
 	FilterCandidates   HistogramJSON `json:"filter_candidates"`
 	FilterFPRatio      HistogramJSON `json:"filter_false_positive_ratio"`
 	FilterTightness10m HistogramJSON `json:"filter_tightness_ratio_10m"`
+	// Bounded-refine work histogram: per-query mean DP cells per
+	// verification (the sum field is in cells, not seconds).
+	RefineDPCells HistogramJSON `json:"refine_dp_cells_per_verification"`
 	// Runtime telemetry (heap, goroutines, GC pauses, scheduler latency),
 	// the per-endpoint SLO burn-rate table, and the flight recorder's
 	// retention stats. Filled by the handler per scrape, like the gauges.
@@ -384,15 +406,19 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	q := m.query
 	out.Queries = QuerySnapshot{
-		Count:               q.count,
-		VerifiedTotal:       q.total.Verified,
-		DatasetTotal:        q.total.Dataset,
-		ResultsTotal:        q.total.Results,
-		CandidatesTotal:     q.total.Candidates,
-		FalsePositivesTotal: q.total.FalsePositives,
-		FilterMicrosTotal:   q.total.FilterTime.Microseconds(),
-		RefineMicrosTotal:   q.total.RefineTime.Microseconds(),
-		AccessedBuckets:     make(map[string]uint64, len(q.accessedBuckets)),
+		Count:                q.count,
+		VerifiedTotal:        q.total.Verified,
+		DatasetTotal:         q.total.Dataset,
+		ResultsTotal:         q.total.Results,
+		CandidatesTotal:      q.total.Candidates,
+		FalsePositivesTotal:  q.total.FalsePositives,
+		FilterMicrosTotal:    q.total.FilterTime.Microseconds(),
+		RefineMicrosTotal:    q.total.RefineTime.Microseconds(),
+		RefineAbortedTotal:   q.total.RefineAborted,
+		PrecheckRejectsTotal: q.total.PrecheckRejects,
+		DPCellsTotal:         q.total.DPCells,
+		DPCellsFullTotal:     q.total.DPCellsFull,
+		AccessedBuckets:      make(map[string]uint64, len(q.accessedBuckets)),
 	}
 	out.Queries.MeanAccessedFraction = q.total.AccessedFraction()
 	out.Queries.FalsePositiveRate = q.total.FalsePositiveRate()
@@ -408,6 +434,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	out.FilterCandidates = histogramJSON(m.FilterCandidates)
 	out.FilterFPRatio = histogramJSON(m.FalsePositiveRatio)
 	out.FilterTightness10m = histogramSnapshotJSON(m.Tightness.Snapshot())
+	out.RefineDPCells = histogramJSON(m.DPCellsPerVerify)
 	return out
 }
 

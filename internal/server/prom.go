@@ -261,6 +261,18 @@ func (m *Metrics) WriteProm(w io.Writer, g PromGauges) error {
 	pw.Family("treesim_query_false_positives_total", "counter",
 		"Verified candidates whose exact distance failed the predicate, across all queries.").
 		Sample(nil, float64(q.total.FalsePositives))
+	pw.Family("treesim_refine_aborted_total", "counter",
+		"Verifications the band-limited DP abandoned after proving the distance exceeds the cutoff.").
+		Sample(nil, float64(q.total.RefineAborted))
+	pw.Family("treesim_refine_precheck_rejects_total", "counter",
+		"Verifications rejected by O(n) pre-checks (size/height/label-histogram deltas) before any DP work.").
+		Sample(nil, float64(q.total.PrecheckRejects))
+	pw.Family("treesim_refine_dp_cells_total", "counter",
+		"Dynamic-programming cells actually touched across all verifications.").
+		Sample(nil, float64(q.total.DPCells))
+	pw.Family("treesim_refine_dp_cells_full_total", "counter",
+		"Dynamic-programming cells a full (uncut) verification of the same pairs would touch.").
+		Sample(nil, float64(q.total.DPCellsFull))
 	pw.Family("treesim_query_accessed_fraction", "histogram",
 		"Per-query accessed fraction: share of the dataset verified with an exact distance (the paper's quality measure).").
 		Histogram(nil, obs.HistogramSnapshot{
@@ -279,6 +291,9 @@ func (m *Metrics) WriteProm(w io.Writer, g PromGauges) error {
 	pw.Family("treesim_filter_tightness_ratio", "histogram",
 		"BDist/EDist over verified pairs in the last ~10 minutes; the paper bounds it by 4(q-1)+1.").
 		Histogram(nil, m.Tightness.Snapshot())
+	pw.Family("treesim_refine_dp_cells_per_verification", "histogram",
+		"Per-query mean DP cells paid per verification under the bounded refine engine.").
+		Histogram(nil, m.DPCellsPerVerify.Snapshot())
 
 	pw.Family("treesim_query_filter_seconds", "histogram", "Per-query filter-stage time (lower-bound computation).").
 		Histogram(nil, m.QueryFilter.Snapshot())

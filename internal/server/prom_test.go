@@ -271,6 +271,27 @@ func TestMetricsPromExposition(t *testing.T) {
 		t.Errorf("accessed_fraction count %v (found %v), want 4", v, ok)
 	}
 
+	// Bounded refine: the counter families must exist, and the queries
+	// above verified something, so touched cells are positive and never
+	// exceed the full-DP cost.
+	cells, ok := byName("treesim_refine_dp_cells_total", nil)
+	if !ok || cells <= 0 {
+		t.Errorf("refine_dp_cells_total %v (found %v), want > 0", cells, ok)
+	}
+	full, ok := byName("treesim_refine_dp_cells_full_total", nil)
+	if !ok || full < cells {
+		t.Errorf("refine_dp_cells_full_total %v (found %v), want >= %v", full, ok, cells)
+	}
+	if _, ok := byName("treesim_refine_aborted_total", nil); !ok {
+		t.Error("refine_aborted_total missing")
+	}
+	if _, ok := byName("treesim_refine_precheck_rejects_total", nil); !ok {
+		t.Error("refine_precheck_rejects_total missing")
+	}
+	if _, ok := byName("treesim_refine_dp_cells_per_verification_count", nil); !ok {
+		t.Error("refine_dp_cells_per_verification histogram missing")
+	}
+
 	// Runtime telemetry: gauges carry live values and both runtime
 	// histograms parse through the strict checker above.
 	if v, ok := byName("treesim_goroutines", nil); !ok || v < 1 {

@@ -80,11 +80,44 @@ type CostModel = editdist.CostModel
 // edit distance is a metric.
 type UnitCost = editdist.UnitCost
 
-// EditDistance returns the unit-cost tree edit distance (Zhang–Shasha).
-func EditDistance(t1, t2 *Tree) int { return editdist.Distance(t1, t2) }
+// EditOption configures one EditDistance or EditDistanceWithin call; see
+// WithEditCost and WithEditCutoff.
+type EditOption = editdist.Option
+
+// EditMetrics reports what one distance computation cost (DP cells,
+// pre-check/abort flags); see WithEditMetrics.
+type EditMetrics = editdist.Metrics
+
+// WithEditCost sets the cost model of an edit-distance computation (nil
+// keeps the paper's unit costs).
+func WithEditCost(m CostModel) EditOption { return editdist.WithCost(m) }
+
+// WithEditCutoff bounds an edit-distance computation: the result is exact
+// whenever it is ≤ cutoff and otherwise only guaranteed to exceed it.
+func WithEditCutoff(cutoff int) EditOption { return editdist.WithCutoff(cutoff) }
+
+// WithEditMetrics directs the computation's cost accounting into *m.
+func WithEditMetrics(m *EditMetrics) EditOption { return editdist.WithMetrics(m) }
+
+// EditDistance returns the tree edit distance (Zhang–Shasha), unit-cost by
+// default:
+//
+//	d := treesim.EditDistance(t1, t2)
+//	d := treesim.EditDistance(t1, t2, treesim.WithEditCost(c))
+func EditDistance(t1, t2 *Tree, opts ...EditOption) int { return editdist.Distance(t1, t2, opts...) }
+
+// EditDistanceWithin decides whether the edit distance is at most cutoff,
+// spending as little work as the decision allows (O(n) pre-checks, banded
+// DP, early abandoning). It returns the exact distance and true when
+// within, or a certified lower bound > cutoff and false when not.
+func EditDistanceWithin(t1, t2 *Tree, cutoff int, opts ...EditOption) (int, bool) {
+	return editdist.DistanceWithin(t1, t2, cutoff, opts...)
+}
 
 // EditDistanceCost returns the tree edit distance under a custom cost
 // model.
+//
+// Deprecated: use EditDistance(t1, t2, WithEditCost(c)).
 func EditDistanceCost(t1, t2 *Tree, c CostModel) int { return editdist.DistanceCost(t1, t2, c) }
 
 // ConstrainedEditDistance returns Zhang's constrained edit distance
@@ -146,9 +179,9 @@ type Stats = search.Stats
 type Explain = search.Explain
 
 // IndexOption configures NewIndex and LoadIndex; see WithFilter,
-// WithCostModel, WithShards, WithRefineWorkers, WithMemtableSize and
-// WithCompactionThreshold. Concrete filter values returned by the
-// New*Filter constructors are themselves IndexOptions.
+// WithCostModel, WithBoundedRefine, WithShards, WithRefineWorkers,
+// WithMemtableSize and WithCompactionThreshold. Concrete filter values
+// returned by the New*Filter constructors are themselves IndexOptions.
 type IndexOption = search.IndexOption
 
 // QueryOption configures one KNN or Range call; see WithExplain.
@@ -178,6 +211,12 @@ func WithFilter(f Filter) IndexOption { return search.WithFilter(f) }
 // WithCostModel sets the refine stage's edit cost model; filtering
 // remains exact as long as every operation costs at least 1.
 func WithCostModel(m CostModel) IndexOption { return search.WithCostModel(m) }
+
+// WithBoundedRefine selects threshold-bounded verification in the refine
+// stage (the default): exact distances are computed only as far as the
+// live cutoff requires. Results are identical either way; pass false to
+// force full verification.
+func WithBoundedRefine(enabled bool) IndexOption { return search.WithBoundedRefine(enabled) }
 
 // WithShards sets how many dataset shards a query's filter stage fans out
 // over (0 = GOMAXPROCS, 1 = sequential). Results are shard-invariant.
